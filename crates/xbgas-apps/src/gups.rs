@@ -1,0 +1,377 @@
+//! GUPs (Giga-Updates Per Second / HPCC RandomAccess) over the xbrtime API.
+//!
+//! Paper §5.2: the evaluation adapts the GUPs benchmark from Oak Ridge's
+//! OpenSHMEM benchmark suite, replacing only the OpenSHMEM calls with their
+//! xBGAS equivalents, "run with the verification features enabled to
+//! guarantee correct execution", and reports millions of operations per
+//! second for 1/2/4/8 PEs (Figure 4).
+//!
+//! The kernel: a table of 2^m 64-bit words is block-distributed across PEs;
+//! each PE walks the HPCC pseudo-random sequence and XORs each random value
+//! into the table word addressed by its low bits — a remote get/xor/put
+//! when the word lives on a peer. Verification replays the stream (XOR is
+//! an involution) and counts residual mismatches; like HPCC, up to 1% is
+//! tolerated to absorb racing concurrent updates to the same word.
+
+use xbrtime::{collectives, Pe, ReduceOp};
+
+/// The HPCC RandomAccess polynomial.
+const POLY: u64 = 0x7;
+/// Period of the HPCC pseudo-random sequence.
+const PERIOD: i64 = 1_317_624_576_693_539_401;
+
+/// One LCG-over-GF(2) step of the HPCC generator.
+#[inline]
+pub fn hpcc_step(ran: u64) -> u64 {
+    (ran << 1) ^ (if (ran as i64) < 0 { POLY } else { 0 })
+}
+
+/// `HPCC_starts(n)`: the sequence value at position `n`, in O(log n) via
+/// GF(2) matrix squaring — the verbatim HPCC algorithm.
+pub fn hpcc_starts(n: i64) -> u64 {
+    let mut n = n;
+    while n < 0 {
+        n += PERIOD;
+    }
+    while n > PERIOD {
+        n -= PERIOD;
+    }
+    if n == 0 {
+        return 1;
+    }
+
+    let mut m2 = [0u64; 64];
+    let mut temp: u64 = 1;
+    for slot in m2.iter_mut() {
+        *slot = temp;
+        temp = hpcc_step(temp);
+        temp = hpcc_step(temp);
+    }
+
+    let mut i: i32 = 62;
+    while i >= 0 {
+        if (n >> i) & 1 != 0 {
+            break;
+        }
+        i -= 1;
+    }
+
+    let mut ran: u64 = 2;
+    while i > 0 {
+        temp = 0;
+        for (j, &m) in m2.iter().enumerate() {
+            if (ran >> j) & 1 != 0 {
+                temp ^= m;
+            }
+        }
+        ran = temp;
+        i -= 1;
+        if (n >> i) & 1 != 0 {
+            ran = hpcc_step(ran);
+        }
+    }
+    ran
+}
+
+/// GUPs configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GupsConfig {
+    /// log2 of the total table size in words (HPCC default sizes the table
+    /// to half of memory; the harnesses pick values that stress the paper's
+    /// 8 MB L2).
+    pub log2_table_size: u32,
+    /// Updates issued per PE. HPCC uses `4 × table_size` total; the
+    /// harnesses scale this down to keep simulated runs short.
+    pub updates_per_pe: usize,
+    /// Run the verification pass (paper: enabled).
+    pub verify: bool,
+    /// Use remote atomic fetch-xor for remote updates (one fabric
+    /// crossing, race-free) instead of the OSB get/xor/put pattern (two
+    /// crossings, tolerates <1% races). An extension beyond the paper,
+    /// measured by the `ablation` harness.
+    pub use_amo: bool,
+}
+
+impl GupsConfig {
+    /// A small configuration for tests.
+    pub const fn test() -> Self {
+        GupsConfig {
+            log2_table_size: 12,
+            updates_per_pe: 2048,
+            verify: true,
+            use_amo: false,
+        }
+    }
+
+    /// The Figure 4 harness configuration: a 32 MiB table (4 Mi words —
+    /// 4× the 8 MB L2, so per-PE partitions cross the cache boundary as
+    /// PEs are added) and 2^20 total updates strong-scaled across `n_pes`.
+    pub const fn fig4(n_pes: usize) -> Self {
+        GupsConfig {
+            log2_table_size: 22,
+            updates_per_pe: (1 << 20) / n_pes,
+            verify: false,
+            use_amo: false,
+        }
+    }
+
+    /// Total table bytes implied by the configuration.
+    pub const fn table_bytes(&self) -> usize {
+        (1usize << self.log2_table_size) * 8
+    }
+}
+
+/// Result of one PE's GUPs run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GupsResult {
+    /// Updates performed by this PE.
+    pub updates: usize,
+    /// Verification mismatches charged to this PE's table section.
+    pub errors: usize,
+    /// Simulated cycles consumed by the update loop (excluding verification).
+    pub cycles: u64,
+    /// Fraction of updates that targeted remote table sections.
+    pub remote_fraction: f64,
+}
+
+impl GupsResult {
+    /// Millions of updates per second at `core_hz`, for this PE.
+    pub fn mops(&self, core_hz: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let seconds = self.cycles as f64 / core_hz as f64;
+        self.updates as f64 / seconds / 1.0e6
+    }
+}
+
+fn apply_update(
+    pe: &Pe,
+    table: &xbrtime::SymmAlloc<u64>,
+    per_pe: usize,
+    ran: u64,
+    mask: u64,
+    use_amo: bool,
+) -> bool {
+    let global = (ran & mask) as usize;
+    let owner = global / per_pe;
+    let local = global % per_pe;
+    if use_amo {
+        // Atomic xor for every update — local ones included, because a
+        // plain read-modify-write on an owned word could still race with
+        // a peer's atomic to the same word. One crossing when remote.
+        pe.amo_fetch_xor(table.at(local), ran, owner);
+        owner != pe.rank()
+    } else if owner == pe.rank() {
+        // Local update: one read-modify-write through the cache model.
+        let slot = table.at(local);
+        let v = pe.heap_load(slot);
+        pe.heap_store(slot, v ^ ran);
+        false
+    } else {
+        // Remote update: one-sided get, xor, fire-and-forget put — the OSB
+        // GUPs pattern (`shmem_g` blocks; `shmem_p` completes at the next
+        // synchronisation point).
+        let mut v = [0u64];
+        pe.get(&mut v, table.at(local), 1, 1, owner);
+        v[0] ^= ran;
+        let _ = pe.put_nb(table.at(local), &v, 1, 1, owner);
+        true
+    }
+}
+
+/// Run GUPs on the calling PE (SPMD: every PE calls this).
+///
+/// Returns per-PE statistics; the update loop is timed with the fabric's
+/// simulated clock. A trailing sum-reduction and broadcast of the global
+/// error count exercise the collectives exactly as the OSB port does.
+pub fn run_gups(pe: &Pe, cfg: &GupsConfig) -> GupsResult {
+    let n_pes = pe.n_pes();
+    let table_size = 1usize << cfg.log2_table_size;
+    assert!(
+        table_size.is_multiple_of(n_pes),
+        "table size {table_size} must divide evenly across {n_pes} PEs"
+    );
+    let per_pe = table_size / n_pes;
+    let mask = (table_size - 1) as u64;
+
+    let table = pe.shared_malloc::<u64>(per_pe);
+    // HPCC initialisation: T[i] = i (global index).
+    let init: Vec<u64> = (0..per_pe as u64)
+        .map(|i| pe.rank() as u64 * per_pe as u64 + i)
+        .collect();
+    pe.heap_write(table.whole(), &init);
+    pe.barrier();
+
+    // Each PE starts its stream at its slice of the global sequence. The
+    // slices begin past the generator's thin early orbit (low Hamming
+    // weight near the seed), where indices are not yet well mixed.
+    const STREAM_OFFSET: i64 = 1 << 24;
+    let start = STREAM_OFFSET + (cfg.updates_per_pe * pe.rank()) as i64;
+    let mut ran = hpcc_starts(start);
+    let mut remote = 0usize;
+
+    let t0 = pe.cycles();
+    for _ in 0..cfg.updates_per_pe {
+        ran = hpcc_step(ran);
+        if apply_update(pe, &table, per_pe, ran, mask, cfg.use_amo) {
+            remote += 1;
+        }
+        // Loop overhead: index arithmetic + LCG step.
+        pe.charge(2);
+    }
+    pe.quiet(); // complete outstanding fire-and-forget puts
+    pe.barrier();
+    let cycles = pe.cycles() - t0;
+
+    // Verification: replay the stream; XOR cancels, so the table must
+    // return to its initial state (modulo racing updates, as in HPCC).
+    let mut errors = 0usize;
+    if cfg.verify {
+        let mut ran = hpcc_starts(start);
+        for _ in 0..cfg.updates_per_pe {
+            ran = hpcc_step(ran);
+            apply_update(pe, &table, per_pe, ran, mask, cfg.use_amo);
+        }
+        pe.barrier();
+        let now = pe.heap_read_vec::<u64>(table.whole(), per_pe);
+        errors = now
+            .iter()
+            .zip(&init)
+            .filter(|(a, b)| a != b)
+            .count();
+
+        // Aggregate the global error count: sum-reduce then broadcast —
+        // the collective pattern the paper's §5.2 benchmarks exercise.
+        let err_sym = pe.shared_malloc::<u64>(1);
+        pe.heap_store(err_sym.whole(), errors as u64);
+        pe.barrier();
+        let mut total = [0u64];
+        collectives::reduce(pe, &mut total, &err_sym, 1, 1, 0, ReduceOp::Sum);
+        let bcast = pe.shared_malloc::<u64>(1);
+        collectives::broadcast(pe, &bcast, &total, 1, 1, 0);
+        pe.barrier();
+        let global_errors = pe.heap_load(bcast.whole());
+        let total_updates = (cfg.updates_per_pe * n_pes) as u64;
+        assert!(
+            global_errors * 100 <= total_updates,
+            "GUPs verification failed: {global_errors} errors in {total_updates} updates (>1%)"
+        );
+        pe.barrier();
+        pe.shared_free(bcast);
+        pe.shared_free(err_sym);
+    }
+
+    pe.barrier();
+    pe.shared_free(table);
+    GupsResult {
+        updates: cfg.updates_per_pe,
+        errors,
+        cycles,
+        remote_fraction: remote as f64 / cfg.updates_per_pe.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbrtime::{Fabric, FabricConfig};
+
+    #[test]
+    fn hpcc_starts_matches_sequential_walk() {
+        // starts(n) must equal n steps of the LCG from starts(0)=1... HPCC
+        // defines position 0 as 0x1, position n as n applications of the
+        // recurrence to 0x2? Verify internal consistency instead: walking k
+        // steps from starts(n) lands on starts(n + k).
+        let a = hpcc_starts(100);
+        let mut x = a;
+        for _ in 0..37 {
+            x = hpcc_step(x);
+        }
+        assert_eq!(x, hpcc_starts(137));
+    }
+
+    #[test]
+    fn hpcc_starts_edge_cases() {
+        assert_eq!(hpcc_starts(0), 1);
+        // Negative positions wrap by the period.
+        assert_eq!(hpcc_starts(-1), hpcc_starts(PERIOD - 1));
+    }
+
+    #[test]
+    fn hpcc_step_is_involution_free_and_nonzero() {
+        let mut x = 2u64;
+        for _ in 0..1000 {
+            let next = hpcc_step(x);
+            assert_ne!(next, 0);
+            x = next;
+        }
+    }
+
+    #[test]
+    fn gups_verifies_on_one_pe() {
+        let report = Fabric::run(FabricConfig::new(1), |pe| {
+            run_gups(pe, &GupsConfig::test())
+        });
+        let r = report.results[0];
+        assert_eq!(r.errors, 0, "single PE has no races, must verify exactly");
+        assert_eq!(r.updates, 2048);
+        assert_eq!(r.remote_fraction, 0.0);
+    }
+
+    #[test]
+    fn gups_verifies_on_four_pes() {
+        let report = Fabric::run(FabricConfig::new(4), |pe| {
+            run_gups(pe, &GupsConfig::test())
+        });
+        let total_errors: usize = report.results.iter().map(|r| r.errors).sum();
+        let total_updates: usize = report.results.iter().map(|r| r.updates).sum();
+        assert!(
+            total_errors * 100 <= total_updates,
+            "{total_errors} errors in {total_updates}"
+        );
+        // Remote traffic must be substantial. (The early HPCC orbit is
+        // genuinely skewed toward low indices — uniform would be 3/4, the
+        // real stream's per-PE fractions range from ~0.3 upward.)
+        let avg: f64 = report.results.iter().map(|r| r.remote_fraction).sum::<f64>()
+            / report.results.len() as f64;
+        assert!(avg > 0.4, "average remote fraction {avg}");
+        for r in &report.results {
+            assert!(r.remote_fraction > 0.2, "remote fraction {}", r.remote_fraction);
+        }
+    }
+
+    #[test]
+    fn gups_with_amo_verifies_exactly_even_under_contention() {
+        // Atomic xor updates cannot race, so verification is exact at any
+        // PE count — unlike the get/xor/put mode's 1% tolerance.
+        let mut cfg = GupsConfig::test();
+        cfg.use_amo = true;
+        let report = Fabric::run(FabricConfig::new(8), move |pe| run_gups(pe, &cfg));
+        let errors: usize = report.results.iter().map(|r| r.errors).sum();
+        assert_eq!(errors, 0, "AMO mode must verify exactly");
+    }
+
+    #[test]
+    fn gups_simulated_cycles_scale_with_updates() {
+        let cfg_small = GupsConfig {
+            log2_table_size: 10,
+            updates_per_pe: 256,
+            verify: false,
+            use_amo: false,
+        };
+        let cfg_big = GupsConfig {
+            log2_table_size: 10,
+            updates_per_pe: 1024,
+            verify: false,
+            use_amo: false,
+        };
+        let cycles = |cfg: GupsConfig| {
+            let report = Fabric::run(FabricConfig::paper(2), move |pe| run_gups(pe, &cfg));
+            report.results.iter().map(|r| r.cycles).max().unwrap()
+        };
+        let small = cycles(cfg_small);
+        let big = cycles(cfg_big);
+        assert!(big > small * 2, "cycles must grow with update count: {small} vs {big}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # xbgas-apps — the paper's evaluation workloads
+//!
+//! Paper §5.2 evaluates the xBGAS collective library with two benchmarks
+//! adapted from Oak Ridge's OpenSHMEM benchmark suite, modified "as little
+//! as possible", replacing "only OpenSHMEM library calls with their xBGAS
+//! equivalents":
+//!
+//! * [`gups`] — GUPs / HPCC RandomAccess, verification enabled (Figure 4);
+//! * [`is`] — NAS Integer Sort, class B, detailed timing (Figure 5).
+//!
+//! Both use the runtime's reduction and broadcast collectives, report
+//! millions of operations per second, and run SPMD inside
+//! [`xbrtime::Fabric::run`]. The `xbgas-bench` crate's `fig4_gups` and
+//! `fig5_is` binaries drive them across 1/2/4/8 PEs to regenerate the
+//! paper's figures. [`micro`] adds OSU-style put/get/barrier
+//! microbenchmarks (the paper's §7 "further benchmarks").
+
+#![warn(missing_docs)]
+
+pub mod gups;
+pub mod is;
+pub mod micro;
+
+pub use gups::{hpcc_starts, hpcc_step, run_gups, GupsConfig, GupsResult};
+pub use is::{generate_keys, run_is, IsClass, IsConfig, IsResult, Randlc};
+pub use micro::{barrier_latency, get_latency, put_bandwidth, put_latency, MicroResult};

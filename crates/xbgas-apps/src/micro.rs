@@ -1,0 +1,213 @@
+//! OSU-style point-to-point and synchronisation microbenchmarks.
+//!
+//! The paper's §7 promises "further benchmarks"; these are the standard
+//! first additions for any PGAS runtime — put latency, put bandwidth
+//! (blocking and non-blocking window), get latency, and barrier latency —
+//! measured in simulated cycles so results compose with the figure
+//! harnesses.
+
+use xbrtime::{Fabric, FabricConfig, TimingConfig};
+
+/// Result of one microbenchmark point.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroResult {
+    /// Message size in bytes (0 for barrier).
+    pub bytes: usize,
+    /// Average simulated cycles per operation.
+    pub cycles_per_op: f64,
+    /// Derived bandwidth in bytes/cycle (0 for latency tests).
+    pub bytes_per_cycle: f64,
+}
+
+/// Average put latency: rank 0 repeatedly puts `nelems` u64 to rank 1.
+pub fn put_latency(timing: TimingConfig, nelems: usize, reps: usize) -> MicroResult {
+    let bytes = nelems * 8;
+    let report = Fabric::run(
+        FabricConfig {
+            n_pes: 2,
+            shared_bytes: (bytes * 2).max(1 << 20),
+            timing,
+                topology: None,
+        },
+        move |pe| {
+            let dest = pe.shared_malloc::<u64>(nelems.max(1));
+            let src = vec![1u64; nelems.max(1)];
+            pe.barrier();
+            let mut cycles = 0;
+            if pe.rank() == 0 {
+                // Warm-up (populate cache/TLB models).
+                pe.put(dest.whole(), &src, nelems, 1, 1);
+                let t0 = pe.cycles();
+                for _ in 0..reps {
+                    pe.put(dest.whole(), &src, nelems, 1, 1);
+                }
+                cycles = pe.cycles() - t0;
+            }
+            pe.barrier();
+            cycles
+        },
+    );
+    let per_op = report.results[0] as f64 / reps as f64;
+    MicroResult {
+        bytes,
+        cycles_per_op: per_op,
+        bytes_per_cycle: 0.0,
+    }
+}
+
+/// Non-blocking put bandwidth: rank 0 issues a window of `window` puts,
+/// then waits for all of them — the message-rate test.
+pub fn put_bandwidth(
+    timing: TimingConfig,
+    nelems: usize,
+    window: usize,
+    reps: usize,
+) -> MicroResult {
+    let bytes = nelems * 8;
+    let report = Fabric::run(
+        FabricConfig {
+            n_pes: 2,
+            shared_bytes: (bytes * window + (1 << 16)).max(1 << 20),
+            timing,
+                topology: None,
+        },
+        move |pe| {
+            let dest = pe.shared_malloc::<u64>((nelems * window).max(1));
+            let src = vec![1u64; nelems.max(1)];
+            pe.barrier();
+            let mut cycles = 0;
+            if pe.rank() == 0 {
+                let t0 = pe.cycles();
+                for _ in 0..reps {
+                    for w in 0..window {
+                        let _ = pe.put_nb(dest.at(w * nelems), &src, nelems, 1, 1);
+                    }
+                    pe.quiet();
+                }
+                cycles = pe.cycles() - t0;
+            }
+            pe.barrier();
+            cycles
+        },
+    );
+    let ops = (reps * window) as f64;
+    let per_op = report.results[0] as f64 / ops;
+    MicroResult {
+        bytes,
+        cycles_per_op: per_op,
+        bytes_per_cycle: bytes as f64 / per_op,
+    }
+}
+
+/// Average get latency, rank 0 ← rank 1.
+pub fn get_latency(timing: TimingConfig, nelems: usize, reps: usize) -> MicroResult {
+    let bytes = nelems * 8;
+    let report = Fabric::run(
+        FabricConfig {
+            n_pes: 2,
+            shared_bytes: (bytes * 2).max(1 << 20),
+            timing,
+                topology: None,
+        },
+        move |pe| {
+            let src = pe.shared_malloc::<u64>(nelems.max(1));
+            pe.barrier();
+            let mut cycles = 0;
+            if pe.rank() == 0 {
+                let mut dest = vec![0u64; nelems.max(1)];
+                pe.get(&mut dest, src.whole(), nelems, 1, 1);
+                let t0 = pe.cycles();
+                for _ in 0..reps {
+                    pe.get(&mut dest, src.whole(), nelems, 1, 1);
+                }
+                cycles = pe.cycles() - t0;
+            }
+            pe.barrier();
+            cycles
+        },
+    );
+    MicroResult {
+        bytes,
+        cycles_per_op: report.results[0] as f64 / reps as f64,
+        bytes_per_cycle: 0.0,
+    }
+}
+
+/// Average barrier latency over `n_pes` PEs.
+pub fn barrier_latency(timing: TimingConfig, n_pes: usize, reps: usize) -> MicroResult {
+    let report = Fabric::run(
+        FabricConfig {
+            n_pes,
+            shared_bytes: 1 << 16,
+            timing,
+                topology: None,
+        },
+        move |pe| {
+            pe.barrier();
+            let t0 = pe.cycles();
+            for _ in 0..reps {
+                pe.barrier();
+            }
+            pe.cycles() - t0
+        },
+    );
+    let max = report.results.iter().copied().max().unwrap_or(0);
+    MicroResult {
+        bytes: 0,
+        cycles_per_op: max as f64 / reps as f64,
+        bytes_per_cycle: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_message_size() {
+        let t = TimingConfig::paper();
+        let small = put_latency(t, 1, 50);
+        let large = put_latency(t, 4096, 50);
+        assert!(
+            large.cycles_per_op > small.cycles_per_op * 2.0,
+            "small {} vs large {}",
+            small.cycles_per_op,
+            large.cycles_per_op
+        );
+    }
+
+    #[test]
+    fn nonblocking_window_beats_blocking_rate() {
+        let t = TimingConfig::paper();
+        let blocking = put_latency(t, 64, 50);
+        let windowed = put_bandwidth(t, 64, 16, 10);
+        assert!(
+            windowed.cycles_per_op < blocking.cycles_per_op,
+            "windowed {} should beat blocking {}",
+            windowed.cycles_per_op,
+            blocking.cycles_per_op
+        );
+    }
+
+    #[test]
+    fn get_and_put_latency_same_order() {
+        let t = TimingConfig::paper();
+        let p = put_latency(t, 16, 50);
+        let g = get_latency(t, 16, 50);
+        let ratio = p.cycles_per_op / g.cycles_per_op;
+        assert!((0.5..=2.0).contains(&ratio), "put {} vs get {}", p.cycles_per_op, g.cycles_per_op);
+    }
+
+    #[test]
+    fn barrier_latency_grows_with_pes() {
+        let t = TimingConfig::paper();
+        let two = barrier_latency(t, 2, 50);
+        let eight = barrier_latency(t, 8, 50);
+        assert!(
+            eight.cycles_per_op > two.cycles_per_op,
+            "2 PEs {} vs 8 PEs {}",
+            two.cycles_per_op,
+            eight.cycles_per_op
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion benches for the evaluation workloads (small configurations —
+//! the paper-scale runs live in the `fig4_gups`/`fig5_is` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbgas_apps::{run_gups, run_is, GupsConfig, IsClass, IsConfig};
+use xbrtime::{Fabric, FabricConfig};
+
+fn bench_gups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gups");
+    g.sample_size(10);
+    for n_pes in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(n_pes), &n_pes, |b, &n| {
+            b.iter(|| {
+                let cfg = GupsConfig {
+                    log2_table_size: 16,
+                    updates_per_pe: 8192,
+                    verify: false,
+            use_amo: false,
+                };
+                Fabric::run(FabricConfig::new(n), move |pe| run_gups(pe, &cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_is(c: &mut Criterion) {
+    let mut g = c.benchmark_group("integer_sort");
+    g.sample_size(10);
+    for n_pes in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(n_pes), &n_pes, |b, &n| {
+            b.iter(|| {
+                let cfg = IsConfig {
+                    class: IsClass::Custom {
+                        log2_keys: 14,
+                        log2_max_key: 9,
+                    },
+                    iterations: 2,
+                    verify: false,
+                };
+                Fabric::run(FabricConfig::new(n), move |pe| run_is(pe, &cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use xbgas_sim::{asm::assemble, cost::MachineConfig, machine::Machine};
+    c.bench_function("sim_remote_store_kernel", |b| {
+        let img = assemble(
+            0x1000,
+            r#"
+            li   t1, 256
+            lui  t0, 0x8
+            eaddie e5, zero, 2
+        loop:
+            esd  t1, 0(t0)
+            addi t0, t0, 8
+            addi t1, t1, -1
+            bnez t1, loop
+            li   a7, 0
+            ecall
+            "#,
+        )
+        .unwrap();
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::test(2));
+            m.load_words(0, 0x1000, &img.words);
+            m.load_words(1, 0x1000, &[0x00000513, 0x00000893, 0x00000073]); // li a0,0; li a7,0; ecall
+            m.run()
+        })
+    });
+}
+
+criterion_group!(benches, bench_gups, bench_is, bench_simulator);
+criterion_main!(benches);

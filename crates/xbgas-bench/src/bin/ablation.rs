@@ -1,0 +1,79 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **Loop unrolling** (paper §3.3): per-element overhead of bulk
+//!    transfers with and without the unrolled fast path.
+//! 2. **All-reduce composition** (paper §4.7/§7): reduce-then-broadcast —
+//!    the paper's prescription — vs a direct recursive-doubling butterfly.
+//! 3. **Per-stage barriers**: the barrier cost share of a broadcast, by
+//!    comparing against the same tree's pure transfer cycles.
+
+use xbgas_bench::{ablation_allreduce, ablation_gups_amo, ablation_topology, ablation_unroll, sweep_broadcast, Algo};
+use xbrtime::collectives::AllReduceAlgo;
+
+fn main() {
+    println!("# Ablation 1 — transfer loop unrolling (remote put of N u64)");
+    println!(
+        "{:>9} {:>14} {:>14} {:>8}",
+        "elems", "rolled (cyc)", "unrolled (cyc)", "speedup"
+    );
+    for nelems in [8usize, 64, 512, 4096, 32768] {
+        let rolled = ablation_unroll(usize::MAX, nelems);
+        let unrolled = ablation_unroll(8, nelems);
+        println!(
+            "{:>9} {:>14} {:>14} {:>8.2}",
+            nelems,
+            rolled,
+            unrolled,
+            rolled as f64 / unrolled as f64
+        );
+    }
+
+    println!("\n# Ablation 2 — all-reduce strategy (sum of N u64, makespan cycles)");
+    println!(
+        "{:>5} {:>9} {:>18} {:>18}",
+        "PEs", "elems", "reduce+broadcast", "recursive-doubling"
+    );
+    for n in [2usize, 4, 8] {
+        for nelems in [16usize, 1024, 16384] {
+            let a = ablation_allreduce(AllReduceAlgo::ReduceThenBroadcast, n, nelems);
+            let b = ablation_allreduce(AllReduceAlgo::RecursiveDoubling, n, nelems);
+            println!("{n:>5} {nelems:>9} {a:>18} {b:>18}");
+        }
+    }
+
+    println!("\n# Ablation 3 — topology-aware hierarchical broadcast (8192 u64,");
+    println!("#   intra-node links 4x cheaper; §7 'location aware' future work)");
+    println!(
+        "{:>6} {:>10} {:>14} {:>12} {:>8}",
+        "PEs", "node size", "hierarchical", "flat tree", "speedup"
+    );
+    for (n, k) in [(8usize, 4usize), (8, 2), (12, 3), (12, 4), (12, 6)] {
+        let (hier, flat) = ablation_topology(n, k, 8192);
+        println!(
+            "{:>6} {:>10} {:>14} {:>12} {:>8.2}",
+            n,
+            k,
+            hier,
+            flat,
+            flat as f64 / hier as f64
+        );
+    }
+
+    println!("\n# Ablation 4 — GUPs remote-update strategy (2^16 updates, verified)");
+    println!(
+        "{:>5} {:>16} {:>12} {:>10} {:>10}",
+        "PEs", "get+put (cyc)", "amo (cyc)", "g/p errs", "amo errs"
+    );
+    for n in [2usize, 4, 8] {
+        let (gp, amo, gp_err, amo_err) = ablation_gups_amo(n);
+        println!("{n:>5} {gp:>16} {amo:>12} {gp_err:>10} {amo_err:>10}");
+    }
+
+    println!("\n# Ablation 5 — binomial broadcast scaling in PEs (4096 u64)");
+    println!("{:>5} {:>12} {:>12}", "PEs", "tree (cyc)", "linear (cyc)");
+    for n in [2usize, 4, 8, 12] {
+        let t = sweep_broadcast(Algo::Binomial, n, 4096).cycles;
+        let l = sweep_broadcast(Algo::Linear, n, 4096).cycles;
+        println!("{n:>5} {t:>12} {l:>12}");
+    }
+}

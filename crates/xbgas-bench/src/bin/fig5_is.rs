@@ -1,0 +1,51 @@
+//! Figure 5 reproduction: NAS Integer Sort performance for 1/2/4/8 PEs.
+//!
+//! Runs the scaled class-B configuration (see EXPERIMENTS.md) with full
+//! verification enabled, as the paper does, and prints total and per-PE
+//! MOPS. Pass `--json` for machine-readable output, `--quick` to halve the
+//! iteration count.
+
+use xbgas_bench::{render_rows, run_fig5, run_fig5_class};
+use xbgas_apps::IsClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let scale = if args.iter().any(|a| a == "--quick") { 1 } else { 0 };
+    // Optional NPB class override: --class s|w|a|b (default: the scaled
+    // class-B substitute described in EXPERIMENTS.md). Full class B takes
+    // tens of minutes of host time; S/W are quick.
+    let class = args
+        .iter()
+        .position(|a| a == "--class")
+        .and_then(|i| args.get(i + 1))
+        .map(|c| match c.to_ascii_lowercase().as_str() {
+            "s" => IsClass::S,
+            "w" => IsClass::W,
+            "a" => IsClass::A,
+            "b" => IsClass::B,
+            other => panic!("unknown class `{other}` (expected s|w|a|b)"),
+        });
+
+    let rows = match class {
+        Some(c) => run_fig5_class(&[1, 2, 4, 8], scale, c),
+        None => run_fig5(&[1, 2, 4, 8], scale),
+    };
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+    } else {
+        print!(
+            "{}",
+            render_rows(
+                "Figure 5 — Integer Sort Performance (simulated, verified)",
+                "MOPS",
+                &rows
+            )
+        );
+        let drop = 1.0 - rows[3].per_pe_mops / rows[2].per_pe_mops;
+        println!(
+            "\nper-PE drop at 8 PEs vs 4 PEs: {:.0}% (paper: \"drops by about 25%\")",
+            drop * 100.0
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! OSU-style microbenchmark harness: put/get latency across message sizes,
+//! non-blocking put bandwidth, and barrier latency scaling — all in
+//! simulated cycles under the paper calibration.
+
+use xbgas_apps::micro;
+use xbrtime::TimingConfig;
+
+fn main() {
+    let t = TimingConfig::paper();
+    let reps = 200;
+
+    println!("# put / get latency (simulated cycles per op, 2 PEs)");
+    println!("{:>10} {:>12} {:>12}", "bytes", "put", "get");
+    for nelems in [1usize, 8, 64, 512, 4096, 32768] {
+        let p = micro::put_latency(t, nelems, reps);
+        let g = micro::get_latency(t, nelems, reps);
+        println!(
+            "{:>10} {:>12.1} {:>12.1}",
+            p.bytes, p.cycles_per_op, g.cycles_per_op
+        );
+    }
+
+    println!("\n# non-blocking put bandwidth (window = 32)");
+    println!("{:>10} {:>14} {:>14}", "bytes", "cycles/op", "bytes/cycle");
+    for nelems in [1usize, 8, 64, 512, 4096] {
+        let b = micro::put_bandwidth(t, nelems, 32, 20);
+        println!(
+            "{:>10} {:>14.1} {:>14.2}",
+            b.bytes, b.cycles_per_op, b.bytes_per_cycle
+        );
+    }
+
+    println!("\n# barrier latency (dissemination model)");
+    println!("{:>6} {:>14}", "PEs", "cycles/barrier");
+    for n in [2usize, 4, 8, 12] {
+        let b = micro::barrier_latency(t, n, reps);
+        println!("{:>6} {:>14.1}", n, b.cycles_per_op);
+    }
+}

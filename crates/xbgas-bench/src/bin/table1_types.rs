@@ -1,0 +1,25 @@
+//! Table 1 reproduction: the 24 matched TYPENAME → type pairs for which
+//! the runtime provides explicit calls, with the Rust substitution column
+//! this reproduction adds.
+
+use xbrtime::TABLE1;
+
+fn main() {
+    println!("# Table 1 — xBGAS Matched Type Names & Types");
+    println!(
+        "{:<12} {:<20} {:<8} {:>5}  {}",
+        "TYPENAME", "C TYPE", "RUST", "BYTES", "REDUCTIONS"
+    );
+    for e in TABLE1 {
+        let ops = if e.bitwise {
+            "sum prod min max and or xor"
+        } else {
+            "sum prod min max"
+        };
+        println!(
+            "{:<12} {:<20} {:<8} {:>5}  {}",
+            e.type_name, e.c_type, e.rust_type, e.size, ops
+        );
+    }
+    println!("\n{} type names total", TABLE1.len());
+}

@@ -1,0 +1,92 @@
+//! §4.7-style comparison sweep: binomial tree vs linear vs ring across
+//! message sizes and PE counts, with a crossover report.
+//!
+//! The paper's design discussion (§4.1–4.2) argues that "there is no
+//! universally optimal solution": tree algorithms win at small transaction
+//! sizes where latency dominates, and state-of-the-art libraries switch
+//! algorithms at runtime. This sweep regenerates that evidence for our
+//! cost model. Pass `--json` for machine-readable output.
+
+use xbgas_bench::{sweep_broadcast, sweep_gather, sweep_reduce, sweep_scatter, Algo};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let pe_counts = [2usize, 4, 8];
+    let sizes = [1usize, 16, 256, 4096, 65536];
+    let algos = [Algo::Binomial, Algo::Linear, Algo::Ring];
+
+    let mut points = Vec::new();
+    for &n in &pe_counts {
+        for &sz in &sizes {
+            for &algo in &algos {
+                points.push(sweep_broadcast(algo, n, sz));
+            }
+        }
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&points).unwrap());
+        return;
+    }
+
+    println!("# Broadcast: simulated cycles per call (lower is better)");
+    println!(
+        "{:>5} {:>9} {:>12} {:>12} {:>12}  winner",
+        "PEs", "elems", "binomial", "linear", "ring"
+    );
+    for &n in &pe_counts {
+        for &sz in &sizes {
+            let row: Vec<u64> = algos
+                .iter()
+                .map(|&a| {
+                    points
+                        .iter()
+                        .find(|p| p.algo == a && p.n_pes == n && p.nelems == sz)
+                        .unwrap()
+                        .cycles
+                })
+                .collect();
+            let winner = match row.iter().enumerate().min_by_key(|(_, c)| **c) {
+                Some((0, _)) => "binomial",
+                Some((1, _)) => "linear",
+                _ => "ring",
+            };
+            println!(
+                "{:>5} {:>9} {:>12} {:>12} {:>12}  {}",
+                n, sz, row[0], row[1], row[2], winner
+            );
+        }
+    }
+
+    println!("\n# Scatter / gather (uniform counts): binomial tree vs linear");
+    println!(
+        "{:>5} {:>9} {:>14} {:>14} {:>14} {:>14}",
+        "PEs", "elems/PE", "scatter tree", "scatter lin", "gather tree", "gather lin"
+    );
+    for &n in &pe_counts {
+        for per in [16usize, 1024, 8192] {
+            let st = sweep_scatter(Algo::Binomial, n, per).cycles;
+            let sl = sweep_scatter(Algo::Linear, n, per).cycles;
+            let gt = sweep_gather(Algo::Binomial, n, per).cycles;
+            let gl = sweep_gather(Algo::Linear, n, per).cycles;
+            println!("{n:>5} {per:>9} {st:>14} {sl:>14} {gt:>14} {gl:>14}");
+        }
+    }
+
+    println!("\n# Reduction (sum): binomial tree vs linear");
+    println!("{:>5} {:>9} {:>12} {:>12}  winner", "PEs", "elems", "binomial", "linear");
+    for &n in &pe_counts {
+        for &sz in &sizes {
+            let t = sweep_reduce(Algo::Binomial, n, sz).cycles;
+            let l = sweep_reduce(Algo::Linear, n, sz).cycles;
+            println!(
+                "{:>5} {:>9} {:>12} {:>12}  {}",
+                n,
+                sz,
+                t,
+                l,
+                if t <= l { "binomial" } else { "linear" }
+            );
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! # xbgas-bench — reproduction harnesses for the paper's evaluation
+//!
+//! One binary per paper artifact (see DESIGN.md §4 for the experiment
+//! index):
+//!
+//! | artifact | binary | library entry |
+//! |---|---|---|
+//! | Figure 4 (GUPs)        | `fig4_gups`    | [`run_fig4`] |
+//! | Figure 5 (NAS IS)      | `fig5_is`      | [`run_fig5`] |
+//! | Table 1 (type names)   | `table1_types` | [`xbrtime::TABLE1`] |
+//! | Table 2 (rank mapping) | `table2_ranks` | [`xbrtime::collectives::rank_table`] |
+//! | §4.7 comparison        | `xbench_sweep` | [`sweep_broadcast`] / [`sweep_reduce`] |
+//! | design ablations       | `ablation`     | [`ablation_unroll`], [`ablation_allreduce`] |
+//!
+//! The Criterion benches under `benches/` measure host wall-clock of the
+//! same operations; the binaries report *simulated* cycles, which is what
+//! the paper's figures are drawn from.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use xbgas_apps::{run_gups, run_is, GupsConfig, IsConfig};
+use xbrtime::collectives::{self, AllReduceAlgo};
+use xbrtime::{Fabric, FabricConfig, ReduceOp};
+
+/// Core frequency used to convert simulated cycles into seconds.
+pub const CORE_HZ: u64 = 1_000_000_000;
+
+/// One row of a Figure 4/5-style scaling table.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct FigureRow {
+    /// Number of PEs simulated.
+    pub n_pes: usize,
+    /// Total millions of operations per second.
+    pub total_mops: f64,
+    /// Millions of operations per second per PE.
+    pub per_pe_mops: f64,
+    /// Simulated makespan in cycles.
+    pub makespan_cycles: u64,
+}
+
+/// Render rows in the layout the paper's figures report (total + per-PE).
+pub fn render_rows(title: &str, unit: &str, rows: &[FigureRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!(
+        "{:>6} {:>14} {:>14} {:>16}\n",
+        "PEs",
+        format!("total {unit}"),
+        format!("{unit}/PE"),
+        "sim cycles"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} {:>14.3} {:>14.3} {:>16}\n",
+            r.n_pes, r.total_mops, r.per_pe_mops, r.makespan_cycles
+        ));
+    }
+    out
+}
+
+/// Run the Figure 4 GUPs sweep over `pe_counts` at `scale` (1 = the full
+/// harness size of 2^20 total updates; tests use a smaller scale).
+pub fn run_fig4(pe_counts: &[usize], scale_shift: u32) -> Vec<FigureRow> {
+    pe_counts
+        .iter()
+        .map(|&n| {
+            let mut cfg = GupsConfig::fig4(n);
+            cfg.updates_per_pe >>= scale_shift;
+            let total_updates = cfg.updates_per_pe * n;
+            let fc = FabricConfig::paper(n)
+                .with_shared_bytes(cfg.table_bytes() + (1 << 20));
+            let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));
+            let makespan = report
+                .results
+                .iter()
+                .map(|r| r.cycles)
+                .max()
+                .unwrap_or(0);
+            let secs = makespan as f64 / CORE_HZ as f64;
+            let total_mops = total_updates as f64 / secs / 1.0e6;
+            FigureRow {
+                n_pes: n,
+                total_mops,
+                per_pe_mops: total_mops / n as f64,
+                makespan_cycles: makespan,
+            }
+        })
+        .collect()
+}
+
+/// Run the Figure 5 NAS IS sweep over `pe_counts`. `scale_shift` divides
+/// the iteration count (tests use fewer iterations).
+pub fn run_fig5(pe_counts: &[usize], scale_shift: u32) -> Vec<FigureRow> {
+    run_fig5_impl(pe_counts, scale_shift, None)
+}
+
+/// [`run_fig5`] with an explicit NPB class instead of the scaled default.
+pub fn run_fig5_class(
+    pe_counts: &[usize],
+    scale_shift: u32,
+    class: xbgas_apps::IsClass,
+) -> Vec<FigureRow> {
+    run_fig5_impl(pe_counts, scale_shift, Some(class))
+}
+
+fn run_fig5_impl(
+    pe_counts: &[usize],
+    scale_shift: u32,
+    class: Option<xbgas_apps::IsClass>,
+) -> Vec<FigureRow> {
+    pe_counts
+        .iter()
+        .map(|&n| {
+            let mut cfg = IsConfig::fig5();
+            if let Some(c) = class {
+                cfg.class = c;
+            }
+            cfg.iterations = (cfg.iterations >> scale_shift).max(1);
+            let (total_keys, max_key) = cfg.class.sizes();
+            // Heap: histogram + mailbox (total keys) + slack.
+            let heap = (max_key * 8 + total_keys * 4 + (1 << 22)).max(16 << 20);
+            let fc = FabricConfig::paper(n).with_shared_bytes(heap);
+            let report = Fabric::run(fc, move |pe| run_is(pe, &cfg));
+            assert!(
+                report.results.iter().all(|r| r.verified),
+                "IS verification failed at {n} PEs"
+            );
+            let makespan = report
+                .results
+                .iter()
+                .map(|r| r.cycles)
+                .max()
+                .unwrap_or(0);
+            let secs = makespan as f64 / CORE_HZ as f64;
+            let total_mops = (total_keys * cfg.iterations) as f64 / secs / 1.0e6;
+            FigureRow {
+                n_pes: n,
+                total_mops,
+                per_pe_mops: total_mops / n as f64,
+                makespan_cycles: makespan,
+            }
+        })
+        .collect()
+}
+
+/// Which collective algorithm a sweep point used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Algo {
+    /// The paper's binomial tree (Algorithms 1–4).
+    Binomial,
+    /// Root-sequential linear baseline.
+    Linear,
+    /// Neighbour ring baseline.
+    Ring,
+}
+
+/// One sweep measurement: a collective at a message size and PE count.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SweepPoint {
+    /// Algorithm measured.
+    pub algo: Algo,
+    /// PEs participating.
+    pub n_pes: usize,
+    /// Message size in elements (u64).
+    pub nelems: usize,
+    /// Simulated makespan cycles for one collective call.
+    pub cycles: u64,
+}
+
+/// Measure one broadcast call's simulated makespan.
+pub fn sweep_broadcast(algo: Algo, n_pes: usize, nelems: usize) -> SweepPoint {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20));
+    let report = Fabric::run(fc, move |pe| {
+        let dest = pe.shared_malloc::<u64>(nelems.max(1));
+        let src = vec![7u64; nelems];
+        pe.barrier();
+        let t0 = pe.cycles();
+        match algo {
+            Algo::Binomial => collectives::broadcast(pe, &dest, &src, nelems, 1, 0),
+            Algo::Linear => collectives::broadcast_linear(pe, &dest, &src, nelems, 1, 0),
+            Algo::Ring => collectives::broadcast_ring(pe, &dest, &src, nelems, 1, 0),
+        }
+        pe.barrier();
+        pe.cycles() - t0
+    });
+    SweepPoint {
+        algo,
+        n_pes,
+        nelems,
+        cycles: report.results.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Measure one sum-reduction call's simulated makespan.
+pub fn sweep_reduce(algo: Algo, n_pes: usize, nelems: usize) -> SweepPoint {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    let report = Fabric::run(fc, move |pe| {
+        let src = pe.shared_malloc::<u64>(nelems.max(1));
+        let data: Vec<u64> = (0..nelems as u64).collect();
+        pe.heap_write(src.whole(), &data);
+        pe.barrier();
+        let mut dest = vec![0u64; nelems.max(1)];
+        let t0 = pe.cycles();
+        match algo {
+            Algo::Binomial => {
+                collectives::reduce(pe, &mut dest, &src, nelems, 1, 0, ReduceOp::Sum)
+            }
+            Algo::Linear | Algo::Ring => collectives::reduce_linear(
+                pe,
+                &mut dest,
+                &src,
+                nelems,
+                1,
+                0,
+                <u64 as xbrtime::XbrNumeric>::red_sum,
+            ),
+        }
+        pe.barrier();
+        pe.cycles() - t0
+    });
+    SweepPoint {
+        algo,
+        n_pes,
+        nelems,
+        cycles: report.results.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Measure one scatter (tree or linear) call's simulated makespan with
+/// uniform per-PE counts.
+pub fn sweep_scatter(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
+    let nelems = per_pe * n_pes;
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    let report = Fabric::run(fc, move |pe| {
+        let msgs = vec![per_pe; n_pes];
+        let disp: Vec<usize> = (0..n_pes).map(|r| r * per_pe).collect();
+        let src: Vec<u64> = if pe.rank() == 0 {
+            (0..nelems as u64).collect()
+        } else {
+            vec![]
+        };
+        let landing = pe.shared_malloc::<u64>(per_pe.max(1));
+        let mut dest = vec![0u64; per_pe.max(1)];
+        pe.barrier();
+        let t0 = pe.cycles();
+        match algo {
+            Algo::Binomial => {
+                collectives::scatter(pe, &mut dest, &src, &msgs, &disp, nelems, 0)
+            }
+            Algo::Linear | Algo::Ring => {
+                collectives::scatter_linear(pe, &landing, &src, &msgs, &disp, nelems, 0)
+            }
+        }
+        pe.barrier();
+        pe.cycles() - t0
+    });
+    SweepPoint {
+        algo,
+        n_pes,
+        nelems,
+        cycles: report.results.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Measure one gather (tree or linear) call's simulated makespan.
+pub fn sweep_gather(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
+    let nelems = per_pe * n_pes;
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    let report = Fabric::run(fc, move |pe| {
+        let msgs = vec![per_pe; n_pes];
+        let disp: Vec<usize> = (0..n_pes).map(|r| r * per_pe).collect();
+        let mine: Vec<u64> = vec![pe.rank() as u64; per_pe.max(1)];
+        let staged = pe.shared_malloc::<u64>(per_pe.max(1));
+        pe.heap_write(staged.whole(), &mine);
+        let mut dest = vec![0u64; nelems.max(1)];
+        pe.barrier();
+        let t0 = pe.cycles();
+        match algo {
+            Algo::Binomial => {
+                collectives::gather(pe, &mut dest, &mine[..per_pe], &msgs, &disp, nelems, 0)
+            }
+            Algo::Linear | Algo::Ring => {
+                collectives::gather_linear(pe, &mut dest, &staged, &msgs, &disp, nelems, 0)
+            }
+        }
+        pe.barrier();
+        pe.cycles() - t0
+    });
+    SweepPoint {
+        algo,
+        n_pes,
+        nelems,
+        cycles: report.results.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Ablation: simulated cycles for a bulk put at a given unroll threshold.
+pub fn ablation_unroll(threshold: usize, nelems: usize) -> u64 {
+    let mut fc = FabricConfig::paper(2).with_shared_bytes((nelems * 8).max(1 << 20));
+    fc.timing.unroll_threshold = threshold;
+    let report = Fabric::run(fc, move |pe| {
+        let dest = pe.shared_malloc::<u64>(nelems);
+        let src = vec![1u64; nelems];
+        pe.barrier();
+        let t0 = pe.cycles();
+        if pe.rank() == 0 {
+            pe.put(dest.whole(), &src, nelems, 1, 1);
+        }
+        pe.cycles() - t0
+    });
+    report.results[0]
+}
+
+/// Ablation: hierarchical vs flat broadcast on a multi-node topology.
+/// Returns (hierarchical_cycles, flat_cycles).
+pub fn ablation_topology(
+    n_pes: usize,
+    pes_per_node: usize,
+    nelems: usize,
+) -> (u64, u64) {
+    use xbrtime::Topology;
+    let cfg = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
+        .with_topology(Topology {
+            pes_per_node,
+            intra_node_factor: 0.25,
+        });
+    let run = |hier: bool| {
+        let report = Fabric::run(cfg, move |pe| {
+            let dest = pe.shared_malloc::<u64>(nelems.max(1));
+            let src = vec![1u64; nelems.max(1)];
+            pe.barrier();
+            let t0 = pe.cycles();
+            if hier {
+                collectives::broadcast_hier(pe, &dest, &src, nelems, 0);
+            } else {
+                collectives::broadcast(pe, &dest, &src, nelems, 1, 0);
+            }
+            pe.barrier();
+            pe.cycles() - t0
+        });
+        report.results.iter().copied().max().unwrap_or(0)
+    };
+    (run(true), run(false))
+}
+
+/// Ablation: GUPs remote-update strategy — the OSB get/xor/put pattern
+/// vs a single-crossing remote atomic xor. Returns
+/// (getput_makespan, amo_makespan, getput_errors, amo_errors).
+pub fn ablation_gups_amo(n_pes: usize) -> (u64, u64, usize, usize) {
+    let run = |use_amo: bool| {
+        let cfg = xbgas_apps::GupsConfig {
+            log2_table_size: 16,
+            updates_per_pe: (1 << 16) / n_pes,
+            verify: true,
+            use_amo,
+        };
+        let fc = FabricConfig::paper(n_pes).with_shared_bytes(cfg.table_bytes() + (1 << 20));
+        let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));
+        let makespan = report.results.iter().map(|r| r.cycles).max().unwrap_or(0);
+        let errors = report.results.iter().map(|r| r.errors).sum();
+        (makespan, errors)
+    };
+    let (gp, gp_err) = run(false);
+    let (amo, amo_err) = run(true);
+    (gp, amo, gp_err, amo_err)
+}
+
+/// Ablation: simulated makespan of all-reduce under both strategies.
+pub fn ablation_allreduce(algo: AllReduceAlgo, n_pes: usize, nelems: usize) -> u64 {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    let report = Fabric::run(fc, move |pe| {
+        let src = pe.shared_malloc::<u64>(nelems.max(1));
+        pe.heap_write(src.whole(), &vec![pe.rank() as u64; nelems]);
+        pe.barrier();
+        let mut dest = vec![0u64; nelems.max(1)];
+        let t0 = pe.cycles();
+        collectives::reduce_all(pe, &mut dest, &src, nelems, ReduceOp::Sum, algo);
+        pe.barrier();
+        pe.cycles() - t0
+    });
+    report.results.iter().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline reproduction check for Figure 4, at quarter scale so the
+    /// debug-mode test suite stays fast: per-PE GUPs exceeds the 1-PE
+    /// baseline at 2 and 4 PEs and falls below the 4-PE level at 8.
+    #[test]
+    fn fig4_shape_holds() {
+        let rows = run_fig4(&[1, 2, 4, 8], 2);
+        let per_pe: Vec<f64> = rows.iter().map(|r| r.per_pe_mops).collect();
+        assert!(
+            per_pe[1] > per_pe[0] * 1.02,
+            "per-PE at 2 PEs must exceed baseline: {per_pe:?}"
+        );
+        assert!(
+            per_pe[2] > per_pe[0] * 1.02,
+            "per-PE at 4 PEs must exceed baseline: {per_pe:?}"
+        );
+        assert!(
+            per_pe[3] < per_pe[2] * 0.85,
+            "per-PE at 8 PEs must drop: {per_pe:?}"
+        );
+        // Total operations scale "fairly linearly" (monotone, still rising at 8).
+        let totals: Vec<f64> = rows.iter().map(|r| r.total_mops).collect();
+        assert!(totals.windows(2).all(|w| w[1] > w[0]), "{totals:?}");
+    }
+
+    /// Figure 5 at reduced iterations: per-PE IS roughly consistent for
+    /// 1–4 PEs, with a pronounced (paper: ~25%) drop at 8.
+    #[test]
+    fn fig5_shape_holds() {
+        let rows = run_fig5(&[1, 2, 4, 8], 1);
+        let per_pe: Vec<f64> = rows.iter().map(|r| r.per_pe_mops).collect();
+        assert!(
+            per_pe[1] > per_pe[0] * 0.85,
+            "per-PE at 2 PEs should stay near baseline: {per_pe:?}"
+        );
+        assert!(
+            per_pe[2] > per_pe[0] * 0.75,
+            "per-PE at 4 PEs should stay near baseline: {per_pe:?}"
+        );
+        assert!(
+            per_pe[3] < per_pe[2] * 0.88,
+            "per-PE at 8 PEs must drop noticeably: {per_pe:?}"
+        );
+        let totals: Vec<f64> = rows.iter().map(|r| r.total_mops).collect();
+        assert!(totals.windows(2).all(|w| w[1] > w[0]), "{totals:?}");
+    }
+
+    /// §4.7: for 8 PEs the binomial tree beats the linear baseline.
+    #[test]
+    fn tree_beats_linear_at_scale() {
+        let tree = sweep_broadcast(Algo::Binomial, 8, 4096);
+        let linear = sweep_broadcast(Algo::Linear, 8, 4096);
+        let ring = sweep_broadcast(Algo::Ring, 8, 4096);
+        assert!(
+            tree.cycles < linear.cycles,
+            "tree {} vs linear {}",
+            tree.cycles,
+            linear.cycles
+        );
+        assert!(
+            tree.cycles < ring.cycles,
+            "tree {} vs ring {}",
+            tree.cycles,
+            ring.cycles
+        );
+    }
+
+    /// Paper §3.3: the unrolled fast path must make large puts cheaper.
+    #[test]
+    fn unroll_ablation_direction() {
+        let rolled = ablation_unroll(usize::MAX, 4096);
+        let unrolled = ablation_unroll(8, 4096);
+        assert!(
+            unrolled < rolled,
+            "unrolled {unrolled} should undercut rolled {rolled}"
+        );
+    }
+
+    #[test]
+    fn amo_gups_is_faster_and_exact() {
+        let (getput, amo, _gp_err, amo_err) = ablation_gups_amo(4);
+        assert_eq!(amo_err, 0, "AMO updates cannot race");
+        assert!(amo < getput, "one crossing {amo} should beat two {getput}");
+    }
+
+    #[test]
+    fn topology_ablation_hierarchy_wins_on_ragged_nodes() {
+        let (hier, flat) = ablation_topology(12, 3, 8192);
+        assert!(hier < flat, "hier {hier} vs flat {flat}");
+    }
+
+    #[test]
+    fn allreduce_strategies_both_complete() {
+        let a = ablation_allreduce(AllReduceAlgo::ReduceThenBroadcast, 8, 1024);
+        let b = ablation_allreduce(AllReduceAlgo::RecursiveDoubling, 8, 1024);
+        assert!(a > 0 && b > 0);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let rows = vec![FigureRow {
+            n_pes: 2,
+            total_mops: 4.0,
+            per_pe_mops: 2.0,
+            makespan_cycles: 1000,
+        }];
+        let s = render_rows("GUPs", "MOPS", &rows);
+        assert!(s.contains("GUPs"));
+        assert!(s.contains("2.000"));
+    }
+}

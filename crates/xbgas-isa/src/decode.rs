@@ -1,0 +1,531 @@
+//! Binary decoding of RV64IM + xBGAS instructions.
+
+use crate::encode::{alu_op_from_fields, opcodes};
+use crate::inst::*;
+use crate::reg::{EReg, XReg};
+
+/// Errors produced when a 32-bit word is not a valid instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Unrecognised major opcode.
+    UnknownOpcode(u32),
+    /// Recognised opcode but invalid funct3/funct7 combination.
+    InvalidFunct {
+        /// The major opcode.
+        opcode: u32,
+        /// funct3 field.
+        funct3: u32,
+        /// funct7 field.
+        funct7: u32,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::InvalidFunct {
+                opcode,
+                funct3,
+                funct7,
+            } => write!(
+                f,
+                "invalid funct fields (opcode={opcode:#04x}, funct3={funct3:#05b}, funct7={funct7:#09b})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn rd(word: u32) -> XReg {
+    XReg::new(((word >> 7) & 0x1F) as u8)
+}
+
+#[inline]
+fn rs1(word: u32) -> XReg {
+    XReg::new(((word >> 15) & 0x1F) as u8)
+}
+
+#[inline]
+fn rs2(word: u32) -> XReg {
+    XReg::new(((word >> 20) & 0x1F) as u8)
+}
+
+#[inline]
+fn erd(word: u32) -> EReg {
+    EReg::new(((word >> 7) & 0x1F) as u8)
+}
+
+#[inline]
+fn ers1(word: u32) -> EReg {
+    EReg::new(((word >> 15) & 0x1F) as u8)
+}
+
+#[inline]
+fn ers2(word: u32) -> EReg {
+    EReg::new(((word >> 20) & 0x1F) as u8)
+}
+
+#[inline]
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+#[inline]
+fn funct7(word: u32) -> u32 {
+    (word >> 25) & 0x7F
+}
+
+#[inline]
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+#[inline]
+fn imm_s(word: u32) -> i32 {
+    let lo = (word >> 7) & 0x1F;
+    let hi = (word as i32) >> 25; // arithmetic shift sign-extends
+    (hi << 5) | lo as i32
+}
+
+#[inline]
+fn imm_b(word: u32) -> i32 {
+    let b11 = (word >> 7) & 1;
+    let b4_1 = (word >> 8) & 0xF;
+    let b10_5 = (word >> 25) & 0x3F;
+    let b12 = (word >> 31) & 1;
+    let raw = (b12 << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1);
+    // Sign-extend from 13 bits.
+    ((raw << 19) as i32) >> 19
+}
+
+#[inline]
+fn imm_u(word: u32) -> i32 {
+    // Stored unshifted, sign-extended from 20 bits.
+    ((word & 0xFFFF_F000) as i32) >> 12
+}
+
+#[inline]
+fn imm_j(word: u32) -> i32 {
+    let b19_12 = (word >> 12) & 0xFF;
+    let b11 = (word >> 20) & 1;
+    let b10_1 = (word >> 21) & 0x3FF;
+    let b20 = (word >> 31) & 1;
+    let raw = (b20 << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1);
+    // Sign-extend from 21 bits.
+    ((raw << 11) as i32) >> 11
+}
+
+/// Decode one 32-bit word into an instruction.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    use opcodes::*;
+    let opcode = word & 0x7F;
+    let f3 = funct3(word);
+    let f7 = funct7(word);
+    let invalid = DecodeError::InvalidFunct {
+        opcode,
+        funct3: f3,
+        funct7: f7,
+    };
+
+    Ok(match opcode {
+        LUI => Inst::Lui {
+            rd: rd(word),
+            imm20: imm_u(word),
+        },
+        AUIPC => Inst::Auipc {
+            rd: rd(word),
+            imm20: imm_u(word),
+        },
+        JAL => Inst::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        },
+        JALR => {
+            if f3 != 0 {
+                return Err(invalid);
+            }
+            Inst::Jalr {
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: imm_i(word),
+            }
+        }
+        BRANCH => {
+            let cond = BranchCond::from_funct3(f3).ok_or(invalid)?;
+            Inst::Branch {
+                cond,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            }
+        }
+        LOAD => {
+            let width = LoadWidth::from_funct3(f3).ok_or(invalid)?;
+            Inst::Load {
+                width,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: imm_i(word),
+            }
+        }
+        STORE => {
+            let width = StoreWidth::from_funct3(f3).ok_or(invalid)?;
+            Inst::Store {
+                width,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                imm: imm_s(word),
+            }
+        }
+        OP_IMM => {
+            let op = match f3 {
+                0b000 => AluImmOp::Addi,
+                0b010 => AluImmOp::Slti,
+                0b011 => AluImmOp::Sltiu,
+                0b100 => AluImmOp::Xori,
+                0b110 => AluImmOp::Ori,
+                0b111 => AluImmOp::Andi,
+                0b001 => AluImmOp::Slli,
+                0b101 => {
+                    if (f7 >> 1) == 0x10 {
+                        AluImmOp::Srai
+                    } else if (f7 >> 1) == 0x00 {
+                        AluImmOp::Srli
+                    } else {
+                        return Err(invalid);
+                    }
+                }
+                _ => return Err(invalid),
+            };
+            let imm = if op.is_shift() {
+                imm_i(word) & 0x3F
+            } else {
+                imm_i(word)
+            };
+            if op == AluImmOp::Slli && (f7 >> 1) != 0 {
+                return Err(invalid);
+            }
+            Inst::OpImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            }
+        }
+        OP_IMM_32 => {
+            let op = match f3 {
+                0b000 => AluImmOp::Addiw,
+                0b001 => AluImmOp::Slliw,
+                0b101 => {
+                    if f7 == 0x20 {
+                        AluImmOp::Sraiw
+                    } else if f7 == 0x00 {
+                        AluImmOp::Srliw
+                    } else {
+                        return Err(invalid);
+                    }
+                }
+                _ => return Err(invalid),
+            };
+            let imm = if op.is_shift() {
+                imm_i(word) & 0x1F
+            } else {
+                imm_i(word)
+            };
+            if op == AluImmOp::Slliw && f7 != 0 {
+                return Err(invalid);
+            }
+            Inst::OpImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            }
+        }
+        OP | OP_32 => {
+            let op = alu_op_from_fields(opcode, f3, f7).ok_or(invalid)?;
+            Inst::Op {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            }
+        }
+        MISC_MEM => Inst::Fence,
+        SYSTEM => {
+            if f3 == 0 {
+                match (word >> 20) & 0xFFF {
+                    0 => Inst::Ecall,
+                    1 => Inst::Ebreak,
+                    _ => return Err(invalid),
+                }
+            } else if let Some(op) = CsrOp::from_funct3(f3) {
+                Inst::Csr {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    csr: ((word >> 20) & 0xFFF) as u16,
+                }
+            } else {
+                return Err(invalid);
+            }
+        }
+
+        XBGAS_ELOAD => {
+            let width = LoadWidth::from_funct3(f3).ok_or(invalid)?;
+            Inst::ELoad {
+                width,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: imm_i(word),
+            }
+        }
+        XBGAS_ESTORE => {
+            let width = StoreWidth::from_funct3(f3).ok_or(invalid)?;
+            Inst::EStore {
+                width,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                imm: imm_s(word),
+            }
+        }
+        XBGAS_RAW => match f7 {
+            0x00 => {
+                let width = LoadWidth::from_funct3(f3).ok_or(invalid)?;
+                Inst::ERLoad {
+                    width,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    ext2: ers2(word),
+                }
+            }
+            0x01 => {
+                let width = StoreWidth::from_funct3(f3).ok_or(invalid)?;
+                Inst::ERStore {
+                    width,
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                    ext3: erd(word),
+                }
+            }
+            0x02 => {
+                if f3 != 0b011 {
+                    return Err(invalid);
+                }
+                Inst::ERse {
+                    ext1: erd(word),
+                    rs1: rs1(word),
+                    ext2: ers2(word),
+                }
+            }
+            0x03 => {
+                if f3 != 0b011 {
+                    return Err(invalid);
+                }
+                Inst::ERle {
+                    ext1: erd(word),
+                    rs1: rs1(word),
+                    ext2: ers2(word),
+                }
+            }
+            _ => return Err(invalid),
+        },
+        XBGAS_ADDR => match f3 {
+            0b000 => Inst::Eaddi {
+                rd: rd(word),
+                ext1: ers1(word),
+                imm: imm_i(word),
+            },
+            0b001 => Inst::Eaddie {
+                ext: erd(word),
+                rs1: rs1(word),
+                imm: imm_i(word),
+            },
+            0b010 => Inst::Eaddix {
+                ext1: erd(word),
+                ext2: ers1(word),
+                imm: imm_i(word),
+            },
+            _ => return Err(invalid),
+        },
+
+        other => return Err(DecodeError::UnknownOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn roundtrip(i: Inst) {
+        let word = encode(&i).unwrap_or_else(|e| panic!("encode {i:?}: {e}"));
+        let back = decode(word).unwrap_or_else(|e| panic!("decode {i:?} ({word:#010x}): {e}"));
+        assert_eq!(back, i, "roundtrip mismatch for word {word:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_all_loads_stores() {
+        for w in LoadWidth::ALL {
+            roundtrip(Inst::Load {
+                width: w,
+                rd: XReg::new(5),
+                rs1: XReg::new(6),
+                imm: -3,
+            });
+            roundtrip(Inst::ELoad {
+                width: w,
+                rd: XReg::new(7),
+                rs1: XReg::new(8),
+                imm: 2047,
+            });
+            roundtrip(Inst::ERLoad {
+                width: w,
+                rd: XReg::new(9),
+                rs1: XReg::new(10),
+                ext2: EReg::new(11),
+            });
+        }
+        for w in StoreWidth::ALL {
+            roundtrip(Inst::Store {
+                width: w,
+                rs1: XReg::new(1),
+                rs2: XReg::new(2),
+                imm: -2048,
+            });
+            roundtrip(Inst::EStore {
+                width: w,
+                rs1: XReg::new(3),
+                rs2: XReg::new(4),
+                imm: 100,
+            });
+            roundtrip(Inst::ERStore {
+                width: w,
+                rs1: XReg::new(5),
+                rs2: XReg::new(6),
+                ext3: EReg::new(7),
+            });
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_alu() {
+        for op in AluOp::ALL {
+            roundtrip(Inst::Op {
+                op,
+                rd: XReg::new(3),
+                rs1: XReg::new(4),
+                rs2: XReg::new(5),
+            });
+        }
+        for op in AluImmOp::ALL {
+            let imm = if op.is_shift() { 5 } else { -7 };
+            roundtrip(Inst::OpImm {
+                op,
+                rd: XReg::new(6),
+                rs1: XReg::new(7),
+                imm,
+            });
+        }
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        for c in BranchCond::ALL {
+            roundtrip(Inst::Branch {
+                cond: c,
+                rs1: XReg::new(1),
+                rs2: XReg::new(2),
+                offset: -4096,
+            });
+            roundtrip(Inst::Branch {
+                cond: c,
+                rs1: XReg::new(1),
+                rs2: XReg::new(2),
+                offset: 4094,
+            });
+        }
+        roundtrip(Inst::Jal {
+            rd: XReg::RA,
+            offset: -1048576,
+        });
+        roundtrip(Inst::Jal {
+            rd: XReg::ZERO,
+            offset: 1048574,
+        });
+        roundtrip(Inst::Jalr {
+            rd: XReg::ZERO,
+            rs1: XReg::RA,
+            imm: 0,
+        });
+    }
+
+    #[test]
+    fn roundtrip_misc_and_addr_mgmt() {
+        roundtrip(Inst::Lui {
+            rd: XReg::new(20),
+            imm20: -524288,
+        });
+        roundtrip(Inst::Auipc {
+            rd: XReg::new(21),
+            imm20: 524287,
+        });
+        roundtrip(Inst::Fence);
+        roundtrip(Inst::Ecall);
+        roundtrip(Inst::Ebreak);
+        roundtrip(Inst::ERse {
+            ext1: EReg::new(30),
+            rs1: XReg::new(29),
+            ext2: EReg::new(28),
+        });
+        roundtrip(Inst::Eaddi {
+            rd: XReg::new(13),
+            ext1: EReg::new(14),
+            imm: -1,
+        });
+        roundtrip(Inst::Eaddie {
+            ext: EReg::new(15),
+            rs1: XReg::new(16),
+            imm: 42,
+        });
+        roundtrip(Inst::Eaddix {
+            ext1: EReg::new(17),
+            ext2: EReg::new(18),
+            imm: -42,
+        });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(matches!(
+            decode(0x7F),
+            Err(DecodeError::UnknownOpcode(0x7F))
+        ));
+        // BRANCH with funct3=0b010 is invalid.
+        let bad = 0x63 | (0b010 << 12);
+        assert!(matches!(decode(bad), Err(DecodeError::InvalidFunct { .. })));
+        // XBGAS_RAW with funct7=0x05 is invalid.
+        let bad = 0x5B | (0x05 << 25) | (0b011 << 12);
+        assert!(matches!(decode(bad), Err(DecodeError::InvalidFunct { .. })));
+    }
+
+    #[test]
+    fn imm_sign_extension() {
+        // sd x1, -8(x2)
+        let i = Inst::Store {
+            width: StoreWidth::D,
+            rs1: XReg::new(2),
+            rs2: XReg::new(1),
+            imm: -8,
+        };
+        let w = encode(&i).unwrap();
+        match decode(w).unwrap() {
+            Inst::Store { imm, .. } => assert_eq!(imm, -8),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+}

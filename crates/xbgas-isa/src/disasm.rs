@@ -1,0 +1,137 @@
+//! Textual disassembly of RV64IM + xBGAS instructions.
+//!
+//! The output uses GNU-style assembly syntax; xBGAS instructions follow the
+//! operand orders shown in paper §3.2 (`eld rd, imm(rs1)`,
+//! `erld rd, rs1, ext2`, …). Output from this module parses back through
+//! [`crate::Inst`]-producing assemblers such as `xbgas_sim::asm`.
+
+use crate::inst::Inst;
+
+/// Render one instruction as assembly text.
+pub fn format_inst(inst: &Inst) -> String {
+    match *inst {
+        Inst::Lui { rd, imm20 } => format!("lui {rd}, {imm20}"),
+        Inst::Auipc { rd, imm20 } => format!("auipc {rd}, {imm20}"),
+        Inst::Jal { rd, offset } => format!("jal {rd}, {offset}"),
+        Inst::Jalr { rd, rs1, imm } => format!("jalr {rd}, {imm}({rs1})"),
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => format!("{} {rs1}, {rs2}, {offset}", cond.mnemonic()),
+        Inst::Load {
+            width,
+            rd,
+            rs1,
+            imm,
+        } => format!("l{} {rd}, {imm}({rs1})", width.suffix()),
+        Inst::Store {
+            width,
+            rs1,
+            rs2,
+            imm,
+        } => format!("s{} {rs2}, {imm}({rs1})", width.suffix()),
+        Inst::OpImm { op, rd, rs1, imm } => {
+            format!("{} {rd}, {rs1}, {imm}", op.mnemonic())
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", op.mnemonic())
+        }
+        Inst::Fence => "fence".into(),
+        Inst::Ecall => "ecall".into(),
+        Inst::Ebreak => "ebreak".into(),
+        Inst::Csr { op, rd, rs1, csr } => {
+            format!("{} {rd}, {csr:#x}, {rs1}", op.mnemonic())
+        }
+        Inst::ELoad {
+            width,
+            rd,
+            rs1,
+            imm,
+        } => format!("el{} {rd}, {imm}({rs1})", width.suffix()),
+        Inst::EStore {
+            width,
+            rs1,
+            rs2,
+            imm,
+        } => format!("es{} {rs2}, {imm}({rs1})", width.suffix()),
+        Inst::ERLoad {
+            width,
+            rd,
+            rs1,
+            ext2,
+        } => format!("erl{} {rd}, {rs1}, {ext2}", width.suffix()),
+        Inst::ERStore {
+            width,
+            rs1,
+            rs2,
+            ext3,
+        } => format!("ers{} {rs2}, {rs1}, {ext3}", width.suffix()),
+        Inst::ERse { ext1, rs1, ext2 } => format!("erse {ext1}, {rs1}, {ext2}"),
+        Inst::ERle { ext1, rs1, ext2 } => format!("erle {ext1}, {rs1}, {ext2}"),
+        Inst::Eaddi { rd, ext1, imm } => format!("eaddi {rd}, {ext1}, {imm}"),
+        Inst::Eaddie { ext, rs1, imm } => format!("eaddie {ext}, {rs1}, {imm}"),
+        Inst::Eaddix { ext1, ext2, imm } => format!("eaddix {ext1}, {ext2}, {imm}"),
+    }
+}
+
+/// Disassemble a 32-bit word, falling back to a `.word` directive for
+/// undecodable values.
+pub fn disasm_word(word: u32) -> String {
+    match crate::decode::decode(word) {
+        Ok(inst) => format_inst(&inst),
+        Err(_) => format!(".word {word:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::*;
+    use crate::reg::{EReg, XReg};
+
+    #[test]
+    fn paper_operand_orders() {
+        // Paper §3.2: "eld rd, imm(rs1)"
+        let eld = Inst::ELoad {
+            width: LoadWidth::D,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            imm: 16,
+        };
+        assert_eq!(format_inst(&eld), "eld a0, 16(a1)");
+
+        // Paper §3.2: "erld rd, rs1, ext2"
+        let erld = Inst::ERLoad {
+            width: LoadWidth::D,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            ext2: EReg::new(7),
+        };
+        assert_eq!(format_inst(&erld), "erld a0, a1, e7");
+    }
+
+    #[test]
+    fn word_fallback() {
+        assert_eq!(disasm_word(0), ".word 0x00000000");
+        let add = crate::encode::encode(&Inst::Op {
+            op: AluOp::Add,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::new(12),
+        })
+        .unwrap();
+        assert_eq!(disasm_word(add), "add a0, a1, a2");
+    }
+
+    #[test]
+    fn display_matches_disasm() {
+        let i = Inst::Eaddie {
+            ext: EReg::new(4),
+            rs1: XReg::SP,
+            imm: -32,
+        };
+        assert_eq!(i.to_string(), "eaddie e4, sp, -32");
+    }
+}

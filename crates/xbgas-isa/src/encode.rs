@@ -1,0 +1,624 @@
+//! Binary encoding of RV64IM + xBGAS instructions.
+//!
+//! Base RV64IM instructions use the standard RISC-V encodings. The public
+//! xBGAS architecture specification's exact opcode assignments are not
+//! available offline, so this crate places the extension in the RISC-V
+//! *custom* opcode space, keeping the standard format shapes:
+//!
+//! | group                        | opcode  | format | discriminator        |
+//! |------------------------------|---------|--------|----------------------|
+//! | base extended loads          | `0x0B`  | I      | funct3 = load width  |
+//! | base extended stores         | `0x2B`  | S      | funct3 = store width |
+//! | raw extended loads           | `0x5B`  | R      | funct7=0, funct3=width |
+//! | raw extended stores          | `0x5B`  | R      | funct7=1, funct3=width |
+//! | `erse`                       | `0x5B`  | R      | funct7=2, funct3=3   |
+//! | address management           | `0x7B`  | I      | funct3 = 0/1/2       |
+//!
+//! E-register numbers occupy the same 5-bit fields as x-register numbers.
+//! The encoding is self-consistent: `decode(encode(i)) == i` for every
+//! representable instruction (verified by property tests).
+
+use crate::inst::*;
+use crate::reg::{EReg, XReg};
+
+/// Errors produced when an instruction's operands do not fit its encoding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// A 12-bit signed immediate was out of `-2048..=2047`.
+    ImmOutOfRange {
+        /// The offending value.
+        value: i32,
+        /// Number of bits available (including sign).
+        bits: u8,
+    },
+    /// A branch or jump offset was odd (must be 2-byte aligned).
+    MisalignedOffset(i32),
+    /// A shift amount exceeded the operand width.
+    ShamtOutOfRange(i32),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { value, bits } => {
+                write!(f, "immediate {value} does not fit in {bits} signed bits")
+            }
+            EncodeError::MisalignedOffset(v) => {
+                write!(f, "control-flow offset {v} is not 2-byte aligned")
+            }
+            EncodeError::ShamtOutOfRange(v) => write!(f, "shift amount {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// xBGAS custom opcodes (see module docs).
+pub mod opcodes {
+    /// Standard RV64I LOAD opcode.
+    pub const LOAD: u32 = 0x03;
+    /// Standard RV64I STORE opcode.
+    pub const STORE: u32 = 0x23;
+    /// Standard OP-IMM opcode.
+    pub const OP_IMM: u32 = 0x13;
+    /// Standard OP-IMM-32 opcode.
+    pub const OP_IMM_32: u32 = 0x1B;
+    /// Standard OP opcode.
+    pub const OP: u32 = 0x33;
+    /// Standard OP-32 opcode.
+    pub const OP_32: u32 = 0x3B;
+    /// Standard LUI opcode.
+    pub const LUI: u32 = 0x37;
+    /// Standard AUIPC opcode.
+    pub const AUIPC: u32 = 0x17;
+    /// Standard JAL opcode.
+    pub const JAL: u32 = 0x6F;
+    /// Standard JALR opcode.
+    pub const JALR: u32 = 0x67;
+    /// Standard BRANCH opcode.
+    pub const BRANCH: u32 = 0x63;
+    /// Standard MISC-MEM opcode (fence).
+    pub const MISC_MEM: u32 = 0x0F;
+    /// Standard SYSTEM opcode (ecall/ebreak).
+    pub const SYSTEM: u32 = 0x73;
+    /// xBGAS base extended loads (custom-0).
+    pub const XBGAS_ELOAD: u32 = 0x0B;
+    /// xBGAS base extended stores (custom-1).
+    pub const XBGAS_ESTORE: u32 = 0x2B;
+    /// xBGAS raw extended loads/stores and `erse` (custom-2).
+    pub const XBGAS_RAW: u32 = 0x5B;
+    /// xBGAS address management (custom-3).
+    pub const XBGAS_ADDR: u32 = 0x7B;
+}
+
+#[inline]
+fn check_simm(value: i32, bits: u8) -> Result<u32, EncodeError> {
+    let min = -(1i32 << (bits - 1));
+    let max = (1i32 << (bits - 1)) - 1;
+    if value < min || value > max {
+        return Err(EncodeError::ImmOutOfRange { value, bits });
+    }
+    Ok((value as u32) & ((1u32 << bits) - 1))
+}
+
+#[inline]
+fn r_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, rs2: u32, funct7: u32) -> u32 {
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) | (funct7 << 25)
+}
+
+#[inline]
+fn i_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, imm12: u32) -> u32 {
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (imm12 << 20)
+}
+
+#[inline]
+fn s_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm12: u32) -> u32 {
+    let lo = imm12 & 0x1F;
+    let hi = (imm12 >> 5) & 0x7F;
+    opcode | (lo << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) | (hi << 25)
+}
+
+#[inline]
+fn b_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm13: u32) -> u32 {
+    // imm13 is the already-masked 13-bit offset; bit 0 is always zero.
+    let b11 = (imm13 >> 11) & 1;
+    let b4_1 = (imm13 >> 1) & 0xF;
+    let b10_5 = (imm13 >> 5) & 0x3F;
+    let b12 = (imm13 >> 12) & 1;
+    opcode
+        | (b11 << 7)
+        | (b4_1 << 8)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (b10_5 << 25)
+        | (b12 << 31)
+}
+
+#[inline]
+fn u_type(opcode: u32, rd: u32, imm20: u32) -> u32 {
+    opcode | (rd << 7) | (imm20 << 12)
+}
+
+#[inline]
+fn j_type(opcode: u32, rd: u32, imm21: u32) -> u32 {
+    // imm21 is the already-masked 21-bit offset; bit 0 is always zero.
+    let b19_12 = (imm21 >> 12) & 0xFF;
+    let b11 = (imm21 >> 11) & 1;
+    let b10_1 = (imm21 >> 1) & 0x3FF;
+    let b20 = (imm21 >> 20) & 1;
+    opcode | (rd << 7) | (b19_12 << 12) | (b11 << 20) | (b10_1 << 21) | (b20 << 31)
+}
+
+fn alu_op_fields(op: AluOp) -> (u32, u32, u32) {
+    // (opcode, funct3, funct7)
+    use opcodes::{OP, OP_32};
+    match op {
+        AluOp::Add => (OP, 0b000, 0x00),
+        AluOp::Sub => (OP, 0b000, 0x20),
+        AluOp::Sll => (OP, 0b001, 0x00),
+        AluOp::Slt => (OP, 0b010, 0x00),
+        AluOp::Sltu => (OP, 0b011, 0x00),
+        AluOp::Xor => (OP, 0b100, 0x00),
+        AluOp::Srl => (OP, 0b101, 0x00),
+        AluOp::Sra => (OP, 0b101, 0x20),
+        AluOp::Or => (OP, 0b110, 0x00),
+        AluOp::And => (OP, 0b111, 0x00),
+        AluOp::Mul => (OP, 0b000, 0x01),
+        AluOp::Mulh => (OP, 0b001, 0x01),
+        AluOp::Mulhsu => (OP, 0b010, 0x01),
+        AluOp::Mulhu => (OP, 0b011, 0x01),
+        AluOp::Div => (OP, 0b100, 0x01),
+        AluOp::Divu => (OP, 0b101, 0x01),
+        AluOp::Rem => (OP, 0b110, 0x01),
+        AluOp::Remu => (OP, 0b111, 0x01),
+        AluOp::Addw => (OP_32, 0b000, 0x00),
+        AluOp::Subw => (OP_32, 0b000, 0x20),
+        AluOp::Sllw => (OP_32, 0b001, 0x00),
+        AluOp::Srlw => (OP_32, 0b101, 0x00),
+        AluOp::Sraw => (OP_32, 0b101, 0x20),
+        AluOp::Mulw => (OP_32, 0b000, 0x01),
+        AluOp::Divw => (OP_32, 0b100, 0x01),
+        AluOp::Divuw => (OP_32, 0b101, 0x01),
+        AluOp::Remw => (OP_32, 0b110, 0x01),
+        AluOp::Remuw => (OP_32, 0b111, 0x01),
+    }
+}
+
+pub(crate) fn alu_op_from_fields(opcode: u32, funct3: u32, funct7: u32) -> Option<AluOp> {
+    AluOp::ALL
+        .into_iter()
+        .find(|&op| alu_op_fields(op) == (opcode, funct3, funct7))
+}
+
+/// Encode one instruction into its 32-bit binary form.
+pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
+    use opcodes::*;
+    Ok(match *inst {
+        Inst::Lui { rd, imm20 } => {
+            let imm = check_simm(imm20, 20)?;
+            u_type(LUI, rd.num() as u32, imm)
+        }
+        Inst::Auipc { rd, imm20 } => {
+            let imm = check_simm(imm20, 20)?;
+            u_type(AUIPC, rd.num() as u32, imm)
+        }
+        Inst::Jal { rd, offset } => {
+            if offset & 1 != 0 {
+                return Err(EncodeError::MisalignedOffset(offset));
+            }
+            let imm = check_simm(offset, 21)?;
+            j_type(JAL, rd.num() as u32, imm)
+        }
+        Inst::Jalr { rd, rs1, imm } => {
+            let imm = check_simm(imm, 12)?;
+            i_type(JALR, rd.num() as u32, 0b000, rs1.num() as u32, imm)
+        }
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            if offset & 1 != 0 {
+                return Err(EncodeError::MisalignedOffset(offset));
+            }
+            let imm = check_simm(offset, 13)?;
+            b_type(
+                BRANCH,
+                cond.funct3(),
+                rs1.num() as u32,
+                rs2.num() as u32,
+                imm,
+            )
+        }
+        Inst::Load {
+            width,
+            rd,
+            rs1,
+            imm,
+        } => {
+            let imm = check_simm(imm, 12)?;
+            i_type(LOAD, rd.num() as u32, width.funct3(), rs1.num() as u32, imm)
+        }
+        Inst::Store {
+            width,
+            rs1,
+            rs2,
+            imm,
+        } => {
+            let imm = check_simm(imm, 12)?;
+            s_type(
+                STORE,
+                width.funct3(),
+                rs1.num() as u32,
+                rs2.num() as u32,
+                imm,
+            )
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            let (opcode, funct3) = match op {
+                AluImmOp::Addi => (OP_IMM, 0b000),
+                AluImmOp::Slti => (OP_IMM, 0b010),
+                AluImmOp::Sltiu => (OP_IMM, 0b011),
+                AluImmOp::Xori => (OP_IMM, 0b100),
+                AluImmOp::Ori => (OP_IMM, 0b110),
+                AluImmOp::Andi => (OP_IMM, 0b111),
+                AluImmOp::Slli => (OP_IMM, 0b001),
+                AluImmOp::Srli | AluImmOp::Srai => (OP_IMM, 0b101),
+                AluImmOp::Addiw => (OP_IMM_32, 0b000),
+                AluImmOp::Slliw => (OP_IMM_32, 0b001),
+                AluImmOp::Srliw | AluImmOp::Sraiw => (OP_IMM_32, 0b101),
+            };
+            if op.is_shift() {
+                let max_shamt = if op.is_word() { 31 } else { 63 };
+                if imm < 0 || imm > max_shamt {
+                    return Err(EncodeError::ShamtOutOfRange(imm));
+                }
+                // RV64 shifts use a 6-bit shamt with funct6 at the top;
+                // *W shifts use 5 bits with funct7.
+                let arith = matches!(op, AluImmOp::Srai | AluImmOp::Sraiw);
+                let hi: u32 = if arith { 0x20 } else { 0x00 };
+                let imm12 = (hi << 5) | (imm as u32);
+                i_type(opcode, rd.num() as u32, funct3, rs1.num() as u32, imm12)
+            } else {
+                let imm = check_simm(imm, 12)?;
+                i_type(opcode, rd.num() as u32, funct3, rs1.num() as u32, imm)
+            }
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let (opcode, funct3, funct7) = alu_op_fields(op);
+            r_type(
+                opcode,
+                rd.num() as u32,
+                funct3,
+                rs1.num() as u32,
+                rs2.num() as u32,
+                funct7,
+            )
+        }
+        Inst::Fence => i_type(MISC_MEM, 0, 0b000, 0, 0),
+        Inst::Ecall => i_type(SYSTEM, 0, 0b000, 0, 0),
+        Inst::Ebreak => i_type(SYSTEM, 0, 0b000, 0, 1),
+        Inst::Csr { op, rd, rs1, csr } => i_type(
+            SYSTEM,
+            rd.num() as u32,
+            op.funct3(),
+            rs1.num() as u32,
+            (csr & 0xFFF) as u32,
+        ),
+
+        Inst::ELoad {
+            width,
+            rd,
+            rs1,
+            imm,
+        } => {
+            let imm = check_simm(imm, 12)?;
+            i_type(
+                XBGAS_ELOAD,
+                rd.num() as u32,
+                width.funct3(),
+                rs1.num() as u32,
+                imm,
+            )
+        }
+        Inst::EStore {
+            width,
+            rs1,
+            rs2,
+            imm,
+        } => {
+            let imm = check_simm(imm, 12)?;
+            s_type(
+                XBGAS_ESTORE,
+                width.funct3(),
+                rs1.num() as u32,
+                rs2.num() as u32,
+                imm,
+            )
+        }
+        Inst::ERLoad {
+            width,
+            rd,
+            rs1,
+            ext2,
+        } => r_type(
+            XBGAS_RAW,
+            rd.num() as u32,
+            width.funct3(),
+            rs1.num() as u32,
+            ext2.num() as u32,
+            0x00,
+        ),
+        Inst::ERStore {
+            width,
+            rs1,
+            rs2,
+            ext3,
+        } => r_type(
+            XBGAS_RAW,
+            ext3.num() as u32,
+            width.funct3(),
+            rs1.num() as u32,
+            rs2.num() as u32,
+            0x01,
+        ),
+        Inst::ERse { ext1, rs1, ext2 } => r_type(
+            XBGAS_RAW,
+            ext1.num() as u32,
+            0b011,
+            rs1.num() as u32,
+            ext2.num() as u32,
+            0x02,
+        ),
+        Inst::ERle { ext1, rs1, ext2 } => r_type(
+            XBGAS_RAW,
+            ext1.num() as u32,
+            0b011,
+            rs1.num() as u32,
+            ext2.num() as u32,
+            0x03,
+        ),
+        Inst::Eaddi { rd, ext1, imm } => {
+            let imm = check_simm(imm, 12)?;
+            i_type(
+                XBGAS_ADDR,
+                rd.num() as u32,
+                0b000,
+                ext1.num() as u32,
+                imm,
+            )
+        }
+        Inst::Eaddie { ext, rs1, imm } => {
+            let imm = check_simm(imm, 12)?;
+            i_type(XBGAS_ADDR, ext.num() as u32, 0b001, rs1.num() as u32, imm)
+        }
+        Inst::Eaddix { ext1, ext2, imm } => {
+            let imm = check_simm(imm, 12)?;
+            i_type(
+                XBGAS_ADDR,
+                ext1.num() as u32,
+                0b010,
+                ext2.num() as u32,
+                imm,
+            )
+        }
+    })
+}
+
+/// Convenience constructors mirroring common assembler pseudo-instructions.
+pub mod pseudo {
+    use super::*;
+
+    /// `nop` — encoded as `addi x0, x0, 0`.
+    pub fn nop() -> Inst {
+        Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: XReg::ZERO,
+            rs1: XReg::ZERO,
+            imm: 0,
+        }
+    }
+
+    /// `mv rd, rs` — encoded as `addi rd, rs, 0`.
+    pub fn mv(rd: XReg, rs: XReg) -> Inst {
+        Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: rs,
+            imm: 0,
+        }
+    }
+
+    /// `li rd, imm` for immediates representable in 12 bits.
+    pub fn li(rd: XReg, imm: i32) -> Inst {
+        Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: XReg::ZERO,
+            imm,
+        }
+    }
+
+    /// `ret` — encoded as `jalr x0, 0(ra)`.
+    pub fn ret() -> Inst {
+        Inst::Jalr {
+            rd: XReg::ZERO,
+            rs1: XReg::RA,
+            imm: 0,
+        }
+    }
+
+    /// `rdcycle rd` — read the cycle counter (`csrrs rd, cycle, x0`).
+    pub fn rdcycle(rd: XReg) -> Inst {
+        Inst::Csr {
+            op: crate::inst::CsrOp::Rs,
+            rd,
+            rs1: XReg::ZERO,
+            csr: crate::inst::csr::CYCLE,
+        }
+    }
+
+    /// `rdinstret rd` — read the retired-instruction counter.
+    pub fn rdinstret(rd: XReg) -> Inst {
+        Inst::Csr {
+            op: crate::inst::CsrOp::Rs,
+            rd,
+            rs1: XReg::ZERO,
+            csr: crate::inst::csr::INSTRET,
+        }
+    }
+
+    /// `eset ext, id` — set an extended register to a small object ID,
+    /// encoded as `eaddie ext, x0, id`. This is the idiom the xBGAS runtime
+    /// uses to target a PE before a remote access.
+    pub fn eset(ext: EReg, id: i32) -> Inst {
+        Inst::Eaddie {
+            ext,
+            rs1: XReg::ZERO,
+            imm: id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_standard_encodings() {
+        // addi a0, a1, 7  => imm=7, rs1=11, f3=0, rd=10, opcode=0x13
+        let i = Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            imm: 7,
+        };
+        assert_eq!(encode(&i).unwrap(), (7 << 20) | (11 << 15) | (10 << 7) | 0x13);
+
+        // add a0, a1, a2
+        let i = Inst::Op {
+            op: AluOp::Add,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::new(12),
+        };
+        assert_eq!(
+            encode(&i).unwrap(),
+            (12 << 20) | (11 << 15) | (10 << 7) | 0x33
+        );
+
+        // ecall / ebreak
+        assert_eq!(encode(&Inst::Ecall).unwrap(), 0x0000_0073);
+        assert_eq!(encode(&Inst::Ebreak).unwrap(), 0x0010_0073);
+    }
+
+    #[test]
+    fn imm_range_enforced() {
+        let i = Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            imm: 2048,
+        };
+        assert!(matches!(
+            encode(&i),
+            Err(EncodeError::ImmOutOfRange { value: 2048, bits: 12 })
+        ));
+        let i = Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            imm: -2048,
+        };
+        assert!(encode(&i).is_ok());
+    }
+
+    #[test]
+    fn branch_alignment_enforced() {
+        let i = Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: XReg::A0,
+            rs2: XReg::A1,
+            offset: 3,
+        };
+        assert!(matches!(encode(&i), Err(EncodeError::MisalignedOffset(3))));
+    }
+
+    #[test]
+    fn shamt_range_enforced() {
+        let ok = Inst::OpImm {
+            op: AluImmOp::Slli,
+            rd: XReg::A0,
+            rs1: XReg::A0,
+            imm: 63,
+        };
+        assert!(encode(&ok).is_ok());
+        let bad = Inst::OpImm {
+            op: AluImmOp::Slli,
+            rd: XReg::A0,
+            rs1: XReg::A0,
+            imm: 64,
+        };
+        assert!(matches!(encode(&bad), Err(EncodeError::ShamtOutOfRange(64))));
+        let bad_w = Inst::OpImm {
+            op: AluImmOp::Slliw,
+            rd: XReg::A0,
+            rs1: XReg::A0,
+            imm: 32,
+        };
+        assert!(matches!(
+            encode(&bad_w),
+            Err(EncodeError::ShamtOutOfRange(32))
+        ));
+    }
+
+    #[test]
+    fn xbgas_opcodes_used() {
+        let eld = Inst::ELoad {
+            width: LoadWidth::D,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            imm: 16,
+        };
+        assert_eq!(encode(&eld).unwrap() & 0x7F, opcodes::XBGAS_ELOAD);
+
+        let esd = Inst::EStore {
+            width: StoreWidth::D,
+            rs1: XReg::A0,
+            rs2: XReg::A1,
+            imm: -8,
+        };
+        assert_eq!(encode(&esd).unwrap() & 0x7F, opcodes::XBGAS_ESTORE);
+
+        let erld = Inst::ERLoad {
+            width: LoadWidth::D,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            ext2: EReg::new(5),
+        };
+        assert_eq!(encode(&erld).unwrap() & 0x7F, opcodes::XBGAS_RAW);
+
+        let eaddie = Inst::Eaddie {
+            ext: EReg::new(9),
+            rs1: XReg::A0,
+            imm: 3,
+        };
+        assert_eq!(encode(&eaddie).unwrap() & 0x7F, opcodes::XBGAS_ADDR);
+    }
+
+    #[test]
+    fn pseudo_shapes() {
+        assert_eq!(encode(&pseudo::nop()).unwrap(), 0x0000_0013);
+        let eset = pseudo::eset(EReg::new(10), 3);
+        match eset {
+            Inst::Eaddie { ext, rs1, imm } => {
+                assert_eq!(ext.num(), 10);
+                assert_eq!(rs1, XReg::ZERO);
+                assert_eq!(imm, 3);
+            }
+            _ => panic!("eset should be eaddie"),
+        }
+    }
+}

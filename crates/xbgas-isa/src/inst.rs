@@ -1,0 +1,870 @@
+//! Instruction definitions for RV64IM plus the xBGAS extension.
+//!
+//! The base ISA is the standard RV64I user-level instruction set with the M
+//! (integer multiply/divide) extension — the configuration the paper's Spike
+//! environment executes. The xBGAS instructions follow the three categories
+//! of paper §3.2:
+//!
+//! * **Base integer load/store** (`eld`, `esw`, …): same two-operand shape as
+//!   standard loads/stores, implicitly pairing `rs1` with extended register
+//!   `e[rs1]` to form the 128-bit effective address.
+//! * **Raw integer load/store** (`erld`, `ersd`, …): the extended register is
+//!   named explicitly; no immediate offset (encoding space, per the paper).
+//! * **Address management** (`eaddi`, `eaddie`, `eaddix`): move/adjust
+//!   extended-register contents without touching memory.
+
+use crate::reg::{EReg, XReg};
+use std::fmt;
+
+/// Memory access widths for load instructions (sign- and zero-extending).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LoadWidth {
+    /// `lb` — 8-bit, sign-extended.
+    B,
+    /// `lh` — 16-bit, sign-extended.
+    H,
+    /// `lw` — 32-bit, sign-extended.
+    W,
+    /// `ld` — 64-bit.
+    D,
+    /// `lbu` — 8-bit, zero-extended.
+    Bu,
+    /// `lhu` — 16-bit, zero-extended.
+    Hu,
+    /// `lwu` — 32-bit, zero-extended.
+    Wu,
+}
+
+impl LoadWidth {
+    /// Number of bytes accessed.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        match self {
+            LoadWidth::B | LoadWidth::Bu => 1,
+            LoadWidth::H | LoadWidth::Hu => 2,
+            LoadWidth::W | LoadWidth::Wu => 4,
+            LoadWidth::D => 8,
+        }
+    }
+
+    /// Whether the loaded value is sign-extended to 64 bits.
+    #[inline]
+    pub const fn signed(self) -> bool {
+        matches!(self, LoadWidth::B | LoadWidth::H | LoadWidth::W | LoadWidth::D)
+    }
+
+    /// The standard RISC-V `funct3` encoding for this width.
+    #[inline]
+    pub const fn funct3(self) -> u32 {
+        match self {
+            LoadWidth::B => 0b000,
+            LoadWidth::H => 0b001,
+            LoadWidth::W => 0b010,
+            LoadWidth::D => 0b011,
+            LoadWidth::Bu => 0b100,
+            LoadWidth::Hu => 0b101,
+            LoadWidth::Wu => 0b110,
+        }
+    }
+
+    /// Inverse of [`LoadWidth::funct3`].
+    #[inline]
+    pub const fn from_funct3(f3: u32) -> Option<Self> {
+        match f3 {
+            0b000 => Some(LoadWidth::B),
+            0b001 => Some(LoadWidth::H),
+            0b010 => Some(LoadWidth::W),
+            0b011 => Some(LoadWidth::D),
+            0b100 => Some(LoadWidth::Bu),
+            0b101 => Some(LoadWidth::Hu),
+            0b110 => Some(LoadWidth::Wu),
+            _ => None,
+        }
+    }
+
+    /// Suffix used in mnemonics (`b`, `hu`, `d`, …).
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            LoadWidth::B => "b",
+            LoadWidth::H => "h",
+            LoadWidth::W => "w",
+            LoadWidth::D => "d",
+            LoadWidth::Bu => "bu",
+            LoadWidth::Hu => "hu",
+            LoadWidth::Wu => "wu",
+        }
+    }
+
+    /// All load widths, for exhaustive tests.
+    pub const ALL: [LoadWidth; 7] = [
+        LoadWidth::B,
+        LoadWidth::H,
+        LoadWidth::W,
+        LoadWidth::D,
+        LoadWidth::Bu,
+        LoadWidth::Hu,
+        LoadWidth::Wu,
+    ];
+}
+
+/// Memory access widths for store instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StoreWidth {
+    /// `sb` — 8-bit.
+    B,
+    /// `sh` — 16-bit.
+    H,
+    /// `sw` — 32-bit.
+    W,
+    /// `sd` — 64-bit.
+    D,
+}
+
+impl StoreWidth {
+    /// Number of bytes accessed.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        match self {
+            StoreWidth::B => 1,
+            StoreWidth::H => 2,
+            StoreWidth::W => 4,
+            StoreWidth::D => 8,
+        }
+    }
+
+    /// The standard RISC-V `funct3` encoding for this width.
+    #[inline]
+    pub const fn funct3(self) -> u32 {
+        match self {
+            StoreWidth::B => 0b000,
+            StoreWidth::H => 0b001,
+            StoreWidth::W => 0b010,
+            StoreWidth::D => 0b011,
+        }
+    }
+
+    /// Inverse of [`StoreWidth::funct3`].
+    #[inline]
+    pub const fn from_funct3(f3: u32) -> Option<Self> {
+        match f3 {
+            0b000 => Some(StoreWidth::B),
+            0b001 => Some(StoreWidth::H),
+            0b010 => Some(StoreWidth::W),
+            0b011 => Some(StoreWidth::D),
+            _ => None,
+        }
+    }
+
+    /// Suffix used in mnemonics.
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            StoreWidth::B => "b",
+            StoreWidth::H => "h",
+            StoreWidth::W => "w",
+            StoreWidth::D => "d",
+        }
+    }
+
+    /// All store widths, for exhaustive tests.
+    pub const ALL: [StoreWidth; 4] =
+        [StoreWidth::B, StoreWidth::H, StoreWidth::W, StoreWidth::D];
+}
+
+/// Register-register ALU operations (RV64I OP/OP-32 + RV64M).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Addw,
+    Subw,
+    Sllw,
+    Srlw,
+    Sraw,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Mulw,
+    Divw,
+    Divuw,
+    Remw,
+    Remuw,
+}
+
+impl AluOp {
+    /// Mnemonic in assembly syntax.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Addw => "addw",
+            AluOp::Subw => "subw",
+            AluOp::Sllw => "sllw",
+            AluOp::Srlw => "srlw",
+            AluOp::Sraw => "sraw",
+            AluOp::Mul => "mul",
+            AluOp::Mulh => "mulh",
+            AluOp::Mulhsu => "mulhsu",
+            AluOp::Mulhu => "mulhu",
+            AluOp::Div => "div",
+            AluOp::Divu => "divu",
+            AluOp::Rem => "rem",
+            AluOp::Remu => "remu",
+            AluOp::Mulw => "mulw",
+            AluOp::Divw => "divw",
+            AluOp::Divuw => "divuw",
+            AluOp::Remw => "remw",
+            AluOp::Remuw => "remuw",
+        }
+    }
+
+    /// All register-register operations, for exhaustive tests.
+    pub const ALL: [AluOp; 28] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Addw,
+        AluOp::Subw,
+        AluOp::Sllw,
+        AluOp::Srlw,
+        AluOp::Sraw,
+        AluOp::Mul,
+        AluOp::Mulh,
+        AluOp::Mulhsu,
+        AluOp::Mulhu,
+        AluOp::Div,
+        AluOp::Divu,
+        AluOp::Rem,
+        AluOp::Remu,
+        AluOp::Mulw,
+        AluOp::Divw,
+        AluOp::Divuw,
+        AluOp::Remw,
+        AluOp::Remuw,
+    ];
+}
+
+/// Register-immediate ALU operations (RV64I OP-IMM/OP-IMM-32).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum AluImmOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Addiw,
+    Slliw,
+    Srliw,
+    Sraiw,
+}
+
+impl AluImmOp {
+    /// Mnemonic in assembly syntax.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Slli => "slli",
+            AluImmOp::Srli => "srli",
+            AluImmOp::Srai => "srai",
+            AluImmOp::Addiw => "addiw",
+            AluImmOp::Slliw => "slliw",
+            AluImmOp::Srliw => "srliw",
+            AluImmOp::Sraiw => "sraiw",
+        }
+    }
+
+    /// Whether this is a shift (immediate is a shamt, not a 12-bit signed).
+    pub const fn is_shift(self) -> bool {
+        matches!(
+            self,
+            AluImmOp::Slli
+                | AluImmOp::Srli
+                | AluImmOp::Srai
+                | AluImmOp::Slliw
+                | AluImmOp::Srliw
+                | AluImmOp::Sraiw
+        )
+    }
+
+    /// Whether this is a 32-bit (`*w`) operation; its shamt is 5 bits.
+    pub const fn is_word(self) -> bool {
+        matches!(
+            self,
+            AluImmOp::Addiw | AluImmOp::Slliw | AluImmOp::Srliw | AluImmOp::Sraiw
+        )
+    }
+
+    /// All register-immediate operations, for exhaustive tests.
+    pub const ALL: [AluImmOp; 13] = [
+        AluImmOp::Addi,
+        AluImmOp::Slti,
+        AluImmOp::Sltiu,
+        AluImmOp::Xori,
+        AluImmOp::Ori,
+        AluImmOp::Andi,
+        AluImmOp::Slli,
+        AluImmOp::Srli,
+        AluImmOp::Srai,
+        AluImmOp::Addiw,
+        AluImmOp::Slliw,
+        AluImmOp::Srliw,
+        AluImmOp::Sraiw,
+    ];
+}
+
+/// Branch comparison conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BranchCond {
+    /// Mnemonic in assembly syntax (`beq`, `bltu`, …).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+
+    /// The standard RISC-V `funct3` encoding.
+    #[inline]
+    pub const fn funct3(self) -> u32 {
+        match self {
+            BranchCond::Eq => 0b000,
+            BranchCond::Ne => 0b001,
+            BranchCond::Lt => 0b100,
+            BranchCond::Ge => 0b101,
+            BranchCond::Ltu => 0b110,
+            BranchCond::Geu => 0b111,
+        }
+    }
+
+    /// Inverse of [`BranchCond::funct3`].
+    #[inline]
+    pub const fn from_funct3(f3: u32) -> Option<Self> {
+        match f3 {
+            0b000 => Some(BranchCond::Eq),
+            0b001 => Some(BranchCond::Ne),
+            0b100 => Some(BranchCond::Lt),
+            0b101 => Some(BranchCond::Ge),
+            0b110 => Some(BranchCond::Ltu),
+            0b111 => Some(BranchCond::Geu),
+            _ => None,
+        }
+    }
+
+    /// All branch conditions, for exhaustive tests.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+}
+
+/// A decoded RV64IM + xBGAS instruction.
+///
+/// Immediates are stored in *semantic* form: the value the instruction adds
+/// to a register or program counter (already sign-extended, already scaled).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Inst {
+    /// `lui rd, imm20` — load upper immediate (`rd = imm20 << 12`).
+    Lui {
+        /// Destination register.
+        rd: XReg,
+        /// 20-bit immediate, stored unshifted in the range `-2^19 .. 2^19`.
+        imm20: i32,
+    },
+    /// `auipc rd, imm20` — add upper immediate to `pc`.
+    Auipc {
+        /// Destination register.
+        rd: XReg,
+        /// 20-bit immediate, stored unshifted.
+        imm20: i32,
+    },
+    /// `jal rd, offset` — jump and link.
+    Jal {
+        /// Link register (commonly `ra` or `zero`).
+        rd: XReg,
+        /// Signed, even byte offset from this instruction.
+        offset: i32,
+    },
+    /// `jalr rd, imm(rs1)` — indirect jump and link.
+    Jalr {
+        /// Link register.
+        rd: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// 12-bit signed offset.
+        imm: i32,
+    },
+    /// Conditional branch (`beq`, `bne`, `blt`, `bge`, `bltu`, `bgeu`).
+    Branch {
+        /// Comparison condition.
+        cond: BranchCond,
+        /// First comparison operand.
+        rs1: XReg,
+        /// Second comparison operand.
+        rs2: XReg,
+        /// Signed, even byte offset from this instruction.
+        offset: i32,
+    },
+    /// Local load (`lb` … `ld`, `lbu` … `lwu`).
+    Load {
+        /// Access width and extension.
+        width: LoadWidth,
+        /// Destination register.
+        rd: XReg,
+        /// Base address register.
+        rs1: XReg,
+        /// 12-bit signed offset.
+        imm: i32,
+    },
+    /// Local store (`sb` … `sd`).
+    Store {
+        /// Access width.
+        width: StoreWidth,
+        /// Base address register.
+        rs1: XReg,
+        /// Source data register.
+        rs2: XReg,
+        /// 12-bit signed offset.
+        imm: i32,
+    },
+    /// Register-immediate ALU operation.
+    OpImm {
+        /// The operation.
+        op: AluImmOp,
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rs1: XReg,
+        /// 12-bit signed immediate, or shamt for shifts.
+        imm: i32,
+    },
+    /// Register-register ALU operation (including RV64M).
+    Op {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        rd: XReg,
+        /// First source register.
+        rs1: XReg,
+        /// Second source register.
+        rs2: XReg,
+    },
+    /// `fence` — memory ordering (a no-op in our in-order model, but costed).
+    Fence,
+    /// `ecall` — environment call; used by kernels to signal the runtime.
+    Ecall,
+    /// Zicsr access (`csrrw`/`csrrs`/`csrrc`); the simulator exposes the
+    /// user counters `cycle`, `time` and `instret`, which the paper's
+    /// benchmarks read for their detailed timing.
+    Csr {
+        /// The access kind.
+        op: CsrOp,
+        /// Destination register (receives the old CSR value).
+        rd: XReg,
+        /// Source register (bits to write/set/clear).
+        rs1: XReg,
+        /// 12-bit CSR address.
+        csr: u16,
+    },
+    /// `ebreak` — breakpoint; halts the hart in our simulator.
+    Ebreak,
+
+    // ----- xBGAS: Base Integer Load/Store (implicit e-register) -----
+    /// `el<w> rd, imm(rs1)` — extended load; the effective 128-bit address is
+    /// `(e[rs1] : x[rs1] + imm)` (paper §3.2, Base Integer Load/Store).
+    ELoad {
+        /// Access width and extension.
+        width: LoadWidth,
+        /// Destination register.
+        rd: XReg,
+        /// Base address register; its paired e-register supplies the object ID.
+        rs1: XReg,
+        /// 12-bit signed offset.
+        imm: i32,
+    },
+    /// `es<w> rs2, imm(rs1)` — extended store to `(e[rs1] : x[rs1] + imm)`.
+    EStore {
+        /// Access width.
+        width: StoreWidth,
+        /// Base address register; its paired e-register supplies the object ID.
+        rs1: XReg,
+        /// Source data register.
+        rs2: XReg,
+        /// 12-bit signed offset.
+        imm: i32,
+    },
+
+    // ----- xBGAS: Raw Integer Load/Store (explicit e-register, no imm) -----
+    /// `erl<w> rd, rs1, ext2` — raw extended load from `(e[ext2] : x[rs1])`.
+    ERLoad {
+        /// Access width and extension.
+        width: LoadWidth,
+        /// Destination register.
+        rd: XReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Explicit extended register holding the object ID.
+        ext2: EReg,
+    },
+    /// `ers<w> rs2, rs1, ext3` — raw extended store to `(e[ext3] : x[rs1])`.
+    ERStore {
+        /// Access width.
+        width: StoreWidth,
+        /// Base address register.
+        rs1: XReg,
+        /// Source data register.
+        rs2: XReg,
+        /// Explicit extended register holding the object ID.
+        ext3: EReg,
+    },
+    /// `erse ext1, rs1, ext2` — store the contents of extended register
+    /// `ext1` (64 bits) to `(e[ext2] : x[rs1])`.
+    ERse {
+        /// Extended register whose contents are stored.
+        ext1: EReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Extended register holding the target object ID.
+        ext2: EReg,
+    },
+    /// `erle ext1, rs1, ext2` — load 64 bits from `(e[ext2] : x[rs1])`
+    /// into extended register `ext1` (the mirror of [`Inst::ERse`]; lets
+    /// object IDs themselves live in remote memory, e.g. distributed
+    /// directory structures).
+    ERle {
+        /// Destination extended register.
+        ext1: EReg,
+        /// Base address register.
+        rs1: XReg,
+        /// Extended register holding the source object ID.
+        ext2: EReg,
+    },
+
+    // ----- xBGAS: Address Management -----
+    /// `eaddi rd, ext1, imm` — `x[rd] = e[ext1] + imm` (extended → base).
+    Eaddi {
+        /// Destination base register.
+        rd: XReg,
+        /// Source extended register.
+        ext1: EReg,
+        /// 12-bit signed immediate.
+        imm: i32,
+    },
+    /// `eaddie ext, rs1, imm` — `e[ext] = x[rs1] + imm` (base → extended).
+    Eaddie {
+        /// Destination extended register.
+        ext: EReg,
+        /// Source base register.
+        rs1: XReg,
+        /// 12-bit signed immediate.
+        imm: i32,
+    },
+    /// `eaddix ext1, ext2, imm` — `e[ext1] = e[ext2] + imm` (extended → extended).
+    Eaddix {
+        /// Destination extended register.
+        ext1: EReg,
+        /// Source extended register.
+        ext2: EReg,
+        /// 12-bit signed immediate.
+        imm: i32,
+    },
+}
+
+/// Zicsr operation kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CsrOp {
+    /// `csrrw` — atomic read/write.
+    Rw,
+    /// `csrrs` — atomic read and set bits.
+    Rs,
+    /// `csrrc` — atomic read and clear bits.
+    Rc,
+}
+
+impl CsrOp {
+    /// Mnemonic in assembly syntax.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            CsrOp::Rw => "csrrw",
+            CsrOp::Rs => "csrrs",
+            CsrOp::Rc => "csrrc",
+        }
+    }
+
+    /// The standard `funct3` encoding.
+    #[inline]
+    pub const fn funct3(self) -> u32 {
+        match self {
+            CsrOp::Rw => 0b001,
+            CsrOp::Rs => 0b010,
+            CsrOp::Rc => 0b011,
+        }
+    }
+
+    /// Inverse of [`CsrOp::funct3`].
+    #[inline]
+    pub const fn from_funct3(f3: u32) -> Option<Self> {
+        match f3 {
+            0b001 => Some(CsrOp::Rw),
+            0b010 => Some(CsrOp::Rs),
+            0b011 => Some(CsrOp::Rc),
+            _ => None,
+        }
+    }
+
+    /// All CSR operations, for exhaustive tests.
+    pub const ALL: [CsrOp; 3] = [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc];
+}
+
+/// Well-known user-level counter CSR addresses.
+pub mod csr {
+    /// Cycle counter.
+    pub const CYCLE: u16 = 0xC00;
+    /// Wall-clock time counter (equals cycles at our fixed frequency).
+    pub const TIME: u16 = 0xC01;
+    /// Retired-instruction counter.
+    pub const INSTRET: u16 = 0xC02;
+}
+
+/// The three xBGAS instruction categories of paper §3.2, plus `Base` for
+/// standard RV64IM instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstCategory {
+    /// Standard RV64IM instruction.
+    Base,
+    /// xBGAS base integer load/store (implicit e-register).
+    XbgasBaseLoadStore,
+    /// xBGAS raw integer load/store (explicit e-register).
+    XbgasRawLoadStore,
+    /// xBGAS address management.
+    XbgasAddressManagement,
+}
+
+impl Inst {
+    /// Which ISA category the instruction belongs to.
+    pub const fn category(&self) -> InstCategory {
+        match self {
+            Inst::ELoad { .. } | Inst::EStore { .. } => InstCategory::XbgasBaseLoadStore,
+            Inst::ERLoad { .. }
+            | Inst::ERStore { .. }
+            | Inst::ERse { .. }
+            | Inst::ERle { .. } => InstCategory::XbgasRawLoadStore,
+            Inst::Eaddi { .. } | Inst::Eaddie { .. } | Inst::Eaddix { .. } => {
+                InstCategory::XbgasAddressManagement
+            }
+            _ => InstCategory::Base,
+        }
+    }
+
+    /// `true` if this instruction is part of the xBGAS extension.
+    pub const fn is_xbgas(&self) -> bool {
+        !matches!(self.category(), InstCategory::Base)
+    }
+
+    /// `true` if this instruction may access memory (local or remote).
+    pub const fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. }
+                | Inst::Store { .. }
+                | Inst::ELoad { .. }
+                | Inst::EStore { .. }
+                | Inst::ERLoad { .. }
+                | Inst::ERStore { .. }
+                | Inst::ERse { .. }
+                | Inst::ERle { .. }
+        )
+    }
+
+    /// `true` if this instruction can redirect control flow.
+    pub const fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. }
+        )
+    }
+
+    /// The assembly mnemonic for the instruction, without operands.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Inst::Lui { .. } => "lui".into(),
+            Inst::Auipc { .. } => "auipc".into(),
+            Inst::Jal { .. } => "jal".into(),
+            Inst::Jalr { .. } => "jalr".into(),
+            Inst::Branch { cond, .. } => cond.mnemonic().into(),
+            Inst::Load { width, .. } => format!("l{}", width.suffix()),
+            Inst::Store { width, .. } => format!("s{}", width.suffix()),
+            Inst::OpImm { op, .. } => op.mnemonic().into(),
+            Inst::Op { op, .. } => op.mnemonic().into(),
+            Inst::Fence => "fence".into(),
+            Inst::Ecall => "ecall".into(),
+            Inst::Csr { op, .. } => op.mnemonic().into(),
+            Inst::Ebreak => "ebreak".into(),
+            Inst::ELoad { width, .. } => format!("el{}", width.suffix()),
+            Inst::EStore { width, .. } => format!("es{}", width.suffix()),
+            Inst::ERLoad { width, .. } => format!("erl{}", width.suffix()),
+            Inst::ERStore { width, .. } => format!("ers{}", width.suffix()),
+            Inst::ERse { .. } => "erse".into(),
+            Inst::ERle { .. } => "erle".into(),
+            Inst::Eaddi { .. } => "eaddi".into(),
+            Inst::Eaddie { .. } => "eaddie".into(),
+            Inst::Eaddix { .. } => "eaddix".into(),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::disasm::format_inst(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_bytes() {
+        assert_eq!(LoadWidth::D.bytes(), 8);
+        assert_eq!(LoadWidth::Bu.bytes(), 1);
+        assert!(!LoadWidth::Wu.signed());
+        assert!(LoadWidth::W.signed());
+        assert_eq!(StoreWidth::H.bytes(), 2);
+    }
+
+    #[test]
+    fn funct3_roundtrip() {
+        for w in LoadWidth::ALL {
+            assert_eq!(LoadWidth::from_funct3(w.funct3()), Some(w));
+        }
+        for w in StoreWidth::ALL {
+            assert_eq!(StoreWidth::from_funct3(w.funct3()), Some(w));
+        }
+        for c in BranchCond::ALL {
+            assert_eq!(BranchCond::from_funct3(c.funct3()), Some(c));
+        }
+        assert_eq!(LoadWidth::from_funct3(0b111), None);
+        assert_eq!(StoreWidth::from_funct3(0b100), None);
+        assert_eq!(BranchCond::from_funct3(0b010), None);
+    }
+
+    #[test]
+    fn categories() {
+        let eld = Inst::ELoad {
+            width: LoadWidth::D,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            imm: 0,
+        };
+        assert_eq!(eld.category(), InstCategory::XbgasBaseLoadStore);
+        assert!(eld.is_xbgas());
+        assert!(eld.is_memory());
+
+        let erse = Inst::ERse {
+            ext1: EReg::new(1),
+            rs1: XReg::A0,
+            ext2: EReg::new(2),
+        };
+        assert_eq!(erse.category(), InstCategory::XbgasRawLoadStore);
+
+        let eaddie = Inst::Eaddie {
+            ext: EReg::new(3),
+            rs1: XReg::A0,
+            imm: 5,
+        };
+        assert_eq!(eaddie.category(), InstCategory::XbgasAddressManagement);
+        assert!(!eaddie.is_memory());
+
+        let add = Inst::Op {
+            op: AluOp::Add,
+            rd: XReg::A0,
+            rs1: XReg::A0,
+            rs2: XReg::A1,
+        };
+        assert_eq!(add.category(), InstCategory::Base);
+        assert!(!add.is_xbgas());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(
+            Inst::ELoad {
+                width: LoadWidth::D,
+                rd: XReg::A0,
+                rs1: XReg::A1,
+                imm: 0
+            }
+            .mnemonic(),
+            "eld"
+        );
+        assert_eq!(
+            Inst::ERStore {
+                width: StoreWidth::W,
+                rs1: XReg::A0,
+                rs2: XReg::A1,
+                ext3: EReg::new(4)
+            }
+            .mnemonic(),
+            "ersw"
+        );
+        assert_eq!(AluImmOp::Sraiw.mnemonic(), "sraiw");
+        assert!(AluImmOp::Sraiw.is_shift());
+        assert!(AluImmOp::Sraiw.is_word());
+        assert!(!AluImmOp::Xori.is_shift());
+    }
+}

@@ -1,0 +1,45 @@
+//! # xbgas-isa — RV64IM + xBGAS instruction set model
+//!
+//! This crate defines the instruction set executed by the reproduction of
+//! *Collective Communication for the RISC-V xBGAS ISA Extension* (ICPP 2019):
+//! the standard RV64I base integer ISA with the M extension, plus the xBGAS
+//! extension's three instruction groups (paper §3.2):
+//!
+//! 1. **Base integer load/store** — `eld`/`elw`/…/`esb`, which pair `rs1`
+//!    with its naturally-corresponding extended register to form a 128-bit
+//!    extended address,
+//! 2. **Raw integer load/store** — `erld`/…/`erse`, which name the extended
+//!    register explicitly and carry no immediate, and
+//! 3. **Address management** — `eaddi`/`eaddie`/`eaddix`, which move values
+//!    between the base (`x`) and extended (`e`) register files.
+//!
+//! The crate provides register types ([`XReg`], [`EReg`]), the [`Inst`]
+//! enum, a binary [`encode()`]r and [`decode()`]r, and a disassembler. The
+//! companion crate `xbgas-sim` executes these instructions on a multi-core
+//! timing simulator.
+//!
+//! ## Example
+//!
+//! ```
+//! use xbgas_isa::{Inst, LoadWidth, XReg, EReg, encode, decode};
+//!
+//! // eld a0, 8(a1)  — remote load through e11 (the register paired with a1)
+//! let inst = Inst::ELoad { width: LoadWidth::D, rd: XReg::A0, rs1: XReg::A1, imm: 8 };
+//! let word = encode(&inst).unwrap();
+//! assert_eq!(decode(word).unwrap(), inst);
+//! assert_eq!(inst.to_string(), "eld a0, 8(a1)");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod inst;
+pub mod reg;
+
+pub use decode::{decode, DecodeError};
+pub use disasm::{disasm_word, format_inst};
+pub use encode::{encode, pseudo, EncodeError};
+pub use inst::{AluImmOp, AluOp, BranchCond, Inst, InstCategory, LoadWidth, StoreWidth};
+pub use reg::{EReg, XReg};

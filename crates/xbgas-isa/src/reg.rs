@@ -1,0 +1,234 @@
+//! Register model for the xBGAS-extended RV64 architecture.
+//!
+//! The xBGAS extension (paper §3.2, Figure 1) adds a file of 32 *extended*
+//! registers `e0`–`e31` alongside the 32 base integer registers `x0`–`x31`.
+//! A base register and its corresponding extended register are combined to
+//! form a 128-bit *extended address*: the extended register holds an object
+//! ID naming a remote resource and the base register holds a conventional
+//! 64-bit address within that resource.
+
+use std::fmt;
+
+/// Index of a base integer register `x0`–`x31`.
+///
+/// `x0` is hard-wired to zero, exactly as in standard RV64I.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XReg(u8);
+
+/// Index of an xBGAS extended register `e0`–`e31`.
+///
+/// Extended registers hold the upper 64 bits (the object ID) of a 128-bit
+/// extended address. By convention — mirrored from the xBGAS runtime — an
+/// object ID of `0` designates the local processing element, and remote
+/// object IDs are resolved through the Object Look-Aside Buffer (OLB).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EReg(u8);
+
+/// ABI mnemonics for the base integer registers, indexed by register number.
+pub const X_ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1",
+    "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+];
+
+impl XReg {
+    /// The hard-wired zero register.
+    pub const ZERO: XReg = XReg(0);
+    /// Return address register (`x1`).
+    pub const RA: XReg = XReg(1);
+    /// Stack pointer register (`x2`).
+    pub const SP: XReg = XReg(2);
+    /// First argument / return value register (`x10`).
+    pub const A0: XReg = XReg(10);
+    /// Second argument register (`x11`).
+    pub const A1: XReg = XReg(11);
+
+    /// Construct from a raw register number, which must be `< 32`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 32, "x-register index out of range");
+        XReg(n)
+    }
+
+    /// Construct from a raw register number if it is in range.
+    #[inline]
+    pub const fn try_new(n: u8) -> Option<Self> {
+        if n < 32 {
+            Some(XReg(n))
+        } else {
+            None
+        }
+    }
+
+    /// The raw register number `0..32`.
+    #[inline]
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The register number as a `usize`, for register-file indexing.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// ABI mnemonic (`zero`, `ra`, `sp`, `a0`, …).
+    #[inline]
+    pub fn abi_name(self) -> &'static str {
+        X_ABI_NAMES[self.0 as usize]
+    }
+
+    /// Parse either an ABI name (`a0`) or a numeric name (`x10`).
+    pub fn parse(s: &str) -> Option<Self> {
+        if let Some(rest) = s.strip_prefix('x') {
+            if let Ok(n) = rest.parse::<u8>() {
+                return Self::try_new(n);
+            }
+        }
+        // `fp` is an alias for `s0`/`x8`.
+        if s == "fp" {
+            return Some(XReg(8));
+        }
+        X_ABI_NAMES
+            .iter()
+            .position(|&name| name == s)
+            .map(|i| XReg(i as u8))
+    }
+}
+
+impl EReg {
+    /// `e0`, conventionally holding object ID 0 (the local PE).
+    pub const E0: EReg = EReg(0);
+
+    /// Construct from a raw register number, which must be `< 32`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 32, "e-register index out of range");
+        EReg(n)
+    }
+
+    /// Construct from a raw register number if it is in range.
+    #[inline]
+    pub const fn try_new(n: u8) -> Option<Self> {
+        if n < 32 {
+            Some(EReg(n))
+        } else {
+            None
+        }
+    }
+
+    /// The raw register number `0..32`.
+    #[inline]
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The register number as a `usize`, for register-file indexing.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The extended register that *naturally corresponds* to a base register.
+    ///
+    /// Base-integer xBGAS load/store instructions (e.g. `eld rd, imm(rs1)`)
+    /// do not name an extended register explicitly; they implicitly use the
+    /// extended register with the same index as `rs1` (paper §3.2).
+    #[inline]
+    pub const fn paired_with(x: XReg) -> Self {
+        EReg(x.num())
+    }
+
+    /// Parse a textual name of the form `eN`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let rest = s.strip_prefix('e')?;
+        rest.parse::<u8>().ok().and_then(Self::try_new)
+    }
+}
+
+impl fmt::Display for XReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for XReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}({})", self.0, self.abi_name())
+    }
+}
+
+impl fmt::Display for EReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Debug for EReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xreg_abi_roundtrip() {
+        for n in 0..32u8 {
+            let r = XReg::new(n);
+            assert_eq!(XReg::parse(r.abi_name()), Some(r));
+            assert_eq!(XReg::parse(&format!("x{n}")), Some(r));
+        }
+    }
+
+    #[test]
+    fn xreg_fp_alias() {
+        assert_eq!(XReg::parse("fp"), Some(XReg::new(8)));
+        assert_eq!(XReg::parse("s0"), Some(XReg::new(8)));
+    }
+
+    #[test]
+    fn xreg_out_of_range() {
+        assert_eq!(XReg::try_new(32), None);
+        assert_eq!(XReg::parse("x32"), None);
+        assert_eq!(XReg::parse("q7"), None);
+    }
+
+    #[test]
+    fn ereg_roundtrip() {
+        for n in 0..32u8 {
+            let r = EReg::new(n);
+            assert_eq!(EReg::parse(&r.to_string()), Some(r));
+        }
+        assert_eq!(EReg::parse("e32"), None);
+        assert_eq!(EReg::parse("x3"), None);
+    }
+
+    #[test]
+    fn ereg_pairing_follows_base_index() {
+        for n in 0..32u8 {
+            assert_eq!(EReg::paired_with(XReg::new(n)).num(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x-register index out of range")]
+    fn xreg_new_panics() {
+        let _ = XReg::new(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(XReg::new(10).to_string(), "a0");
+        assert_eq!(EReg::new(17).to_string(), "e17");
+        assert_eq!(XReg::ZERO.to_string(), "zero");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests: every representable instruction survives an
+//! encode → decode roundtrip, and decoding arbitrary words never panics.
+
+use proptest::prelude::*;
+use xbgas_isa::{inst, *};
+
+fn arb_xreg() -> impl Strategy<Value = XReg> {
+    (0u8..32).prop_map(XReg::new)
+}
+
+fn arb_ereg() -> impl Strategy<Value = EReg> {
+    (0u8..32).prop_map(EReg::new)
+}
+
+fn arb_load_width() -> impl Strategy<Value = LoadWidth> {
+    prop::sample::select(LoadWidth::ALL.to_vec())
+}
+
+fn arb_store_width() -> impl Strategy<Value = StoreWidth> {
+    prop::sample::select(StoreWidth::ALL.to_vec())
+}
+
+fn arb_imm12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+prop_compose! {
+    fn arb_branch_offset()(half in -2048i32..=2047) -> i32 { half * 2 }
+}
+
+prop_compose! {
+    fn arb_jal_offset()(half in -524288i32..=524287) -> i32 { half * 2 }
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_xreg(), -524288i32..=524287).prop_map(|(rd, imm20)| Inst::Lui { rd, imm20 }),
+        (arb_xreg(), -524288i32..=524287).prop_map(|(rd, imm20)| Inst::Auipc { rd, imm20 }),
+        (arb_xreg(), arb_jal_offset()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (arb_xreg(), arb_xreg(), arb_imm12())
+            .prop_map(|(rd, rs1, imm)| Inst::Jalr { rd, rs1, imm }),
+        (
+            prop::sample::select(BranchCond::ALL.to_vec()),
+            arb_xreg(),
+            arb_xreg(),
+            arb_branch_offset()
+        )
+            .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset
+            }),
+        (arb_load_width(), arb_xreg(), arb_xreg(), arb_imm12())
+            .prop_map(|(width, rd, rs1, imm)| Inst::Load { width, rd, rs1, imm }),
+        (arb_store_width(), arb_xreg(), arb_xreg(), arb_imm12())
+            .prop_map(|(width, rs1, rs2, imm)| Inst::Store {
+                width,
+                rs1,
+                rs2,
+                imm
+            }),
+        (
+            prop::sample::select(AluImmOp::ALL.to_vec()),
+            arb_xreg(),
+            arb_xreg(),
+            arb_imm12()
+        )
+            .prop_map(|(op, rd, rs1, imm)| {
+                let imm = if op.is_shift() {
+                    imm.unsigned_abs() as i32 % if op.is_word() { 32 } else { 64 }
+                } else {
+                    imm
+                };
+                Inst::OpImm { op, rd, rs1, imm }
+            }),
+        (
+            prop::sample::select(AluOp::ALL.to_vec()),
+            arb_xreg(),
+            arb_xreg(),
+            arb_xreg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        Just(Inst::Fence),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        (
+            prop::sample::select(inst::CsrOp::ALL.to_vec()),
+            arb_xreg(),
+            arb_xreg(),
+            0u16..4096
+        )
+            .prop_map(|(op, rd, rs1, csr)| Inst::Csr { op, rd, rs1, csr }),
+        (arb_load_width(), arb_xreg(), arb_xreg(), arb_imm12())
+            .prop_map(|(width, rd, rs1, imm)| Inst::ELoad { width, rd, rs1, imm }),
+        (arb_store_width(), arb_xreg(), arb_xreg(), arb_imm12())
+            .prop_map(|(width, rs1, rs2, imm)| Inst::EStore {
+                width,
+                rs1,
+                rs2,
+                imm
+            }),
+        (arb_load_width(), arb_xreg(), arb_xreg(), arb_ereg())
+            .prop_map(|(width, rd, rs1, ext2)| Inst::ERLoad {
+                width,
+                rd,
+                rs1,
+                ext2
+            }),
+        (arb_store_width(), arb_xreg(), arb_xreg(), arb_ereg())
+            .prop_map(|(width, rs1, rs2, ext3)| Inst::ERStore {
+                width,
+                rs1,
+                rs2,
+                ext3
+            }),
+        (arb_ereg(), arb_xreg(), arb_ereg())
+            .prop_map(|(ext1, rs1, ext2)| Inst::ERse { ext1, rs1, ext2 }),
+        (arb_ereg(), arb_xreg(), arb_ereg())
+            .prop_map(|(ext1, rs1, ext2)| Inst::ERle { ext1, rs1, ext2 }),
+        (arb_xreg(), arb_ereg(), arb_imm12())
+            .prop_map(|(rd, ext1, imm)| Inst::Eaddi { rd, ext1, imm }),
+        (arb_ereg(), arb_xreg(), arb_imm12())
+            .prop_map(|(ext, rs1, imm)| Inst::Eaddie { ext, rs1, imm }),
+        (arb_ereg(), arb_ereg(), arb_imm12())
+            .prop_map(|(ext1, ext2, imm)| Inst::Eaddix { ext1, ext2, imm }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let word = encode(&inst).expect("generated instruction must encode");
+        let back = decode(word).expect("encoded instruction must decode");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word); // Ok or Err, but never a panic.
+    }
+
+    #[test]
+    fn decode_encode_refixpoint(word in any::<u32>()) {
+        // Any word that decodes must re-encode to an equivalent instruction
+        // (not necessarily bit-identical: e.g. fence/hint fields are
+        // canonicalised), and the re-encoded form must be a fixpoint.
+        if let Ok(inst) = decode(word) {
+            let canon = encode(&inst).expect("decoded instruction must re-encode");
+            let again = decode(canon).expect("canonical form must decode");
+            prop_assert_eq!(again, inst);
+            let fix = encode(&again).unwrap();
+            prop_assert_eq!(fix, canon);
+        }
+    }
+
+    #[test]
+    fn disasm_never_panics(word in any::<u32>()) {
+        let _ = disasm_word(word);
+    }
+}

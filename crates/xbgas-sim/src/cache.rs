@@ -1,0 +1,351 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! The paper's simulation environment configures each core with an 8-way
+//! set-associative 16 KB L1 and 8 MB L2 (§5.1). This model tracks tags only
+//! (data lives in [`crate::mem::Memory`]); it exists to produce hit/miss
+//! statistics and latency, which drive the timing model.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Latency of a hit in this level, in cycles.
+    pub hit_cycles: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1: 16 KB, 8-way (64 B lines, 1-cycle hits).
+    pub const fn paper_l1() -> Self {
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            hit_cycles: 1,
+        }
+    }
+
+    /// The paper's L2: 8 MB, 8-way (64 B lines, 10-cycle hits).
+    pub const fn paper_l2() -> Self {
+        CacheConfig {
+            size_bytes: 8 * 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            hit_cycles: 10,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub const fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Monotonic timestamp of last touch, for LRU.
+    lru: u64,
+}
+
+/// A single tag-only set-associative cache with true-LRU replacement.
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    set_mask: u64,
+    line_shift: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (non-power-of-two sets or
+    /// line size, or zero ways).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(config.ways > 0, "cache must have at least one way");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Cache {
+            config,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    lru: 0
+                };
+                sets * config.ways
+            ],
+            set_mask: (sets - 1) as u64,
+            line_shift: config.line_bytes.trailing_zeros(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Geometry of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics (the tag state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Touch the line containing `addr`; returns `true` on a hit.
+    ///
+    /// On a miss the line is filled (allocate-on-miss for both reads and
+    /// writes, as in a write-allocate cache), evicting the LRU way.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        let ways = self.config.ways;
+        let base = set * ways;
+
+        // Search for a hit.
+        for i in 0..ways {
+            let line = &mut self.lines[base + i];
+            if line.valid && line.tag == tag {
+                line.lru = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+
+        // Miss: fill the invalid or least-recently-used way.
+        self.stats.misses += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for i in 0..ways {
+            let line = &self.lines[base + i];
+            if !line.valid {
+                victim = i;
+                break;
+            }
+            if line.lru < oldest {
+                oldest = line.lru;
+                victim = i;
+            }
+        }
+        self.lines[base + victim] = Line {
+            tag,
+            valid: true,
+            lru: self.tick,
+        };
+        false
+    }
+
+    /// Invalidate every line (e.g. across a simulated context switch).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+    }
+}
+
+/// A two-level data-cache hierarchy plus memory, producing access latencies.
+pub struct MemHierarchy {
+    /// First-level cache.
+    pub l1: Cache,
+    /// Second-level cache.
+    pub l2: Cache,
+    /// Latency of a DRAM access in cycles (paid on an L2 miss).
+    pub mem_cycles: u64,
+}
+
+impl MemHierarchy {
+    /// Build the paper's hierarchy: 16 KB L1, 8 MB L2, `mem_cycles` DRAM.
+    pub fn paper(mem_cycles: u64) -> Self {
+        MemHierarchy {
+            l1: Cache::new(CacheConfig::paper_l1()),
+            l2: Cache::new(CacheConfig::paper_l2()),
+            mem_cycles,
+        }
+    }
+
+    /// Simulate a data access and return its latency in cycles.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        if self.l1.access(addr) {
+            self.l1.config().hit_cycles
+        } else if self.l2.access(addr) {
+            self.l1.config().hit_cycles + self.l2.config().hit_cycles
+        } else {
+            self.l1.config().hit_cycles + self.l2.config().hit_cycles + self.mem_cycles
+        }
+    }
+
+    /// Simulate a *streaming* access: the line is filled as usual, but an
+    /// L2 miss costs `stream_cycles` instead of the full DRAM latency —
+    /// the prefetcher has the line in flight. Used for the interior lines
+    /// of contiguous bulk transfers.
+    pub fn access_streaming(&mut self, addr: u64, stream_cycles: u64) -> u64 {
+        if self.l1.access(addr) {
+            self.l1.config().hit_cycles
+        } else if self.l2.access(addr) {
+            self.l1.config().hit_cycles + self.l2.config().hit_cycles
+        } else {
+            self.l1.config().hit_cycles + stream_cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 16-byte lines = 128 bytes.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 16,
+            hit_cycles: 1,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::paper_l1();
+        assert_eq!(c.sets(), 32); // 16384 / (8*64)
+        let c = CacheConfig::paper_l2();
+        assert_eq!(c.sets(), 16384); // 8 MiB / (8*64)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x40)); // cold miss
+        assert!(c.access(0x40)); // now resident
+        assert!(c.access(0x4F)); // same 16-byte line
+        assert!(!c.access(0x50)); // next line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 4 sets * 16 B = 64 B).
+        let (a, b, d) = (0x000, 0x040, 0x080);
+        assert!(!c.access(a));
+        assert!(!c.access(b));
+        assert!(c.access(a)); // a is now MRU; b is LRU
+        assert!(!c.access(d)); // evicts b
+        assert!(c.access(a)); // a survived
+        assert!(!c.access(b)); // b was evicted
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = tiny();
+        c.access(0x0);
+        assert!(c.access(0x0));
+        c.flush();
+        assert!(!c.access(0x0));
+    }
+
+    #[test]
+    fn working_set_behaviour() {
+        // A working set that fits in the cache converges to a 100% hit rate.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            ways: 4,
+            line_bytes: 16,
+            hit_cycles: 1,
+        });
+        for _ in 0..4 {
+            for addr in (0..1024u64).step_by(16) {
+                c.access(addr);
+            }
+        }
+        // 64 cold misses, 192 hits.
+        assert_eq!(c.stats().misses, 64);
+        assert_eq!(c.stats().hits, 192);
+
+        // A working set 2x the cache with LRU round-robin sweep thrashes to 0%.
+        let mut c = Cache::new(*c.config());
+        for _ in 0..4 {
+            for addr in (0..2048u64).step_by(16) {
+                c.access(addr);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn hierarchy_latencies() {
+        let mut h = MemHierarchy::paper(100);
+        // Cold access: L1 miss + L2 miss + DRAM.
+        assert_eq!(h.access(0x1000), 1 + 10 + 100);
+        // Hot in L1.
+        assert_eq!(h.access(0x1000), 1);
+        // Evict from tiny L1 by sweeping > 16 KB, then re-access: L2 hit.
+        for addr in (0x1_0000..0x1_8000u64).step_by(64) {
+            h.access(addr);
+        }
+        assert_eq!(h.access(0x1000), 1 + 10);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 96,
+            ways: 2,
+            line_bytes: 16,
+            hit_cycles: 1,
+        });
+    }
+}

@@ -1,0 +1,358 @@
+//! One RV64IM + xBGAS hardware thread (hart).
+//!
+//! A [`Hart`] holds only architectural state — program counter, the base
+//! register file `x0`–`x31`, the xBGAS extended register file `e0`–`e31`
+//! (paper Figure 1) — plus its cycle counter and run state. Execution is
+//! driven by [`crate::machine::Machine`], which mediates memory, the OLB
+//! and the interconnect; the pure ALU/branch semantics live here so they
+//! can be tested in isolation.
+
+use xbgas_isa::{AluImmOp, AluOp, BranchCond, EReg, XReg};
+
+/// Why a hart stopped executing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimFault {
+    /// A data or fetch access fell outside physical memory.
+    Memory(String),
+    /// The word at `pc` did not decode.
+    IllegalInstruction {
+        /// Faulting program counter.
+        pc: u64,
+        /// The undecodable word.
+        word: u32,
+    },
+    /// A remote access named an object ID with no OLB mapping.
+    OlbMiss {
+        /// Faulting program counter.
+        pc: u64,
+        /// The unmapped object ID.
+        object_id: u64,
+    },
+    /// An `ecall` with an unknown function code in `a7`.
+    UnknownSyscall {
+        /// Faulting program counter.
+        pc: u64,
+        /// The unrecognised call number.
+        number: u64,
+    },
+    /// `ebreak` executed.
+    Breakpoint {
+        /// Faulting program counter.
+        pc: u64,
+    },
+}
+
+impl std::fmt::Display for SimFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimFault::Memory(m) => write!(f, "memory fault: {m}"),
+            SimFault::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc={pc:#x}")
+            }
+            SimFault::OlbMiss { pc, object_id } => {
+                write!(f, "OLB miss for object {object_id:#x} at pc={pc:#x}")
+            }
+            SimFault::UnknownSyscall { pc, number } => {
+                write!(f, "unknown ecall {number} at pc={pc:#x}")
+            }
+            SimFault::Breakpoint { pc } => write!(f, "ebreak at pc={pc:#x}"),
+        }
+    }
+}
+
+/// Run state of a hart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HartState {
+    /// Executing normally.
+    Running,
+    /// Parked in the barrier `ecall`, waiting for its peers.
+    WaitingBarrier,
+    /// Exited via the exit `ecall`.
+    Halted {
+        /// Guest-provided exit code.
+        code: u64,
+    },
+    /// Stopped by a fault.
+    Faulted(SimFault),
+}
+
+/// Architectural + bookkeeping state of one hart.
+#[derive(Clone, Debug)]
+pub struct Hart {
+    /// Program counter.
+    pub pc: u64,
+    /// Base integer register file; index 0 is hard-wired to zero on read.
+    pub x: [u64; 32],
+    /// xBGAS extended register file.
+    pub e: [u64; 32],
+    /// Simulated cycles consumed so far.
+    pub cycles: u64,
+    /// Retired instruction count.
+    pub instret: u64,
+    /// Current run state.
+    pub state: HartState,
+}
+
+impl Hart {
+    /// A freshly reset hart with `pc` at the given address.
+    pub fn new(pc: u64) -> Self {
+        Hart {
+            pc,
+            x: [0; 32],
+            e: [0; 32],
+            cycles: 0,
+            instret: 0,
+            state: HartState::Running,
+        }
+    }
+
+    /// Read a base register; `x0` always reads zero.
+    #[inline]
+    pub fn read_x(&self, r: XReg) -> u64 {
+        if r.num() == 0 {
+            0
+        } else {
+            self.x[r.idx()]
+        }
+    }
+
+    /// Write a base register; writes to `x0` are discarded.
+    #[inline]
+    pub fn write_x(&mut self, r: XReg, v: u64) {
+        if r.num() != 0 {
+            self.x[r.idx()] = v;
+        }
+    }
+
+    /// Read an extended register.
+    #[inline]
+    pub fn read_e(&self, r: EReg) -> u64 {
+        self.e[r.idx()]
+    }
+
+    /// Write an extended register.
+    #[inline]
+    pub fn write_e(&mut self, r: EReg, v: u64) {
+        self.e[r.idx()] = v;
+    }
+
+    /// `true` when the hart can still make progress.
+    pub fn is_live(&self) -> bool {
+        matches!(self.state, HartState::Running | HartState::WaitingBarrier)
+    }
+}
+
+/// Evaluate a register-register ALU operation on 64-bit values.
+#[allow(unknown_lints, clippy::manual_checked_div)]
+pub fn eval_op(op: AluOp, a: u64, b: u64) -> u64 {
+    let (sa, sb) = (a as i64, b as i64);
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl((b & 0x3F) as u32),
+        AluOp::Slt => (sa < sb) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr((b & 0x3F) as u32),
+        AluOp::Sra => (sa.wrapping_shr((b & 0x3F) as u32)) as u64,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Addw => sext32(a.wrapping_add(b)),
+        AluOp::Subw => sext32(a.wrapping_sub(b)),
+        AluOp::Sllw => sext32((a as u32).wrapping_shl((b & 0x1F) as u32) as u64),
+        AluOp::Srlw => sext32((a as u32).wrapping_shr((b & 0x1F) as u32) as u64),
+        AluOp::Sraw => ((a as i32).wrapping_shr((b & 0x1F) as u32)) as i64 as u64,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((sa as i128) * (sb as i128)) >> 64) as u64,
+        AluOp::Mulhsu => (((sa as i128) * (b as u128 as i128)) >> 64) as u64,
+        AluOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+        AluOp::Div => {
+            if sb == 0 {
+                u64::MAX // RISC-V: division by zero yields all ones
+            } else if sa == i64::MIN && sb == -1 {
+                sa as u64 // overflow case: result is the dividend
+            } else {
+                (sa / sb) as u64
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            if sb == 0 {
+                a
+            } else if sa == i64::MIN && sb == -1 {
+                0
+            } else {
+                (sa % sb) as u64
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::Mulw => sext32((a as u32).wrapping_mul(b as u32) as u64),
+        AluOp::Divw => {
+            let (wa, wb) = (a as i32, b as i32);
+            let r = if wb == 0 {
+                -1i32
+            } else if wa == i32::MIN && wb == -1 {
+                wa
+            } else {
+                wa / wb
+            };
+            r as i64 as u64
+        }
+        AluOp::Divuw => {
+            let (wa, wb) = (a as u32, b as u32);
+            let r = if wb == 0 { u32::MAX } else { wa / wb };
+            sext32(r as u64)
+        }
+        AluOp::Remw => {
+            let (wa, wb) = (a as i32, b as i32);
+            let r = if wb == 0 {
+                wa
+            } else if wa == i32::MIN && wb == -1 {
+                0
+            } else {
+                wa % wb
+            };
+            r as i64 as u64
+        }
+        AluOp::Remuw => {
+            let (wa, wb) = (a as u32, b as u32);
+            let r = if wb == 0 { wa } else { wa % wb };
+            sext32(r as u64)
+        }
+    }
+}
+
+/// Evaluate a register-immediate ALU operation.
+pub fn eval_op_imm(op: AluImmOp, a: u64, imm: i32) -> u64 {
+    let b = imm as i64 as u64;
+    match op {
+        AluImmOp::Addi => a.wrapping_add(b),
+        AluImmOp::Slti => ((a as i64) < (b as i64)) as u64,
+        AluImmOp::Sltiu => (a < b) as u64,
+        AluImmOp::Xori => a ^ b,
+        AluImmOp::Ori => a | b,
+        AluImmOp::Andi => a & b,
+        AluImmOp::Slli => eval_op(AluOp::Sll, a, b),
+        AluImmOp::Srli => eval_op(AluOp::Srl, a, b),
+        AluImmOp::Srai => eval_op(AluOp::Sra, a, b),
+        AluImmOp::Addiw => sext32(a.wrapping_add(b)),
+        AluImmOp::Slliw => eval_op(AluOp::Sllw, a, b),
+        AluImmOp::Srliw => eval_op(AluOp::Srlw, a, b),
+        AluImmOp::Sraiw => eval_op(AluOp::Sraw, a, b),
+    }
+}
+
+/// Evaluate a branch condition.
+pub fn branch_taken(cond: BranchCond, a: u64, b: u64) -> bool {
+    match cond {
+        BranchCond::Eq => a == b,
+        BranchCond::Ne => a != b,
+        BranchCond::Lt => (a as i64) < (b as i64),
+        BranchCond::Ge => (a as i64) >= (b as i64),
+        BranchCond::Ltu => a < b,
+        BranchCond::Geu => a >= b,
+    }
+}
+
+#[inline]
+fn sext32(v: u64) -> u64 {
+    v as u32 as i32 as i64 as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_is_hardwired() {
+        let mut h = Hart::new(0);
+        h.write_x(XReg::ZERO, 42);
+        assert_eq!(h.read_x(XReg::ZERO), 0);
+        h.write_x(XReg::A0, 42);
+        assert_eq!(h.read_x(XReg::A0), 42);
+    }
+
+    #[test]
+    fn e_regs_are_plain() {
+        let mut h = Hart::new(0);
+        h.write_e(EReg::E0, 7);
+        assert_eq!(h.read_e(EReg::E0), 7); // e0 is NOT hard-wired
+    }
+
+    #[test]
+    fn word_ops_sign_extend() {
+        // addw of two values whose 32-bit sum has bit 31 set.
+        let r = eval_op(AluOp::Addw, 0x7FFF_FFFF, 1);
+        assert_eq!(r, 0xFFFF_FFFF_8000_0000);
+        let r = eval_op_imm(AluImmOp::Addiw, 0xFFFF_FFFF, 1);
+        assert_eq!(r, 0); // 32-bit wrap then sign-extend
+        let r = eval_op(AluOp::Srlw, 0x8000_0000, 1);
+        assert_eq!(r, 0x4000_0000);
+        let r = eval_op(AluOp::Sraw, 0x8000_0000, 1);
+        assert_eq!(r, 0xFFFF_FFFF_C000_0000);
+    }
+
+    #[test]
+    fn shifts_mask_amounts() {
+        assert_eq!(eval_op(AluOp::Sll, 1, 64), 1); // shamt 64 & 0x3F == 0
+        assert_eq!(eval_op(AluOp::Sllw, 1, 32), 1); // shamt 32 & 0x1F == 0
+    }
+
+    #[test]
+    fn riscv_division_semantics() {
+        assert_eq!(eval_op(AluOp::Div, 7, 0), u64::MAX);
+        assert_eq!(eval_op(AluOp::Divu, 7, 0), u64::MAX);
+        assert_eq!(eval_op(AluOp::Rem, 7, 0), 7);
+        assert_eq!(eval_op(AluOp::Remu, 7, 0), 7);
+        // Overflow: i64::MIN / -1.
+        assert_eq!(
+            eval_op(AluOp::Div, i64::MIN as u64, u64::MAX),
+            i64::MIN as u64
+        );
+        assert_eq!(eval_op(AluOp::Rem, i64::MIN as u64, u64::MAX), 0);
+        // 32-bit variants.
+        assert_eq!(eval_op(AluOp::Divw, 9, 0), u64::MAX); // -1 sign-extended
+        assert_eq!(
+            eval_op(AluOp::Divw, i32::MIN as u32 as u64, u32::MAX as u64),
+            i32::MIN as i64 as u64
+        );
+    }
+
+    #[test]
+    fn mulh_variants() {
+        assert_eq!(eval_op(AluOp::Mulhu, u64::MAX, u64::MAX), u64::MAX - 1);
+        assert_eq!(eval_op(AluOp::Mulh, u64::MAX, u64::MAX), 0); // (-1)*(-1)=1
+        assert_eq!(eval_op(AluOp::Mulhsu, u64::MAX, u64::MAX), u64::MAX); // -1 * huge
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(branch_taken(BranchCond::Eq, 5, 5));
+        assert!(branch_taken(BranchCond::Lt, u64::MAX, 0)); // -1 < 0 signed
+        assert!(!branch_taken(BranchCond::Ltu, u64::MAX, 0)); // unsigned
+        assert!(branch_taken(BranchCond::Geu, u64::MAX, 0));
+        assert!(branch_taken(BranchCond::Ge, 0, u64::MAX)); // 0 >= -1 signed
+    }
+
+    #[test]
+    fn liveness() {
+        let mut h = Hart::new(0);
+        assert!(h.is_live());
+        h.state = HartState::WaitingBarrier;
+        assert!(h.is_live());
+        h.state = HartState::Halted { code: 0 };
+        assert!(!h.is_live());
+    }
+}

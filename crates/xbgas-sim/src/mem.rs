@@ -1,0 +1,197 @@
+//! Flat physical memory for one processing element.
+//!
+//! Each simulated PE owns a private physical memory. All accesses are
+//! little-endian, matching RISC-V. Bounds violations surface as
+//! [`MemError`]s rather than panics so that guest bugs become simulator
+//! traps, not host crashes.
+
+use std::fmt;
+
+/// Error raised by an out-of-bounds or misaligned guest access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemError {
+    /// Access past the end of physical memory.
+    OutOfBounds {
+        /// Faulting guest address.
+        addr: u64,
+        /// Access size in bytes.
+        size: usize,
+        /// Size of the memory in bytes.
+        mem_size: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MemError::OutOfBounds { addr, size, mem_size } => write!(
+                f,
+                "memory access of {size} bytes at {addr:#x} exceeds {mem_size:#x}-byte memory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Byte-addressable little-endian physical memory.
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocate a zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Total size in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    #[inline]
+    fn check(&self, addr: u64, size: usize) -> Result<usize, MemError> {
+        let a = addr as usize;
+        if a.checked_add(size).is_none_or(|end| end > self.bytes.len()) {
+            return Err(MemError::OutOfBounds {
+                addr,
+                size,
+                mem_size: self.bytes.len(),
+            });
+        }
+        Ok(a)
+    }
+
+    /// Read `N` bytes starting at `addr`.
+    #[inline]
+    pub fn read<const N: usize>(&self, addr: u64) -> Result<[u8; N], MemError> {
+        let a = self.check(addr, N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.bytes[a..a + N]);
+        Ok(out)
+    }
+
+    /// Write `N` bytes starting at `addr`.
+    #[inline]
+    pub fn write<const N: usize>(&mut self, addr: u64, data: [u8; N]) -> Result<(), MemError> {
+        let a = self.check(addr, N)?;
+        self.bytes[a..a + N].copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Load an unsigned 8-bit value.
+    #[inline]
+    pub fn load_u8(&self, addr: u64) -> Result<u8, MemError> {
+        Ok(u8::from_le_bytes(self.read(addr)?))
+    }
+
+    /// Load an unsigned 16-bit value.
+    #[inline]
+    pub fn load_u16(&self, addr: u64) -> Result<u16, MemError> {
+        Ok(u16::from_le_bytes(self.read(addr)?))
+    }
+
+    /// Load an unsigned 32-bit value.
+    #[inline]
+    pub fn load_u32(&self, addr: u64) -> Result<u32, MemError> {
+        Ok(u32::from_le_bytes(self.read(addr)?))
+    }
+
+    /// Load an unsigned 64-bit value.
+    #[inline]
+    pub fn load_u64(&self, addr: u64) -> Result<u64, MemError> {
+        Ok(u64::from_le_bytes(self.read(addr)?))
+    }
+
+    /// Store an 8-bit value.
+    #[inline]
+    pub fn store_u8(&mut self, addr: u64, v: u8) -> Result<(), MemError> {
+        self.write(addr, v.to_le_bytes())
+    }
+
+    /// Store a 16-bit value.
+    #[inline]
+    pub fn store_u16(&mut self, addr: u64, v: u16) -> Result<(), MemError> {
+        self.write(addr, v.to_le_bytes())
+    }
+
+    /// Store a 32-bit value.
+    #[inline]
+    pub fn store_u32(&mut self, addr: u64, v: u32) -> Result<(), MemError> {
+        self.write(addr, v.to_le_bytes())
+    }
+
+    /// Store a 64-bit value.
+    #[inline]
+    pub fn store_u64(&mut self, addr: u64, v: u64) -> Result<(), MemError> {
+        self.write(addr, v.to_le_bytes())
+    }
+
+    /// Copy a byte slice into memory at `addr` (used by the program loader).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        let a = self.check(addr, data.len())?;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read `len` bytes starting at `addr` into a fresh vector.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
+        let a = self.check(addr, len)?;
+        Ok(self.bytes[a..a + len].to_vec())
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Memory({} bytes)", self.bytes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = Memory::new(64);
+        m.store_u64(8, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(m.load_u64(8).unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.load_u8(8).unwrap(), 0xEF); // LE: low byte first
+        assert_eq!(m.load_u16(8).unwrap(), 0xCDEF);
+        assert_eq!(m.load_u32(12).unwrap(), 0x0123_4567);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = Memory::new(16);
+        assert!(m.load_u64(8).is_ok());
+        assert!(matches!(
+            m.load_u64(9),
+            Err(MemError::OutOfBounds { addr: 9, size: 8, .. })
+        ));
+        assert!(m.store_u8(15, 1).is_ok());
+        assert!(m.store_u8(16, 1).is_err());
+        // Overflow-safe address arithmetic.
+        assert!(m.load_u32(u64::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn bulk_io() {
+        let mut m = Memory::new(32);
+        m.write_bytes(4, &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(m.read_bytes(4, 5).unwrap(), vec![1, 2, 3, 4, 5]);
+        assert!(m.write_bytes(30, &[0; 3]).is_err());
+    }
+
+    #[test]
+    fn unaligned_access_allowed() {
+        // Spike permits unaligned accesses on RV64; so do we.
+        let mut m = Memory::new(32);
+        m.store_u32(3, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.load_u32(3).unwrap(), 0xDEAD_BEEF);
+    }
+}

@@ -1,0 +1,271 @@
+//! Interconnect (network-on-chip / inter-node fabric) timing model.
+//!
+//! The paper's environment bridges PEs with MPICH purely as a simulation
+//! transport; architecturally, xBGAS remote loads/stores travel over
+//! whatever fabric connects the nodes. This model charges each remote
+//! transaction
+//!
+//! ```text
+//! cost = base_latency + ceil(bytes / bytes_per_cycle) * (1 + congestion)
+//! ```
+//!
+//! where `congestion` grows linearly with the number of *other* in-flight
+//! transactions, scaled by `congestion_factor`. The binomial-tree
+//! collectives exist precisely to keep the number of simultaneous
+//! transactions per stage low (paper §4.2 "minimize network congestion"),
+//! so congestion sensitivity is what lets benches show the tree winning.
+
+/// Parameters of the interconnect model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NocConfig {
+    /// Fixed per-transaction latency in cycles (flight time + routing).
+    pub base_latency: u64,
+    /// Payload bandwidth in bytes per cycle.
+    pub bytes_per_cycle: u64,
+    /// Additional fractional serialization cost per concurrent transaction
+    /// (used by the instruction-level machine's in-flight tracker).
+    ///
+    /// With `k` other transactions in flight, the serialization term is
+    /// multiplied by `1 + congestion_factor * k`.
+    pub congestion_factor: f64,
+    /// Channel occupancy charged per transaction regardless of size
+    /// (header/routing/turnaround). Together with the serialization term
+    /// this is how long a transaction holds the shared channel in the
+    /// fabric's reservation model — the source of queueing delay under
+    /// saturation.
+    pub packet_occupancy: u64,
+}
+
+impl NocConfig {
+    /// Default calibration used by the figure harnesses.
+    ///
+    /// xBGAS's premise (paper §3.1) is that remote accesses are *cheap* —
+    /// no kernel crossings, no copies — so the base latency is of the same
+    /// order as a NUMA hop rather than the microseconds of a software
+    /// network stack.
+    pub const fn paper() -> Self {
+        NocConfig {
+            base_latency: 30,
+            bytes_per_cycle: 8,
+            congestion_factor: 0.35,
+            packet_occupancy: 32,
+        }
+    }
+
+    /// A zero-cost fabric, useful for functional-only tests.
+    pub const fn free() -> Self {
+        NocConfig {
+            base_latency: 0,
+            bytes_per_cycle: u64::MAX,
+            congestion_factor: 0.0,
+            packet_occupancy: 0,
+        }
+    }
+
+    /// How long one transaction of `bytes` holds the shared channel.
+    pub fn occupancy(&self, bytes: usize) -> u64 {
+        let serial = if self.bytes_per_cycle == u64::MAX {
+            0
+        } else {
+            (bytes as u64).div_ceil(self.bytes_per_cycle)
+        };
+        self.packet_occupancy + serial
+    }
+
+    /// Cycles to move `bytes` with `in_flight` *other* active transactions.
+    pub fn transfer_cost(&self, bytes: usize, in_flight: usize) -> u64 {
+        let serial = if self.bytes_per_cycle == u64::MAX {
+            0
+        } else {
+            (bytes as u64).div_ceil(self.bytes_per_cycle)
+        };
+        let scale = 1.0 + self.congestion_factor * in_flight as f64;
+        self.base_latency + (serial as f64 * scale).round() as u64
+    }
+}
+
+/// A shared-channel reservation model in *simulated* time.
+///
+/// Every remote transaction reserves the channel for its
+/// [`NocConfig::occupancy`]; a requester arriving while the channel is
+/// busy queues behind the reservation. Under light load a transaction
+/// waits ~0 cycles; as offered load approaches channel capacity the wait
+/// grows without bound — the queueing behaviour that produces the paper's
+/// 8-PE performance drop. Total channel time is conserved regardless of
+/// thread interleaving, so saturated makespans are stable run-to-run.
+#[derive(Debug, Default)]
+pub struct SharedChannel {
+    busy_until: std::sync::atomic::AtomicU64,
+}
+
+impl SharedChannel {
+    /// A channel idle since cycle 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve the channel for `occupancy` cycles starting no earlier than
+    /// `now`; returns the cycle at which this transaction actually starts.
+    pub fn reserve(&self, now: u64, occupancy: u64) -> u64 {
+        use std::sync::atomic::Ordering;
+        let mut prev = self.busy_until.load(Ordering::Relaxed);
+        loop {
+            let start = prev.max(now);
+            match self.busy_until.compare_exchange_weak(
+                prev,
+                start + occupancy,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return start,
+                Err(actual) => prev = actual,
+            }
+        }
+    }
+}
+
+/// Traffic counters for the fabric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Completed transactions.
+    pub transactions: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Total cycles charged across all transactions.
+    pub cycles: u64,
+    /// Maximum concurrency observed.
+    pub peak_in_flight: usize,
+}
+
+/// Single-threaded fabric tracker used by the instruction-level simulator.
+///
+/// The multithreaded runtime (`xbrtime`) keeps its own atomic tracker; this
+/// one serves the discrete-event machine where steps are serialized.
+#[derive(Debug)]
+pub struct Noc {
+    config: NocConfig,
+    in_flight: usize,
+    stats: NocStats,
+}
+
+impl Noc {
+    /// Build a fabric with the given parameters.
+    pub fn new(config: NocConfig) -> Self {
+        Noc {
+            config,
+            in_flight: 0,
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The fabric parameters.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+
+    /// Begin a transaction: returns its cost in cycles given current load.
+    pub fn begin(&mut self, bytes: usize) -> u64 {
+        let cost = self.config.transfer_cost(bytes, self.in_flight);
+        self.in_flight += 1;
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
+        self.stats.transactions += 1;
+        self.stats.bytes += bytes as u64;
+        self.stats.cycles += cost;
+        cost
+    }
+
+    /// Complete a transaction started with [`Noc::begin`].
+    ///
+    /// # Panics
+    /// Panics if no transaction is in flight (begin/end imbalance).
+    pub fn end(&mut self) {
+        assert!(self.in_flight > 0, "NoC end() without matching begin()");
+        self.in_flight -= 1;
+    }
+
+    /// Charge a whole transaction at once (begin + immediate end).
+    pub fn transact(&mut self, bytes: usize) -> u64 {
+        let cost = self.begin(bytes);
+        self.end();
+        cost
+    }
+
+    /// Record a transaction in the statistics without computing a cost —
+    /// for callers that price the transfer through [`SharedChannel`]
+    /// reservations instead of the in-flight congestion model.
+    pub fn record(&mut self, bytes: usize, cycles: u64) {
+        self.stats.transactions += 1;
+        self.stats.bytes += bytes as u64;
+        self.stats.cycles += cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_plus_serialization() {
+        let c = NocConfig {
+            base_latency: 100,
+            bytes_per_cycle: 8,
+            congestion_factor: 0.0,
+            packet_occupancy: 40,
+        };
+        assert_eq!(c.transfer_cost(0, 0), 100);
+        assert_eq!(c.transfer_cost(8, 0), 101);
+        assert_eq!(c.transfer_cost(9, 0), 102); // ceil
+        assert_eq!(c.transfer_cost(64, 0), 108);
+    }
+
+    #[test]
+    fn congestion_scales_serialization_only() {
+        let c = NocConfig {
+            base_latency: 100,
+            bytes_per_cycle: 8,
+            congestion_factor: 0.5,
+            packet_occupancy: 40,
+        };
+        // 80 bytes = 10 serialization cycles; 2 others in flight → x2.
+        assert_eq!(c.transfer_cost(80, 2), 100 + 20);
+        // Base latency is unaffected by congestion.
+        assert_eq!(c.transfer_cost(0, 10), 100);
+    }
+
+    #[test]
+    fn free_fabric_is_free() {
+        let c = NocConfig::free();
+        assert_eq!(c.transfer_cost(1 << 30, 100), 0);
+    }
+
+    #[test]
+    fn tracker_counts_concurrency() {
+        let mut n = Noc::new(NocConfig {
+            base_latency: 10,
+            bytes_per_cycle: 1,
+            congestion_factor: 1.0,
+            packet_occupancy: 40,
+        });
+        let c1 = n.begin(4); // 0 others in flight
+        let c2 = n.begin(4); // 1 other in flight
+        assert_eq!(c1, 10 + 4);
+        assert_eq!(c2, 10 + 8);
+        n.end();
+        n.end();
+        assert_eq!(n.stats().transactions, 2);
+        assert_eq!(n.stats().bytes, 8);
+        assert_eq!(n.stats().peak_in_flight, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching begin")]
+    fn unbalanced_end_panics() {
+        let mut n = Noc::new(NocConfig::paper());
+        n.end();
+    }
+}

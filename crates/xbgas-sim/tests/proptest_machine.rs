@@ -1,0 +1,191 @@
+//! Property tests for the machine's execute path: random straight-line
+//! ALU programs run on the full fetch/decode/execute pipeline must match
+//! a register-file oracle driven directly by the pure evaluation
+//! functions, and random remote-transfer scripts must preserve data.
+
+use proptest::prelude::*;
+use xbgas_sim::asm::assemble;
+use xbgas_sim::cost::MachineConfig;
+use xbgas_sim::hart::{eval_op, eval_op_imm};
+use xbgas_sim::machine::{Machine, RunExit};
+use xbgas_isa::{encode, pseudo, AluImmOp, AluOp, Inst, XReg};
+
+/// A straight-line ALU instruction over registers x5..x12.
+#[derive(Clone, Debug)]
+enum AluInst {
+    Op(AluOp, u8, u8, u8),
+    OpImm(AluImmOp, u8, u8, i32),
+}
+
+fn arb_reg() -> impl Strategy<Value = u8> {
+    5u8..13
+}
+
+fn arb_alu_prog() -> impl Strategy<Value = Vec<AluInst>> {
+    prop::collection::vec(
+        prop_oneof![
+            (
+                prop::sample::select(AluOp::ALL.to_vec()),
+                arb_reg(),
+                arb_reg(),
+                arb_reg()
+            )
+                .prop_map(|(op, rd, rs1, rs2)| AluInst::Op(op, rd, rs1, rs2)),
+            (
+                prop::sample::select(AluImmOp::ALL.to_vec()),
+                arb_reg(),
+                arb_reg(),
+                -2048i32..=2047
+            )
+                .prop_map(|(op, rd, rs1, imm)| {
+                    let imm = if op.is_shift() {
+                        imm.unsigned_abs() as i32 % if op.is_word() { 32 } else { 64 }
+                    } else {
+                        imm
+                    };
+                    AluInst::OpImm(op, rd, rs1, imm)
+                }),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The machine's fetch→decode→execute of an encoded program produces
+    /// exactly the register file computed by applying the pure ALU
+    /// semantics in order.
+    #[test]
+    fn machine_matches_register_oracle(prog in arb_alu_prog(), seeds in prop::array::uniform8(any::<u64>())) {
+        // Oracle register file (x0 stays zero; x5..x12 seeded).
+        let mut oracle = [0u64; 32];
+        for (i, &s) in seeds.iter().enumerate() {
+            oracle[5 + i] = s;
+        }
+
+        // Build the machine program: seed registers via memory-free
+        // means is awkward for 64-bit values, so poke them directly.
+        let mut insts: Vec<Inst> = Vec::new();
+        for step in &prog {
+            match *step {
+                AluInst::Op(op, rd, rs1, rs2) => {
+                    insts.push(Inst::Op {
+                        op,
+                        rd: XReg::new(rd),
+                        rs1: XReg::new(rs1),
+                        rs2: XReg::new(rs2),
+                    });
+                }
+                AluInst::OpImm(op, rd, rs1, imm) => {
+                    insts.push(Inst::OpImm {
+                        op,
+                        rd: XReg::new(rd),
+                        rs1: XReg::new(rs1),
+                        imm,
+                    });
+                }
+            }
+        }
+        insts.push(pseudo::li(XReg::new(17), 0)); // EXIT
+        insts.push(Inst::Ecall);
+        let words: Vec<u32> = insts.iter().map(|i| encode(i).unwrap()).collect();
+
+        let mut m = Machine::new(MachineConfig::test(1));
+        m.load_program(0x1000, &words);
+        for (i, &s) in seeds.iter().enumerate() {
+            m.hart_mut(0).x[5 + i] = s;
+        }
+        let summary = m.run();
+        prop_assert_eq!(summary.exit, RunExit::AllHalted);
+
+        // Drive the oracle.
+        for step in &prog {
+            match *step {
+                AluInst::Op(op, rd, rs1, rs2) => {
+                    let v = eval_op(op, oracle[rs1 as usize], oracle[rs2 as usize]);
+                    if rd != 0 { oracle[rd as usize] = v; }
+                }
+                AluInst::OpImm(op, rd, rs1, imm) => {
+                    let v = eval_op_imm(op, oracle[rs1 as usize], imm);
+                    if rd != 0 { oracle[rd as usize] = v; }
+                }
+            }
+        }
+        for r in 5..13 {
+            prop_assert_eq!(
+                m.hart(0).x[r],
+                oracle[r],
+                "register x{} after {:?}",
+                r,
+                prog
+            );
+        }
+    }
+
+    /// Remote stores of arbitrary values at arbitrary (aligned) offsets
+    /// land intact on the target PE — the ISA-level data-integrity
+    /// property behind every higher-level transfer.
+    #[test]
+    fn remote_stores_preserve_values(
+        values in prop::collection::vec(any::<u64>(), 1..12),
+        base_page in 2u64..8,
+    ) {
+        let base = base_page * 0x1000;
+        let mut m = Machine::new(MachineConfig::test(2));
+
+        // PE0 writes each value with esd at base + 8i on PE1.
+        let mut asm = String::from("eaddie e5, zero, 2\n"); // e5 pairs with t0 (x5)
+        for (i, _) in values.iter().enumerate() {
+            // Values arrive via pre-seeded memory on PE0, loaded locally,
+            // then stored remotely: exercises ld + esd together.
+            asm.push_str(&format!(
+                "li t2, {off}\nld t1, 0(t2)\nli t0, {dst}\nesd t1, 0(t0)\n",
+                off = 0x400 + 8 * i,
+                dst = base + 8 * i as u64,
+            ));
+        }
+        asm.push_str("li a7, 0\necall\n");
+        let img = assemble(0x1000, &asm).unwrap();
+        m.load_words(0, 0x1000, &img.words);
+        let exit = assemble(0x1000, "li a7, 0\necall").unwrap();
+        m.load_words(1, 0x1000, &exit.words);
+        for (i, &v) in values.iter().enumerate() {
+            m.mem_mut(0).store_u64(0x400 + 8 * i as u64, v).unwrap();
+        }
+
+        let summary = m.run();
+        prop_assert_eq!(summary.exit, RunExit::AllHalted);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(m.mem(1).load_u64(base + 8 * i as u64).unwrap(), v);
+        }
+        prop_assert_eq!(m.noc_stats().transactions, values.len() as u64);
+    }
+
+    /// Assemble → disassemble → reassemble is a fixpoint for random
+    /// label-free ALU programs.
+    #[test]
+    fn asm_disasm_fixpoint(prog in arb_alu_prog()) {
+        let mut insts: Vec<Inst> = Vec::new();
+        for step in &prog {
+            insts.push(match *step {
+                AluInst::Op(op, rd, rs1, rs2) => Inst::Op {
+                    op,
+                    rd: XReg::new(rd),
+                    rs1: XReg::new(rs1),
+                    rs2: XReg::new(rs2),
+                },
+                AluInst::OpImm(op, rd, rs1, imm) => Inst::OpImm {
+                    op,
+                    rd: XReg::new(rd),
+                    rs1: XReg::new(rs1),
+                    imm,
+                },
+            });
+        }
+        let words: Vec<u32> = insts.iter().map(|i| encode(i).unwrap()).collect();
+        let listing: Vec<String> = words.iter().map(|&w| xbgas_isa::disasm_word(w)).collect();
+        let round = assemble(0, &listing.join("\n")).unwrap();
+        prop_assert_eq!(round.words, words);
+    }
+}

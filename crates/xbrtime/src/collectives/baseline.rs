@@ -1,0 +1,281 @@
+//! Baseline collective algorithms for comparison benches.
+//!
+//! The paper's §4.7 compares the binomial-tree library against OpenSHMEM's
+//! collectives (and SHCOLL); since neither exists in this environment, the
+//! benches compare against the two classical algorithms a flat runtime
+//! would use:
+//!
+//! * **linear** — the root exchanges with every peer one at a time:
+//!   `N − 1` sequential transfers through a single hot endpoint;
+//! * **ring** — data circulates neighbour-to-neighbour in `N − 1` stages.
+//!
+//! Both are semantically interchangeable with the tree versions, so every
+//! test of Algorithms 1–4 can (and does) cross-check against them.
+
+use crate::collectives::vrank::{logical_rank, virtual_rank};
+use crate::fabric::{Pe, SymmAlloc};
+use crate::types::XbrType;
+
+/// Linear (root-sequential) broadcast: the root puts to each peer in turn.
+pub fn broadcast_linear<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    stride: usize,
+    root: usize,
+) {
+    let n_pes = pe.n_pes();
+    assert!(root < n_pes, "root {root} out of range");
+    if pe.rank() == root {
+        pe.heap_write_strided(dest.whole(), src, nelems, stride);
+        for peer in 0..n_pes {
+            if peer != root && nelems > 0 {
+                pe.put_symm(dest.whole(), dest.whole(), nelems, stride, peer);
+            }
+        }
+    }
+    pe.barrier();
+}
+
+/// Ring broadcast: the payload hops `rank → rank+1` for `N − 1` stages.
+pub fn broadcast_ring<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    stride: usize,
+    root: usize,
+) {
+    let n_pes = pe.n_pes();
+    assert!(root < n_pes, "root {root} out of range");
+    let vir_rank = virtual_rank(pe.rank(), root, n_pes);
+    if pe.rank() == root {
+        pe.heap_write_strided(dest.whole(), src, nelems, stride);
+    }
+    for stage in 0..n_pes.saturating_sub(1) {
+        if vir_rank == stage && nelems > 0 {
+            let next = logical_rank((vir_rank + 1) % n_pes, root, n_pes);
+            pe.put_symm(dest.whole(), dest.whole(), nelems, stride, next);
+        }
+        pe.barrier();
+    }
+    if n_pes == 1 {
+        pe.barrier();
+    }
+}
+
+/// Linear reduction: the root gets every peer's contribution and folds it in.
+///
+/// `src` must be symmetric, as in the tree version.
+pub fn reduce_linear<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    f: impl Fn(T, T) -> T,
+) {
+    let n_pes = pe.n_pes();
+    assert!(root < n_pes, "root {root} out of range");
+    let span = if nelems == 0 { 0 } else { (nelems - 1) * stride + 1 };
+    // All PEs participate in the barrier; only the root moves data.
+    pe.barrier();
+    if pe.rank() == root && nelems > 0 {
+        let mut acc = vec![T::default(); span];
+        pe.heap_read_strided(src.whole(), &mut acc, nelems, stride);
+        let mut incoming = vec![T::default(); span];
+        for peer in 0..n_pes {
+            if peer == root {
+                continue;
+            }
+            pe.get(&mut incoming, src.whole(), nelems, stride, peer);
+            for j in 0..nelems {
+                acc[j * stride] = f(acc[j * stride], incoming[j * stride]);
+            }
+            pe.charge(pe.timing().cost.alu_cycles * nelems as u64);
+        }
+        for j in 0..nelems {
+            dest[j * stride] = acc[j * stride];
+        }
+    }
+    pe.barrier();
+}
+
+/// Linear scatter: the root puts each PE's segment directly.
+pub fn scatter_linear<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+) {
+    let n_pes = pe.n_pes();
+    assert!(root < n_pes, "root {root} out of range");
+    assert_eq!(pe_msgs.len(), n_pes);
+    assert_eq!(pe_disp.len(), n_pes);
+    assert_eq!(pe_msgs.iter().sum::<usize>(), nelems);
+    if pe.rank() == root {
+        for peer in 0..n_pes {
+            let count = pe_msgs[peer];
+            if count == 0 {
+                continue;
+            }
+            let seg = &src[pe_disp[peer]..pe_disp[peer] + count];
+            if peer == root {
+                pe.heap_write(dest.whole(), seg);
+            } else {
+                pe.put(dest.whole(), seg, count, 1, peer);
+            }
+        }
+    }
+    pe.barrier();
+}
+
+/// Linear gather: the root gets each PE's segment directly into `dest`.
+pub fn gather_linear<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+) {
+    let n_pes = pe.n_pes();
+    assert!(root < n_pes, "root {root} out of range");
+    assert_eq!(pe_msgs.len(), n_pes);
+    assert_eq!(pe_disp.len(), n_pes);
+    assert_eq!(pe_msgs.iter().sum::<usize>(), nelems);
+    pe.barrier();
+    if pe.rank() == root {
+        for peer in 0..n_pes {
+            let count = pe_msgs[peer];
+            if count == 0 {
+                continue;
+            }
+            let out = &mut dest[pe_disp[peer]..pe_disp[peer] + count];
+            if peer == root {
+                pe.heap_read_strided(src.whole(), out, count, 1);
+            } else {
+                pe.get(out, src.whole(), count, 1, peer);
+            }
+        }
+    }
+    pe.barrier();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig};
+    use crate::types::XbrNumeric;
+
+    #[test]
+    fn linear_broadcast_matches_tree() {
+        for n in 1..=6 {
+            for root in 0..n {
+                let report = Fabric::run(FabricConfig::new(n), |pe| {
+                    let d1 = pe.shared_malloc::<u32>(4);
+                    let d2 = pe.shared_malloc::<u32>(4);
+                    let src = [3, 1, 4, 1];
+                    crate::collectives::broadcast::broadcast(pe, &d1, &src, 4, 1, root);
+                    broadcast_linear(pe, &d2, &src, 4, 1, root);
+                    pe.barrier();
+                    (pe.heap_read_vec(d1.whole(), 4), pe.heap_read_vec(d2.whole(), 4))
+                });
+                for (tree, lin) in &report.results {
+                    assert_eq!(tree, lin);
+                    assert_eq!(lin, &vec![3, 1, 4, 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_broadcast_delivers_everywhere() {
+        for n in 1..=6 {
+            for root in 0..n {
+                let report = Fabric::run(FabricConfig::new(n), |pe| {
+                    let d = pe.shared_malloc::<u64>(3);
+                    broadcast_ring(pe, &d, &[9, 8, 7], 3, 1, root);
+                    pe.barrier();
+                    pe.heap_read_vec(d.whole(), 3)
+                });
+                for got in &report.results {
+                    assert_eq!(got, &vec![9, 8, 7], "n={n} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_reduce_matches_tree() {
+        for n in [1, 3, 4, 7] {
+            let report = Fabric::run(FabricConfig::new(n), |pe| {
+                let src = pe.shared_malloc::<i64>(2);
+                pe.heap_write(src.whole(), &[pe.rank() as i64, -(pe.rank() as i64)]);
+                pe.barrier();
+                let mut d1 = [0i64; 2];
+                let mut d2 = [0i64; 2];
+                crate::collectives::reduce::reduce_with(
+                    pe, &mut d1, &src, 2, 1, 0, i64::red_sum,
+                );
+                reduce_linear(pe, &mut d2, &src, 2, 1, 0, i64::red_sum);
+                pe.barrier();
+                (d1, d2)
+            });
+            let (tree, lin) = report.results[0];
+            assert_eq!(tree, lin);
+            let expect: i64 = (0..n as i64).sum();
+            assert_eq!(lin, [expect, -expect]);
+        }
+    }
+
+    #[test]
+    fn linear_scatter_gather_roundtrip() {
+        let n = 5;
+        let msgs = vec![2usize; 5];
+        let disp: Vec<usize> = (0..5).map(|r| r * 2).collect();
+        let report = Fabric::run(FabricConfig::new(n), |pe| {
+            let landing = pe.shared_malloc::<u32>(2);
+            let src: Vec<u32> = (0..10).collect();
+            scatter_linear(pe, &landing, &src, &msgs, &disp, 10, 1);
+            pe.barrier();
+            let mut back = vec![0u32; 10];
+            gather_linear(pe, &mut back, &landing, &msgs, &disp, 10, 1);
+            pe.barrier();
+            back
+        });
+        assert_eq!(report.results[1], (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn linear_uses_more_sequential_root_traffic_than_tree() {
+        // Timing sanity: with the paper cost model and a serialised root,
+        // linear broadcast's makespan should exceed the tree's for 8 PEs.
+        let msg = 4096usize;
+        let run = |tree: bool| {
+            let report = Fabric::run(FabricConfig::paper(8), |pe| {
+                let d = pe.shared_malloc::<u64>(msg);
+                let src = vec![7u64; msg];
+                if tree {
+                    crate::collectives::broadcast::broadcast(pe, &d, &src, msg, 1, 0);
+                } else {
+                    broadcast_linear(pe, &d, &src, msg, 1, 0);
+                }
+                pe.cycles()
+            });
+            report.makespan_cycles()
+        };
+        let tree_cycles = run(true);
+        let linear_cycles = run(false);
+        assert!(
+            linear_cycles > tree_cycles,
+            "linear {linear_cycles} should exceed tree {tree_cycles} at 8 PEs"
+        );
+    }
+}

@@ -1,0 +1,484 @@
+//! Extended collectives (paper §7 future work, plus §4.7 gaps).
+//!
+//! The paper's initial library ships broadcast, reduction, scatter and
+//! gather, and §4.7/§7 name the missing pieces: results "automatically
+//! distributed to each PE" (OpenSHMEM's reduce-to-all and
+//! collect/fcollect), "personalized all-to-all communication", and
+//! "integration of collective functionality between a subset of PEs".
+//! This module implements them:
+//!
+//! * [`reduce_all`] — reduction whose result lands on every PE. Two
+//!   strategies: the paper's own composition ("must instead be accomplished
+//!   through the use of a broadcast operation following the original call")
+//!   and a direct recursive-doubling exchange (ablation bench material);
+//! * [`all_gather`] — OpenSHMEM `fcollect` (equal counts, every PE receives
+//!   the concatenation);
+//! * [`all_to_all`] — personalized all-to-all via pairwise exchange;
+//! * [`Team`] — a subset of PEs with translated ranks; team-scoped
+//!   broadcast/reduce reuse the tree algorithms over team ranks.
+
+use crate::collectives::broadcast::broadcast;
+use crate::collectives::reduce::reduce_with;
+use crate::collectives::vrank::{logical_rank, virtual_rank};
+use crate::fabric::{ceil_log2, Pe, SymmAlloc};
+use crate::types::{ReduceOp, XbrNumeric, XbrType};
+
+/// Strategy for [`reduce_all`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllReduceAlgo {
+    /// Tree reduction to rank 0 followed by a tree broadcast — the
+    /// composition the paper prescribes for its initial library.
+    ReduceThenBroadcast,
+    /// Direct recursive-doubling butterfly: `⌈log2 N⌉` exchange stages,
+    /// no root bottleneck.
+    RecursiveDoubling,
+}
+
+/// All-reduce: every PE receives the elementwise combination of all
+/// contributions. `src` must be symmetric; `dest` receives `nelems`
+/// elements (contiguous) on every PE.
+pub fn reduce_all<T: XbrNumeric>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    op: ReduceOp,
+    algo: AllReduceAlgo,
+) {
+    let f = op
+        .combiner::<T>()
+        .unwrap_or_else(|| panic!("reduction operator {op:?} requires a non-floating-point type"));
+    reduce_all_with(pe, dest, src, nelems, f, algo);
+}
+
+/// All-reduce with an arbitrary associative, commutative combiner.
+pub fn reduce_all_with<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    f: impl Fn(T, T) -> T + Copy,
+    algo: AllReduceAlgo,
+) {
+    assert!(dest.len() >= nelems, "dest too small for all-reduce result");
+    let n_pes = pe.n_pes();
+    match algo {
+        AllReduceAlgo::ReduceThenBroadcast => {
+            reduce_with(pe, dest, src, nelems, 1, 0, f);
+            let bcast = pe.shared_malloc::<T>(nelems.max(1));
+            // Rank 0 holds the result; broadcast it to everyone.
+            let payload: Vec<T> = if pe.rank() == 0 {
+                dest[..nelems].to_vec()
+            } else {
+                vec![T::default(); nelems]
+            };
+            broadcast(pe, &bcast, &payload, nelems, 1, 0);
+            pe.barrier();
+            if nelems > 0 {
+                pe.heap_read_strided(bcast.whole(), &mut dest[..nelems], nelems, 1);
+            }
+            pe.barrier();
+            pe.shared_free(bcast);
+        }
+        AllReduceAlgo::RecursiveDoubling => {
+            let work = pe.shared_malloc::<T>(nelems.max(1));
+            if nelems > 0 {
+                pe.get_symm(work.whole(), src.whole(), nelems, 1, pe.rank());
+            }
+            pe.barrier();
+            if nelems > 0 && n_pes > 1 {
+                let stages = ceil_log2(n_pes);
+                let me = pe.rank();
+                let mut incoming = vec![T::default(); nelems];
+                for i in 0..stages {
+                    let partner = me ^ (1 << i);
+                    let active = partner < n_pes;
+                    if active {
+                        pe.get(&mut incoming, work.whole(), nelems, 1, partner);
+                    }
+                    // Both partners read each other's buffer this stage, so
+                    // the combine must wait until every read has landed.
+                    pe.barrier();
+                    if active {
+                        let mut mine = pe.heap_read_vec::<T>(work.whole(), nelems);
+                        for j in 0..nelems {
+                            mine[j] = f(mine[j], incoming[j]);
+                        }
+                        pe.charge(pe.timing().cost.alu_cycles * nelems as u64);
+                        pe.heap_write(work.whole(), &mine);
+                    }
+                    pe.barrier();
+                }
+                // Non-power-of-two tails: ranks ≥ 2^⌊log2 n⌋ may have missed
+                // partners in some stages; fall back to fetching the fully
+                // reduced value from rank 0's butterfly group when needed.
+                if !n_pes.is_power_of_two() {
+                    // Redo as reduce + broadcast for correctness; the
+                    // butterfly above still produced the right answer for
+                    // the power-of-two subcube containing rank 0 only when
+                    // n is a power of two, so synchronise through rank 0.
+                    let mut full = vec![T::default(); nelems];
+                    reduce_with(pe, &mut full, src, nelems, 1, 0, f);
+                    let payload = if pe.rank() == 0 { full } else { vec![T::default(); nelems] };
+                    broadcast(pe, &work, &payload, nelems, 1, 0);
+                    pe.barrier();
+                }
+            }
+            if nelems > 0 {
+                pe.heap_read_strided(work.whole(), &mut dest[..nelems], nelems, 1);
+            }
+            pe.barrier();
+            pe.shared_free(work);
+        }
+    }
+}
+
+/// All-gather (OpenSHMEM `fcollect`): every PE contributes `per_pe`
+/// elements from `src`; every PE's `dest` receives the rank-ordered
+/// concatenation (`n_pes * per_pe` elements).
+pub fn all_gather<T: XbrType>(pe: &Pe, dest: &mut [T], src: &[T], per_pe: usize) {
+    let n_pes = pe.n_pes();
+    let total = per_pe * n_pes;
+    assert!(src.len() >= per_pe, "src shorter than per_pe");
+    assert!(dest.len() >= total, "dest shorter than n_pes * per_pe");
+
+    let board = pe.shared_malloc::<T>(total.max(1));
+    if per_pe > 0 {
+        // Everyone publishes its block at its own slot on every PE — the
+        // one-sided analogue of an all-gather: n-1 remote puts per PE, all
+        // proceeding concurrently.
+        for peer in 0..n_pes {
+            pe.put(board.at(pe.rank() * per_pe), &src[..per_pe], per_pe, 1, peer);
+        }
+    }
+    pe.barrier();
+    if total > 0 {
+        pe.heap_read_strided(board.whole(), &mut dest[..total], total, 1);
+    }
+    pe.barrier();
+    pe.shared_free(board);
+}
+
+/// Personalized all-to-all: PE `s`'s block `src[d*per_pe..]` lands in PE
+/// `d`'s `dest[s*per_pe..]`. Pairwise-exchange schedule: stage `s` pairs
+/// each PE with `(rank + s) mod n`, spreading traffic evenly.
+pub fn all_to_all<T: XbrType>(pe: &Pe, dest: &mut [T], src: &[T], per_pe: usize) {
+    let n_pes = pe.n_pes();
+    let total = per_pe * n_pes;
+    assert!(src.len() >= total, "src shorter than n_pes * per_pe");
+    assert!(dest.len() >= total, "dest shorter than n_pes * per_pe");
+
+    let board = pe.shared_malloc::<T>(total.max(1));
+    let me = pe.rank();
+    if per_pe > 0 {
+        for stage in 0..n_pes {
+            let target = (me + stage) % n_pes;
+            pe.put(
+                board.at(me * per_pe),
+                &src[target * per_pe..target * per_pe + per_pe],
+                per_pe,
+                1,
+                target,
+            );
+        }
+    }
+    pe.barrier();
+    if total > 0 {
+        pe.heap_read_strided(board.whole(), &mut dest[..total], total, 1);
+    }
+    pe.barrier();
+    pe.shared_free(board);
+}
+
+/// A subset of PEs participating in team-scoped collectives.
+///
+/// Rank translation only: synchronisation still uses the global barrier
+/// (every PE must therefore *call* team operations, members and
+/// non-members alike — non-members contribute nothing and receive
+/// nothing). Fully independent team barriers are the paper's own future
+/// work ("Integration of collective functionality between a subset of
+/// PEs").
+#[derive(Clone, Debug)]
+pub struct Team {
+    members: Vec<usize>,
+}
+
+impl Team {
+    /// Build a team from distinct global ranks.
+    ///
+    /// # Panics
+    /// Panics on duplicates or an empty member list.
+    pub fn new(members: Vec<usize>) -> Self {
+        assert!(!members.is_empty(), "team must have at least one member");
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "duplicate team members");
+        Team { members }
+    }
+
+    /// Number of member PEs.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Global rank of team-rank `t`.
+    pub fn global(&self, t: usize) -> usize {
+        self.members[t]
+    }
+
+    /// Team rank of a global rank, if it is a member.
+    pub fn team_rank(&self, global: usize) -> Option<usize> {
+        self.members.iter().position(|&m| m == global)
+    }
+
+    /// Team-scoped broadcast from team-rank `team_root`. Every PE (member
+    /// or not) must call this; only members move data.
+    pub fn broadcast<T: XbrType>(
+        &self,
+        pe: &Pe,
+        dest: &SymmAlloc<T>,
+        src: &[T],
+        nelems: usize,
+        team_root: usize,
+    ) {
+        assert!(team_root < self.size(), "team root out of range");
+        let my_team_rank = self.team_rank(pe.rank());
+        let n = self.size();
+        if let Some(tr) = my_team_rank {
+            let vir = virtual_rank(tr, team_root, n);
+            if tr == team_root {
+                pe.heap_write_strided(dest.whole(), src, nelems, 1);
+            }
+            if n > 1 {
+                let stages = ceil_log2(n);
+                let mut mask = (1usize << stages) - 1;
+                for i in (0..stages).rev() {
+                    mask ^= 1 << i;
+                    if vir & mask == 0 && vir & (1 << i) == 0 {
+                        let vpart = (vir ^ (1 << i)) % n;
+                        if vir < vpart {
+                            let target = self.global(logical_rank(vpart, team_root, n));
+                            pe.put_symm(dest.whole(), dest.whole(), nelems, 1, target);
+                        }
+                    }
+                    pe.barrier();
+                }
+            }
+        } else if n > 1 {
+            // Non-members still participate in the stage barriers.
+            for _ in 0..ceil_log2(n) {
+                pe.barrier();
+            }
+        }
+    }
+
+    /// Team-scoped all-reduce (reduce-to-team-root-then-broadcast). Every
+    /// PE must call; only members contribute and receive.
+    pub fn reduce_all<T: XbrType>(
+        &self,
+        pe: &Pe,
+        dest: &mut [T],
+        src: &SymmAlloc<T>,
+        nelems: usize,
+        f: impl Fn(T, T) -> T + Copy,
+    ) {
+        let n = self.size();
+        let my_team_rank = self.team_rank(pe.rank());
+        let work = pe.shared_malloc::<T>(nelems.max(1));
+        if my_team_rank.is_some() && nelems > 0 {
+            pe.get_symm(work.whole(), src.whole(), nelems, 1, pe.rank());
+        }
+        pe.barrier();
+        // Tree-reduce over team ranks toward team rank 0.
+        if n > 1 && nelems > 0 {
+            let stages = ceil_log2(n);
+            let mut mask = (1usize << stages) - 1;
+            let mut incoming = vec![T::default(); nelems];
+            for i in 0..stages {
+                mask ^= 1 << i;
+                if let Some(tr) = my_team_rank {
+                    if tr | mask == mask && tr & (1 << i) == 0 {
+                        let part = tr ^ (1 << i);
+                        if tr < part && part < n {
+                            pe.get(&mut incoming, work.whole(), nelems, 1, self.global(part));
+                            let mut mine = pe.heap_read_vec::<T>(work.whole(), nelems);
+                            for j in 0..nelems {
+                                mine[j] = f(mine[j], incoming[j]);
+                            }
+                            pe.charge(pe.timing().cost.alu_cycles * nelems as u64);
+                            pe.heap_write(work.whole(), &mine);
+                        }
+                    }
+                }
+                pe.barrier();
+            }
+        }
+        // Team-rank 0 broadcasts the result back through the team.
+        let payload: Vec<T> = if my_team_rank == Some(0) {
+            pe.heap_read_vec(work.whole(), nelems)
+        } else {
+            vec![T::default(); nelems]
+        };
+        self.broadcast(pe, &work, &payload, nelems, 0);
+        pe.barrier();
+        if my_team_rank.is_some() && nelems > 0 {
+            pe.heap_read_strided(work.whole(), &mut dest[..nelems], nelems, 1);
+        }
+        pe.barrier();
+        pe.shared_free(work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig};
+
+    #[test]
+    fn reduce_all_both_algorithms_agree() {
+        for n in 1..=8 {
+            for algo in [AllReduceAlgo::ReduceThenBroadcast, AllReduceAlgo::RecursiveDoubling] {
+                let report = Fabric::run(FabricConfig::new(n), |pe| {
+                    let src = pe.shared_malloc::<u64>(3);
+                    pe.heap_write(
+                        src.whole(),
+                        &[pe.rank() as u64, 1, pe.rank() as u64 * 2],
+                    );
+                    pe.barrier();
+                    let mut d = [0u64; 3];
+                    reduce_all(pe, &mut d, &src, 3, ReduceOp::Sum, algo);
+                    pe.barrier();
+                    d
+                });
+                let n64 = n as u64;
+                let expect = [
+                    (0..n64).sum::<u64>(),
+                    n64,
+                    (0..n64).map(|r| r * 2).sum::<u64>(),
+                ];
+                for (rank, got) in report.results.iter().enumerate() {
+                    assert_eq!(got, &expect, "n={n} algo={algo:?} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        for n in 1..=6 {
+            let report = Fabric::run(FabricConfig::new(n), |pe| {
+                let src = [pe.rank() as u32 * 10, pe.rank() as u32 * 10 + 1];
+                let mut dest = vec![0u32; n * 2];
+                all_gather(pe, &mut dest, &src, 2);
+                pe.barrier();
+                dest
+            });
+            let expect: Vec<u32> = (0..n as u32).flat_map(|r| [r * 10, r * 10 + 1]).collect();
+            for got in &report.results {
+                assert_eq!(got, &expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes_blocks() {
+        for n in 1..=6 {
+            let report = Fabric::run(FabricConfig::new(n), |pe| {
+                // src block for destination d: value 100*me + d.
+                let src: Vec<u64> = (0..n).map(|d| 100 * pe.rank() as u64 + d as u64).collect();
+                let mut dest = vec![0u64; n];
+                all_to_all(pe, &mut dest, &src, 1);
+                pe.barrier();
+                dest
+            });
+            for (me, got) in report.results.iter().enumerate() {
+                let expect: Vec<u64> = (0..n).map(|s| 100 * s as u64 + me as u64).collect();
+                assert_eq!(got, &expect, "n={n} rank={me}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_multielement_blocks() {
+        let n = 4;
+        let per = 3;
+        let report = Fabric::run(FabricConfig::new(n), |pe| {
+            let src: Vec<u32> = (0..n * per)
+                .map(|i| (pe.rank() * 1000 + i) as u32)
+                .collect();
+            let mut dest = vec![0u32; n * per];
+            all_to_all(pe, &mut dest, &src, per);
+            pe.barrier();
+            dest
+        });
+        for (me, got) in report.results.iter().enumerate() {
+            for s in 0..n {
+                for j in 0..per {
+                    assert_eq!(got[s * per + j], (s * 1000 + me * per + j) as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn team_broadcast_reaches_members_only() {
+        let report = Fabric::run(FabricConfig::new(6), |pe| {
+            let team = Team::new(vec![1, 3, 5]);
+            let dest = pe.shared_malloc::<u64>(2);
+            pe.heap_write(dest.whole(), &[0, 0]);
+            pe.barrier();
+            let src = [42u64, 43];
+            team.broadcast(pe, &dest, &src, 2, 0); // team root = global rank 1
+            pe.barrier();
+            pe.heap_read_vec(dest.whole(), 2)
+        });
+        for (rank, got) in report.results.iter().enumerate() {
+            if [1, 3, 5].contains(&rank) {
+                assert_eq!(got, &vec![42, 43], "member {rank}");
+            } else {
+                assert_eq!(got, &vec![0, 0], "non-member {rank} must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn team_reduce_all_sums_members() {
+        let report = Fabric::run(FabricConfig::new(5), |pe| {
+            let team = Team::new(vec![0, 2, 4]);
+            let src = pe.shared_malloc::<i64>(1);
+            pe.heap_store(src.whole(), pe.rank() as i64 + 1);
+            pe.barrier();
+            let mut d = [0i64];
+            team.reduce_all(pe, &mut d, &src, 1, |a, b| a + b);
+            pe.barrier();
+            d[0]
+        });
+        // Members 0,2,4 contribute 1,3,5 → 9 on members; 0 on non-members.
+        assert_eq!(report.results[0], 9);
+        assert_eq!(report.results[2], 9);
+        assert_eq!(report.results[4], 9);
+        assert_eq!(report.results[1], 0);
+        assert_eq!(report.results[3], 0);
+    }
+
+    #[test]
+    fn team_of_one() {
+        let report = Fabric::run(FabricConfig::new(3), |pe| {
+            let team = Team::new(vec![2]);
+            let dest = pe.shared_malloc::<u32>(1);
+            pe.heap_store(dest.whole(), 0);
+            pe.barrier();
+            team.broadcast(pe, &dest, &[99], 1, 0);
+            pe.barrier();
+            pe.heap_load(dest.whole())
+        });
+        assert_eq!(report.results, vec![0, 0, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate team members")]
+    fn duplicate_members_rejected() {
+        let _ = Team::new(vec![0, 1, 1]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Gather — paper Algorithm 4.
+//!
+//! Symmetric to scatter "in the same manner that reduction is to broadcast":
+//! each PE stages its contribution at its adjusted virtual-rank displacement,
+//! the tree runs with recursive doubling and `get`s subtree aggregates
+//! toward the root, and the root finally reorders the staging buffer back
+//! into *logical*-rank order through `pe_disp`.
+
+use crate::collectives::scatter::adjusted_displacements;
+use crate::collectives::vrank::{logical_rank, virtual_rank};
+use crate::fabric::{ceil_log2, Pe};
+use crate::types::XbrType;
+
+/// Gather `pe_msgs[r]` elements from every PE `r`'s `src` to the root:
+/// PE `r`'s values land at `dest[pe_disp[r]]` on the root. `nelems` is the
+/// total gathered count; `dest` is written only on the root.
+///
+/// # Panics
+/// Panics on inconsistent counts/displacements or undersized buffers.
+///
+/// ```
+/// use xbrtime::{collectives, Fabric, FabricConfig};
+/// let report = Fabric::run(FabricConfig::new(2), |pe| {
+///     let mine = vec![pe.rank() as u64 + 100];
+///     let mut all = vec![0u64; 2];
+///     collectives::gather(pe, &mut all, &mine, &[1, 1], &[0, 1], 2, 1);
+///     pe.barrier();
+///     all
+/// });
+/// assert_eq!(report.results[1], vec![100, 101]); // root is PE 1
+/// ```
+pub fn gather<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+) {
+    let n_pes = pe.n_pes();
+    let log_rank = pe.rank();
+    assert!(root < n_pes, "root {root} out of range");
+    assert_eq!(pe_msgs.len(), n_pes, "pe_msgs must have one entry per PE");
+    assert_eq!(pe_disp.len(), n_pes, "pe_disp must have one entry per PE");
+    let total: usize = pe_msgs.iter().sum();
+    assert_eq!(total, nelems, "pe_msgs sums to {total} but nelems is {nelems}");
+    let my_count = pe_msgs[log_rank];
+    assert!(
+        src.len() >= my_count,
+        "src holds {} elements but this PE contributes {my_count}",
+        src.len()
+    );
+
+    let vir_rank = virtual_rank(log_rank, root, n_pes);
+    let adj_disp = adjusted_displacements(pe_msgs, root, n_pes);
+    let s_buff = pe.shared_malloc::<T>(nelems.max(1));
+
+    // Stage this PE's candidate gather data at its virtual offset.
+    if my_count > 0 {
+        pe.heap_write(s_buff.at(adj_disp[vir_rank]), &src[..my_count]);
+    }
+    pe.barrier();
+
+    if n_pes > 1 && nelems > 0 {
+        let stages = ceil_log2(n_pes);
+        let mut mask = (1usize << stages) - 1;
+        for i in 0..stages {
+            mask ^= 1 << i;
+            if vir_rank | mask == mask && vir_rank & (1 << i) == 0 {
+                let vir_part = (vir_rank ^ (1 << i)) % n_pes;
+                let log_part = logical_rank(vir_part, root, n_pes);
+                if vir_rank < vir_part {
+                    // The partner has aggregated its subtree of 2^i ranks.
+                    let subtree_end = (vir_part + (1 << i)).min(n_pes);
+                    let msg_size = adj_disp[subtree_end] - adj_disp[vir_part];
+                    if msg_size > 0 {
+                        pe.get_symm(
+                            s_buff.at(adj_disp[vir_part]),
+                            s_buff.at(adj_disp[vir_part]),
+                            msg_size,
+                            1,
+                            log_part,
+                        );
+                    }
+                }
+            }
+            pe.barrier();
+        }
+    }
+
+    // Root: reorder from virtual-rank staging order back to logical order.
+    if vir_rank == 0 && nelems > 0 {
+        for l in 0..n_pes {
+            let count = pe_msgs[l];
+            if count > 0 {
+                assert!(
+                    dest.len() >= pe_disp[l] + count,
+                    "dest too small for PE {l}'s segment"
+                );
+                let v = virtual_rank(l, root, n_pes);
+                pe.heap_read_strided(
+                    s_buff.at(adj_disp[v]),
+                    &mut dest[pe_disp[l]..pe_disp[l] + count],
+                    count,
+                    1,
+                );
+            }
+        }
+    }
+    pe.barrier();
+    pe.shared_free(s_buff);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig};
+
+    fn uniform(n_pes: usize, per: usize) -> (Vec<usize>, Vec<usize>) {
+        let msgs = vec![per; n_pes];
+        let disp = (0..n_pes).map(|r| r * per).collect();
+        (msgs, disp)
+    }
+
+    fn check_gather(n_pes: usize, root: usize, msgs: Vec<usize>, disp: Vec<usize>) {
+        let nelems: usize = msgs.iter().sum();
+        let report = Fabric::run(FabricConfig::new(n_pes), |pe| {
+            let mine = msgs[pe.rank()];
+            // Each PE contributes rank*1000 + local index.
+            let src: Vec<u64> = (0..mine as u64)
+                .map(|j| pe.rank() as u64 * 1000 + j)
+                .collect();
+            let mut dest = vec![u64::MAX; nelems.max(1)];
+            gather(pe, &mut dest, &src, &msgs, &disp, nelems, root);
+            pe.barrier();
+            dest
+        });
+        let got = &report.results[root];
+        for r in 0..n_pes {
+            for j in 0..msgs[r] {
+                assert_eq!(
+                    got[disp[r] + j],
+                    r as u64 * 1000 + j as u64,
+                    "n={n_pes} root={root} from_rank={r} elem={j}"
+                );
+            }
+        }
+        // Non-root dests untouched.
+        for (rank, d) in report.results.iter().enumerate() {
+            if rank != root && nelems > 0 {
+                assert!(d.iter().all(|&v| v == u64::MAX), "rank {rank} clobbered");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_all_pe_counts_and_roots() {
+        for n in 1..=8 {
+            for root in 0..n {
+                let (msgs, disp) = uniform(n, 2);
+                check_gather(n, root, msgs, disp);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_mirror_of_scatter_example() {
+        let (msgs, disp) = uniform(7, 2);
+        check_gather(7, 4, msgs, disp);
+    }
+
+    #[test]
+    fn irregular_counts() {
+        let msgs = vec![3, 0, 1, 2];
+        let disp = vec![0, 3, 3, 4];
+        check_gather(4, 0, msgs.clone(), disp.clone());
+        check_gather(4, 3, msgs, disp);
+    }
+
+    #[test]
+    fn sixteen_pes() {
+        let (msgs, disp) = uniform(16, 4);
+        check_gather(16, 13, msgs, disp);
+    }
+
+    #[test]
+    fn scatter_then_gather_roundtrips() {
+        // Scatter from root, then gather back: dest == original src.
+        let n = 6;
+        let (msgs, disp) = uniform(n, 3);
+        let nelems = 18;
+        let report = Fabric::run(FabricConfig::new(n), |pe| {
+            let original: Vec<u64> = (0..nelems as u64).map(|i| i * 3 + 7).collect();
+            let src: Vec<u64> = if pe.rank() == 2 { original.clone() } else { vec![] };
+            let mut mine = vec![0u64; 3];
+            crate::collectives::scatter::scatter(pe, &mut mine, &src, &msgs, &disp, nelems, 2);
+            pe.barrier();
+            let mut back = vec![0u64; nelems];
+            gather(pe, &mut back, &mine, &msgs, &disp, nelems, 2);
+            pe.barrier();
+            (back, original)
+        });
+        let (back, original) = &report.results[2];
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn gathers_into_displaced_dest_with_gaps() {
+        let n = 3;
+        let msgs = vec![1, 1, 1];
+        let disp = vec![0, 2, 4]; // gaps in dest
+        let report = Fabric::run(FabricConfig::new(n), |pe| {
+            let src = vec![pe.rank() as u64 + 10];
+            let mut dest = vec![0u64; 5];
+            gather(pe, &mut dest, &src, &msgs, &disp, 3, 0);
+            pe.barrier();
+            dest
+        });
+        assert_eq!(report.results[0], vec![10, 0, 11, 0, 12]);
+    }
+}

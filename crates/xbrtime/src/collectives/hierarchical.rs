@@ -1,0 +1,336 @@
+//! Topology-aware (hierarchical) collectives — paper §7's "location aware
+//! communication optimization using the xBGAS OLB".
+//!
+//! When the fabric carries a [`Topology`], the runtime knows which PEs
+//! share a node (in real xBGAS this is exactly what the OLB's object-ID
+//! mapping encodes). Hierarchical collectives exploit it by running the
+//! binomial tree in two tiers:
+//!
+//! * **broadcast**: root → node leaders over the (expensive) inter-node
+//!   fabric, then each leader → its node over the (cheap) intra-node
+//!   links, so each payload crosses the inter-node fabric exactly
+//!   `#nodes − 1` times instead of up to `N − 1` times;
+//! * **reduce**: the mirror image — combine within each node first, then
+//!   across leaders to the root.
+//!
+//! Both degrade gracefully to the flat algorithms when no topology is
+//! configured (one node, or `pes_per_node = 1`). Stage counts are fixed
+//! from the *maximum* node size so every PE executes the same number of
+//! barriers regardless of ragged last nodes.
+
+use crate::fabric::{ceil_log2, Pe, SymmAlloc, Topology};
+use crate::types::XbrType;
+
+/// The two-tier structure of a run: nodes, leaders, and this PE's place.
+struct Tiers {
+    /// Leader PE of every node, in node order. The root's node's leader is
+    /// the root itself, so tier 1 is rooted correctly.
+    leaders: Vec<usize>,
+    /// This PE's node index.
+    my_node: usize,
+    /// Members of this PE's node (global ranks).
+    my_node_members: Vec<usize>,
+    /// Largest node size (fixes tier-2 stage counts fleet-wide).
+    max_node_size: usize,
+}
+
+fn tiers(pe: &Pe, topo: &Topology, root: usize) -> Tiers {
+    let n_pes = pe.n_pes();
+    let k = topo.pes_per_node.max(1);
+    let n_nodes = n_pes.div_ceil(k);
+    let leaders: Vec<usize> = (0..n_nodes)
+        .map(|n| if topo.node_of(root) == n { root } else { n * k })
+        .collect();
+    let my_node = topo.node_of(pe.rank());
+    let start = my_node * k;
+    let end = (start + k).min(n_pes);
+    Tiers {
+        leaders,
+        my_node,
+        my_node_members: (start..end).collect(),
+        max_node_size: k.min(n_pes),
+    }
+}
+
+/// Binomial-tree stage schedule over an arbitrary member list, rooted at
+/// `members[root_idx]`, with a caller-fixed stage count (so differently
+/// sized groups stay barrier-aligned). Calls `transfer(from, to)` for the
+/// edges this PE drives, top-down.
+fn binomial_push<F: FnMut(usize, usize)>(
+    pe: &Pe,
+    members: &[usize],
+    root_idx: usize,
+    stages: u32,
+    mut transfer: F,
+) {
+    let size = members.len();
+    let my_idx = members.iter().position(|&m| m == pe.rank());
+    for i in (0..stages).rev() {
+        if let Some(idx) = my_idx {
+            let vir = (idx + size - root_idx) % size;
+            // Standard top-down binomial: at stage i the holders are the
+            // virtual ranks ≡ 0 (mod 2^(i+1)); each sends to vir + 2^i.
+            if vir & ((1usize << (i + 1)) - 1) == 0 {
+                let vpart = vir | (1 << i);
+                if vpart < size {
+                    let to = members[(vpart + root_idx) % size];
+                    transfer(pe.rank(), to);
+                }
+            }
+        }
+        pe.barrier();
+    }
+}
+
+/// Mirror of [`binomial_push`]: bottom-up aggregation; calls
+/// `combine(from)` when this PE must pull and fold its partner's data.
+fn binomial_pull<F: FnMut(usize)>(
+    pe: &Pe,
+    members: &[usize],
+    root_idx: usize,
+    stages: u32,
+    mut combine: F,
+) {
+    let size = members.len();
+    let my_idx = members.iter().position(|&m| m == pe.rank());
+    for i in 0..stages {
+        if let Some(idx) = my_idx {
+            let vir = (idx + size - root_idx) % size;
+            let low_clear = vir & ((1usize << i) - 1) == 0;
+            if low_clear && vir & (1 << i) == 0 {
+                let vpart = vir | (1 << i);
+                if vpart < size {
+                    let from = members[(vpart + root_idx) % size];
+                    combine(from);
+                }
+            }
+        }
+        pe.barrier();
+    }
+}
+
+/// Hierarchical broadcast: tier 1 across node leaders, tier 2 within
+/// nodes. Falls back to the flat binomial tree when the fabric has no
+/// topology.
+pub fn broadcast_hier<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    root: usize,
+) {
+    let Some(topo) = pe.topology() else {
+        crate::collectives::broadcast(pe, dest, src, nelems, 1, root);
+        return;
+    };
+    let t = tiers(pe, &topo, root);
+
+    if pe.rank() == root {
+        pe.heap_write_strided(dest.whole(), src, nelems, 1);
+    }
+    if nelems == 0 || pe.n_pes() == 1 {
+        pe.barrier();
+        return;
+    }
+
+    // Tier 1: across leaders (rooted at the root's node's leader = root).
+    let root_leader_idx = t
+        .leaders
+        .iter()
+        .position(|&l| l == root)
+        .expect("root's node has the root as leader");
+    let stages1 = ceil_log2(t.leaders.len().max(1));
+    let leaders = t.leaders.clone();
+    binomial_push(pe, &leaders, root_leader_idx, stages1, |_, to| {
+        pe.put_symm(dest.whole(), dest.whole(), nelems, 1, to);
+    });
+
+    // Tier 2: each leader fans out inside its node simultaneously.
+    let my_leader = t.leaders[t.my_node];
+    let leader_idx = t
+        .my_node_members
+        .iter()
+        .position(|&m| m == my_leader)
+        .expect("leader is a member of its own node");
+    let stages2 = ceil_log2(t.max_node_size.max(1));
+    let members = t.my_node_members.clone();
+    binomial_push(pe, &members, leader_idx, stages2, |_, to| {
+        pe.put_symm(dest.whole(), dest.whole(), nelems, 1, to);
+    });
+}
+
+/// Hierarchical reduction with an arbitrary combiner: tier 1 within nodes
+/// (cheap links), tier 2 across leaders to the root. `src` must be
+/// symmetric; `dest` receives the result on the root only.
+pub fn reduce_hier<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    root: usize,
+    f: impl Fn(T, T) -> T + Copy,
+) {
+    let Some(topo) = pe.topology() else {
+        crate::collectives::reduce_with(pe, dest, src, nelems, 1, root, f);
+        return;
+    };
+    let t = tiers(pe, &topo, root);
+
+    let work = pe.shared_malloc::<T>(nelems.max(1));
+    if nelems > 0 {
+        pe.get_symm(work.whole(), src.whole(), nelems, 1, pe.rank());
+    }
+    pe.barrier();
+
+    let mut incoming = vec![T::default(); nelems.max(1)];
+    let mut fold_from = |pe: &Pe, from: usize| {
+        pe.get(&mut incoming, work.whole(), nelems, 1, from);
+        let mut mine = pe.heap_read_vec::<T>(work.whole(), nelems.max(1));
+        for j in 0..nelems {
+            mine[j] = f(mine[j], incoming[j]);
+        }
+        pe.charge(pe.timing().cost.alu_cycles * nelems as u64);
+        pe.heap_write(work.whole(), &mine);
+    };
+
+    // Tier 1: aggregate within each node toward its leader.
+    let my_leader = t.leaders[t.my_node];
+    let leader_idx = t
+        .my_node_members
+        .iter()
+        .position(|&m| m == my_leader)
+        .expect("leader is a member of its own node");
+    let stages1 = ceil_log2(t.max_node_size.max(1));
+    let members = t.my_node_members.clone();
+    binomial_pull(pe, &members, leader_idx, stages1, |from| {
+        fold_from(pe, from);
+    });
+
+    // Tier 2: aggregate leaders toward the root.
+    let root_leader_idx = t
+        .leaders
+        .iter()
+        .position(|&l| l == root)
+        .expect("root's node has the root as leader");
+    let stages2 = ceil_log2(t.leaders.len().max(1));
+    let leaders = t.leaders.clone();
+    binomial_pull(pe, &leaders, root_leader_idx, stages2, |from| {
+        fold_from(pe, from);
+    });
+
+    if pe.rank() == root && nelems > 0 {
+        pe.heap_read_strided(work.whole(), &mut dest[..nelems], nelems, 1);
+    }
+    pe.barrier();
+    pe.shared_free(work);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig};
+
+    fn topo_cfg(n_pes: usize, pes_per_node: usize) -> FabricConfig {
+        FabricConfig::paper(n_pes).with_topology(Topology {
+            pes_per_node,
+            intra_node_factor: 0.25,
+        })
+    }
+
+    #[test]
+    fn hier_broadcast_delivers_everywhere() {
+        for (n, k, root) in [(8, 4, 0), (8, 4, 5), (6, 4, 3), (8, 2, 7), (7, 3, 2), (5, 2, 4)] {
+            let report = Fabric::run(topo_cfg(n, k), move |pe| {
+                let dest = pe.shared_malloc::<u64>(4);
+                broadcast_hier(pe, &dest, &[9, 8, 7, 6], 4, root);
+                pe.barrier();
+                pe.heap_read_vec::<u64>(dest.whole(), 4)
+            });
+            for (rank, got) in report.results.iter().enumerate() {
+                assert_eq!(got, &vec![9, 8, 7, 6], "n={n} k={k} root={root} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn hier_reduce_matches_flat() {
+        for (n, k, root) in [(8, 4, 0), (8, 4, 6), (6, 3, 1), (7, 3, 5)] {
+            let report = Fabric::run(topo_cfg(n, k), move |pe| {
+                let src = pe.shared_malloc::<u64>(3);
+                pe.heap_write(src.whole(), &[pe.rank() as u64, 1, 2 * pe.rank() as u64]);
+                pe.barrier();
+                let mut hier = [0u64; 3];
+                reduce_hier(pe, &mut hier, &src, 3, root, |a, b| a + b);
+                let mut flat = [0u64; 3];
+                crate::collectives::reduce_with(pe, &mut flat, &src, 3, 1, root, |a: u64, b| {
+                    a + b
+                });
+                pe.barrier();
+                (hier, flat)
+            });
+            let (hier, flat) = report.results[root];
+            assert_eq!(hier, flat, "n={n} k={k} root={root}");
+            let n64 = n as u64;
+            assert_eq!(hier[1], n64);
+        }
+    }
+
+    #[test]
+    fn hier_without_topology_falls_back_to_flat() {
+        let report = Fabric::run(FabricConfig::new(4), |pe| {
+            let dest = pe.shared_malloc::<u64>(1);
+            broadcast_hier(pe, &dest, &[42], 1, 2);
+            pe.barrier();
+            pe.heap_load(dest.whole())
+        });
+        assert_eq!(report.results, vec![42, 42, 42, 42]);
+    }
+
+    #[test]
+    fn hier_broadcast_crosses_fewer_inter_node_links() {
+        // Note: for power-of-two node sizes the flat binomial tree with
+        // recursive halving is *already* topology-friendly — exactly the
+        // paper's §4.3 assumption that "PE ranks are likely to be assigned
+        // sequentially within a given node". The hierarchy pays off when
+        // node boundaries don't align with the tree's power-of-two splits:
+        // 12 PEs in 4 nodes of 3, where the flat tree crosses the
+        // inter-node fabric six times vs the hierarchy's three.
+        let msg = 8192usize;
+        let run = |hier: bool| {
+            let report = Fabric::run(
+                topo_cfg(12, 3).with_shared_bytes(msg * 8 + (1 << 20)),
+                move |pe| {
+                    let dest = pe.shared_malloc::<u64>(msg);
+                    let src = vec![5u64; msg];
+                    pe.barrier();
+                    let t0 = pe.cycles();
+                    if hier {
+                        broadcast_hier(pe, &dest, &src, msg, 0);
+                    } else {
+                        crate::collectives::broadcast(pe, &dest, &src, msg, 1, 0);
+                    }
+                    pe.barrier();
+                    pe.cycles() - t0
+                },
+            );
+            report.results.iter().copied().max().unwrap()
+        };
+        let hier = run(true);
+        let flat = run(false);
+        assert!(
+            hier < flat,
+            "hierarchical {hier} should beat flat {flat} on a 2-node topology"
+        );
+    }
+
+    #[test]
+    fn single_node_topology_works() {
+        let report = Fabric::run(topo_cfg(4, 8), |pe| {
+            let dest = pe.shared_malloc::<u64>(1);
+            broadcast_hier(pe, &dest, &[3], 1, 1);
+            pe.barrier();
+            pe.heap_load(dest.whole())
+        });
+        assert_eq!(report.results, vec![3, 3, 3, 3]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Collective communication operations (paper §4).
+//!
+//! The initial xBGAS collective library is built around the binomial tree
+//! with recursive halving/doubling (paper §4.2): broadcast, reduction,
+//! scatter and gather — "the collective operations most often utilized",
+//! combinable "to accomplish the semantics of several more complex
+//! operations". [`baseline`] provides linear and ring comparators, and
+//! [`extended`] the §7 future-work operations (reduce-to-all, all-gather,
+//! all-to-all, teams).
+
+pub mod baseline;
+pub mod broadcast;
+pub mod extended;
+pub mod gather;
+pub mod hierarchical;
+pub mod reduce;
+pub mod scatter;
+pub mod vrank;
+
+pub use baseline::{
+    broadcast_linear, broadcast_ring, gather_linear, reduce_linear, scatter_linear,
+};
+pub use broadcast::broadcast;
+pub use extended::{all_gather, all_to_all, reduce_all, reduce_all_with, AllReduceAlgo, Team};
+pub use gather::gather;
+pub use hierarchical::{broadcast_hier, reduce_hier};
+pub use reduce::{reduce, reduce_bitwise, reduce_with};
+pub use scatter::scatter;
+pub use vrank::{logical_rank, rank_table, virtual_rank};

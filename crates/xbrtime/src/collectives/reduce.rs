@@ -1,0 +1,274 @@
+//! Reduction — paper Algorithm 2.
+//!
+//! All-to-root combination over the same binomial tree as broadcast, with
+//! the data flow reversed: the loop index *ascends*, the mask isolates
+//! virtual-rank bits right-to-left, and each surviving PE `get`s its
+//! partner's partial result and folds it into its own shared buffer
+//! (recursive doubling). The paper notes the source must be symmetric —
+//! partners read it one-sidedly — while `dest` matters only on the root and
+//! may be private.
+
+use crate::collectives::vrank::{logical_rank, virtual_rank};
+use crate::fabric::{ceil_log2, Pe, SymmAlloc};
+use crate::types::{ReduceOp, XbrBitwise, XbrNumeric, XbrType};
+
+/// Reduce with an arbitrary combining function.
+///
+/// `src` is each PE's symmetric contribution (strided); on return, `root`'s
+/// `dest` slice holds the elementwise combination across all PEs at
+/// positions `0, stride, 2·stride, …`. Other PEs' `dest` is untouched.
+/// `f` must be associative and commutative for a deterministic result.
+///
+/// # Panics
+/// Panics on span violations or `root ≥ n_pes`.
+pub fn reduce_with<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    f: impl Fn(T, T) -> T,
+) {
+    let n_pes = pe.n_pes();
+    let log_rank = pe.rank();
+    let vir_rank = virtual_rank(log_rank, root, n_pes);
+    let span = if nelems == 0 { 0 } else { (nelems - 1) * stride + 1 };
+
+    // Working buffers: a symmetric staging buffer (read by partners) and a
+    // private landing buffer, "employed in order to prevent any unintended
+    // overwriting of values on any PE" (paper §4.4).
+    let s_buff = pe.shared_malloc::<T>(span.max(1));
+    let mut l_buff = vec![T::default(); span.max(1)];
+
+    // Load this PE's contribution into its shared staging buffer.
+    if nelems > 0 {
+        pe.get_symm(s_buff.whole(), src.whole(), nelems, stride, log_rank);
+    }
+    pe.barrier();
+
+    if n_pes > 1 && nelems > 0 {
+        let stages = ceil_log2(n_pes);
+        let mut mask = (1usize << stages) - 1;
+        for i in 0..stages {
+            mask ^= 1 << i;
+            if vir_rank | mask == mask && vir_rank & (1 << i) == 0 {
+                let vir_part = (vir_rank ^ (1 << i)) % n_pes;
+                let log_part = logical_rank(vir_part, root, n_pes);
+                if vir_rank < vir_part {
+                    pe.get(&mut l_buff, s_buff.whole(), nelems, stride, log_part);
+                    let mut mine = pe.heap_read_vec::<T>(s_buff.whole(), span);
+                    for j in 0..nelems {
+                        mine[j * stride] = f(mine[j * stride], l_buff[j * stride]);
+                    }
+                    // Combine ALU work is part of the algorithm's cost.
+                    pe.charge(pe.timing().cost.alu_cycles * nelems as u64);
+                    pe.heap_write(s_buff.whole(), &mine);
+                }
+            }
+            pe.barrier();
+        }
+    }
+
+    if vir_rank == 0 && nelems > 0 {
+        pe.heap_read_strided(s_buff.whole(), dest, nelems, stride);
+    }
+    pe.barrier();
+    pe.shared_free(s_buff);
+}
+
+/// Reduce with a named arithmetic operator (`sum`, `prod`, `min`, `max`) —
+/// valid for every Table 1 type.
+///
+/// # Panics
+/// Panics if `op` is a bitwise operator (those require [`XbrBitwise`] —
+/// use [`reduce_bitwise`]).
+///
+/// ```
+/// use xbrtime::{collectives, Fabric, FabricConfig, ReduceOp};
+/// let report = Fabric::run(FabricConfig::new(4), |pe| {
+///     let src = pe.shared_malloc::<u64>(1);
+///     pe.heap_store(src.whole(), pe.rank() as u64 + 1);
+///     pe.barrier();
+///     let mut out = [0u64];
+///     collectives::reduce(pe, &mut out, &src, 1, 1, 0, ReduceOp::Prod);
+///     pe.barrier();
+///     out[0]
+/// });
+/// assert_eq!(report.results[0], 24); // 1*2*3*4 on the root
+/// ```
+pub fn reduce<T: XbrNumeric>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    op: ReduceOp,
+) {
+    let f = op.combiner::<T>().unwrap_or_else(|| {
+        panic!("reduction operator {op:?} requires a non-floating-point type")
+    });
+    reduce_with(pe, dest, src, nelems, stride, root, f);
+}
+
+/// Reduce with any operator, including bitwise, for non-floating-point types.
+pub fn reduce_bitwise<T: XbrBitwise>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    op: ReduceOp,
+) {
+    reduce_with(pe, dest, src, nelems, stride, root, op.combiner_bitwise::<T>());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig};
+
+    fn check_sum(n_pes: usize, root: usize, nelems: usize, stride: usize) {
+        let report = Fabric::run(FabricConfig::new(n_pes), |pe| {
+            let span = if nelems == 0 { 1 } else { (nelems - 1) * stride + 1 };
+            let src = pe.shared_malloc::<u64>(span);
+            let contrib: Vec<u64> = (0..span as u64)
+                .map(|j| (pe.rank() as u64 + 1) * 1000 + j)
+                .collect();
+            pe.heap_write(src.whole(), &contrib);
+            pe.barrier();
+            let mut dest = vec![0u64; span];
+            reduce(pe, &mut dest, &src, nelems, stride, root, ReduceOp::Sum);
+            pe.barrier();
+            dest
+        });
+        let n = n_pes as u64;
+        for (rank, got) in report.results.iter().enumerate() {
+            if rank == root {
+                for j in 0..nelems {
+                    let idx = (j * stride) as u64;
+                    let expect: u64 = (1..=n).map(|r| r * 1000 + idx).sum();
+                    assert_eq!(
+                        got[j * stride], expect,
+                        "n={n_pes} root={root} rank={rank} elem={j}"
+                    );
+                }
+            } else {
+                assert!(
+                    got.iter().all(|&v| v == 0),
+                    "non-root rank {rank} dest must be untouched"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_pe_counts_and_roots() {
+        for n in 1..=9 {
+            for root in 0..n {
+                check_sum(n, root, 4, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_reduction() {
+        check_sum(5, 3, 3, 2);
+        check_sum(8, 0, 2, 4);
+    }
+
+    #[test]
+    fn larger_counts() {
+        check_sum(16, 9, 33, 1);
+    }
+
+    #[test]
+    fn all_operators_two_pes() {
+        let report = Fabric::run(FabricConfig::new(2), |pe| {
+            let src = pe.shared_malloc::<u32>(1);
+            let v: u32 = if pe.rank() == 0 { 0b1100 } else { 0b1010 };
+            pe.heap_store(src.whole(), v);
+            pe.barrier();
+            let mut out = Vec::new();
+            for op in [
+                ReduceOp::Sum,
+                ReduceOp::Prod,
+                ReduceOp::Min,
+                ReduceOp::Max,
+                ReduceOp::And,
+                ReduceOp::Or,
+                ReduceOp::Xor,
+            ] {
+                let mut d = [0u32];
+                reduce_bitwise(pe, &mut d, &src, 1, 1, 0, op);
+                out.push(d[0]);
+            }
+            pe.barrier();
+            out
+        });
+        let got = &report.results[0];
+        assert_eq!(got[0], 0b1100 + 0b1010); // sum
+        assert_eq!(got[1], 0b1100 * 0b1010); // prod
+        assert_eq!(got[2], 0b1010); // min
+        assert_eq!(got[3], 0b1100); // max
+        assert_eq!(got[4], 0b1000); // and
+        assert_eq!(got[5], 0b1110); // or
+        assert_eq!(got[6], 0b0110); // xor
+    }
+
+    #[test]
+    fn float_reduction() {
+        let report = Fabric::run(FabricConfig::new(4), |pe| {
+            let src = pe.shared_malloc::<f64>(2);
+            pe.heap_write(src.whole(), &[pe.rank() as f64 + 0.5, -(pe.rank() as f64)]);
+            pe.barrier();
+            let mut d = [0.0f64; 2];
+            reduce(pe, &mut d, &src, 2, 1, 2, ReduceOp::Max);
+            pe.barrier();
+            d
+        });
+        assert_eq!(report.results[2], [3.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-floating-point")]
+    fn bitwise_on_float_rejected() {
+        Fabric::run(FabricConfig::new(1), |pe| {
+            let src = pe.shared_malloc::<f32>(1);
+            let mut d = [0.0f32];
+            reduce(pe, &mut d, &src, 1, 1, 0, ReduceOp::Xor);
+        });
+    }
+
+    #[test]
+    fn source_is_not_clobbered() {
+        // The staging buffer exists precisely so src survives (paper §4.4).
+        let report = Fabric::run(FabricConfig::new(4), |pe| {
+            let src = pe.shared_malloc::<i64>(3);
+            let mine = [pe.rank() as i64; 3];
+            pe.heap_write(src.whole(), &mine);
+            pe.barrier();
+            let mut d = [0i64; 3];
+            reduce(pe, &mut d, &src, 3, 1, 0, ReduceOp::Sum);
+            pe.barrier();
+            pe.heap_read_vec(src.whole(), 3)
+        });
+        for (rank, after) in report.results.iter().enumerate() {
+            assert_eq!(after, &vec![rank as i64; 3]);
+        }
+    }
+
+    #[test]
+    fn single_pe_copies_through() {
+        let report = Fabric::run(FabricConfig::new(1), |pe| {
+            let src = pe.shared_malloc::<i32>(4);
+            pe.heap_write(src.whole(), &[1, 2, 3, 4]);
+            let mut d = [0i32; 4];
+            reduce(pe, &mut d, &src, 4, 1, 0, ReduceOp::Prod);
+            d
+        });
+        assert_eq!(report.results[0], [1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Virtual rank rotation (paper §4.3, Table 2).
+//!
+//! Every binomial-tree collective first maps *logical* ranks onto *virtual*
+//! ranks so that the root of the call always owns virtual rank 0:
+//!
+//! > "These virtual ranks are assigned such that the root PE always receives
+//! > vir_rank 0. Consecutive virtual ranks are then allocated in sequence to
+//! > each PE based on its logical rank relative to the root."
+//!
+//! With 7 PEs and root 4, the paper's Table 2 mapping is reproduced by
+//! [`virtual_rank`] and verified in this module's tests and the
+//! `table2_ranks` harness binary.
+
+/// Map a logical rank to its virtual rank for a collective rooted at `root`.
+///
+/// # Panics
+/// Panics if `log_rank` or `root` is not below `n_pes`.
+#[inline]
+pub fn virtual_rank(log_rank: usize, root: usize, n_pes: usize) -> usize {
+    assert!(log_rank < n_pes, "logical rank {log_rank} out of range");
+    assert!(root < n_pes, "root {root} out of range");
+    if log_rank >= root {
+        log_rank - root
+    } else {
+        log_rank + n_pes - root
+    }
+}
+
+/// Inverse mapping: the logical rank owning a given virtual rank.
+///
+/// # Panics
+/// Panics if `vir_rank` or `root` is not below `n_pes`.
+#[inline]
+pub fn logical_rank(vir_rank: usize, root: usize, n_pes: usize) -> usize {
+    assert!(vir_rank < n_pes, "virtual rank {vir_rank} out of range");
+    assert!(root < n_pes, "root {root} out of range");
+    (vir_rank + root) % n_pes
+}
+
+/// The full logical → virtual table for a given root, in logical-rank order
+/// (the layout of paper Table 2).
+pub fn rank_table(root: usize, n_pes: usize) -> Vec<usize> {
+    (0..n_pes).map(|l| virtual_rank(l, root, n_pes)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_is_reproduced_exactly() {
+        // Paper Table 2: 7 PEs, root = 4.
+        assert_eq!(rank_table(4, 7), vec![3, 4, 5, 6, 0, 1, 2]);
+    }
+
+    #[test]
+    fn root_gets_virtual_zero() {
+        for n in 1..=16 {
+            for root in 0..n {
+                assert_eq!(virtual_rank(root, root, n), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_is_a_bijection() {
+        for n in 1..=16 {
+            for root in 0..n {
+                let mut seen = vec![false; n];
+                for l in 0..n {
+                    let v = virtual_rank(l, root, n);
+                    assert!(v < n);
+                    assert!(!seen[v], "virtual rank {v} assigned twice");
+                    seen[v] = true;
+                    assert_eq!(logical_rank(v, root, n), l, "inverse mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_root_is_identity() {
+        assert_eq!(rank_table(0, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_bounds_checked() {
+        let _ = virtual_rank(7, 0, 7);
+    }
+}

@@ -1,0 +1,352 @@
+//! The symmetric shared heap.
+//!
+//! Paper §3.3: *"This implementation provides both shared and private memory
+//! segments within each processing element. Calls that allocate memory
+//! within the shared address space are executed by each processing element.
+//! These allocations share … the same offset from the beginning of the
+//! shared segment. In this manner, the shared-data segment of each
+//! processing element is kept fully symmetric with that of its peers."*
+//!
+//! [`HeapData`] is the raw storage for one PE's shared segment; it is
+//! accessed from other PEs' threads by one-sided transfers, exactly like the
+//! memory behind a PGAS NIC. [`FreeList`] is the allocator: every PE calls
+//! the allocation routines collectively and in the same order, so the
+//! per-PE allocators assign identical offsets — symmetry by construction
+//! (verified by tests and a runtime signature check in the fabric).
+
+use std::fmt;
+
+/// Raw storage for one PE's shared segment.
+///
+/// # Safety contract
+///
+/// Cross-PE accesses are raw-pointer copies with **no** per-access
+/// synchronisation, mirroring real one-sided RDMA/xBGAS semantics. Data
+/// races are prevented at the *algorithm* level: the collectives in this
+/// crate separate conflicting accesses with barriers (the paper places a
+/// barrier at the end of every tree stage), and the put/get primitives
+/// require the caller to uphold the same discipline. Heap bytes are plain
+/// old data (`T: XbrType` is `Copy + 'static`), so torn reads from misuse
+/// can produce stale or mixed *values*, never memory unsafety beyond the
+/// data race itself — which the API documents as the caller's obligation,
+/// the same obligation every PGAS runtime imposes.
+pub struct HeapData {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the heap is a raw byte arena. Concurrent access discipline is the
+// documented contract above; the type itself carries no thread affinity.
+unsafe impl Send for HeapData {}
+unsafe impl Sync for HeapData {}
+
+impl HeapData {
+    /// Allocate a zeroed arena of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        let boxed: Box<[u8]> = vec![0u8; len].into_boxed_slice();
+        let ptr = Box::into_raw(boxed) as *mut u8;
+        HeapData { ptr, len }
+    }
+
+    /// Size of the arena in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the arena has zero capacity.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw base pointer (for the fabric's transfer engine).
+    #[inline]
+    pub(crate) fn base(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Copy `n` bytes out of the arena at `off` into `dst`.
+    ///
+    /// # Safety
+    /// `dst` must be valid for `n` bytes; the caller must uphold the
+    /// race-freedom discipline documented on [`HeapData`].
+    ///
+    /// # Panics
+    /// Panics if `off + n` exceeds the arena.
+    pub(crate) unsafe fn read_into(&self, off: usize, dst: *mut u8, n: usize) {
+        assert!(
+            off.checked_add(n).is_some_and(|end| end <= self.len),
+            "heap read [{off}, {off}+{n}) out of bounds (len {})",
+            self.len
+        );
+        std::ptr::copy_nonoverlapping(self.ptr.add(off), dst, n);
+    }
+
+    /// Copy `n` bytes from `src` into the arena at `off`.
+    ///
+    /// # Safety
+    /// `src` must be valid for `n` bytes; the caller must uphold the
+    /// race-freedom discipline documented on [`HeapData`].
+    ///
+    /// # Panics
+    /// Panics if `off + n` exceeds the arena.
+    pub(crate) unsafe fn write_from(&self, off: usize, src: *const u8, n: usize) {
+        assert!(
+            off.checked_add(n).is_some_and(|end| end <= self.len),
+            "heap write [{off}, {off}+{n}) out of bounds (len {})",
+            self.len
+        );
+        std::ptr::copy_nonoverlapping(src, self.ptr.add(off), n);
+    }
+}
+
+impl Drop for HeapData {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len came from Box::into_raw of a Box<[u8]> of `len`.
+        unsafe {
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                self.ptr, self.len,
+            )));
+        }
+    }
+}
+
+impl fmt::Debug for HeapData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HeapData({} bytes)", self.len)
+    }
+}
+
+/// Error returned when a symmetric allocation cannot be satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocError {
+    /// Bytes requested (after alignment).
+    pub requested: usize,
+    /// Largest contiguous free block available.
+    pub largest_free: usize,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "symmetric heap exhausted: requested {} bytes, largest free block {}",
+            self.requested, self.largest_free
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// First-fit free-list allocator over a byte arena.
+///
+/// Deterministic: identical call sequences produce identical offsets, which
+/// is what keeps the per-PE shared segments symmetric.
+#[derive(Clone, Debug)]
+pub struct FreeList {
+    /// Sorted, coalesced list of `(offset, size)` free blocks.
+    free: Vec<(usize, usize)>,
+    capacity: usize,
+    /// Bytes currently allocated.
+    in_use: usize,
+}
+
+/// All allocations are aligned to this many bytes (covers every `XbrType`,
+/// including 16-byte-conservative `long double` substitutes).
+pub const HEAP_ALIGN: usize = 16;
+
+impl FreeList {
+    /// A free list covering `[0, capacity)`.
+    pub fn new(capacity: usize) -> Self {
+        FreeList {
+            free: if capacity > 0 {
+                vec![(0, capacity)]
+            } else {
+                Vec::new()
+            },
+            capacity,
+            in_use: 0,
+        }
+    }
+
+    /// Total arena capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Largest currently-free contiguous block.
+    pub fn largest_free(&self) -> usize {
+        self.free.iter().map(|&(_, s)| s).max().unwrap_or(0)
+    }
+
+    fn round(n: usize) -> usize {
+        n.div_ceil(HEAP_ALIGN) * HEAP_ALIGN
+    }
+
+    /// Allocate `bytes` (rounded up to [`HEAP_ALIGN`]); returns the offset.
+    pub fn alloc(&mut self, bytes: usize) -> Result<usize, AllocError> {
+        let need = Self::round(bytes.max(1));
+        for i in 0..self.free.len() {
+            let (off, size) = self.free[i];
+            if size >= need {
+                if size == need {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (off + need, size - need);
+                }
+                self.in_use += need;
+                return Ok(off);
+            }
+        }
+        Err(AllocError {
+            requested: need,
+            largest_free: self.largest_free(),
+        })
+    }
+
+    /// Return a block previously handed out by [`FreeList::alloc`] with the
+    /// same `bytes` argument.
+    ///
+    /// # Panics
+    /// Panics on frees that overlap a free block or exceed the arena —
+    /// symptoms of a double free or a corrupted handle.
+    pub fn free(&mut self, off: usize, bytes: usize) {
+        let size = Self::round(bytes.max(1));
+        assert!(
+            off + size <= self.capacity,
+            "free of [{off}, {off}+{size}) exceeds arena"
+        );
+        // Find insertion point to keep the list sorted.
+        let idx = self.free.partition_point(|&(o, _)| o < off);
+        if let Some(&(next_off, _)) = self.free.get(idx) {
+            assert!(
+                off + size <= next_off,
+                "double free / overlap with free block at {next_off}"
+            );
+        }
+        if idx > 0 {
+            let (prev_off, prev_size) = self.free[idx - 1];
+            assert!(
+                prev_off + prev_size <= off,
+                "double free / overlap with free block at {prev_off}"
+            );
+        }
+        self.free.insert(idx, (off, size));
+        self.in_use -= size;
+        self.coalesce(idx);
+    }
+
+    fn coalesce(&mut self, idx: usize) {
+        // Merge with successor first, then predecessor.
+        if idx + 1 < self.free.len() {
+            let (off, size) = self.free[idx];
+            let (noff, nsize) = self.free[idx + 1];
+            if off + size == noff {
+                self.free[idx] = (off, size + nsize);
+                self.free.remove(idx + 1);
+            }
+        }
+        if idx > 0 {
+            let (poff, psize) = self.free[idx - 1];
+            let (off, size) = self.free[idx];
+            if poff + psize == off {
+                self.free[idx - 1] = (poff, psize + size);
+                self.free.remove(idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_data_copy_roundtrip() {
+        let h = HeapData::new(64);
+        let src = [1u8, 2, 3, 4];
+        let mut dst = [0u8; 4];
+        unsafe {
+            h.write_from(8, src.as_ptr(), 4);
+            h.read_into(8, dst.as_mut_ptr(), 4);
+        }
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn heap_data_bounds_checked() {
+        let h = HeapData::new(16);
+        let src = [0u8; 8];
+        unsafe { h.write_from(12, src.as_ptr(), 8) };
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_deterministic() {
+        let mut a = FreeList::new(1024);
+        let mut b = FreeList::new(1024);
+        for sz in [1, 17, 32, 100] {
+            let oa = a.alloc(sz).unwrap();
+            let ob = b.alloc(sz).unwrap();
+            assert_eq!(oa, ob, "same call sequence must yield same offsets");
+            assert_eq!(oa % HEAP_ALIGN, 0);
+        }
+    }
+
+    #[test]
+    fn free_coalesces() {
+        let mut a = FreeList::new(256);
+        let x = a.alloc(64).unwrap();
+        let y = a.alloc(64).unwrap();
+        let z = a.alloc(64).unwrap();
+        assert_eq!(a.in_use(), 192);
+        a.free(x, 64);
+        a.free(z, 64);
+        assert_eq!(a.largest_free(), 64 + 64); // z + tail coalesced
+        a.free(y, 64);
+        assert_eq!(a.largest_free(), 256); // fully coalesced
+        assert_eq!(a.in_use(), 0);
+    }
+
+    #[test]
+    fn exhaustion_reports_largest_block() {
+        let mut a = FreeList::new(128);
+        let _ = a.alloc(64).unwrap();
+        let e = a.alloc(128).unwrap_err();
+        assert_eq!(e.requested, 128);
+        assert_eq!(e.largest_free, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_detected() {
+        let mut a = FreeList::new(128);
+        let x = a.alloc(32).unwrap();
+        a.free(x, 32);
+        a.free(x, 32);
+    }
+
+    #[test]
+    fn first_fit_reuses_freed_block() {
+        let mut a = FreeList::new(256);
+        let x = a.alloc(64).unwrap();
+        let _y = a.alloc(64).unwrap();
+        a.free(x, 64);
+        let z = a.alloc(32).unwrap();
+        assert_eq!(z, x, "first-fit should reuse the freed hole");
+    }
+
+    #[test]
+    fn zero_sized_alloc_takes_one_unit() {
+        let mut a = FreeList::new(64);
+        let x = a.alloc(0).unwrap();
+        let y = a.alloc(0).unwrap();
+        assert_ne!(x, y);
+    }
+}

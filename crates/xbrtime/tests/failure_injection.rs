@@ -1,0 +1,113 @@
+//! Failure-injection tests: the runtime must fail *loudly* — a panicking
+//! PE must not leave its peers spinning forever in a barrier, and every
+//! misuse class must surface as a panic with a diagnosable message.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use xbrtime::{Fabric, FabricConfig};
+
+#[test]
+fn panicking_pe_releases_peers_waiting_at_barrier() {
+    // PE 1 panics before its barrier; PEs 0 and 2 are already waiting.
+    // Without poison propagation this would deadlock the test suite; with
+    // it, Fabric::run panics promptly.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Fabric::run(FabricConfig::new(3), |pe| {
+            if pe.rank() == 1 {
+                // Give peers time to reach the barrier first.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("injected failure on PE 1");
+            }
+            pe.barrier();
+        })
+    }));
+    assert!(result.is_err(), "the injected panic must propagate");
+}
+
+#[test]
+fn panic_message_is_preserved_or_poison_reported() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Fabric::run(FabricConfig::new(2), |pe| {
+            if pe.rank() == 0 {
+                panic!("synthetic fault 0xDEAD");
+            }
+            pe.barrier();
+        })
+    }));
+    let err = result.unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("synthetic fault") || msg.contains("peer PE panicked"),
+        "unhelpful panic payload: {msg:?}"
+    );
+}
+
+#[test]
+fn oversized_transfer_panics_with_span_diagnostics() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Fabric::run(FabricConfig::new(1), |pe| {
+            let buf = pe.shared_malloc::<u64>(4);
+            let src = [0u64; 16];
+            pe.put(buf.whole(), &src, 16, 1, 0);
+        })
+    }));
+    let err = result.unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("transfer of 16 elements") || msg.contains("peer PE panicked"),
+        "message should explain the span violation: {msg:?}"
+    );
+}
+
+#[test]
+fn rank_out_of_range_is_caught_by_heap_indexing() {
+    // Targeting a nonexistent PE must panic (index bounds), not corrupt.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Fabric::run(FabricConfig::new(2), |pe| {
+            let buf = pe.shared_malloc::<u64>(1);
+            pe.barrier();
+            if pe.rank() == 0 {
+                pe.put(buf.whole(), &[1], 1, 1, 7); // no PE 7
+            }
+            pe.barrier();
+        })
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn collective_argument_validation_is_collective_safe() {
+    // A validation failure raised on *every* PE (same bad arguments
+    // everywhere, as SPMD misuse always is) must not deadlock.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Fabric::run(FabricConfig::new(4), |pe| {
+            let mut d = [0u32; 1];
+            // pe_msgs sums to 2 but nelems says 5 — every PE panics in
+            // validation before any communication.
+            xbrtime::collectives::scatter(pe, &mut d, &[], &[1, 1, 0, 0], &[0, 1, 2, 2], 5, 0);
+        })
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn exhausted_heap_names_the_pe_and_sizes() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Fabric::run(FabricConfig::new(1).with_shared_bytes(1024), |pe| {
+            let _a = pe.shared_malloc::<u64>(4096); // 32 KiB into 1 KiB
+        })
+    }));
+    let err = result.unwrap_err();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("symmetric heap exhausted"),
+        "expected exhaustion diagnostics, got: {msg:?}"
+    );
+    assert!(msg.contains("PE 0"), "should name the PE: {msg:?}");
+}

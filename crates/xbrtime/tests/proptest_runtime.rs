@@ -1,0 +1,292 @@
+//! Property-based tests for the runtime's core invariants:
+//! the symmetric allocator (model-based), transfer round-trips under
+//! arbitrary strides, and collective correctness over arbitrary
+//! (n_pes, root, payload) configurations.
+
+use proptest::prelude::*;
+use xbrtime::collectives;
+use xbrtime::heap::{FreeList, HEAP_ALIGN};
+use xbrtime::{Fabric, FabricConfig, ReduceOp};
+
+// ---------------------------------------------------------------------
+// Allocator: model-based testing against a set of live intervals.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(usize),
+    /// Free the i-th live allocation (index modulo the live count).
+    Free(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1usize..512).prop_map(AllocOp::Alloc),
+            (0usize..16).prop_map(AllocOp::Free),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    /// Allocations never overlap, are aligned, and in_use bookkeeping is
+    /// exact; after freeing everything the arena is fully coalesced.
+    #[test]
+    fn freelist_never_overlaps_and_coalesces(ops in arb_ops()) {
+        const CAP: usize = 8192;
+        let mut fl = FreeList::new(CAP);
+        let mut live: Vec<(usize, usize)> = Vec::new(); // (offset, rounded size)
+        let round = |n: usize| n.max(1).div_ceil(HEAP_ALIGN) * HEAP_ALIGN;
+
+        for op in ops {
+            match op {
+                AllocOp::Alloc(sz) => {
+                    if let Ok(off) = fl.alloc(sz) {
+                        let rsz = round(sz);
+                        prop_assert_eq!(off % HEAP_ALIGN, 0, "alignment");
+                        prop_assert!(off + rsz <= CAP, "within arena");
+                        for &(o, s) in &live {
+                            prop_assert!(
+                                off + rsz <= o || o + s <= off,
+                                "overlap: new [{}, {}) vs live [{}, {})",
+                                off, off + rsz, o, o + s
+                            );
+                        }
+                        live.push((off, rsz));
+                    } else {
+                        // Exhaustion is only legal if in_use + request
+                        // can't fit the largest block.
+                        prop_assert!(fl.largest_free() < round(sz));
+                    }
+                }
+                AllocOp::Free(i) => {
+                    if !live.is_empty() {
+                        let (off, sz) = live.swap_remove(i % live.len());
+                        fl.free(off, sz);
+                    }
+                }
+            }
+            let in_use: usize = live.iter().map(|&(_, s)| s).sum();
+            prop_assert_eq!(fl.in_use(), in_use, "in_use bookkeeping");
+        }
+
+        for (off, sz) in live.drain(..) {
+            fl.free(off, sz);
+        }
+        prop_assert_eq!(fl.in_use(), 0);
+        prop_assert_eq!(fl.largest_free(), CAP, "full coalescing after free-all");
+    }
+
+    /// Deterministic symmetry: two allocators fed the same op sequence
+    /// return identical offsets (the property SHMEM symmetry rests on).
+    #[test]
+    fn freelist_is_deterministic(ops in arb_ops()) {
+        let mut a = FreeList::new(4096);
+        let mut b = FreeList::new(4096);
+        let mut live_a = Vec::new();
+        let mut live_b = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(sz) => {
+                    let ra = a.alloc(sz);
+                    let rb = b.alloc(sz);
+                    prop_assert_eq!(&ra, &rb);
+                    if let Ok(off) = ra {
+                        live_a.push((off, sz));
+                        live_b.push((off, sz));
+                    }
+                }
+                AllocOp::Free(i) => {
+                    if !live_a.is_empty() {
+                        let ia = i % live_a.len();
+                        let (off, sz) = live_a.swap_remove(ia);
+                        a.free(off, sz);
+                        let (off_b, sz_b) = live_b.swap_remove(ia);
+                        b.free(off_b, sz_b);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transfers: put∘get round-trips under arbitrary strides.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn put_then_get_roundtrips(
+        nelems in 0usize..40,
+        stride in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let span = if nelems == 0 { 1 } else { (nelems - 1) * stride + 1 };
+        let payload: Vec<u64> = (0..span as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let p2 = payload.clone();
+        let report = Fabric::run(FabricConfig::new(2), move |pe| {
+            let buf = pe.shared_malloc::<u64>(span);
+            pe.barrier();
+            if pe.rank() == 0 {
+                pe.put(buf.whole(), &p2, nelems, stride, 1);
+            }
+            pe.barrier();
+            let mut back = vec![0u64; span];
+            if pe.rank() == 0 {
+                pe.get(&mut back, buf.whole(), nelems, stride, 1);
+            }
+            pe.barrier();
+            back
+        });
+        for j in 0..nelems {
+            prop_assert_eq!(report.results[0][j * stride], payload[j * stride]);
+        }
+    }
+
+    /// Strided puts must not disturb the gap elements.
+    #[test]
+    fn strided_put_preserves_gaps(nelems in 1usize..16, stride in 2usize..4) {
+        let span = (nelems - 1) * stride + 1;
+        let report = Fabric::run(FabricConfig::new(2), move |pe| {
+            let buf = pe.shared_malloc::<u64>(span);
+            pe.heap_write(buf.whole(), &vec![u64::MAX; span]);
+            pe.barrier();
+            if pe.rank() == 0 {
+                let src = vec![7u64; span];
+                pe.put(buf.whole(), &src, nelems, stride, 1);
+            }
+            pe.barrier();
+            pe.heap_read_vec::<u64>(buf.whole(), span)
+        });
+        let got = &report.results[1];
+        for (i, &v) in got.iter().enumerate() {
+            if i % stride == 0 && i / stride < nelems {
+                prop_assert_eq!(v, 7, "written slot {}", i);
+            } else {
+                prop_assert_eq!(v, u64::MAX, "gap slot {} must be preserved", i);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collectives: arbitrary configurations against sequential oracles.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn broadcast_delivers_everywhere(
+        n_pes in 1usize..9,
+        root_seed in any::<usize>(),
+        nelems in 0usize..24,
+        stride in 1usize..3,
+    ) {
+        let root = root_seed % n_pes;
+        let span = if nelems == 0 { 1 } else { (nelems - 1) * stride + 1 };
+        let payload: Vec<u64> = (0..span as u64).map(|i| i * 31 + 5).collect();
+        let p2 = payload.clone();
+        let report = Fabric::run(FabricConfig::new(n_pes), move |pe| {
+            let dest = pe.shared_malloc::<u64>(span);
+            collectives::broadcast(pe, &dest, &p2, nelems, stride, root);
+            pe.barrier();
+            pe.heap_read_vec::<u64>(dest.whole(), span)
+        });
+        for got in &report.results {
+            for j in 0..nelems {
+                prop_assert_eq!(got[j * stride], payload[j * stride]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches_oracle(
+        n_pes in 1usize..9,
+        root_seed in any::<usize>(),
+        nelems in 1usize..24,
+        contrib_seed in any::<u32>(),
+    ) {
+        let root = root_seed % n_pes;
+        let report = Fabric::run(FabricConfig::new(n_pes), move |pe| {
+            let src = pe.shared_malloc::<u64>(nelems);
+            let mine: Vec<u64> = (0..nelems as u64)
+                .map(|j| (pe.rank() as u64 + 1).wrapping_mul(contrib_seed as u64 + j))
+                .collect();
+            pe.heap_write(src.whole(), &mine);
+            pe.barrier();
+            let mut d = vec![0u64; nelems];
+            collectives::reduce(pe, &mut d, &src, nelems, 1, root, ReduceOp::Sum);
+            pe.barrier();
+            d
+        });
+        for j in 0..nelems {
+            let expect: u64 = (0..n_pes as u64)
+                .map(|r| (r + 1).wrapping_mul(contrib_seed as u64 + j as u64))
+                .fold(0u64, u64::wrapping_add);
+            prop_assert_eq!(report.results[root][j], expect);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_identity(
+        n_pes in 1usize..8,
+        root_seed in any::<usize>(),
+        msg_seed in any::<u64>(),
+    ) {
+        let root = root_seed % n_pes;
+        // Derive irregular counts from the seed.
+        let msgs: Vec<usize> = (0..n_pes)
+            .map(|r| ((msg_seed >> (r * 3)) & 0x7) as usize)
+            .collect();
+        let nelems: usize = msgs.iter().sum();
+        let disp: Vec<usize> = msgs
+            .iter()
+            .scan(0usize, |acc, &m| { let d = *acc; *acc += m; Some(d) })
+            .collect();
+        let data: Vec<u64> = (0..nelems as u64).map(|i| i ^ msg_seed).collect();
+
+        let (m2, d2, dat) = (msgs.clone(), disp.clone(), data.clone());
+        let report = Fabric::run(FabricConfig::new(n_pes), move |pe| {
+            let src = if pe.rank() == root { dat.clone() } else { vec![] };
+            let mine_n = m2[pe.rank()];
+            let mut mine = vec![0u64; mine_n.max(1)];
+            collectives::scatter(pe, &mut mine, &src, &m2, &d2, nelems, root);
+            pe.barrier();
+            let mut back = vec![0u64; nelems.max(1)];
+            collectives::gather(pe, &mut back, &mine[..mine_n], &m2, &d2, nelems, root);
+            pe.barrier();
+            back
+        });
+        if nelems > 0 {
+            prop_assert_eq!(&report.results[root][..nelems], &data[..]);
+        }
+    }
+
+    #[test]
+    fn all_to_all_is_a_transpose(n_pes in 1usize..7, per_pe in 1usize..5) {
+        let report = Fabric::run(FabricConfig::new(n_pes), move |pe| {
+            let src: Vec<u64> = (0..n_pes * per_pe)
+                .map(|i| (pe.rank() * 10_000 + i) as u64)
+                .collect();
+            let mut dest = vec![0u64; n_pes * per_pe];
+            collectives::all_to_all(pe, &mut dest, &src, per_pe);
+            pe.barrier();
+            dest
+        });
+        for (d, got) in report.results.iter().enumerate() {
+            for s in 0..n_pes {
+                for j in 0..per_pe {
+                    prop_assert_eq!(
+                        got[s * per_pe + j],
+                        (s * 10_000 + d * per_pe + j) as u64,
+                        "dest {} block from {} elem {}", d, s, j
+                    );
+                }
+            }
+        }
+    }
+}

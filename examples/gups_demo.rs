@@ -1,0 +1,46 @@
+//! GUPs (paper §5.2, Figure 4) at demo scale: run the RandomAccess
+//! benchmark with verification on 1/2/4/8 PEs under the paper-calibrated
+//! simulated clock and report total and per-PE MOPS.
+//!
+//! ```sh
+//! cargo run --release --example gups_demo
+//! ```
+
+use xbgas::apps::{run_gups, GupsConfig};
+use xbgas::xbrtime::{Fabric, FabricConfig};
+
+fn main() {
+    // Demo scale: 2 MiB table, 2^16 total updates, verification on.
+    let log2_table = 18u32;
+    let total_updates = 1usize << 16;
+
+    println!("GUPs: 2^{log2_table}-word table, {total_updates} updates, verification enabled\n");
+    println!(
+        "{:>4} {:>12} {:>12} {:>14} {:>8}",
+        "PEs", "total MOPS", "MOPS/PE", "remote frac", "errors"
+    );
+
+    for n in [1usize, 2, 4, 8] {
+        let cfg = GupsConfig {
+            log2_table_size: log2_table,
+            updates_per_pe: total_updates / n,
+            verify: true,
+            use_amo: false,
+        };
+        let fc = FabricConfig::paper(n).with_shared_bytes(cfg.table_bytes() + (1 << 20));
+        let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));
+
+        let makespan = report.results.iter().map(|r| r.cycles).max().unwrap();
+        let secs = makespan as f64 / 1.0e9;
+        let total_mops = total_updates as f64 / secs / 1.0e6;
+        let remote: f64 =
+            report.results.iter().map(|r| r.remote_fraction).sum::<f64>() / n as f64;
+        let errors: usize = report.results.iter().map(|r| r.errors).sum();
+        println!(
+            "{n:>4} {total_mops:>12.3} {:>12.3} {remote:>14.2} {errors:>8}",
+            total_mops / n as f64
+        );
+    }
+    println!("\n(HPCC semantics: up to 1% verification errors are tolerated to absorb");
+    println!(" racing concurrent updates; single-PE runs must verify exactly.)");
+}

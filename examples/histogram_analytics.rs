@@ -1,0 +1,97 @@
+//! High-performance analytics scenario (paper §3.1 names this domain):
+//! a distributed word-length histogram over a sharded corpus, combined
+//! with the tree reduction, then queried with broadcast.
+//!
+//! Each PE owns a shard of synthetic records, histograms a feature
+//! locally, contributes through `reduce`, and rank 0 broadcasts the
+//! percentile cut so every PE can filter its shard — the reduce→broadcast
+//! round-trip that real PGAS analytics pipelines run per query.
+//!
+//! ```sh
+//! cargo run --example histogram_analytics
+//! ```
+
+use xbgas::xbrtime::collectives;
+use xbgas::xbrtime::{Fabric, FabricConfig, ReduceOp};
+
+const BUCKETS: usize = 32;
+const RECORDS_PER_PE: usize = 100_000;
+
+/// Deterministic per-PE synthetic records (a feature in [0, BUCKETS)).
+fn shard(rank: usize) -> Vec<u32> {
+    // SplitMix64 over a rank-salted seed; skewed by a triangular transform
+    // so the histogram has structure worth querying. Pre-mix the rank so
+    // shards are genuinely distinct streams, not shifted copies.
+    let mut x = (rank as u64 + 1).wrapping_mul(0xD1B54A32D192ED03) ^ 0x9E3779B97F4A7C15;
+    (0..RECORDS_PER_PE)
+        .map(|_| {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            let a = (z & 0xFFFF) as u32 % BUCKETS as u32;
+            let b = ((z >> 16) & 0xFFFF) as u32 % BUCKETS as u32;
+            a.min(b) // triangular: mass toward small buckets
+        })
+        .collect()
+}
+
+fn main() {
+    let n_pes = 6;
+    let report = Fabric::run(FabricConfig::new(n_pes), |pe| {
+        let records = shard(pe.rank());
+
+        // Local histogram into the symmetric contribution buffer.
+        let mut local = [0u64; BUCKETS];
+        for &r in &records {
+            local[r as usize] += 1;
+        }
+        let contrib = pe.shared_malloc::<u64>(BUCKETS);
+        pe.heap_write(contrib.whole(), &local);
+        pe.barrier();
+
+        // Tree reduction of the histogram to rank 0 (Algorithm 2).
+        let mut global = [0u64; BUCKETS];
+        collectives::reduce(pe, &mut global, &contrib, BUCKETS, 1, 0, ReduceOp::Sum);
+
+        // Rank 0 finds the 90th-percentile bucket and broadcasts it.
+        let cut_buf = pe.shared_malloc::<u64>(1);
+        let cut = if pe.rank() == 0 {
+            let total: u64 = global.iter().sum();
+            let mut acc = 0u64;
+            let mut cut = BUCKETS - 1;
+            for (b, &c) in global.iter().enumerate() {
+                acc += c;
+                if acc * 10 >= total * 9 {
+                    cut = b;
+                    break;
+                }
+            }
+            [cut as u64]
+        } else {
+            [0u64]
+        };
+        collectives::broadcast(pe, &cut_buf, &cut, 1, 1, 0);
+        pe.barrier();
+        let cut = pe.heap_load(cut_buf.whole()) as u32;
+
+        // Every PE filters its shard against the broadcast cut.
+        let outliers = records.iter().filter(|&&r| r > cut).count();
+        (global, cut, outliers)
+    });
+
+    let (global, cut, _) = &report.results[0];
+    let total: u64 = global.iter().sum();
+    println!("global histogram over {total} records ({n_pes} PEs x {RECORDS_PER_PE}):");
+    let max = *global.iter().max().unwrap();
+    for (b, &c) in global.iter().enumerate() {
+        let bar = "#".repeat((c * 50 / max.max(1)) as usize);
+        println!("{b:>3} {c:>8} {bar}");
+    }
+    println!("\n90th-percentile bucket (broadcast to all PEs): {cut}");
+    for (rank, (_, _, outliers)) in report.results.iter().enumerate() {
+        println!("PE {rank}: {outliers} outlier records above the cut");
+    }
+    assert_eq!(total, (n_pes * RECORDS_PER_PE) as u64);
+}

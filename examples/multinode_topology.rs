@@ -1,0 +1,62 @@
+//! Topology-aware collectives (paper §7: "location aware communication
+//! optimization using the xBGAS OLB"): 12 PEs in 4 nodes of 3, comparing
+//! the flat binomial tree against the hierarchical leader/nodes tree on
+//! a fabric where intra-node links are 4× cheaper.
+//!
+//! ```sh
+//! cargo run --release --example multinode_topology
+//! ```
+
+use xbgas::xbrtime::collectives;
+use xbgas::xbrtime::{Fabric, FabricConfig, Topology};
+
+const MSG: usize = 8192;
+
+fn measure(hier: bool, n_pes: usize, pes_per_node: usize) -> u64 {
+    let cfg = FabricConfig::paper(n_pes)
+        .with_shared_bytes(MSG * 8 + (1 << 20))
+        .with_topology(Topology {
+            pes_per_node,
+            intra_node_factor: 0.25,
+        });
+    let report = Fabric::run(cfg, move |pe| {
+        let dest = pe.shared_malloc::<u64>(MSG);
+        let src: Vec<u64> = (0..MSG as u64).collect();
+        pe.barrier();
+        let t0 = pe.cycles();
+        if hier {
+            collectives::broadcast_hier(pe, &dest, &src, MSG, 0);
+        } else {
+            collectives::broadcast(pe, &dest, &src, MSG, 1, 0);
+        }
+        pe.barrier();
+        let elapsed = pe.cycles() - t0;
+        // Verify delivery while we're here.
+        let got = pe.heap_read_vec::<u64>(dest.whole(), MSG);
+        assert!(got.iter().enumerate().all(|(i, &v)| v == i as u64));
+        elapsed
+    });
+    report.results.into_iter().max().unwrap()
+}
+
+fn main() {
+    println!("broadcast of {MSG} u64 ({} KiB), intra-node links 4x cheaper\n", MSG * 8 / 1024);
+    println!(
+        "{:>6} {:>10} {:>16} {:>12} {:>9}",
+        "PEs", "node size", "hierarchical cyc", "flat cyc", "speedup"
+    );
+    for (n, k) in [(8usize, 4usize), (12, 3), (12, 4), (12, 6), (10, 3)] {
+        let hier = measure(true, n, k);
+        let flat = measure(false, n, k);
+        println!(
+            "{n:>6} {k:>10} {hier:>16} {flat:>12} {:>8.2}x",
+            flat as f64 / hier as f64
+        );
+    }
+    println!(
+        "\nWhen node boundaries align with the tree's power-of-two splits the\n\
+         flat binomial with recursive halving is already location-friendly —\n\
+         the paper's §4.3 sequential-rank assumption. The hierarchy wins on\n\
+         ragged node sizes (e.g. 12 PEs in nodes of 3)."
+    );
+}

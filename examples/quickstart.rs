@@ -1,0 +1,73 @@
+//! Quickstart: the xbrtime runtime in one screen.
+//!
+//! Mirrors the xBGAS runtime's canonical hello-world: initialise the PGAS
+//! environment, allocate symmetric memory, move data with one-sided
+//! put/get, synchronise with barriers, and run each of the four paper
+//! collectives once.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xbgas::xbrtime::collectives;
+use xbgas::xbrtime::{Fabric, FabricConfig, ReduceOp};
+
+fn main() {
+    let n_pes = 4;
+    println!("launching {n_pes} PEs (threads standing in for xBGAS nodes)\n");
+
+    let report = Fabric::run(FabricConfig::new(n_pes), |pe| {
+        let me = pe.rank();
+        let n = pe.n_pes();
+
+        // --- symmetric allocation: same offset on every PE ------------
+        let inbox = pe.shared_malloc::<u64>(1);
+        let data = pe.shared_malloc::<u64>(4);
+        pe.barrier();
+
+        // --- one-sided put: message my right neighbour -----------------
+        pe.put(inbox.whole(), &[me as u64 * 100], 1, 1, (me + 1) % n);
+        pe.barrier();
+        let from_left = pe.heap_load(inbox.whole());
+
+        // --- broadcast (Algorithm 1) -----------------------------------
+        let payload = [1u64, 2, 3, 4];
+        collectives::broadcast(pe, &data, &payload, 4, 1, 0);
+        pe.barrier();
+        let bcast = pe.heap_read_vec::<u64>(data.whole(), 4);
+
+        // --- reduction (Algorithm 2): sum of (rank+1) over PEs ---------
+        let contrib = pe.shared_malloc::<u64>(1);
+        pe.heap_store(contrib.whole(), me as u64 + 1);
+        pe.barrier();
+        let mut sum = [0u64];
+        collectives::reduce(pe, &mut sum, &contrib, 1, 1, 0, ReduceOp::Sum);
+
+        // --- scatter + gather (Algorithms 3, 4) ------------------------
+        let msgs = vec![1usize; n];
+        let disp: Vec<usize> = (0..n).collect();
+        let src: Vec<u64> = if me == 0 { (10..10 + n as u64).collect() } else { vec![] };
+        let mut mine = [0u64];
+        collectives::scatter(pe, &mut mine, &src, &msgs, &disp, n, 0);
+        pe.barrier();
+        let mut gathered = vec![0u64; n];
+        collectives::gather(pe, &mut gathered, &mine, &msgs, &disp, n, 0);
+        pe.barrier();
+
+        (from_left, bcast, sum[0], mine[0], gathered)
+    });
+
+    for (rank, (from_left, bcast, sum, mine, gathered)) in report.results.iter().enumerate() {
+        println!("PE {rank}: got {from_left} from left neighbour");
+        println!("       broadcast payload  = {bcast:?}");
+        if rank == 0 {
+            println!("       reduction (sum)    = {sum} (1+2+3+4)");
+            println!("       gathered           = {gathered:?}");
+        }
+        println!("       my scatter element = {mine}");
+    }
+    println!(
+        "\nfabric stats: {} puts, {} gets, {} barriers",
+        report.stats.puts, report.stats.gets, report.stats.barriers
+    );
+}

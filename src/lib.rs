@@ -1,0 +1,32 @@
+//! # xbgas — umbrella crate for the xBGAS reproduction workspace
+//!
+//! Re-exports the four layer crates of the reproduction of *Collective
+//! Communication for the RISC-V xBGAS ISA Extension* (ICPP 2019):
+//!
+//! * [`isa`] — RV64IM + xBGAS instruction set (encode/decode/disassemble);
+//! * [`sim`] — the multi-core timing machine, OLB, caches, assembler;
+//! * [`xbrtime`] — the PGAS runtime and the paper's collective library;
+//! * [`apps`] — GUPs, NAS IS, and the OSU-style microbenchmarks.
+//!
+//! The workspace's examples and integration tests are written against this
+//! facade, exactly as a downstream user would consume the project.
+//!
+//! ```
+//! use xbgas::xbrtime::{collectives, Fabric, FabricConfig, ReduceOp};
+//!
+//! let report = Fabric::run(FabricConfig::new(3), |pe| {
+//!     let src = pe.shared_malloc::<u32>(1);
+//!     pe.heap_store(src.whole(), 2u32.pow(pe.rank() as u32));
+//!     pe.barrier();
+//!     let mut bits = [0u32];
+//!     collectives::reduce_bitwise(pe, &mut bits, &src, 1, 1, 0, ReduceOp::Or);
+//!     pe.barrier();
+//!     bits[0]
+//! });
+//! assert_eq!(report.results[0], 0b111);
+//! ```
+
+pub use xbgas_apps as apps;
+pub use xbgas_isa as isa;
+pub use xbgas_sim as sim;
+pub use xbrtime;

@@ -1,0 +1,173 @@
+//! Paper Algorithm 2 (binomial-tree reduction) in xBGAS assembly on the
+//! instruction-level machine: the ascending mask loop, recursive doubling,
+//! and the get-side of the ISA (`erld`) pulling partners' partial sums.
+//!
+//! Together with `asm_algorithm1.rs` this covers both data-flow directions
+//! of the paper's tree: root→leaves via remote stores, leaves→root via
+//! remote loads.
+
+use xbgas::sim::asm::assemble;
+use xbgas::sim::cost::MachineConfig;
+use xbgas::sim::hart::HartState;
+use xbgas::sim::machine::{Machine, RunExit};
+
+/// Algorithm 2 (sum reduction of 4 u64 words) in assembly.
+/// Register plan:
+///   s0 = log_rank   s1 = n_pes   s2 = root   s3 = vir_rank
+///   s4 = stages     s5 = mask    s6 = i      s8 = nelems
+/// Shared buffer (s_buff) at 0x8000; each PE's contribution is pre-seeded
+/// there by the harness (the "load s_buff from src" step of the paper).
+const ALGORITHM2: &str = r#"
+    li   a7, 2
+    ecall
+    mv   s0, a0
+    li   a7, 3
+    ecall
+    mv   s1, a0
+    li   s2, ROOT
+    li   s8, 4              # nelems
+
+    # vir_rank
+    blt  s0, s2, wrap
+    sub  s3, s0, s2
+    j    vr_done
+wrap:
+    add  s3, s0, s1
+    sub  s3, s3, s2
+vr_done:
+
+    # stages = ceil(log2 n)
+    li   s4, 0
+    li   t0, 1
+stages_loop:
+    bge  t0, s1, stages_done
+    slli t0, t0, 1
+    addi s4, s4, 1
+    j    stages_loop
+stages_done:
+
+    li   t0, 1
+    sll  t0, t0, s4
+    addi s5, t0, -1         # mask = (1 << stages) - 1
+
+    li   s6, 0              # i = 0, ascending (recursive doubling)
+stage_loop:
+    bge  s6, s4, fini
+
+    # mask ^= (1 << i)
+    li   t0, 1
+    sll  t0, t0, s6
+    xor  s5, s5, t0
+
+    # if (vir_rank | mask) != mask: consumed in an earlier stage
+    or   t1, s3, s5
+    bne  t1, s5, stage_barrier
+    # if (vir_rank & (1 << i)) != 0: this PE is the passive partner
+    and  t1, s3, t0
+    bnez t1, stage_barrier
+
+    # vir_part = (vir_rank ^ (1 << i)) % n_pes; require vir_rank < vir_part
+    xor  t2, s3, t0
+    rem  t2, t2, s1
+    bge  s3, t2, stage_barrier
+
+    # log_part = (vir_part + root) % n_pes; object ID = log_part + 1
+    add  t3, t2, s2
+    rem  t3, t3, s1
+    addi t4, t3, 1
+    eaddie e7, t4, 0        # e7 holds the partner's object ID
+
+    # get partner's s_buff and fold: s_buff[j] += partner_s_buff[j]
+    mv   t5, s8
+    lui  a2, 0x8            # local cursor (s_buff)
+    lui  t2, 0x8            # remote cursor via x7/e7
+fold_loop:
+    beqz t5, stage_barrier
+    erld a4, t2, e7         # remote load of the partner's partial
+    ld   a5, 0(a2)
+    add  a5, a5, a4
+    sd   a5, 0(a2)
+    addi a2, a2, 8
+    addi t2, t2, 8
+    addi t5, t5, -1
+    j    fold_loop
+
+stage_barrier:
+    li   a7, 4
+    ecall
+    addi s6, s6, 1
+    j    stage_loop
+
+fini:
+    # exit code = s_buff[0] (meaningful on the root only)
+    lui  t0, 0x8
+    ld   a0, 0(t0)
+    li   a7, 0
+    ecall
+"#;
+
+fn run_asm_reduce(n_pes: usize, root: usize) -> (Machine, Vec<u64>) {
+    let mut cfg = MachineConfig::test(n_pes);
+    cfg.max_cycles = 50_000_000;
+    let mut m = Machine::new(cfg);
+    let src = ALGORITHM2.replace("ROOT", &root.to_string());
+    let img = assemble(0x1000, &src).expect("Algorithm 2 must assemble");
+    m.load_program(0x1000, &img.words);
+    // Seed every PE's contribution: s_buff[j] = (rank+1) * 10^0.. pattern.
+    for pe in 0..n_pes {
+        for j in 0..4u64 {
+            m.mem_mut(pe)
+                .store_u64(0x8000 + 8 * j, (pe as u64 + 1) * 100 + j)
+                .unwrap();
+        }
+    }
+    let s = m.run();
+    assert_eq!(s.exit, RunExit::AllHalted, "n={n_pes} root={root}: {:?}", s.exit);
+    let codes = (0..n_pes)
+        .map(|pe| match m.hart(pe).state {
+            HartState::Halted { code } => code,
+            ref other => panic!("PE {pe}: {other:?}"),
+        })
+        .collect();
+    (m, codes)
+}
+
+#[test]
+fn assembly_reduction_sums_all_contributions() {
+    for (n, root) in [(2usize, 0usize), (4, 0), (4, 3), (7, 4), (8, 5), (5, 2)] {
+        let (m, codes) = run_asm_reduce(n, root);
+        for j in 0..4u64 {
+            let expect: u64 = (1..=n as u64).map(|r| r * 100 + j).sum();
+            assert_eq!(
+                m.mem(root).load_u64(0x8000 + 8 * j).unwrap(),
+                expect,
+                "n={n} root={root} elem={j}"
+            );
+        }
+        // The root's exit code is the word-0 sum.
+        let expect0: u64 = (1..=n as u64).map(|r| r * 100).sum();
+        assert_eq!(codes[root], expect0);
+    }
+}
+
+#[test]
+fn assembly_reduction_matches_runtime_reduce() {
+    use xbgas::xbrtime::{collectives, Fabric, FabricConfig, ReduceOp};
+    let (n, root) = (7usize, 4usize);
+    let (m, _) = run_asm_reduce(n, root);
+
+    let report = Fabric::run(FabricConfig::new(n), move |pe| {
+        let src = pe.shared_malloc::<u64>(4);
+        let mine: Vec<u64> = (0..4).map(|j| (pe.rank() as u64 + 1) * 100 + j).collect();
+        pe.heap_write(src.whole(), &mine);
+        pe.barrier();
+        let mut out = [0u64; 4];
+        collectives::reduce(pe, &mut out, &src, 4, 1, root, ReduceOp::Sum);
+        pe.barrier();
+        out
+    });
+    let isa: Vec<u64> = (0..4u64)
+        .map(|j| m.mem(root).load_u64(0x8000 + 8 * j).unwrap())
+        .collect();
+    assert_eq!(isa, report.results[root].to_vec());
+}
