@@ -1,0 +1,185 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no network access to a crates.io mirror, so
+//! the workspace vendors this minimal implementation as a path dependency
+//! under the same package name. It runs each benchmark for a fixed warm-up
+//! plus measurement budget and prints median per-iteration time (and
+//! throughput when configured) — enough to compare algorithms locally,
+//! with none of upstream's statistics machinery.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the closure given to `iter`.
+pub struct Bencher {
+    /// Measured median seconds per iteration (filled by `iter`).
+    median: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one call, also used to size the batch.
+        let t0 = Instant::now();
+        std_black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~20 samples within a ~200 ms budget.
+        let per_sample = Duration::from_millis(10);
+        let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+        let mut samples = Vec::with_capacity(20);
+        for _ in 0..20 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, median: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:>10.1} MiB/s", b as f64 / median / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) => format!("  {:>10.1} Melem/s", e as f64 / median / 1e6),
+        None => String::new(),
+    };
+    println!("{name:<40} {:>12}{rate}", human_time(median));
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in uses a fixed budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { median: 0.0 };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            b.median,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { median: 0.0 };
+        f(&mut b);
+        report(name, b.median, None);
+        self
+    }
+}
+
+/// `criterion_group!(name, fn1, fn2, …)` — bundle bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, …)` — the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

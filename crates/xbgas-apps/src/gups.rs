@@ -13,7 +13,7 @@
 //! an involution) and counts residual mismatches; like HPCC, up to 1% is
 //! tolerated to absorb racing concurrent updates to the same word.
 
-use xbrtime::{collectives, Pe, ReduceOp};
+use xbrtime::{collectives, AlgorithmPolicy, Pe, ReduceOp};
 
 /// The HPCC RandomAccess polynomial.
 const POLY: u64 = 0x7;
@@ -90,6 +90,8 @@ pub struct GupsConfig {
     /// crossings, tolerates <1% races). An extension beyond the paper,
     /// measured by the `ablation` harness.
     pub use_amo: bool,
+    /// Algorithm policy for the verification tail's reduce + broadcast.
+    pub policy: AlgorithmPolicy,
 }
 
 impl GupsConfig {
@@ -100,6 +102,7 @@ impl GupsConfig {
             updates_per_pe: 2048,
             verify: true,
             use_amo: false,
+            policy: AlgorithmPolicy::Auto,
         }
     }
 
@@ -112,6 +115,7 @@ impl GupsConfig {
             updates_per_pe: (1 << 20) / n_pes,
             verify: false,
             use_amo: false,
+            policy: AlgorithmPolicy::Binomial,
         }
     }
 
@@ -235,11 +239,7 @@ pub fn run_gups(pe: &Pe, cfg: &GupsConfig) -> GupsResult {
         }
         pe.barrier();
         let now = pe.heap_read_vec::<u64>(table.whole(), per_pe);
-        errors = now
-            .iter()
-            .zip(&init)
-            .filter(|(a, b)| a != b)
-            .count();
+        errors = now.iter().zip(&init).filter(|(a, b)| a != b).count();
 
         // Aggregate the global error count: sum-reduce then broadcast —
         // the collective pattern the paper's §5.2 benchmarks exercise.
@@ -247,9 +247,9 @@ pub fn run_gups(pe: &Pe, cfg: &GupsConfig) -> GupsResult {
         pe.heap_store(err_sym.whole(), errors as u64);
         pe.barrier();
         let mut total = [0u64];
-        collectives::reduce(pe, &mut total, &err_sym, 1, 1, 0, ReduceOp::Sum);
+        collectives::reduce_policy(pe, &mut total, &err_sym, 1, 1, 0, ReduceOp::Sum, cfg.policy);
         let bcast = pe.shared_malloc::<u64>(1);
-        collectives::broadcast(pe, &bcast, &total, 1, 1, 0);
+        collectives::broadcast_policy(pe, &bcast, &total, 1, 1, 0, cfg.policy);
         pe.barrier();
         let global_errors = pe.heap_load(bcast.whole());
         let total_updates = (cfg.updates_per_pe * n_pes) as u64;
@@ -310,9 +310,7 @@ mod tests {
 
     #[test]
     fn gups_verifies_on_one_pe() {
-        let report = Fabric::run(FabricConfig::new(1), |pe| {
-            run_gups(pe, &GupsConfig::test())
-        });
+        let report = Fabric::run(FabricConfig::new(1), |pe| run_gups(pe, &GupsConfig::test()));
         let r = report.results[0];
         assert_eq!(r.errors, 0, "single PE has no races, must verify exactly");
         assert_eq!(r.updates, 2048);
@@ -321,9 +319,7 @@ mod tests {
 
     #[test]
     fn gups_verifies_on_four_pes() {
-        let report = Fabric::run(FabricConfig::new(4), |pe| {
-            run_gups(pe, &GupsConfig::test())
-        });
+        let report = Fabric::run(FabricConfig::new(4), |pe| run_gups(pe, &GupsConfig::test()));
         let total_errors: usize = report.results.iter().map(|r| r.errors).sum();
         let total_updates: usize = report.results.iter().map(|r| r.updates).sum();
         assert!(
@@ -333,11 +329,19 @@ mod tests {
         // Remote traffic must be substantial. (The early HPCC orbit is
         // genuinely skewed toward low indices — uniform would be 3/4, the
         // real stream's per-PE fractions range from ~0.3 upward.)
-        let avg: f64 = report.results.iter().map(|r| r.remote_fraction).sum::<f64>()
+        let avg: f64 = report
+            .results
+            .iter()
+            .map(|r| r.remote_fraction)
+            .sum::<f64>()
             / report.results.len() as f64;
         assert!(avg > 0.4, "average remote fraction {avg}");
         for r in &report.results {
-            assert!(r.remote_fraction > 0.2, "remote fraction {}", r.remote_fraction);
+            assert!(
+                r.remote_fraction > 0.2,
+                "remote fraction {}",
+                r.remote_fraction
+            );
         }
     }
 
@@ -359,12 +363,14 @@ mod tests {
             updates_per_pe: 256,
             verify: false,
             use_amo: false,
+            policy: AlgorithmPolicy::Binomial,
         };
         let cfg_big = GupsConfig {
             log2_table_size: 10,
             updates_per_pe: 1024,
             verify: false,
             use_amo: false,
+            policy: AlgorithmPolicy::Binomial,
         };
         let cycles = |cfg: GupsConfig| {
             let report = Fabric::run(FabricConfig::paper(2), move |pe| run_gups(pe, &cfg));
@@ -372,6 +378,9 @@ mod tests {
         };
         let small = cycles(cfg_small);
         let big = cycles(cfg_big);
-        assert!(big > small * 2, "cycles must grow with update count: {small} vs {big}");
+        assert!(
+            big > small * 2,
+            "cycles must grow with update count: {small} vs {big}"
+        );
     }
 }

@@ -15,7 +15,7 @@
 //! verification checks the global sorted order at the end.
 
 use xbrtime::collectives::{self, AllReduceAlgo};
-use xbrtime::{Pe, ReduceOp};
+use xbrtime::{AlgorithmPolicy, Pe, ReduceOp};
 
 /// NPB problem classes (key count, key range).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,10 +64,52 @@ pub struct Randlc {
     seed: f64,
 }
 
-const R23: f64 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5
-    * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5;
-const T23: f64 = 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0
-    * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0;
+const R23: f64 = 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5;
+const T23: f64 = 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0
+    * 2.0;
 const R46: f64 = R23 * R23;
 const T46: f64 = T23 * T23;
 
@@ -156,6 +198,10 @@ pub struct IsConfig {
     pub iterations: usize,
     /// Run partial + full verification (paper: detailed timing + verified).
     pub verify: bool,
+    /// Algorithm policy for the verification tail's reduce + broadcast.
+    /// The per-iteration histogram combine keeps the reduce-then-broadcast
+    /// composite (the paper's pattern) regardless of policy.
+    pub policy: AlgorithmPolicy,
 }
 
 impl IsConfig {
@@ -168,6 +214,7 @@ impl IsConfig {
             },
             iterations: 3,
             verify: true,
+            policy: AlgorithmPolicy::Auto,
         }
     }
 
@@ -184,6 +231,7 @@ impl IsConfig {
             },
             iterations: 10,
             verify: true,
+            policy: AlgorithmPolicy::Binomial,
         }
     }
 }
@@ -346,9 +394,18 @@ pub fn run_is(pe: &Pe, cfg: &IsConfig) -> IsResult {
         pe.heap_store(count_sym.whole(), mine.len() as u64);
         pe.barrier();
         let mut total = [0u64];
-        collectives::reduce(pe, &mut total, &count_sym, 1, 1, 0, ReduceOp::Sum);
+        collectives::reduce_policy(
+            pe,
+            &mut total,
+            &count_sym,
+            1,
+            1,
+            0,
+            ReduceOp::Sum,
+            cfg.policy,
+        );
         let bcast = pe.shared_malloc::<u64>(1);
-        collectives::broadcast(pe, &bcast, &total, 1, 1, 0);
+        collectives::broadcast_policy(pe, &bcast, &total, 1, 1, 0, cfg.policy);
         pe.barrier();
         if pe.heap_load(bcast.whole()) != total_keys as u64 {
             verified = false;

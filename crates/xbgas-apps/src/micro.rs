@@ -27,7 +27,7 @@ pub fn put_latency(timing: TimingConfig, nelems: usize, reps: usize) -> MicroRes
             n_pes: 2,
             shared_bytes: (bytes * 2).max(1 << 20),
             timing,
-                topology: None,
+            topology: None,
         },
         move |pe| {
             let dest = pe.shared_malloc::<u64>(nelems.max(1));
@@ -69,7 +69,7 @@ pub fn put_bandwidth(
             n_pes: 2,
             shared_bytes: (bytes * window + (1 << 16)).max(1 << 20),
             timing,
-                topology: None,
+            topology: None,
         },
         move |pe| {
             let dest = pe.shared_malloc::<u64>((nelems * window).max(1));
@@ -107,7 +107,7 @@ pub fn get_latency(timing: TimingConfig, nelems: usize, reps: usize) -> MicroRes
             n_pes: 2,
             shared_bytes: (bytes * 2).max(1 << 20),
             timing,
-                topology: None,
+            topology: None,
         },
         move |pe| {
             let src = pe.shared_malloc::<u64>(nelems.max(1));
@@ -140,7 +140,7 @@ pub fn barrier_latency(timing: TimingConfig, n_pes: usize, reps: usize) -> Micro
             n_pes,
             shared_bytes: 1 << 16,
             timing,
-                topology: None,
+            topology: None,
         },
         move |pe| {
             pe.barrier();
@@ -195,7 +195,12 @@ mod tests {
         let p = put_latency(t, 16, 50);
         let g = get_latency(t, 16, 50);
         let ratio = p.cycles_per_op / g.cycles_per_op;
-        assert!((0.5..=2.0).contains(&ratio), "put {} vs get {}", p.cycles_per_op, g.cycles_per_op);
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "put {} vs get {}",
+            p.cycles_per_op,
+            g.cycles_per_op
+        );
     }
 
     #[test]

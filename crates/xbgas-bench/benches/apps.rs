@@ -15,7 +15,8 @@ fn bench_gups(c: &mut Criterion) {
                     log2_table_size: 16,
                     updates_per_pe: 8192,
                     verify: false,
-            use_amo: false,
+                    use_amo: false,
+                    policy: xbrtime::AlgorithmPolicy::Binomial,
                 };
                 Fabric::run(FabricConfig::new(n), move |pe| run_gups(pe, &cfg))
             })
@@ -37,6 +38,7 @@ fn bench_is(c: &mut Criterion) {
                     },
                     iterations: 2,
                     verify: false,
+                    policy: xbrtime::AlgorithmPolicy::Binomial,
                 };
                 Fabric::run(FabricConfig::new(n), move |pe| run_is(pe, &cfg))
             })

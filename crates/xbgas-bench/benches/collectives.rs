@@ -49,17 +49,21 @@ fn bench_reduce(c: &mut Criterion) {
     let mut g = c.benchmark_group("reduce");
     for nelems in [16usize, 1024, 65536] {
         g.throughput(Throughput::Bytes((nelems * 8) as u64));
-        g.bench_with_input(BenchmarkId::new("binomial_sum", nelems), &nelems, |b, &n| {
-            b.iter(|| {
-                Fabric::run(FabricConfig::new(N_PES), |pe| {
-                    let src = pe.shared_malloc::<u64>(n);
-                    pe.heap_write(src.whole(), &vec![pe.rank() as u64; n]);
-                    pe.barrier();
-                    let mut dest = vec![0u64; n];
-                    collectives::reduce(pe, &mut dest, &src, n, 1, 0, ReduceOp::Sum);
+        g.bench_with_input(
+            BenchmarkId::new("binomial_sum", nelems),
+            &nelems,
+            |b, &n| {
+                b.iter(|| {
+                    Fabric::run(FabricConfig::new(N_PES), |pe| {
+                        let src = pe.shared_malloc::<u64>(n);
+                        pe.heap_write(src.whole(), &vec![pe.rank() as u64; n]);
+                        pe.barrier();
+                        let mut dest = vec![0u64; n];
+                        collectives::reduce(pe, &mut dest, &src, n, 1, 0, ReduceOp::Sum);
+                    })
                 })
-            })
-        });
+            },
+        );
         g.bench_with_input(BenchmarkId::new("linear_sum", nelems), &nelems, |b, &n| {
             b.iter(|| {
                 Fabric::run(FabricConfig::new(N_PES), |pe| {

@@ -7,7 +7,10 @@
 //! 3. **Per-stage barriers**: the barrier cost share of a broadcast, by
 //!    comparing against the same tree's pure transfer cycles.
 
-use xbgas_bench::{ablation_allreduce, ablation_gups_amo, ablation_topology, ablation_unroll, sweep_broadcast, Algo};
+use xbgas_bench::{
+    ablation_allreduce, ablation_gups_amo, ablation_topology, ablation_unroll,
+    collective_telemetry, sweep_broadcast, Algo,
+};
 use xbrtime::collectives::AllReduceAlgo;
 
 fn main() {
@@ -75,5 +78,25 @@ fn main() {
         let t = sweep_broadcast(Algo::Binomial, n, 4096).cycles;
         let l = sweep_broadcast(Algo::Linear, n, 4096).cycles;
         println!("{n:>5} {t:>12} {l:>12}");
+    }
+
+    println!("\n# Per-collective executor telemetry (8 PEs, 1024 u64 each,");
+    println!("#   one call per collective; counts aggregated across PEs)");
+    println!(
+        "{:>11} {:>6} {:>7} {:>7} {:>11} {:>11} {:>7} {:>12}",
+        "collective", "calls", "puts", "gets", "bytes put", "bytes got", "stages", "cycles"
+    );
+    for rec in collective_telemetry(8, 1024) {
+        println!(
+            "{:>11} {:>6} {:>7} {:>7} {:>11} {:>11} {:>7} {:>12}",
+            rec.kind.name(),
+            rec.calls,
+            rec.puts,
+            rec.gets,
+            rec.bytes_put,
+            rec.bytes_get,
+            rec.stages,
+            rec.cycles
+        );
     }
 }

@@ -9,11 +9,15 @@ use xbgas_bench::{render_rows, run_fig4};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
-    let scale = if args.iter().any(|a| a == "--quick") { 2 } else { 0 };
+    let scale = if args.iter().any(|a| a == "--quick") {
+        2
+    } else {
+        0
+    };
 
     let rows = run_fig4(&[1, 2, 4, 8], scale);
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        println!("{}", xbgas_bench::json::to_string_pretty(&rows));
     } else {
         print!(
             "{}",

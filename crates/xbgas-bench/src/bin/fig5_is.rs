@@ -5,13 +5,17 @@
 //! MOPS. Pass `--json` for machine-readable output, `--quick` to halve the
 //! iteration count.
 
-use xbgas_bench::{render_rows, run_fig5, run_fig5_class};
 use xbgas_apps::IsClass;
+use xbgas_bench::{render_rows, run_fig5, run_fig5_class};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
-    let scale = if args.iter().any(|a| a == "--quick") { 1 } else { 0 };
+    let scale = if args.iter().any(|a| a == "--quick") {
+        1
+    } else {
+        0
+    };
     // Optional NPB class override: --class s|w|a|b (default: the scaled
     // class-B substitute described in EXPERIMENTS.md). Full class B takes
     // tens of minutes of host time; S/W are quick.
@@ -32,7 +36,7 @@ fn main() {
         None => run_fig5(&[1, 2, 4, 8], scale),
     };
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        println!("{}", xbgas_bench::json::to_string_pretty(&rows));
     } else {
         print!(
             "{}",

@@ -7,8 +7,8 @@ use xbrtime::TABLE1;
 fn main() {
     println!("# Table 1 — xBGAS Matched Type Names & Types");
     println!(
-        "{:<12} {:<20} {:<8} {:>5}  {}",
-        "TYPENAME", "C TYPE", "RUST", "BYTES", "REDUCTIONS"
+        "{:<12} {:<20} {:<8} {:>5}  REDUCTIONS",
+        "TYPENAME", "C TYPE", "RUST", "BYTES"
     );
     for e in TABLE1 {
         let ops = if e.bitwise {

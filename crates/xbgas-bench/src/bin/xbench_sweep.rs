@@ -1,13 +1,68 @@
 //! §4.7-style comparison sweep: binomial tree vs linear vs ring across
-//! message sizes and PE counts, with a crossover report.
+//! message sizes and PE counts, with a crossover report and the
+//! `AlgorithmPolicy::Auto` evidence cells.
 //!
 //! The paper's design discussion (§4.1–4.2) argues that "there is no
 //! universally optimal solution": tree algorithms win at small transaction
 //! sizes where latency dominates, and state-of-the-art libraries switch
 //! algorithms at runtime. This sweep regenerates that evidence for our
-//! cost model. Pass `--json` for machine-readable output.
+//! cost model, and checks that the library's `Auto` policy actually tracks
+//! the per-cell winner. Pass `--json` to print the machine-readable report
+//! to stdout; the same report is always written to `BENCH_sweep.json` so
+//! future changes can track the perf trajectory.
 
-use xbgas_bench::{sweep_broadcast, sweep_gather, sweep_reduce, sweep_scatter, Algo};
+use xbgas_bench::json::{to_string_pretty, Json, ToJson};
+use xbgas_bench::{
+    sweep_broadcast, sweep_broadcast_policy, sweep_gather, sweep_reduce, sweep_scatter, Algo,
+    SweepPoint,
+};
+use xbrtime::AlgorithmPolicy;
+
+/// `Auto` vs always-binomial on one sweep cell.
+struct PolicyCell {
+    n_pes: usize,
+    nelems: usize,
+    auto_cycles: u64,
+    binomial_cycles: u64,
+}
+
+impl PolicyCell {
+    fn auto_wins(&self) -> bool {
+        self.auto_cycles < self.binomial_cycles
+    }
+}
+
+impl ToJson for PolicyCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_pes", self.n_pes.to_json()),
+            ("nelems", self.nelems.to_json()),
+            ("auto_cycles", self.auto_cycles.to_json()),
+            ("binomial_cycles", self.binomial_cycles.to_json()),
+            ("auto_wins", self.auto_wins().to_json()),
+        ])
+    }
+}
+
+/// Smallest swept payload (bytes) at which binomial wins for a PE count,
+/// if any — the crossover the `Auto` constants are calibrated against.
+fn crossover_bytes(points: &[SweepPoint], n_pes: usize, sizes: &[usize]) -> Option<usize> {
+    sizes
+        .iter()
+        .copied()
+        .find(|&sz| {
+            let cycles = |algo| {
+                points
+                    .iter()
+                    .find(|p| p.algo == algo && p.n_pes == n_pes && p.nelems == sz)
+                    .map(|p| p.cycles)
+                    .unwrap_or(u64::MAX)
+            };
+            let b = cycles(Algo::Binomial);
+            b <= cycles(Algo::Linear) && b <= cycles(Algo::Ring)
+        })
+        .map(|sz| sz * 8)
+}
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
@@ -24,8 +79,58 @@ fn main() {
         }
     }
 
+    // Crossover table: where the tree starts winning, per PE count.
+    let crossovers: Vec<(usize, Option<usize>)> = pe_counts
+        .iter()
+        .map(|&n| (n, crossover_bytes(&points, n, &sizes)))
+        .collect();
+
+    // Policy evidence: Auto vs always-binomial on every broadcast cell.
+    let policy_cells: Vec<PolicyCell> = pe_counts
+        .iter()
+        .flat_map(|&n| {
+            sizes.iter().map(move |&sz| PolicyCell {
+                n_pes: n,
+                nelems: sz,
+                auto_cycles: sweep_broadcast_policy(AlgorithmPolicy::Auto, n, sz),
+                binomial_cycles: sweep_broadcast_policy(AlgorithmPolicy::Binomial, n, sz),
+            })
+        })
+        .collect();
+
+    let report = Json::obj([
+        ("benchmark", Json::Str("xbench_sweep".into())),
+        ("broadcast_points", points.to_json()),
+        (
+            "crossovers",
+            Json::Arr(
+                crossovers
+                    .iter()
+                    .map(|&(n, bytes)| {
+                        Json::obj([
+                            ("n_pes", n.to_json()),
+                            (
+                                "binomial_wins_from_bytes",
+                                bytes.map_or(Json::Null, |b| b.to_json()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("policy_auto_vs_binomial", policy_cells.to_json()),
+        (
+            "auto_beats_binomial_somewhere",
+            policy_cells.iter().any(|c| c.auto_wins()).to_json(),
+        ),
+    ]);
+    let rendered = to_string_pretty(&report);
+    if let Err(e) = std::fs::write("BENCH_sweep.json", &rendered) {
+        eprintln!("warning: could not write BENCH_sweep.json: {e}");
+    }
+
     if json {
-        println!("{}", serde_json::to_string_pretty(&points).unwrap());
+        println!("{rendered}");
         return;
     }
 
@@ -58,6 +163,30 @@ fn main() {
         }
     }
 
+    println!("\n# Crossover: smallest payload where the tree wins");
+    for (n, bytes) in &crossovers {
+        match bytes {
+            Some(b) => println!("  {n} PEs: binomial from {b} bytes"),
+            None => println!("  {n} PEs: linear/ring win at every swept size"),
+        }
+    }
+
+    println!("\n# AlgorithmPolicy::Auto vs always-binomial (broadcast, makespan cycles)");
+    println!(
+        "{:>5} {:>9} {:>12} {:>12}  auto wins",
+        "PEs", "elems", "auto", "binomial"
+    );
+    for c in &policy_cells {
+        println!(
+            "{:>5} {:>9} {:>12} {:>12}  {}",
+            c.n_pes,
+            c.nelems,
+            c.auto_cycles,
+            c.binomial_cycles,
+            if c.auto_wins() { "yes" } else { "no" }
+        );
+    }
+
     println!("\n# Scatter / gather (uniform counts): binomial tree vs linear");
     println!(
         "{:>5} {:>9} {:>14} {:>14} {:>14} {:>14}",
@@ -74,7 +203,10 @@ fn main() {
     }
 
     println!("\n# Reduction (sum): binomial tree vs linear");
-    println!("{:>5} {:>9} {:>12} {:>12}  winner", "PEs", "elems", "binomial", "linear");
+    println!(
+        "{:>5} {:>9} {:>12} {:>12}  winner",
+        "PEs", "elems", "binomial", "linear"
+    );
     for &n in &pe_counts {
         for &sz in &sizes {
             let t = sweep_reduce(Algo::Binomial, n, sz).cycles;

@@ -1,0 +1,212 @@
+//! Minimal JSON emission.
+//!
+//! The offline build cannot fetch `serde`/`serde_json`, so the harness
+//! binaries serialise their report rows through this hand-rolled value
+//! tree instead. Output is deliberately `serde_json::to_string_pretty`-
+//! shaped (2-space indent, stable field order) so downstream tooling
+//! that consumed the previous format keeps working.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any integer (emitted without a decimal point).
+    Int(i128),
+    /// A float (emitted via Rust's shortest-roundtrip formatting).
+    Float(f64),
+    /// A string (escaped on emission).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Pretty-print with 2-space indentation and a trailing newline-free
+    /// final line, matching `serde_json::to_string_pretty`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let inner = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                    let _ = write!(out, "{:.1}", f);
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&inner);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&inner);
+                    let _ = write!(out, "\"{k}\": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Types that can render themselves as a JSON value.
+pub trait ToJson {
+    /// Convert to a [`Json`] tree.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json { Json::Int(*self as i128) }
+        }
+    )*};
+}
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+/// Pretty-print any serialisable value (the `serde_json::to_string_pretty`
+/// call-site replacement).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_nests() {
+        let v = Json::obj([
+            ("name", Json::Str("a\"b\\c\n".into())),
+            ("xs", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.pretty();
+        assert!(s.contains("\"a\\\"b\\\\c\\n\""));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.starts_with("{\n"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(Json::Float(2.0).pretty(), "2.0");
+        assert_eq!(Json::Float(2.5).pretty(), "2.5");
+        assert_eq!(Json::Int(2).pretty(), "2");
+    }
+
+    #[test]
+    fn slices_of_values_render_as_arrays() {
+        let rows = vec![Json::Int(1), Json::Int(2)];
+        let s = to_string_pretty(&rows);
+        assert_eq!(s, "[\n  1,\n  2\n]");
+    }
+}

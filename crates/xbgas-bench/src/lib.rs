@@ -18,7 +18,9 @@
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod json;
+
+use json::{Json, ToJson};
 use xbgas_apps::{run_gups, run_is, GupsConfig, IsConfig};
 use xbrtime::collectives::{self, AllReduceAlgo};
 use xbrtime::{Fabric, FabricConfig, ReduceOp};
@@ -27,7 +29,7 @@ use xbrtime::{Fabric, FabricConfig, ReduceOp};
 pub const CORE_HZ: u64 = 1_000_000_000;
 
 /// One row of a Figure 4/5-style scaling table.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct FigureRow {
     /// Number of PEs simulated.
     pub n_pes: usize,
@@ -37,6 +39,17 @@ pub struct FigureRow {
     pub per_pe_mops: f64,
     /// Simulated makespan in cycles.
     pub makespan_cycles: u64,
+}
+
+impl ToJson for FigureRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_pes", self.n_pes.to_json()),
+            ("total_mops", self.total_mops.to_json()),
+            ("per_pe_mops", self.per_pe_mops.to_json()),
+            ("makespan_cycles", self.makespan_cycles.to_json()),
+        ])
+    }
 }
 
 /// Render rows in the layout the paper's figures report (total + per-PE).
@@ -68,15 +81,9 @@ pub fn run_fig4(pe_counts: &[usize], scale_shift: u32) -> Vec<FigureRow> {
             let mut cfg = GupsConfig::fig4(n);
             cfg.updates_per_pe >>= scale_shift;
             let total_updates = cfg.updates_per_pe * n;
-            let fc = FabricConfig::paper(n)
-                .with_shared_bytes(cfg.table_bytes() + (1 << 20));
+            let fc = FabricConfig::paper(n).with_shared_bytes(cfg.table_bytes() + (1 << 20));
             let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));
-            let makespan = report
-                .results
-                .iter()
-                .map(|r| r.cycles)
-                .max()
-                .unwrap_or(0);
+            let makespan = report.results.iter().map(|r| r.cycles).max().unwrap_or(0);
             let secs = makespan as f64 / CORE_HZ as f64;
             let total_mops = total_updates as f64 / secs / 1.0e6;
             FigureRow {
@@ -126,12 +133,7 @@ fn run_fig5_impl(
                 report.results.iter().all(|r| r.verified),
                 "IS verification failed at {n} PEs"
             );
-            let makespan = report
-                .results
-                .iter()
-                .map(|r| r.cycles)
-                .max()
-                .unwrap_or(0);
+            let makespan = report.results.iter().map(|r| r.cycles).max().unwrap_or(0);
             let secs = makespan as f64 / CORE_HZ as f64;
             let total_mops = (total_keys * cfg.iterations) as f64 / secs / 1.0e6;
             FigureRow {
@@ -145,7 +147,7 @@ fn run_fig5_impl(
 }
 
 /// Which collective algorithm a sweep point used.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Algo {
     /// The paper's binomial tree (Algorithms 1–4).
     Binomial,
@@ -155,8 +157,25 @@ pub enum Algo {
     Ring,
 }
 
+impl Algo {
+    /// Stable lowercase-free name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Binomial => "Binomial",
+            Algo::Linear => "Linear",
+            Algo::Ring => "Ring",
+        }
+    }
+}
+
+impl ToJson for Algo {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
 /// One sweep measurement: a collective at a message size and PE count.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SweepPoint {
     /// Algorithm measured.
     pub algo: Algo,
@@ -168,10 +187,20 @@ pub struct SweepPoint {
     pub cycles: u64,
 }
 
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("algo", self.algo.to_json()),
+            ("n_pes", self.n_pes.to_json()),
+            ("nelems", self.nelems.to_json()),
+            ("cycles", self.cycles.to_json()),
+        ])
+    }
+}
+
 /// Measure one broadcast call's simulated makespan.
 pub fn sweep_broadcast(algo: Algo, n_pes: usize, nelems: usize) -> SweepPoint {
-    let fc = FabricConfig::paper(n_pes)
-        .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20));
+    let fc = FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20));
     let report = Fabric::run(fc, move |pe| {
         let dest = pe.shared_malloc::<u64>(nelems.max(1));
         let src = vec![7u64; nelems];
@@ -193,10 +222,34 @@ pub fn sweep_broadcast(algo: Algo, n_pes: usize, nelems: usize) -> SweepPoint {
     }
 }
 
+/// Measure one broadcast call dispatched through an [`AlgorithmPolicy`]
+/// (`xbrtime::collectives::broadcast_policy`) instead of a fixed
+/// algorithm. Returns the simulated makespan in cycles; used to show
+/// `Auto` tracks the per-cell winner of the fixed-algorithm sweep.
+///
+/// [`AlgorithmPolicy`]: xbrtime::AlgorithmPolicy
+pub fn sweep_broadcast_policy(
+    policy: xbrtime::AlgorithmPolicy,
+    n_pes: usize,
+    nelems: usize,
+) -> u64 {
+    let fc = FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20));
+    let report = Fabric::run(fc, move |pe| {
+        let dest = pe.shared_malloc::<u64>(nelems.max(1));
+        let src = vec![7u64; nelems];
+        pe.barrier();
+        let t0 = pe.cycles();
+        collectives::broadcast_policy(pe, &dest, &src, nelems, 1, 0, policy);
+        pe.barrier();
+        pe.cycles() - t0
+    });
+    report.results.iter().copied().max().unwrap_or(0)
+}
+
 /// Measure one sum-reduction call's simulated makespan.
 pub fn sweep_reduce(algo: Algo, n_pes: usize, nelems: usize) -> SweepPoint {
-    let fc = FabricConfig::paper(n_pes)
-        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    let fc =
+        FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
     let report = Fabric::run(fc, move |pe| {
         let src = pe.shared_malloc::<u64>(nelems.max(1));
         let data: Vec<u64> = (0..nelems as u64).collect();
@@ -205,9 +258,7 @@ pub fn sweep_reduce(algo: Algo, n_pes: usize, nelems: usize) -> SweepPoint {
         let mut dest = vec![0u64; nelems.max(1)];
         let t0 = pe.cycles();
         match algo {
-            Algo::Binomial => {
-                collectives::reduce(pe, &mut dest, &src, nelems, 1, 0, ReduceOp::Sum)
-            }
+            Algo::Binomial => collectives::reduce(pe, &mut dest, &src, nelems, 1, 0, ReduceOp::Sum),
             Algo::Linear | Algo::Ring => collectives::reduce_linear(
                 pe,
                 &mut dest,
@@ -233,8 +284,8 @@ pub fn sweep_reduce(algo: Algo, n_pes: usize, nelems: usize) -> SweepPoint {
 /// uniform per-PE counts.
 pub fn sweep_scatter(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
     let nelems = per_pe * n_pes;
-    let fc = FabricConfig::paper(n_pes)
-        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    let fc =
+        FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
     let report = Fabric::run(fc, move |pe| {
         let msgs = vec![per_pe; n_pes];
         let disp: Vec<usize> = (0..n_pes).map(|r| r * per_pe).collect();
@@ -248,9 +299,7 @@ pub fn sweep_scatter(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
         pe.barrier();
         let t0 = pe.cycles();
         match algo {
-            Algo::Binomial => {
-                collectives::scatter(pe, &mut dest, &src, &msgs, &disp, nelems, 0)
-            }
+            Algo::Binomial => collectives::scatter(pe, &mut dest, &src, &msgs, &disp, nelems, 0),
             Algo::Linear | Algo::Ring => {
                 collectives::scatter_linear(pe, &landing, &src, &msgs, &disp, nelems, 0)
             }
@@ -269,8 +318,8 @@ pub fn sweep_scatter(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
 /// Measure one gather (tree or linear) call's simulated makespan.
 pub fn sweep_gather(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
     let nelems = per_pe * n_pes;
-    let fc = FabricConfig::paper(n_pes)
-        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    let fc =
+        FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
     let report = Fabric::run(fc, move |pe| {
         let msgs = vec![per_pe; n_pes];
         let disp: Vec<usize> = (0..n_pes).map(|r| r * per_pe).collect();
@@ -299,6 +348,61 @@ pub fn sweep_gather(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
     }
 }
 
+/// Run a workload exercising every collective once and return the
+/// per-collective telemetry rows ([`xbrtime::CollectiveRecord`]) from the
+/// run's [`xbrtime::RunReport`] — the executor-level accounting the
+/// schedule/executor split provides for free.
+pub fn collective_telemetry(n_pes: usize, nelems: usize) -> Vec<xbrtime::CollectiveRecord> {
+    let per_pe = nelems.max(1);
+    let total = per_pe * n_pes;
+    let fc = FabricConfig::paper(n_pes).with_shared_bytes((total * 8 * 4 + (1 << 16)).max(1 << 20));
+    let report = Fabric::run(fc, move |pe| {
+        let bcast = pe.shared_malloc::<u64>(per_pe);
+        let src = vec![3u64; per_pe];
+        collectives::broadcast(pe, &bcast, &src, per_pe, 1, 0);
+        pe.barrier();
+
+        let red_src = pe.shared_malloc::<u64>(per_pe);
+        pe.heap_write(red_src.whole(), &vec![pe.rank() as u64; per_pe]);
+        pe.barrier();
+        let mut red = vec![0u64; per_pe];
+        collectives::reduce(pe, &mut red, &red_src, per_pe, 1, 0, ReduceOp::Sum);
+        pe.barrier();
+
+        let msgs = vec![per_pe; n_pes];
+        let disp: Vec<usize> = (0..n_pes).map(|r| r * per_pe).collect();
+        let sc_src: Vec<u64> = if pe.rank() == 0 {
+            (0..total as u64).collect()
+        } else {
+            vec![]
+        };
+        let mut mine = vec![0u64; per_pe];
+        collectives::scatter(pe, &mut mine, &sc_src, &msgs, &disp, total, 0);
+        pe.barrier();
+        let mut back = vec![0u64; total];
+        collectives::gather(pe, &mut back, &mine, &msgs, &disp, total, 0);
+        pe.barrier();
+
+        let mut all = vec![0u64; total];
+        collectives::all_gather(pe, &mut all, &mine, per_pe);
+        pe.barrier();
+        collectives::all_to_all(pe, &mut all, &back, per_pe);
+        pe.barrier();
+
+        let mut everywhere = vec![0u64; per_pe];
+        collectives::reduce_all(
+            pe,
+            &mut everywhere,
+            &red_src,
+            per_pe,
+            ReduceOp::Sum,
+            AllReduceAlgo::ReduceThenBroadcast,
+        );
+        pe.barrier();
+    });
+    report.collectives
+}
+
 /// Ablation: simulated cycles for a bulk put at a given unroll threshold.
 pub fn ablation_unroll(threshold: usize, nelems: usize) -> u64 {
     let mut fc = FabricConfig::paper(2).with_shared_bytes((nelems * 8).max(1 << 20));
@@ -318,11 +422,7 @@ pub fn ablation_unroll(threshold: usize, nelems: usize) -> u64 {
 
 /// Ablation: hierarchical vs flat broadcast on a multi-node topology.
 /// Returns (hierarchical_cycles, flat_cycles).
-pub fn ablation_topology(
-    n_pes: usize,
-    pes_per_node: usize,
-    nelems: usize,
-) -> (u64, u64) {
+pub fn ablation_topology(n_pes: usize, pes_per_node: usize, nelems: usize) -> (u64, u64) {
     use xbrtime::Topology;
     let cfg = FabricConfig::paper(n_pes)
         .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
@@ -359,6 +459,7 @@ pub fn ablation_gups_amo(n_pes: usize) -> (u64, u64, usize, usize) {
             updates_per_pe: (1 << 16) / n_pes,
             verify: true,
             use_amo,
+            policy: xbrtime::AlgorithmPolicy::Binomial,
         };
         let fc = FabricConfig::paper(n_pes).with_shared_bytes(cfg.table_bytes() + (1 << 20));
         let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));
@@ -373,8 +474,8 @@ pub fn ablation_gups_amo(n_pes: usize) -> (u64, u64, usize, usize) {
 
 /// Ablation: simulated makespan of all-reduce under both strategies.
 pub fn ablation_allreduce(algo: AllReduceAlgo, n_pes: usize, nelems: usize) -> u64 {
-    let fc = FabricConfig::paper(n_pes)
-        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    let fc =
+        FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
     let report = Fabric::run(fc, move |pe| {
         let src = pe.shared_malloc::<u64>(nelems.max(1));
         pe.heap_write(src.whole(), &vec![pe.rank() as u64; nelems]);

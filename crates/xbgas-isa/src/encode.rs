@@ -382,13 +382,7 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
         ),
         Inst::Eaddi { rd, ext1, imm } => {
             let imm = check_simm(imm, 12)?;
-            i_type(
-                XBGAS_ADDR,
-                rd.num() as u32,
-                0b000,
-                ext1.num() as u32,
-                imm,
-            )
+            i_type(XBGAS_ADDR, rd.num() as u32, 0b000, ext1.num() as u32, imm)
         }
         Inst::Eaddie { ext, rs1, imm } => {
             let imm = check_simm(imm, 12)?;
@@ -396,13 +390,7 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
         }
         Inst::Eaddix { ext1, ext2, imm } => {
             let imm = check_simm(imm, 12)?;
-            i_type(
-                XBGAS_ADDR,
-                ext1.num() as u32,
-                0b010,
-                ext2.num() as u32,
-                imm,
-            )
+            i_type(XBGAS_ADDR, ext1.num() as u32, 0b010, ext2.num() as u32, imm)
         }
     })
 }
@@ -495,7 +483,10 @@ mod tests {
             rs1: XReg::A1,
             imm: 7,
         };
-        assert_eq!(encode(&i).unwrap(), (7 << 20) | (11 << 15) | (10 << 7) | 0x13);
+        assert_eq!(
+            encode(&i).unwrap(),
+            (7 << 20) | (11 << 15) | (10 << 7) | 0x13
+        );
 
         // add a0, a1, a2
         let i = Inst::Op {
@@ -524,7 +515,10 @@ mod tests {
         };
         assert!(matches!(
             encode(&i),
-            Err(EncodeError::ImmOutOfRange { value: 2048, bits: 12 })
+            Err(EncodeError::ImmOutOfRange {
+                value: 2048,
+                bits: 12
+            })
         ));
         let i = Inst::OpImm {
             op: AluImmOp::Addi,
@@ -561,7 +555,10 @@ mod tests {
             rs1: XReg::A0,
             imm: 64,
         };
-        assert!(matches!(encode(&bad), Err(EncodeError::ShamtOutOfRange(64))));
+        assert!(matches!(
+            encode(&bad),
+            Err(EncodeError::ShamtOutOfRange(64))
+        ));
         let bad_w = Inst::OpImm {
             op: AluImmOp::Slliw,
             rd: XReg::A0,

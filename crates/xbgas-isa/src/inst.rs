@@ -50,7 +50,10 @@ impl LoadWidth {
     /// Whether the loaded value is sign-extended to 64 bits.
     #[inline]
     pub const fn signed(self) -> bool {
-        matches!(self, LoadWidth::B | LoadWidth::H | LoadWidth::W | LoadWidth::D)
+        matches!(
+            self,
+            LoadWidth::B | LoadWidth::H | LoadWidth::W | LoadWidth::D
+        )
     }
 
     /// The standard RISC-V `funct3` encoding for this width.
@@ -166,8 +169,7 @@ impl StoreWidth {
     }
 
     /// All store widths, for exhaustive tests.
-    pub const ALL: [StoreWidth; 4] =
-        [StoreWidth::B, StoreWidth::H, StoreWidth::W, StoreWidth::D];
+    pub const ALL: [StoreWidth; 4] = [StoreWidth::B, StoreWidth::H, StoreWidth::W, StoreWidth::D];
 }
 
 /// Register-register ALU operations (RV64I OP/OP-32 + RV64M).
@@ -700,10 +702,9 @@ impl Inst {
     pub const fn category(&self) -> InstCategory {
         match self {
             Inst::ELoad { .. } | Inst::EStore { .. } => InstCategory::XbgasBaseLoadStore,
-            Inst::ERLoad { .. }
-            | Inst::ERStore { .. }
-            | Inst::ERse { .. }
-            | Inst::ERle { .. } => InstCategory::XbgasRawLoadStore,
+            Inst::ERLoad { .. } | Inst::ERStore { .. } | Inst::ERse { .. } | Inst::ERle { .. } => {
+                InstCategory::XbgasRawLoadStore
+            }
             Inst::Eaddi { .. } | Inst::Eaddie { .. } | Inst::Eaddix { .. } => {
                 InstCategory::XbgasAddressManagement
             }

@@ -37,8 +37,11 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (arb_xreg(), -524288i32..=524287).prop_map(|(rd, imm20)| Inst::Lui { rd, imm20 }),
         (arb_xreg(), -524288i32..=524287).prop_map(|(rd, imm20)| Inst::Auipc { rd, imm20 }),
         (arb_xreg(), arb_jal_offset()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
-        (arb_xreg(), arb_xreg(), arb_imm12())
-            .prop_map(|(rd, rs1, imm)| Inst::Jalr { rd, rs1, imm }),
+        (arb_xreg(), arb_xreg(), arb_imm12()).prop_map(|(rd, rs1, imm)| Inst::Jalr {
+            rd,
+            rs1,
+            imm
+        }),
         (
             prop::sample::select(BranchCond::ALL.to_vec()),
             arb_xreg(),
@@ -51,15 +54,22 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
                 rs2,
                 offset
             }),
-        (arb_load_width(), arb_xreg(), arb_xreg(), arb_imm12())
-            .prop_map(|(width, rd, rs1, imm)| Inst::Load { width, rd, rs1, imm }),
-        (arb_store_width(), arb_xreg(), arb_xreg(), arb_imm12())
-            .prop_map(|(width, rs1, rs2, imm)| Inst::Store {
+        (arb_load_width(), arb_xreg(), arb_xreg(), arb_imm12()).prop_map(
+            |(width, rd, rs1, imm)| Inst::Load {
+                width,
+                rd,
+                rs1,
+                imm
+            }
+        ),
+        (arb_store_width(), arb_xreg(), arb_xreg(), arb_imm12()).prop_map(
+            |(width, rs1, rs2, imm)| Inst::Store {
                 width,
                 rs1,
                 rs2,
                 imm
-            }),
+            }
+        ),
         (
             prop::sample::select(AluImmOp::ALL.to_vec()),
             arb_xreg(),
@@ -91,39 +101,63 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
             0u16..4096
         )
             .prop_map(|(op, rd, rs1, csr)| Inst::Csr { op, rd, rs1, csr }),
-        (arb_load_width(), arb_xreg(), arb_xreg(), arb_imm12())
-            .prop_map(|(width, rd, rs1, imm)| Inst::ELoad { width, rd, rs1, imm }),
-        (arb_store_width(), arb_xreg(), arb_xreg(), arb_imm12())
-            .prop_map(|(width, rs1, rs2, imm)| Inst::EStore {
+        (arb_load_width(), arb_xreg(), arb_xreg(), arb_imm12()).prop_map(
+            |(width, rd, rs1, imm)| Inst::ELoad {
+                width,
+                rd,
+                rs1,
+                imm
+            }
+        ),
+        (arb_store_width(), arb_xreg(), arb_xreg(), arb_imm12()).prop_map(
+            |(width, rs1, rs2, imm)| Inst::EStore {
                 width,
                 rs1,
                 rs2,
                 imm
-            }),
-        (arb_load_width(), arb_xreg(), arb_xreg(), arb_ereg())
-            .prop_map(|(width, rd, rs1, ext2)| Inst::ERLoad {
+            }
+        ),
+        (arb_load_width(), arb_xreg(), arb_xreg(), arb_ereg()).prop_map(
+            |(width, rd, rs1, ext2)| Inst::ERLoad {
                 width,
                 rd,
                 rs1,
                 ext2
-            }),
-        (arb_store_width(), arb_xreg(), arb_xreg(), arb_ereg())
-            .prop_map(|(width, rs1, rs2, ext3)| Inst::ERStore {
+            }
+        ),
+        (arb_store_width(), arb_xreg(), arb_xreg(), arb_ereg()).prop_map(
+            |(width, rs1, rs2, ext3)| Inst::ERStore {
                 width,
                 rs1,
                 rs2,
                 ext3
-            }),
-        (arb_ereg(), arb_xreg(), arb_ereg())
-            .prop_map(|(ext1, rs1, ext2)| Inst::ERse { ext1, rs1, ext2 }),
-        (arb_ereg(), arb_xreg(), arb_ereg())
-            .prop_map(|(ext1, rs1, ext2)| Inst::ERle { ext1, rs1, ext2 }),
-        (arb_xreg(), arb_ereg(), arb_imm12())
-            .prop_map(|(rd, ext1, imm)| Inst::Eaddi { rd, ext1, imm }),
-        (arb_ereg(), arb_xreg(), arb_imm12())
-            .prop_map(|(ext, rs1, imm)| Inst::Eaddie { ext, rs1, imm }),
-        (arb_ereg(), arb_ereg(), arb_imm12())
-            .prop_map(|(ext1, ext2, imm)| Inst::Eaddix { ext1, ext2, imm }),
+            }
+        ),
+        (arb_ereg(), arb_xreg(), arb_ereg()).prop_map(|(ext1, rs1, ext2)| Inst::ERse {
+            ext1,
+            rs1,
+            ext2
+        }),
+        (arb_ereg(), arb_xreg(), arb_ereg()).prop_map(|(ext1, rs1, ext2)| Inst::ERle {
+            ext1,
+            rs1,
+            ext2
+        }),
+        (arb_xreg(), arb_ereg(), arb_imm12()).prop_map(|(rd, ext1, imm)| Inst::Eaddi {
+            rd,
+            ext1,
+            imm
+        }),
+        (arb_ereg(), arb_xreg(), arb_imm12()).prop_map(|(ext, rs1, imm)| Inst::Eaddie {
+            ext,
+            rs1,
+            imm
+        }),
+        (arb_ereg(), arb_ereg(), arb_imm12()).prop_map(|(ext1, ext2, imm)| Inst::Eaddix {
+            ext1,
+            ext2,
+            imm
+        }),
     ]
 }
 

@@ -234,7 +234,7 @@ fn parse(base: u64, source: &str) -> Result<(Vec<Line>, HashMap<String, u64>), A
                             if !(r.starts_with('"') && r.ends_with('"') && r.len() >= 2) {
                                 return err(number, ".ascii expects a quoted string");
                             }
-                            bytes.extend_from_slice(r[1..r.len() - 1].as_bytes());
+                            bytes.extend_from_slice(&r.as_bytes()[1..r.len() - 1]);
                         }
                     }
                     while bytes.len() % 4 != 0 {
@@ -357,11 +357,7 @@ fn li_words(rd: XReg, imm: i64, line: usize) -> Result<Vec<Inst>, AsmError> {
 }
 
 /// Second pass: emit encoded words.
-fn emit(
-    base: u64,
-    lines: &[Line],
-    labels: &HashMap<String, u64>,
-) -> Result<Vec<u32>, AsmError> {
+fn emit(base: u64, lines: &[Line], labels: &HashMap<String, u64>) -> Result<Vec<u32>, AsmError> {
     let mut words: Vec<u32> = Vec::new();
 
     for line in lines {
@@ -371,7 +367,12 @@ fn emit(
             Stmt::Words(w) => w.clone(),
             Stmt::Li { rd, imm } => li_words(*rd, *imm, n)?
                 .iter()
-                .map(|i| encode(i).map_err(|e| AsmError { line: n, message: e.to_string() }))
+                .map(|i| {
+                    encode(i).map_err(|e| AsmError {
+                        line: n,
+                        message: e.to_string(),
+                    })
+                })
                 .collect::<Result<_, _>>()?,
             Stmt::La { rd, label } => {
                 let addr = *labels.get(label).ok_or(AsmError {
@@ -380,7 +381,12 @@ fn emit(
                 })? as i64;
                 li_words(*rd, addr, n)?
                     .iter()
-                    .map(|i| encode(i).map_err(|e| AsmError { line: n, message: e.to_string() }))
+                    .map(|i| {
+                        encode(i).map_err(|e| AsmError {
+                            line: n,
+                            message: e.to_string(),
+                        })
+                    })
                     .collect::<Result<_, _>>()?
             }
             Stmt::Inst { mnemonic, ops } => {

@@ -175,13 +175,7 @@ pub fn eval_op(op: AluOp, a: u64, b: u64) -> u64 {
                 (sa / sb) as u64
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         AluOp::Rem => {
             if sb == 0 {
                 a
@@ -212,7 +206,7 @@ pub fn eval_op(op: AluOp, a: u64, b: u64) -> u64 {
         }
         AluOp::Divuw => {
             let (wa, wb) = (a as u32, b as u32);
-            let r = if wb == 0 { u32::MAX } else { wa / wb };
+            let r = wa.checked_div(wb).unwrap_or(u32::MAX);
             sext32(r as u64)
         }
         AluOp::Remw => {

@@ -216,12 +216,13 @@ impl Machine {
         bytes: usize,
     ) -> Result<(usize, u64, u64), SimFault> {
         let pc = self.harts[pe].pc;
-        let (target, olb_cycles) = self.olbs[pe]
-            .translate(object_id)
-            .map_err(|e| SimFault::OlbMiss {
-                pc,
-                object_id: e.object_id,
-            })?;
+        let (target, olb_cycles) =
+            self.olbs[pe]
+                .translate(object_id)
+                .map_err(|e| SimFault::OlbMiss {
+                    pc,
+                    object_id: e.object_id,
+                })?;
         match target {
             OlbTarget::Local => {
                 // Local fast path: plain cached access, no fabric involved.
@@ -241,8 +242,7 @@ impl Machine {
                 let queue_wait = start - now;
                 // The remote end services the request from its DRAM.
                 let remote_mem = self.config.cost.mem_cycles;
-                let total =
-                    olb_cycles + queue_wait + occupancy + noc_cfg.base_latency + remote_mem;
+                let total = olb_cycles + queue_wait + occupancy + noc_cfg.base_latency + remote_mem;
                 self.noc.record(bytes, total);
                 Ok((entry.pe, addr, total))
             }
@@ -395,10 +395,7 @@ impl Machine {
             }
             Inst::Jalr { rd, rs1, imm } => {
                 cost += cost_cfg.alu_cycles;
-                let target = self.harts[pe]
-                    .read_x(rs1)
-                    .wrapping_add(imm as i64 as u64)
-                    & !1;
+                let target = self.harts[pe].read_x(rs1).wrapping_add(imm as i64 as u64) & !1;
                 self.harts[pe].write_x(rd, next_pc);
                 next_pc = target;
             }
@@ -423,8 +420,7 @@ impl Machine {
             } => {
                 let addr = self.harts[pe].read_x(rs1).wrapping_add(imm as i64 as u64);
                 cost += self.local_access_cost(pe, addr);
-                let v = Self::load_value(&self.mems[pe], width, addr)
-                    .map_err(SimFault::Memory)?;
+                let v = Self::load_value(&self.mems[pe], width, addr).map_err(SimFault::Memory)?;
                 self.harts[pe].write_x(rd, v);
             }
             Inst::Store {
@@ -436,8 +432,7 @@ impl Machine {
                 let addr = self.harts[pe].read_x(rs1).wrapping_add(imm as i64 as u64);
                 cost += self.local_access_cost(pe, addr);
                 let v = self.harts[pe].read_x(rs2);
-                Self::store_value(&mut self.mems[pe], width, addr, v)
-                    .map_err(SimFault::Memory)?;
+                Self::store_value(&mut self.mems[pe], width, addr, v).map_err(SimFault::Memory)?;
             }
             Inst::OpImm { op, rd, rs1, imm } => {
                 cost += cost_cfg.alu_cycles;
@@ -448,9 +443,7 @@ impl Machine {
                 use xbgas_isa::AluOp::*;
                 cost += match op {
                     Mul | Mulh | Mulhsu | Mulhu | Mulw => cost_cfg.mul_cycles,
-                    Div | Divu | Rem | Remu | Divw | Divuw | Remw | Remuw => {
-                        cost_cfg.div_cycles
-                    }
+                    Div | Divu | Rem | Remu | Divw | Divuw | Remw | Remuw => cost_cfg.div_cycles,
                     _ => cost_cfg.alu_cycles,
                 };
                 let a = self.harts[pe].read_x(rs1);
@@ -498,11 +491,10 @@ impl Machine {
             } => {
                 let object_id = self.harts[pe].read_e(xbgas_isa::EReg::paired_with(rs1));
                 let addr = self.harts[pe].read_x(rs1).wrapping_add(imm as i64 as u64);
-                let (tpe, taddr, c) =
-                    self.resolve_remote(pe, object_id, addr, width.bytes())?;
+                let (tpe, taddr, c) = self.resolve_remote(pe, object_id, addr, width.bytes())?;
                 cost += c;
-                let v = Self::load_value(&self.mems[tpe], width, taddr)
-                    .map_err(SimFault::Memory)?;
+                let v =
+                    Self::load_value(&self.mems[tpe], width, taddr).map_err(SimFault::Memory)?;
                 self.harts[pe].write_x(rd, v);
             }
             Inst::EStore {
@@ -513,8 +505,7 @@ impl Machine {
             } => {
                 let object_id = self.harts[pe].read_e(xbgas_isa::EReg::paired_with(rs1));
                 let addr = self.harts[pe].read_x(rs1).wrapping_add(imm as i64 as u64);
-                let (tpe, taddr, c) =
-                    self.resolve_remote(pe, object_id, addr, width.bytes())?;
+                let (tpe, taddr, c) = self.resolve_remote(pe, object_id, addr, width.bytes())?;
                 cost += c;
                 let v = self.harts[pe].read_x(rs2);
                 Self::store_value(&mut self.mems[tpe], width, taddr, v)
@@ -530,11 +521,10 @@ impl Machine {
             } => {
                 let object_id = self.harts[pe].read_e(ext2);
                 let addr = self.harts[pe].read_x(rs1);
-                let (tpe, taddr, c) =
-                    self.resolve_remote(pe, object_id, addr, width.bytes())?;
+                let (tpe, taddr, c) = self.resolve_remote(pe, object_id, addr, width.bytes())?;
                 cost += c;
-                let v = Self::load_value(&self.mems[tpe], width, taddr)
-                    .map_err(SimFault::Memory)?;
+                let v =
+                    Self::load_value(&self.mems[tpe], width, taddr).map_err(SimFault::Memory)?;
                 self.harts[pe].write_x(rd, v);
             }
             Inst::ERStore {
@@ -545,8 +535,7 @@ impl Machine {
             } => {
                 let object_id = self.harts[pe].read_e(ext3);
                 let addr = self.harts[pe].read_x(rs1);
-                let (tpe, taddr, c) =
-                    self.resolve_remote(pe, object_id, addr, width.bytes())?;
+                let (tpe, taddr, c) = self.resolve_remote(pe, object_id, addr, width.bytes())?;
                 cost += c;
                 let v = self.harts[pe].read_x(rs2);
                 Self::store_value(&mut self.mems[tpe], width, taddr, v)
@@ -614,11 +603,11 @@ impl Machine {
                     // Live harts but none runnable: barrier deadlock.
                     break RunExit::Deadlock;
                 }
-                if let Some((pe, fault)) = self.harts.iter().enumerate().find_map(|(i, h)| {
-                    match &h.state {
-                        HartState::Faulted(f) => Some((i, f.clone())),
-                        _ => None,
-                    }
+                if let Some((pe, fault)) = self.harts.iter().enumerate().find_map(|(i, h)| match &h
+                    .state
+                {
+                    HartState::Faulted(f) => Some((i, f.clone())),
+                    _ => None,
                 }) {
                     break RunExit::Fault { pe, fault };
                 }
@@ -651,10 +640,7 @@ mod tests {
     }
 
     fn exit_inst() -> [Inst; 2] {
-        [
-            pseudo::li(XReg::new(17), syscall::EXIT as i32),
-            Inst::Ecall,
-        ]
+        [pseudo::li(XReg::new(17), syscall::EXIT as i32), Inst::Ecall]
     }
 
     #[test]
@@ -1071,8 +1057,7 @@ mod csr_tests {
     #[test]
     fn rdcycle_is_monotonic_and_kernel_can_self_time() {
         // Measure the cycle delta across a 10-iteration loop.
-        let (m, s) = run(
-            r#"
+        let (m, s) = run(r#"
             rdcycle s0
             li t0, 10
         loop:
@@ -1082,8 +1067,7 @@ mod csr_tests {
             sub a0, s1, s0
             li a7, 0
             ecall
-            "#,
-        );
+            "#);
         assert_eq!(s.exit, RunExit::AllHalted);
         let delta = match m.hart(0).state {
             crate::hart::HartState::Halted { code } => code,
@@ -1097,16 +1081,14 @@ mod csr_tests {
 
     #[test]
     fn rdinstret_counts_retired_instructions() {
-        let (m, s) = run(
-            r#"
+        let (m, s) = run(r#"
             nop
             nop
             nop
             rdinstret a0
             li a7, 0
             ecall
-            "#,
-        );
+            "#);
         assert_eq!(s.exit, RunExit::AllHalted);
         // 3 nops retired before the rdinstret executes.
         assert_eq!(m.hart(0).state, HartState::Halted { code: 3 });
@@ -1139,7 +1121,6 @@ mod csr_tests {
         ));
     }
 }
-
 
 #[cfg(test)]
 mod trace_tests {
@@ -1189,7 +1170,6 @@ mod trace_tests {
         assert!(m.trace(0).is_empty());
     }
 }
-
 
 #[cfg(test)]
 mod erle_tests {

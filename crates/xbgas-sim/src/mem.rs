@@ -24,7 +24,11 @@ pub enum MemError {
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            MemError::OutOfBounds { addr, size, mem_size } => write!(
+            MemError::OutOfBounds {
+                addr,
+                size,
+                mem_size,
+            } => write!(
                 f,
                 "memory access of {size} bytes at {addr:#x} exceeds {mem_size:#x}-byte memory"
             ),
@@ -171,7 +175,11 @@ mod tests {
         assert!(m.load_u64(8).is_ok());
         assert!(matches!(
             m.load_u64(9),
-            Err(MemError::OutOfBounds { addr: 9, size: 8, .. })
+            Err(MemError::OutOfBounds {
+                addr: 9,
+                size: 8,
+                ..
+            })
         ));
         assert!(m.store_u8(15, 1).is_ok());
         assert!(m.store_u8(16, 1).is_err());

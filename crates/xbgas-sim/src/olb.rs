@@ -191,7 +191,13 @@ mod tests {
                 base: 0x10_0000
             })
         );
-        assert_eq!(olb.remove(0xCAFE), Some(OlbEntry { pe: 7, base: 0x10_0000 }));
+        assert_eq!(
+            olb.remove(0xCAFE),
+            Some(OlbEntry {
+                pe: 7,
+                base: 0x10_0000
+            })
+        );
         assert!(olb.is_empty());
     }
 

@@ -12,8 +12,11 @@
 //! Both are semantically interchangeable with the tree versions, so every
 //! test of Algorithms 1–4 can (and does) cross-check against them.
 
-use crate::collectives::vrank::{logical_rank, virtual_rank};
-use crate::fabric::{Pe, SymmAlloc};
+use crate::collectives::schedule::{
+    self, broadcast_linear_sched, broadcast_ring_sched, reduce_linear_sched, CommSchedule, OpKind,
+    Stage, TransferOp,
+};
+use crate::fabric::{CollectiveKind, Pe, SymmAlloc};
 use crate::types::XbrType;
 
 /// Linear (root-sequential) broadcast: the root puts to each peer in turn.
@@ -25,17 +28,11 @@ pub fn broadcast_linear<T: XbrType>(
     stride: usize,
     root: usize,
 ) {
-    let n_pes = pe.n_pes();
-    assert!(root < n_pes, "root {root} out of range");
     if pe.rank() == root {
         pe.heap_write_strided(dest.whole(), src, nelems, stride);
-        for peer in 0..n_pes {
-            if peer != root && nelems > 0 {
-                pe.put_symm(dest.whole(), dest.whole(), nelems, stride, peer);
-            }
-        }
     }
-    pe.barrier();
+    let sched = broadcast_linear_sched(pe.n_pes(), root, nelems, stride);
+    schedule::execute(pe, &sched, dest.whole(), &[], &mut [], None);
 }
 
 /// Ring broadcast: the payload hops `rank → rank+1` for `N − 1` stages.
@@ -47,25 +44,15 @@ pub fn broadcast_ring<T: XbrType>(
     stride: usize,
     root: usize,
 ) {
-    let n_pes = pe.n_pes();
-    assert!(root < n_pes, "root {root} out of range");
-    let vir_rank = virtual_rank(pe.rank(), root, n_pes);
     if pe.rank() == root {
         pe.heap_write_strided(dest.whole(), src, nelems, stride);
     }
-    for stage in 0..n_pes.saturating_sub(1) {
-        if vir_rank == stage && nelems > 0 {
-            let next = logical_rank((vir_rank + 1) % n_pes, root, n_pes);
-            pe.put_symm(dest.whole(), dest.whole(), nelems, stride, next);
-        }
-        pe.barrier();
-    }
-    if n_pes == 1 {
-        pe.barrier();
-    }
+    let sched = broadcast_ring_sched(pe.n_pes(), root, nelems, stride);
+    schedule::execute(pe, &sched, dest.whole(), &[], &mut [], None);
 }
 
-/// Linear reduction: the root gets every peer's contribution and folds it in.
+/// Linear reduction: the root gets every peer's contribution and folds it
+/// into a private accumulator (never writing back into `src`).
 ///
 /// `src` must be symmetric, as in the tree version.
 pub fn reduce_linear<T: XbrType>(
@@ -79,31 +66,28 @@ pub fn reduce_linear<T: XbrType>(
 ) {
     let n_pes = pe.n_pes();
     assert!(root < n_pes, "root {root} out of range");
-    let span = if nelems == 0 { 0 } else { (nelems - 1) * stride + 1 };
-    // All PEs participate in the barrier; only the root moves data.
+    let span = if nelems == 0 {
+        0
+    } else {
+        (nelems - 1) * stride + 1
+    };
+    // All PEs participate in the barriers; only the root moves data.
     pe.barrier();
+    let mut acc = vec![T::default(); span];
     if pe.rank() == root && nelems > 0 {
-        let mut acc = vec![T::default(); span];
         pe.heap_read_strided(src.whole(), &mut acc, nelems, stride);
-        let mut incoming = vec![T::default(); span];
-        for peer in 0..n_pes {
-            if peer == root {
-                continue;
-            }
-            pe.get(&mut incoming, src.whole(), nelems, stride, peer);
-            for j in 0..nelems {
-                acc[j * stride] = f(acc[j * stride], incoming[j * stride]);
-            }
-            pe.charge(pe.timing().cost.alu_cycles * nelems as u64);
-        }
+    }
+    let sched = reduce_linear_sched(n_pes, root, nelems, stride);
+    schedule::execute(pe, &sched, src.whole(), &[], &mut acc, Some(&f));
+    if pe.rank() == root {
         for j in 0..nelems {
             dest[j * stride] = acc[j * stride];
         }
     }
-    pe.barrier();
 }
 
-/// Linear scatter: the root puts each PE's segment directly.
+/// Linear scatter: the root puts each PE's segment directly (no staging
+/// reorder — each segment lands at offset 0 of the peer's `dest`).
 pub fn scatter_linear<T: XbrType>(
     pe: &Pe,
     dest: &SymmAlloc<T>,
@@ -118,21 +102,30 @@ pub fn scatter_linear<T: XbrType>(
     assert_eq!(pe_msgs.len(), n_pes);
     assert_eq!(pe_disp.len(), n_pes);
     assert_eq!(pe_msgs.iter().sum::<usize>(), nelems);
-    if pe.rank() == root {
-        for peer in 0..n_pes {
-            let count = pe_msgs[peer];
-            if count == 0 {
-                continue;
-            }
-            let seg = &src[pe_disp[peer]..pe_disp[peer] + count];
-            if peer == root {
-                pe.heap_write(dest.whole(), seg);
-            } else {
-                pe.put(dest.whole(), seg, count, 1, peer);
-            }
-        }
+    if pe.rank() == root && pe_msgs[root] > 0 {
+        pe.heap_write(
+            dest.whole(),
+            &src[pe_disp[root]..pe_disp[root] + pe_msgs[root]],
+        );
     }
-    pe.barrier();
+    let ops = (0..n_pes)
+        .filter(|&peer| peer != root && pe_msgs[peer] > 0)
+        .map(|peer| TransferOp {
+            src_pe: root,
+            dst_pe: peer,
+            src_at: pe_disp[peer],
+            dst_at: 0,
+            nelems: pe_msgs[peer],
+            stride: 1,
+            kind: OpKind::PutFrom,
+        })
+        .collect();
+    let sched = CommSchedule {
+        n_pes,
+        kind: CollectiveKind::Scatter,
+        stages: vec![Stage::new(ops)],
+    };
+    schedule::execute(pe, &sched, dest.whole(), src, &mut [], None);
 }
 
 /// Linear gather: the root gets each PE's segment directly into `dest`.
@@ -151,21 +144,28 @@ pub fn gather_linear<T: XbrType>(
     assert_eq!(pe_disp.len(), n_pes);
     assert_eq!(pe_msgs.iter().sum::<usize>(), nelems);
     pe.barrier();
-    if pe.rank() == root {
-        for peer in 0..n_pes {
-            let count = pe_msgs[peer];
-            if count == 0 {
-                continue;
-            }
-            let out = &mut dest[pe_disp[peer]..pe_disp[peer] + count];
-            if peer == root {
-                pe.heap_read_strided(src.whole(), out, count, 1);
-            } else {
-                pe.get(out, src.whole(), count, 1, peer);
-            }
-        }
+    if pe.rank() == root && pe_msgs[root] > 0 {
+        let out = &mut dest[pe_disp[root]..pe_disp[root] + pe_msgs[root]];
+        pe.heap_read_strided(src.whole(), out, pe_msgs[root], 1);
     }
-    pe.barrier();
+    let ops = (0..n_pes)
+        .filter(|&peer| peer != root && pe_msgs[peer] > 0)
+        .map(|peer| TransferOp {
+            src_pe: peer,
+            dst_pe: root,
+            src_at: 0,
+            dst_at: pe_disp[peer],
+            nelems: pe_msgs[peer],
+            stride: 1,
+            kind: OpKind::GetInto,
+        })
+        .collect();
+    let sched = CommSchedule {
+        n_pes,
+        kind: CollectiveKind::Gather,
+        stages: vec![Stage::new(ops)],
+    };
+    schedule::execute(pe, &sched, src.whole(), &[], dest, None);
 }
 
 #[cfg(test)]
@@ -185,7 +185,10 @@ mod tests {
                     crate::collectives::broadcast::broadcast(pe, &d1, &src, 4, 1, root);
                     broadcast_linear(pe, &d2, &src, 4, 1, root);
                     pe.barrier();
-                    (pe.heap_read_vec(d1.whole(), 4), pe.heap_read_vec(d2.whole(), 4))
+                    (
+                        pe.heap_read_vec(d1.whole(), 4),
+                        pe.heap_read_vec(d2.whole(), 4),
+                    )
                 });
                 for (tree, lin) in &report.results {
                     assert_eq!(tree, lin);
@@ -221,9 +224,7 @@ mod tests {
                 pe.barrier();
                 let mut d1 = [0i64; 2];
                 let mut d2 = [0i64; 2];
-                crate::collectives::reduce::reduce_with(
-                    pe, &mut d1, &src, 2, 1, 0, i64::red_sum,
-                );
+                crate::collectives::reduce::reduce_with(pe, &mut d1, &src, 2, 1, 0, i64::red_sum);
                 reduce_linear(pe, &mut d2, &src, 2, 1, 0, i64::red_sum);
                 pe.barrier();
                 (d1, d2)

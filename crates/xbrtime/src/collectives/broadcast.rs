@@ -7,8 +7,8 @@
 //! A barrier closes every stage (paper: *"While not shown in Algorithm 1, a
 //! barrier operation takes place at the end of each loop iteration"*).
 
-use crate::collectives::vrank::{logical_rank, virtual_rank};
-use crate::fabric::{ceil_log2, Pe, SymmAlloc};
+use crate::collectives::schedule::{self, broadcast_binomial};
+use crate::fabric::{CollectiveKind, Pe, SymmAlloc};
 use crate::types::XbrType;
 
 /// Broadcast `nelems` elements (at element `stride`, applied to both `src`
@@ -41,32 +41,36 @@ pub fn broadcast<T: XbrType>(
     stride: usize,
     root: usize,
 ) {
-    let n_pes = pe.n_pes();
-    let log_rank = pe.rank();
-    let vir_rank = virtual_rank(log_rank, root, n_pes);
+    broadcast_kind(
+        pe,
+        dest,
+        src,
+        nelems,
+        stride,
+        root,
+        CollectiveKind::Broadcast,
+    );
+}
 
+/// Broadcast, reporting telemetry under an explicit kind — so composites
+/// like reduce-to-all attribute their internal broadcast to themselves.
+pub(crate) fn broadcast_kind<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    kind: CollectiveKind,
+) {
     // The root stages the payload into its symmetric dest so that interior
     // tree stages can forward heap-to-heap with a single put each.
-    if log_rank == root {
+    if pe.rank() == root {
         pe.heap_write_strided(dest.whole(), src, nelems, stride);
     }
-    if n_pes == 1 {
-        return;
-    }
-
-    let stages = ceil_log2(n_pes);
-    let mut mask = (1usize << stages) - 1;
-    for i in (0..stages).rev() {
-        mask ^= 1 << i;
-        if vir_rank & mask == 0 && vir_rank & (1 << i) == 0 {
-            let vir_part = (vir_rank ^ (1 << i)) % n_pes;
-            let log_part = logical_rank(vir_part, root, n_pes);
-            if vir_rank < vir_part {
-                pe.put_symm(dest.whole(), dest.whole(), nelems, stride, log_part);
-            }
-        }
-        pe.barrier();
-    }
+    let mut sched = broadcast_binomial(pe.n_pes(), root, nelems, stride);
+    sched.kind = kind;
+    schedule::execute(pe, &sched, dest.whole(), &[], &mut [], None);
 }
 
 #[cfg(test)]
@@ -76,7 +80,11 @@ mod tests {
 
     fn check_broadcast(n_pes: usize, root: usize, nelems: usize, stride: usize) {
         let report = Fabric::run(FabricConfig::new(n_pes), |pe| {
-            let span = if nelems == 0 { 1 } else { (nelems - 1) * stride + 1 };
+            let span = if nelems == 0 {
+                1
+            } else {
+                (nelems - 1) * stride + 1
+            };
             let dest = pe.shared_malloc::<u64>(span);
             // Poison dest so stale values are detectable.
             pe.heap_write(dest.whole(), &vec![u64::MAX; span]);
@@ -149,5 +157,11 @@ mod tests {
         assert_eq!(report.stats.puts, 7);
         // 3 stage barriers per PE + the trailing explicit one.
         assert_eq!(report.stats.barriers, 4);
+        // The same counts surface as per-collective telemetry.
+        let rec = report.collective(CollectiveKind::Broadcast).unwrap();
+        assert_eq!(rec.calls, 1);
+        assert_eq!(rec.puts, 7);
+        assert_eq!(rec.bytes_put, 7 * 4 * 8);
+        assert_eq!(rec.stages, 3);
     }
 }

@@ -17,11 +17,105 @@
 //! * [`Team`] — a subset of PEs with translated ranks; team-scoped
 //!   broadcast/reduce reuse the tree algorithms over team ranks.
 
-use crate::collectives::broadcast::broadcast;
-use crate::collectives::reduce::reduce_with;
-use crate::collectives::vrank::{logical_rank, virtual_rank};
-use crate::fabric::{ceil_log2, Pe, SymmAlloc};
+use crate::collectives::broadcast::broadcast_kind;
+use crate::collectives::reduce::reduce_with_kind;
+use crate::collectives::schedule::{
+    self, binomial_halving_stages, CommSchedule, OpKind, Stage, TransferOp,
+};
+use crate::collectives::vrank::logical_rank;
+use crate::fabric::{ceil_log2, CollectiveKind, Pe, SymmAlloc};
 use crate::types::{ReduceOp, XbrNumeric, XbrType};
+
+/// Recursive-doubling all-reduce schedule: `⌈log2 n⌉` butterfly stages of
+/// symmetric pairwise folds. Only exact for power-of-two `n`; the
+/// executor's caller handles the tail (see [`reduce_all_with`]). Each
+/// stage defers its folds past a mid-stage barrier because both partners
+/// read each other's buffer before either may overwrite its own.
+pub fn allreduce_recursive_doubling(n_pes: usize, nelems: usize) -> CommSchedule {
+    if n_pes <= 1 || nelems == 0 {
+        return CommSchedule::empty(n_pes, CollectiveKind::AllReduce);
+    }
+    let mut stages = Vec::new();
+    for i in 0..ceil_log2(n_pes) {
+        let mut ops = Vec::new();
+        for me in 0..n_pes {
+            let partner = me ^ (1 << i);
+            if partner < n_pes {
+                ops.push(TransferOp {
+                    src_pe: partner,
+                    dst_pe: me,
+                    src_at: 0,
+                    dst_at: 0,
+                    nelems,
+                    stride: 1,
+                    kind: OpKind::GetFold,
+                });
+            }
+        }
+        stages.push(Stage {
+            ops,
+            deferred_fold: true,
+        });
+    }
+    CommSchedule {
+        n_pes,
+        kind: CollectiveKind::AllReduce,
+        stages,
+    }
+}
+
+/// All-gather schedule: in one stage every PE publishes its block at its
+/// own slot on every PE (its own included) — `n` concurrent put fans.
+pub fn all_gather_sched(n_pes: usize, per_pe: usize) -> CommSchedule {
+    let mut ops = Vec::new();
+    if per_pe > 0 {
+        for me in 0..n_pes {
+            for peer in 0..n_pes {
+                ops.push(TransferOp {
+                    src_pe: me,
+                    dst_pe: peer,
+                    src_at: 0,
+                    dst_at: me * per_pe,
+                    nelems: per_pe,
+                    stride: 1,
+                    kind: OpKind::PutFrom,
+                });
+            }
+        }
+    }
+    CommSchedule {
+        n_pes,
+        kind: CollectiveKind::AllGather,
+        stages: vec![Stage::new(ops)],
+    }
+}
+
+/// Personalized all-to-all schedule: one stage of pairwise-exchange puts,
+/// each PE targeting `(rank + s) mod n` at hop `s` to spread traffic.
+pub fn all_to_all_sched(n_pes: usize, per_pe: usize) -> CommSchedule {
+    let mut ops = Vec::new();
+    if per_pe > 0 {
+        for s in 0..n_pes {
+            for me in 0..n_pes {
+                let target = (me + s) % n_pes;
+                ops.push(TransferOp {
+                    src_pe: me,
+                    dst_pe: target,
+                    src_at: target * per_pe,
+                    dst_at: me * per_pe,
+                    nelems: per_pe,
+                    stride: 1,
+                    kind: OpKind::PutFrom,
+                });
+            }
+        }
+    }
+    CommSchedule {
+        n_pes,
+        kind: CollectiveKind::AllToAll,
+        stages: vec![Stage::new(ops)],
+    }
+}
 
 /// Strategy for [`reduce_all`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,9 +156,10 @@ pub fn reduce_all_with<T: XbrType>(
 ) {
     assert!(dest.len() >= nelems, "dest too small for all-reduce result");
     let n_pes = pe.n_pes();
+    let kind = CollectiveKind::AllReduce;
     match algo {
         AllReduceAlgo::ReduceThenBroadcast => {
-            reduce_with(pe, dest, src, nelems, 1, 0, f);
+            reduce_with_kind(pe, dest, src, nelems, 1, 0, kind, f);
             let bcast = pe.shared_malloc::<T>(nelems.max(1));
             // Rank 0 holds the result; broadcast it to everyone.
             let payload: Vec<T> = if pe.rank() == 0 {
@@ -72,7 +167,7 @@ pub fn reduce_all_with<T: XbrType>(
             } else {
                 vec![T::default(); nelems]
             };
-            broadcast(pe, &bcast, &payload, nelems, 1, 0);
+            broadcast_kind(pe, &bcast, &payload, nelems, 1, 0, kind);
             pe.barrier();
             if nelems > 0 {
                 pe.heap_read_strided(bcast.whole(), &mut dest[..nelems], nelems, 1);
@@ -86,43 +181,21 @@ pub fn reduce_all_with<T: XbrType>(
                 pe.get_symm(work.whole(), src.whole(), nelems, 1, pe.rank());
             }
             pe.barrier();
-            if nelems > 0 && n_pes > 1 {
-                let stages = ceil_log2(n_pes);
-                let me = pe.rank();
-                let mut incoming = vec![T::default(); nelems];
-                for i in 0..stages {
-                    let partner = me ^ (1 << i);
-                    let active = partner < n_pes;
-                    if active {
-                        pe.get(&mut incoming, work.whole(), nelems, 1, partner);
-                    }
-                    // Both partners read each other's buffer this stage, so
-                    // the combine must wait until every read has landed.
-                    pe.barrier();
-                    if active {
-                        let mut mine = pe.heap_read_vec::<T>(work.whole(), nelems);
-                        for j in 0..nelems {
-                            mine[j] = f(mine[j], incoming[j]);
-                        }
-                        pe.charge(pe.timing().cost.alu_cycles * nelems as u64);
-                        pe.heap_write(work.whole(), &mine);
-                    }
-                    pe.barrier();
-                }
-                // Non-power-of-two tails: ranks ≥ 2^⌊log2 n⌋ may have missed
-                // partners in some stages; fall back to fetching the fully
-                // reduced value from rank 0's butterfly group when needed.
-                if !n_pes.is_power_of_two() {
-                    // Redo as reduce + broadcast for correctness; the
-                    // butterfly above still produced the right answer for
-                    // the power-of-two subcube containing rank 0 only when
-                    // n is a power of two, so synchronise through rank 0.
-                    let mut full = vec![T::default(); nelems];
-                    reduce_with(pe, &mut full, src, nelems, 1, 0, f);
-                    let payload = if pe.rank() == 0 { full } else { vec![T::default(); nelems] };
-                    broadcast(pe, &work, &payload, nelems, 1, 0);
-                    pe.barrier();
-                }
+            let sched = allreduce_recursive_doubling(n_pes, nelems);
+            schedule::execute(pe, &sched, work.whole(), &[], &mut [], Some(&f));
+            // Non-power-of-two tails: ranks ≥ 2^⌊log2 n⌋ may have missed
+            // partners in some stages; the butterfly is only exact when n
+            // is a power of two, so synchronise through rank 0.
+            if nelems > 0 && n_pes > 1 && !n_pes.is_power_of_two() {
+                let mut full = vec![T::default(); nelems];
+                reduce_with_kind(pe, &mut full, src, nelems, 1, 0, kind, f);
+                let payload = if pe.rank() == 0 {
+                    full
+                } else {
+                    vec![T::default(); nelems]
+                };
+                broadcast_kind(pe, &work, &payload, nelems, 1, 0, kind);
+                pe.barrier();
             }
             if nelems > 0 {
                 pe.heap_read_strided(work.whole(), &mut dest[..nelems], nelems, 1);
@@ -143,15 +216,11 @@ pub fn all_gather<T: XbrType>(pe: &Pe, dest: &mut [T], src: &[T], per_pe: usize)
     assert!(dest.len() >= total, "dest shorter than n_pes * per_pe");
 
     let board = pe.shared_malloc::<T>(total.max(1));
-    if per_pe > 0 {
-        // Everyone publishes its block at its own slot on every PE — the
-        // one-sided analogue of an all-gather: n-1 remote puts per PE, all
-        // proceeding concurrently.
-        for peer in 0..n_pes {
-            pe.put(board.at(pe.rank() * per_pe), &src[..per_pe], per_pe, 1, peer);
-        }
-    }
-    pe.barrier();
+    // Everyone publishes its block at its own slot on every PE — the
+    // one-sided analogue of an all-gather: n-1 remote puts per PE, all
+    // proceeding concurrently.
+    let sched = all_gather_sched(n_pes, per_pe);
+    schedule::execute(pe, &sched, board.whole(), src, &mut [], None);
     if total > 0 {
         pe.heap_read_strided(board.whole(), &mut dest[..total], total, 1);
     }
@@ -169,20 +238,8 @@ pub fn all_to_all<T: XbrType>(pe: &Pe, dest: &mut [T], src: &[T], per_pe: usize)
     assert!(dest.len() >= total, "dest shorter than n_pes * per_pe");
 
     let board = pe.shared_malloc::<T>(total.max(1));
-    let me = pe.rank();
-    if per_pe > 0 {
-        for stage in 0..n_pes {
-            let target = (me + stage) % n_pes;
-            pe.put(
-                board.at(me * per_pe),
-                &src[target * per_pe..target * per_pe + per_pe],
-                per_pe,
-                1,
-                target,
-            );
-        }
-    }
-    pe.barrier();
+    let sched = all_to_all_sched(n_pes, per_pe);
+    schedule::execute(pe, &sched, board.whole(), src, &mut [], None);
     if total > 0 {
         pe.heap_read_strided(board.whole(), &mut dest[..total], total, 1);
     }
@@ -232,6 +289,76 @@ impl Team {
         self.members.iter().position(|&m| m == global)
     }
 
+    /// The team broadcast's schedule over *global* ranks: a binomial tree
+    /// across the members, rooted at team-rank `team_root`. Non-members
+    /// appear in no op and simply keep pace with the stage barriers.
+    pub fn broadcast_schedule(
+        &self,
+        n_pes: usize,
+        nelems: usize,
+        team_root: usize,
+    ) -> CommSchedule {
+        assert!(team_root < self.size(), "team root out of range");
+        let n = self.size();
+        if n <= 1 {
+            return CommSchedule::empty(n_pes, CollectiveKind::Broadcast);
+        }
+        let stages = binomial_halving_stages(n, |ops, _i, vir, vpart| {
+            ops.push(TransferOp {
+                src_pe: self.global(logical_rank(vir, team_root, n)),
+                dst_pe: self.global(logical_rank(vpart, team_root, n)),
+                src_at: 0,
+                dst_at: 0,
+                nelems,
+                stride: 1,
+                kind: OpKind::Put,
+            });
+        });
+        CommSchedule {
+            n_pes,
+            kind: CollectiveKind::Broadcast,
+            stages,
+        }
+    }
+
+    /// The team reduction's schedule over global ranks: tree fold toward
+    /// team-rank 0 (partners outside the team size are simply skipped, so
+    /// non-power-of-two teams stay exact).
+    pub fn reduce_schedule(&self, n_pes: usize, nelems: usize) -> CommSchedule {
+        let n = self.size();
+        let mut stages = Vec::new();
+        if n > 1 && nelems > 0 {
+            let nstages = ceil_log2(n);
+            let mut mask = (1usize << nstages) - 1;
+            for i in 0..nstages {
+                mask ^= 1 << i;
+                let mut ops = Vec::new();
+                for tr in 0..n {
+                    if tr | mask == mask && tr & (1 << i) == 0 {
+                        let part = tr ^ (1 << i);
+                        if tr < part && part < n {
+                            ops.push(TransferOp {
+                                src_pe: self.global(part),
+                                dst_pe: self.global(tr),
+                                src_at: 0,
+                                dst_at: 0,
+                                nelems,
+                                stride: 1,
+                                kind: OpKind::GetFold,
+                            });
+                        }
+                    }
+                }
+                stages.push(Stage::new(ops));
+            }
+        }
+        CommSchedule {
+            n_pes,
+            kind: CollectiveKind::AllReduce,
+            stages,
+        }
+    }
+
     /// Team-scoped broadcast from team-rank `team_root`. Every PE (member
     /// or not) must call this; only members move data.
     pub fn broadcast<T: XbrType>(
@@ -242,35 +369,24 @@ impl Team {
         nelems: usize,
         team_root: usize,
     ) {
-        assert!(team_root < self.size(), "team root out of range");
-        let my_team_rank = self.team_rank(pe.rank());
-        let n = self.size();
-        if let Some(tr) = my_team_rank {
-            let vir = virtual_rank(tr, team_root, n);
-            if tr == team_root {
-                pe.heap_write_strided(dest.whole(), src, nelems, 1);
-            }
-            if n > 1 {
-                let stages = ceil_log2(n);
-                let mut mask = (1usize << stages) - 1;
-                for i in (0..stages).rev() {
-                    mask ^= 1 << i;
-                    if vir & mask == 0 && vir & (1 << i) == 0 {
-                        let vpart = (vir ^ (1 << i)) % n;
-                        if vir < vpart {
-                            let target = self.global(logical_rank(vpart, team_root, n));
-                            pe.put_symm(dest.whole(), dest.whole(), nelems, 1, target);
-                        }
-                    }
-                    pe.barrier();
-                }
-            }
-        } else if n > 1 {
-            // Non-members still participate in the stage barriers.
-            for _ in 0..ceil_log2(n) {
-                pe.barrier();
-            }
+        self.broadcast_with_kind(pe, dest, src, nelems, team_root, CollectiveKind::Broadcast);
+    }
+
+    fn broadcast_with_kind<T: XbrType>(
+        &self,
+        pe: &Pe,
+        dest: &SymmAlloc<T>,
+        src: &[T],
+        nelems: usize,
+        team_root: usize,
+        kind: CollectiveKind,
+    ) {
+        if self.team_rank(pe.rank()) == Some(team_root) {
+            pe.heap_write_strided(dest.whole(), src, nelems, 1);
         }
+        let mut sched = self.broadcast_schedule(pe.n_pes(), nelems, team_root);
+        sched.kind = kind;
+        schedule::execute(pe, &sched, dest.whole(), &[], &mut [], None);
     }
 
     /// Team-scoped all-reduce (reduce-to-team-root-then-broadcast). Every
@@ -283,7 +399,6 @@ impl Team {
         nelems: usize,
         f: impl Fn(T, T) -> T + Copy,
     ) {
-        let n = self.size();
         let my_team_rank = self.team_rank(pe.rank());
         let work = pe.shared_malloc::<T>(nelems.max(1));
         if my_team_rank.is_some() && nelems > 0 {
@@ -291,36 +406,15 @@ impl Team {
         }
         pe.barrier();
         // Tree-reduce over team ranks toward team rank 0.
-        if n > 1 && nelems > 0 {
-            let stages = ceil_log2(n);
-            let mut mask = (1usize << stages) - 1;
-            let mut incoming = vec![T::default(); nelems];
-            for i in 0..stages {
-                mask ^= 1 << i;
-                if let Some(tr) = my_team_rank {
-                    if tr | mask == mask && tr & (1 << i) == 0 {
-                        let part = tr ^ (1 << i);
-                        if tr < part && part < n {
-                            pe.get(&mut incoming, work.whole(), nelems, 1, self.global(part));
-                            let mut mine = pe.heap_read_vec::<T>(work.whole(), nelems);
-                            for j in 0..nelems {
-                                mine[j] = f(mine[j], incoming[j]);
-                            }
-                            pe.charge(pe.timing().cost.alu_cycles * nelems as u64);
-                            pe.heap_write(work.whole(), &mine);
-                        }
-                    }
-                }
-                pe.barrier();
-            }
-        }
+        let sched = self.reduce_schedule(pe.n_pes(), nelems);
+        schedule::execute(pe, &sched, work.whole(), &[], &mut [], Some(&f));
         // Team-rank 0 broadcasts the result back through the team.
         let payload: Vec<T> = if my_team_rank == Some(0) {
             pe.heap_read_vec(work.whole(), nelems)
         } else {
             vec![T::default(); nelems]
         };
-        self.broadcast(pe, &work, &payload, nelems, 0);
+        self.broadcast_with_kind(pe, &work, &payload, nelems, 0, CollectiveKind::AllReduce);
         pe.barrier();
         if my_team_rank.is_some() && nelems > 0 {
             pe.heap_read_strided(work.whole(), &mut dest[..nelems], nelems, 1);
@@ -338,13 +432,13 @@ mod tests {
     #[test]
     fn reduce_all_both_algorithms_agree() {
         for n in 1..=8 {
-            for algo in [AllReduceAlgo::ReduceThenBroadcast, AllReduceAlgo::RecursiveDoubling] {
+            for algo in [
+                AllReduceAlgo::ReduceThenBroadcast,
+                AllReduceAlgo::RecursiveDoubling,
+            ] {
                 let report = Fabric::run(FabricConfig::new(n), |pe| {
                     let src = pe.shared_malloc::<u64>(3);
-                    pe.heap_write(
-                        src.whole(),
-                        &[pe.rank() as u64, 1, pe.rank() as u64 * 2],
-                    );
+                    pe.heap_write(src.whole(), &[pe.rank() as u64, 1, pe.rank() as u64 * 2]);
                     pe.barrier();
                     let mut d = [0u64; 3];
                     reduce_all(pe, &mut d, &src, 3, ReduceOp::Sum, algo);

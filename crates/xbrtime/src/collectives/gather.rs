@@ -6,9 +6,11 @@
 //! toward the root, and the root finally reorders the staging buffer back
 //! into *logical*-rank order through `pe_disp`.
 
+use crate::collectives::policy::Algorithm;
 use crate::collectives::scatter::adjusted_displacements;
-use crate::collectives::vrank::{logical_rank, virtual_rank};
-use crate::fabric::{ceil_log2, Pe};
+use crate::collectives::schedule::{self, gather_binomial, gather_linear_sched};
+use crate::collectives::vrank::virtual_rank;
+use crate::fabric::Pe;
 use crate::types::XbrType;
 
 /// Gather `pe_msgs[r]` elements from every PE `r`'s `src` to the root:
@@ -38,13 +40,41 @@ pub fn gather<T: XbrType>(
     nelems: usize,
     root: usize,
 ) {
+    gather_impl(
+        pe,
+        dest,
+        src,
+        pe_msgs,
+        pe_disp,
+        nelems,
+        root,
+        Algorithm::Binomial,
+    );
+}
+
+/// Gather with an explicit algorithm shape over the shared staging
+/// wrapper (`Ring` falls back to linear).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gather_impl<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+    algo: Algorithm,
+) {
     let n_pes = pe.n_pes();
     let log_rank = pe.rank();
     assert!(root < n_pes, "root {root} out of range");
     assert_eq!(pe_msgs.len(), n_pes, "pe_msgs must have one entry per PE");
     assert_eq!(pe_disp.len(), n_pes, "pe_disp must have one entry per PE");
     let total: usize = pe_msgs.iter().sum();
-    assert_eq!(total, nelems, "pe_msgs sums to {total} but nelems is {nelems}");
+    assert_eq!(
+        total, nelems,
+        "pe_msgs sums to {total} but nelems is {nelems}"
+    );
     let my_count = pe_msgs[log_rank];
     assert!(
         src.len() >= my_count,
@@ -62,32 +92,11 @@ pub fn gather<T: XbrType>(
     }
     pe.barrier();
 
-    if n_pes > 1 && nelems > 0 {
-        let stages = ceil_log2(n_pes);
-        let mut mask = (1usize << stages) - 1;
-        for i in 0..stages {
-            mask ^= 1 << i;
-            if vir_rank | mask == mask && vir_rank & (1 << i) == 0 {
-                let vir_part = (vir_rank ^ (1 << i)) % n_pes;
-                let log_part = logical_rank(vir_part, root, n_pes);
-                if vir_rank < vir_part {
-                    // The partner has aggregated its subtree of 2^i ranks.
-                    let subtree_end = (vir_part + (1 << i)).min(n_pes);
-                    let msg_size = adj_disp[subtree_end] - adj_disp[vir_part];
-                    if msg_size > 0 {
-                        pe.get_symm(
-                            s_buff.at(adj_disp[vir_part]),
-                            s_buff.at(adj_disp[vir_part]),
-                            msg_size,
-                            1,
-                            log_part,
-                        );
-                    }
-                }
-            }
-            pe.barrier();
-        }
-    }
+    let sched = match algo {
+        Algorithm::Binomial => gather_binomial(n_pes, root, &adj_disp),
+        Algorithm::Linear | Algorithm::Ring => gather_linear_sched(n_pes, root, &adj_disp),
+    };
+    schedule::execute(pe, &sched, s_buff.whole(), &[], &mut [], None);
 
     // Root: reorder from virtual-rank staging order back to logical order.
     if vir_rank == 0 && nelems > 0 {
@@ -192,7 +201,11 @@ mod tests {
         let nelems = 18;
         let report = Fabric::run(FabricConfig::new(n), |pe| {
             let original: Vec<u64> = (0..nelems as u64).map(|i| i * 3 + 7).collect();
-            let src: Vec<u64> = if pe.rank() == 2 { original.clone() } else { vec![] };
+            let src: Vec<u64> = if pe.rank() == 2 {
+                original.clone()
+            } else {
+                vec![]
+            };
             let mut mine = vec![0u64; 3];
             crate::collectives::scatter::scatter(pe, &mut mine, &src, &msgs, &disp, nelems, 2);
             pe.barrier();

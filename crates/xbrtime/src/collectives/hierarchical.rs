@@ -16,96 +16,193 @@
 //! Both degrade gracefully to the flat algorithms when no topology is
 //! configured (one node, or `pes_per_node = 1`). Stage counts are fixed
 //! from the *maximum* node size so every PE executes the same number of
-//! barriers regardless of ragged last nodes.
+//! barriers regardless of ragged last nodes. The two tiers are emitted as
+//! a single [`CommSchedule`] (tier-1 stages then tier-2 stages for
+//! broadcast, the reverse for reduce), so the generator's output is
+//! inspectable — the inter-node crossing count the hierarchy exists to
+//! minimise is just a filter over the ops.
 
-use crate::fabric::{ceil_log2, Pe, SymmAlloc, Topology};
+use crate::collectives::schedule::{self, CommSchedule, OpKind, Stage, TransferOp};
+use crate::fabric::{ceil_log2, CollectiveKind, Pe, SymmAlloc};
 use crate::types::XbrType;
 
-/// The two-tier structure of a run: nodes, leaders, and this PE's place.
+/// The two-tier structure of a run: node leaders and per-node membership,
+/// derived purely from `(n_pes, pes_per_node, root)`.
 struct Tiers {
     /// Leader PE of every node, in node order. The root's node's leader is
     /// the root itself, so tier 1 is rooted correctly.
     leaders: Vec<usize>,
-    /// This PE's node index.
-    my_node: usize,
-    /// Members of this PE's node (global ranks).
-    my_node_members: Vec<usize>,
+    /// Members of every node (global ranks), in node order.
+    nodes: Vec<Vec<usize>>,
     /// Largest node size (fixes tier-2 stage counts fleet-wide).
     max_node_size: usize,
 }
 
-fn tiers(pe: &Pe, topo: &Topology, root: usize) -> Tiers {
-    let n_pes = pe.n_pes();
-    let k = topo.pes_per_node.max(1);
+fn tiers(n_pes: usize, pes_per_node: usize, root: usize) -> Tiers {
+    let k = pes_per_node.max(1);
     let n_nodes = n_pes.div_ceil(k);
+    let root_node = root / k;
     let leaders: Vec<usize> = (0..n_nodes)
-        .map(|n| if topo.node_of(root) == n { root } else { n * k })
+        .map(|n| if root_node == n { root } else { n * k })
         .collect();
-    let my_node = topo.node_of(pe.rank());
-    let start = my_node * k;
-    let end = (start + k).min(n_pes);
+    let nodes: Vec<Vec<usize>> = (0..n_nodes)
+        .map(|n| (n * k..(n * k + k).min(n_pes)).collect())
+        .collect();
     Tiers {
         leaders,
-        my_node,
-        my_node_members: (start..end).collect(),
+        nodes,
         max_node_size: k.min(n_pes),
     }
 }
 
-/// Binomial-tree stage schedule over an arbitrary member list, rooted at
-/// `members[root_idx]`, with a caller-fixed stage count (so differently
-/// sized groups stay barrier-aligned). Calls `transfer(from, to)` for the
-/// edges this PE drives, top-down.
-fn binomial_push<F: FnMut(usize, usize)>(
-    pe: &Pe,
-    members: &[usize],
-    root_idx: usize,
-    stages: u32,
-    mut transfer: F,
-) {
+/// Top-down binomial edges `(from, to)` over an arbitrary member list at
+/// stage `i`, rooted at `members[root_idx]`: holders are the virtual ranks
+/// ≡ 0 (mod 2^(i+1)); each sends to `vir + 2^i`.
+fn push_edges(members: &[usize], root_idx: usize, i: u32) -> Vec<(usize, usize)> {
     let size = members.len();
-    let my_idx = members.iter().position(|&m| m == pe.rank());
-    for i in (0..stages).rev() {
-        if let Some(idx) = my_idx {
-            let vir = (idx + size - root_idx) % size;
-            // Standard top-down binomial: at stage i the holders are the
-            // virtual ranks ≡ 0 (mod 2^(i+1)); each sends to vir + 2^i.
-            if vir & ((1usize << (i + 1)) - 1) == 0 {
-                let vpart = vir | (1 << i);
-                if vpart < size {
-                    let to = members[(vpart + root_idx) % size];
-                    transfer(pe.rank(), to);
-                }
+    let mut edges = Vec::new();
+    for idx in 0..size {
+        let vir = (idx + size - root_idx) % size;
+        if vir & ((1usize << (i + 1)) - 1) == 0 {
+            let vpart = vir | (1 << i);
+            if vpart < size {
+                edges.push((members[idx], members[(vpart + root_idx) % size]));
             }
         }
-        pe.barrier();
+    }
+    edges
+}
+
+/// Mirror of [`push_edges`]: bottom-up aggregation edges `(at, from)` —
+/// PE `at` pulls and folds PE `from`'s partial at stage `i`.
+fn pull_edges(members: &[usize], root_idx: usize, i: u32) -> Vec<(usize, usize)> {
+    let size = members.len();
+    let mut edges = Vec::new();
+    for idx in 0..size {
+        let vir = (idx + size - root_idx) % size;
+        let low_clear = vir & ((1usize << i) - 1) == 0;
+        if low_clear && vir & (1 << i) == 0 {
+            let vpart = vir | (1 << i);
+            if vpart < size {
+                edges.push((members[idx], members[(vpart + root_idx) % size]));
+            }
+        }
+    }
+    edges
+}
+
+/// Two-tier hierarchical broadcast schedule: binomial push across node
+/// leaders, then each leader's push inside its own node — all nodes
+/// fanning out concurrently within shared, barrier-aligned stages.
+pub fn broadcast_hier_sched(
+    n_pes: usize,
+    pes_per_node: usize,
+    root: usize,
+    nelems: usize,
+) -> CommSchedule {
+    assert!(root < n_pes, "root {root} out of range");
+    let t = tiers(n_pes, pes_per_node, root);
+    let put = |(from, to): (usize, usize)| TransferOp {
+        src_pe: from,
+        dst_pe: to,
+        src_at: 0,
+        dst_at: 0,
+        nelems,
+        stride: 1,
+        kind: OpKind::Put,
+    };
+    let mut stages = Vec::new();
+
+    // Tier 1: across leaders (rooted at the root's node's leader = root).
+    let root_leader_idx = t
+        .leaders
+        .iter()
+        .position(|&l| l == root)
+        .expect("root's node has the root as leader");
+    let stages1 = ceil_log2(t.leaders.len().max(1));
+    for i in (0..stages1).rev() {
+        stages.push(Stage::new(
+            push_edges(&t.leaders, root_leader_idx, i)
+                .into_iter()
+                .map(put)
+                .collect(),
+        ));
+    }
+
+    // Tier 2: every leader fans out inside its node simultaneously.
+    let stages2 = ceil_log2(t.max_node_size.max(1));
+    for i in (0..stages2).rev() {
+        let mut ops = Vec::new();
+        for (node, members) in t.nodes.iter().enumerate() {
+            let leader_idx = members
+                .iter()
+                .position(|&m| m == t.leaders[node])
+                .expect("leader is a member of its own node");
+            ops.extend(push_edges(members, leader_idx, i).into_iter().map(put));
+        }
+        stages.push(Stage::new(ops));
+    }
+    CommSchedule {
+        n_pes,
+        kind: CollectiveKind::Broadcast,
+        stages,
     }
 }
 
-/// Mirror of [`binomial_push`]: bottom-up aggregation; calls
-/// `combine(from)` when this PE must pull and fold its partner's data.
-fn binomial_pull<F: FnMut(usize)>(
-    pe: &Pe,
-    members: &[usize],
-    root_idx: usize,
-    stages: u32,
-    mut combine: F,
-) {
-    let size = members.len();
-    let my_idx = members.iter().position(|&m| m == pe.rank());
-    for i in 0..stages {
-        if let Some(idx) = my_idx {
-            let vir = (idx + size - root_idx) % size;
-            let low_clear = vir & ((1usize << i) - 1) == 0;
-            if low_clear && vir & (1 << i) == 0 {
-                let vpart = vir | (1 << i);
-                if vpart < size {
-                    let from = members[(vpart + root_idx) % size];
-                    combine(from);
-                }
-            }
+/// Two-tier hierarchical reduction schedule: fold within each node toward
+/// its leader, then fold leaders toward the root.
+pub fn reduce_hier_sched(
+    n_pes: usize,
+    pes_per_node: usize,
+    root: usize,
+    nelems: usize,
+) -> CommSchedule {
+    assert!(root < n_pes, "root {root} out of range");
+    let t = tiers(n_pes, pes_per_node, root);
+    let fold = |(at, from): (usize, usize)| TransferOp {
+        src_pe: from,
+        dst_pe: at,
+        src_at: 0,
+        dst_at: 0,
+        nelems,
+        stride: 1,
+        kind: OpKind::GetFold,
+    };
+    let mut stages = Vec::new();
+
+    // Tier 1: aggregate within each node toward its leader.
+    let stages1 = ceil_log2(t.max_node_size.max(1));
+    for i in 0..stages1 {
+        let mut ops = Vec::new();
+        for (node, members) in t.nodes.iter().enumerate() {
+            let leader_idx = members
+                .iter()
+                .position(|&m| m == t.leaders[node])
+                .expect("leader is a member of its own node");
+            ops.extend(pull_edges(members, leader_idx, i).into_iter().map(fold));
         }
-        pe.barrier();
+        stages.push(Stage::new(ops));
+    }
+
+    // Tier 2: aggregate leaders toward the root.
+    let root_leader_idx = t
+        .leaders
+        .iter()
+        .position(|&l| l == root)
+        .expect("root's node has the root as leader");
+    let stages2 = ceil_log2(t.leaders.len().max(1));
+    for i in 0..stages2 {
+        stages.push(Stage::new(
+            pull_edges(&t.leaders, root_leader_idx, i)
+                .into_iter()
+                .map(fold)
+                .collect(),
+        ));
+    }
+    CommSchedule {
+        n_pes,
+        kind: CollectiveKind::Reduce,
+        stages,
     }
 }
 
@@ -123,7 +220,6 @@ pub fn broadcast_hier<T: XbrType>(
         crate::collectives::broadcast(pe, dest, src, nelems, 1, root);
         return;
     };
-    let t = tiers(pe, &topo, root);
 
     if pe.rank() == root {
         pe.heap_write_strided(dest.whole(), src, nelems, 1);
@@ -133,30 +229,8 @@ pub fn broadcast_hier<T: XbrType>(
         return;
     }
 
-    // Tier 1: across leaders (rooted at the root's node's leader = root).
-    let root_leader_idx = t
-        .leaders
-        .iter()
-        .position(|&l| l == root)
-        .expect("root's node has the root as leader");
-    let stages1 = ceil_log2(t.leaders.len().max(1));
-    let leaders = t.leaders.clone();
-    binomial_push(pe, &leaders, root_leader_idx, stages1, |_, to| {
-        pe.put_symm(dest.whole(), dest.whole(), nelems, 1, to);
-    });
-
-    // Tier 2: each leader fans out inside its node simultaneously.
-    let my_leader = t.leaders[t.my_node];
-    let leader_idx = t
-        .my_node_members
-        .iter()
-        .position(|&m| m == my_leader)
-        .expect("leader is a member of its own node");
-    let stages2 = ceil_log2(t.max_node_size.max(1));
-    let members = t.my_node_members.clone();
-    binomial_push(pe, &members, leader_idx, stages2, |_, to| {
-        pe.put_symm(dest.whole(), dest.whole(), nelems, 1, to);
-    });
+    let sched = broadcast_hier_sched(pe.n_pes(), topo.pes_per_node, root, nelems);
+    schedule::execute(pe, &sched, dest.whole(), &[], &mut [], None);
 }
 
 /// Hierarchical reduction with an arbitrary combiner: tier 1 within nodes
@@ -174,7 +248,6 @@ pub fn reduce_hier<T: XbrType>(
         crate::collectives::reduce_with(pe, dest, src, nelems, 1, root, f);
         return;
     };
-    let t = tiers(pe, &topo, root);
 
     let work = pe.shared_malloc::<T>(nelems.max(1));
     if nelems > 0 {
@@ -182,41 +255,8 @@ pub fn reduce_hier<T: XbrType>(
     }
     pe.barrier();
 
-    let mut incoming = vec![T::default(); nelems.max(1)];
-    let mut fold_from = |pe: &Pe, from: usize| {
-        pe.get(&mut incoming, work.whole(), nelems, 1, from);
-        let mut mine = pe.heap_read_vec::<T>(work.whole(), nelems.max(1));
-        for j in 0..nelems {
-            mine[j] = f(mine[j], incoming[j]);
-        }
-        pe.charge(pe.timing().cost.alu_cycles * nelems as u64);
-        pe.heap_write(work.whole(), &mine);
-    };
-
-    // Tier 1: aggregate within each node toward its leader.
-    let my_leader = t.leaders[t.my_node];
-    let leader_idx = t
-        .my_node_members
-        .iter()
-        .position(|&m| m == my_leader)
-        .expect("leader is a member of its own node");
-    let stages1 = ceil_log2(t.max_node_size.max(1));
-    let members = t.my_node_members.clone();
-    binomial_pull(pe, &members, leader_idx, stages1, |from| {
-        fold_from(pe, from);
-    });
-
-    // Tier 2: aggregate leaders toward the root.
-    let root_leader_idx = t
-        .leaders
-        .iter()
-        .position(|&l| l == root)
-        .expect("root's node has the root as leader");
-    let stages2 = ceil_log2(t.leaders.len().max(1));
-    let leaders = t.leaders.clone();
-    binomial_pull(pe, &leaders, root_leader_idx, stages2, |from| {
-        fold_from(pe, from);
-    });
+    let sched = reduce_hier_sched(pe.n_pes(), topo.pes_per_node, root, nelems);
+    schedule::execute(pe, &sched, work.whole(), &[], &mut [], Some(&f));
 
     if pe.rank() == root && nelems > 0 {
         pe.heap_read_strided(work.whole(), &mut dest[..nelems], nelems, 1);
@@ -228,7 +268,7 @@ pub fn reduce_hier<T: XbrType>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fabric::{Fabric, FabricConfig};
+    use crate::fabric::{Fabric, FabricConfig, Topology};
 
     fn topo_cfg(n_pes: usize, pes_per_node: usize) -> FabricConfig {
         FabricConfig::paper(n_pes).with_topology(Topology {
@@ -237,9 +277,42 @@ mod tests {
         })
     }
 
+    /// Inter-node crossings are now a pure property of the schedule.
+    fn inter_node_ops(sched: &CommSchedule, k: usize) -> usize {
+        sched
+            .ops()
+            .filter(|op| op.src_pe / k != op.dst_pe / k)
+            .count()
+    }
+
+    #[test]
+    fn hier_schedule_minimises_inter_node_crossings() {
+        // 12 PEs, 4 nodes of 3: the hierarchy crosses the inter-node
+        // fabric exactly #nodes − 1 = 3 times.
+        let sched = broadcast_hier_sched(12, 3, 0, 64);
+        sched.validate();
+        assert_eq!(sched.total_ops(), 11);
+        assert_eq!(inter_node_ops(&sched, 3), 3);
+        // The flat tree crosses more often on the same layout.
+        let flat = schedule::broadcast_binomial(12, 0, 64, 1);
+        assert!(inter_node_ops(&flat, 3) > 3);
+        // Reduce mirrors broadcast.
+        let red = reduce_hier_sched(12, 3, 0, 64);
+        red.validate();
+        assert_eq!(red.total_ops(), 11);
+        assert_eq!(inter_node_ops(&red, 3), 3);
+    }
+
     #[test]
     fn hier_broadcast_delivers_everywhere() {
-        for (n, k, root) in [(8, 4, 0), (8, 4, 5), (6, 4, 3), (8, 2, 7), (7, 3, 2), (5, 2, 4)] {
+        for (n, k, root) in [
+            (8, 4, 0),
+            (8, 4, 5),
+            (6, 4, 3),
+            (8, 2, 7),
+            (7, 3, 2),
+            (5, 2, 4),
+        ] {
             let report = Fabric::run(topo_cfg(n, k), move |pe| {
                 let dest = pe.shared_malloc::<u64>(4);
                 broadcast_hier(pe, &dest, &[9, 8, 7, 6], 4, root);
@@ -247,7 +320,11 @@ mod tests {
                 pe.heap_read_vec::<u64>(dest.whole(), 4)
             });
             for (rank, got) in report.results.iter().enumerate() {
-                assert_eq!(got, &vec![9, 8, 7, 6], "n={n} k={k} root={root} rank={rank}");
+                assert_eq!(
+                    got,
+                    &vec![9, 8, 7, 6],
+                    "n={n} k={k} root={root} rank={rank}"
+                );
             }
         }
     }
@@ -262,9 +339,7 @@ mod tests {
                 let mut hier = [0u64; 3];
                 reduce_hier(pe, &mut hier, &src, 3, root, |a, b| a + b);
                 let mut flat = [0u64; 3];
-                crate::collectives::reduce_with(pe, &mut flat, &src, 3, 1, root, |a: u64, b| {
-                    a + b
-                });
+                crate::collectives::reduce_with(pe, &mut flat, &src, 3, 1, root, |a: u64, b| a + b);
                 pe.barrier();
                 (hier, flat)
             });

@@ -7,14 +7,21 @@
 //! operations". [`baseline`] provides linear and ring comparators, and
 //! [`extended`] the §7 future-work operations (reduce-to-all, all-gather,
 //! all-to-all, teams).
+//!
+//! Every collective here is built on the [`schedule`] layer: a generator
+//! materialises the communication pattern as a [`schedule::CommSchedule`]
+//! (pure data, unit-testable without a fabric) and one generic executor
+//! issues it on a PE. [`policy`] selects among algorithm shapes at runtime.
 
 pub mod baseline;
 pub mod broadcast;
 pub mod extended;
 pub mod gather;
 pub mod hierarchical;
+pub mod policy;
 pub mod reduce;
 pub mod scatter;
+pub mod schedule;
 pub mod vrank;
 
 pub use baseline::{
@@ -24,6 +31,9 @@ pub use broadcast::broadcast;
 pub use extended::{all_gather, all_to_all, reduce_all, reduce_all_with, AllReduceAlgo, Team};
 pub use gather::gather;
 pub use hierarchical::{broadcast_hier, reduce_hier};
+pub use policy::{
+    broadcast_policy, gather_policy, reduce_policy, scatter_policy, Algorithm, AlgorithmPolicy,
+};
 pub use reduce::{reduce, reduce_bitwise, reduce_with};
 pub use scatter::scatter;
 pub use vrank::{logical_rank, rank_table, virtual_rank};

@@ -1,0 +1,277 @@
+//! Policy-driven algorithm selection.
+//!
+//! The paper's design discussion (§4.1–4.2) observes that *"there is no
+//! universally optimal solution"* for a collective: latency-bound small
+//! transfers and bandwidth-bound large transfers favour different
+//! communication shapes, and production libraries switch algorithms at
+//! runtime. This module provides that switch for our library: an
+//! [`AlgorithmPolicy`] names either a fixed [`Algorithm`] or [`Auto`]
+//! selection from `(collective, n_pes, message bytes)`, with crossover
+//! constants calibrated against the `xbench_sweep` benchmark's cost-model
+//! measurements (see `BENCH_sweep.json`).
+//!
+//! [`Auto`]: AlgorithmPolicy::Auto
+
+use crate::collectives::{baseline, broadcast, gather, reduce, scatter};
+use crate::fabric::{CollectiveKind, Pe, SymmAlloc};
+use crate::types::{ReduceOp, XbrNumeric, XbrType};
+
+/// A concrete collective algorithm shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Binomial tree with recursive halving/doubling (paper Algorithms 1–4).
+    #[default]
+    Binomial,
+    /// Root-sequential: the root exchanges with every peer in one stage.
+    Linear,
+    /// Neighbour-to-neighbour pipeline in `n − 1` stages (broadcast only;
+    /// collectives without a ring shape fall back to linear).
+    Ring,
+}
+
+impl Algorithm {
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Binomial => "binomial",
+            Algorithm::Linear => "linear",
+            Algorithm::Ring => "ring",
+        }
+    }
+}
+
+/// How the library picks an [`Algorithm`] for each call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AlgorithmPolicy {
+    /// Always the paper's binomial tree.
+    #[default]
+    Binomial,
+    /// Always root-sequential.
+    Linear,
+    /// Always ring (where a ring shape exists).
+    Ring,
+    /// Pick per call from `(collective, n_pes, nbytes)` using the
+    /// calibrated crossovers in [`AlgorithmPolicy::select`].
+    Auto,
+}
+
+/// With 2 PEs every shape degenerates to one transfer and the swept
+/// cycles are identical across algorithms; `Auto` goes linear (one stage,
+/// one barrier, no tree bookkeeping).
+const AUTO_LINEAR_MAX_PES: usize = 2;
+
+/// From this PE count up the root's serialised `n − 1` transfers dominate
+/// at *every* swept payload, so `Auto` always takes the tree. Calibrated
+/// from `xbench_sweep` on the paper cost model: at 8 PEs binomial beats
+/// linear already at 8-byte broadcasts (2176 vs 2392 cycles) and the gap
+/// widens with size (793k vs 1296k at 512 KiB).
+const AUTO_TREE_ALWAYS_PES: usize = 8;
+
+/// Calibrated payload crossover (bytes) for the intermediate PE counts:
+/// under it the tree's `⌈log2 n⌉` stage barriers dominate and linear
+/// wins; above it the root's serialised transfers dominate and the tree
+/// wins. From `xbench_sweep` at 4 PEs: linear wins up to 2 KiB payloads
+/// (2706 vs 2861 cycles at 2 KiB), the tree wins from 32 KiB (30.4k vs
+/// 39.1k cycles); the crossover sits between, at roughly 8 KiB.
+const AUTO_TREE_MIN_BYTES: usize = 8 * 1024;
+
+impl AlgorithmPolicy {
+    /// Resolve the policy for one call. `nbytes` is the per-call payload
+    /// (the strided message size in bytes). Deterministic in its inputs,
+    /// so every PE of a collective resolves identically.
+    pub fn select(self, kind: CollectiveKind, n_pes: usize, nbytes: usize) -> Algorithm {
+        match self {
+            AlgorithmPolicy::Binomial => Algorithm::Binomial,
+            AlgorithmPolicy::Linear => Algorithm::Linear,
+            AlgorithmPolicy::Ring => Algorithm::Ring,
+            AlgorithmPolicy::Auto => auto_select(kind, n_pes, nbytes),
+        }
+    }
+}
+
+fn auto_select(kind: CollectiveKind, n_pes: usize, nbytes: usize) -> Algorithm {
+    let _ = kind; // crossovers are shared across the four rooted collectives
+    if n_pes <= AUTO_LINEAR_MAX_PES {
+        Algorithm::Linear
+    } else if n_pes >= AUTO_TREE_ALWAYS_PES || nbytes >= AUTO_TREE_MIN_BYTES {
+        Algorithm::Binomial
+    } else {
+        Algorithm::Linear
+    }
+}
+
+/// Broadcast under `policy`: dispatches to the binomial tree
+/// ([`broadcast::broadcast`]), [`baseline::broadcast_linear`], or
+/// [`baseline::broadcast_ring`]. Same contract as the tree version.
+pub fn broadcast_policy<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    policy: AlgorithmPolicy,
+) {
+    let nbytes = nelems * std::mem::size_of::<T>();
+    match policy.select(CollectiveKind::Broadcast, pe.n_pes(), nbytes) {
+        Algorithm::Binomial => broadcast::broadcast(pe, dest, src, nelems, stride, root),
+        Algorithm::Linear => baseline::broadcast_linear(pe, dest, src, nelems, stride, root),
+        Algorithm::Ring => baseline::broadcast_ring(pe, dest, src, nelems, stride, root),
+    }
+}
+
+/// Reduce under `policy` with a named operator; `Ring` falls back to
+/// linear (reductions have no ring shape here).
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_policy<T: XbrNumeric>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    op: ReduceOp,
+    policy: AlgorithmPolicy,
+) {
+    let nbytes = nelems * std::mem::size_of::<T>();
+    let f = op
+        .combiner::<T>()
+        .unwrap_or_else(|| panic!("reduction operator {op:?} requires a non-floating-point type"));
+    match policy.select(CollectiveKind::Reduce, pe.n_pes(), nbytes) {
+        Algorithm::Binomial => reduce::reduce_with(pe, dest, src, nelems, stride, root, f),
+        Algorithm::Linear | Algorithm::Ring => {
+            baseline::reduce_linear(pe, dest, src, nelems, stride, root, f)
+        }
+    }
+}
+
+/// Scatter under `policy`: the linear shape reuses the tree's staged
+/// (virtual-rank-reordered) layout so irregular `pe_msgs`/`pe_disp`
+/// semantics are identical; `Ring` falls back to linear.
+#[allow(clippy::too_many_arguments)]
+pub fn scatter_policy<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+    policy: AlgorithmPolicy,
+) {
+    let nbytes = nelems * std::mem::size_of::<T>();
+    let algo = policy.select(CollectiveKind::Scatter, pe.n_pes(), nbytes);
+    scatter::scatter_impl(pe, dest, src, pe_msgs, pe_disp, nelems, root, algo);
+}
+
+/// Gather under `policy`; `Ring` falls back to linear.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_policy<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+    policy: AlgorithmPolicy,
+) {
+    let nbytes = nelems * std::mem::size_of::<T>();
+    let algo = policy.select(CollectiveKind::Gather, pe.n_pes(), nbytes);
+    gather::gather_impl(pe, dest, src, pe_msgs, pe_disp, nelems, root, algo);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig};
+
+    #[test]
+    fn fixed_policies_are_constant() {
+        for kind in CollectiveKind::ALL {
+            for n in [1, 2, 8, 64] {
+                for nbytes in [0, 100, 1 << 20] {
+                    assert_eq!(
+                        AlgorithmPolicy::Binomial.select(kind, n, nbytes),
+                        Algorithm::Binomial
+                    );
+                    assert_eq!(
+                        AlgorithmPolicy::Linear.select(kind, n, nbytes),
+                        Algorithm::Linear
+                    );
+                    assert_eq!(
+                        AlgorithmPolicy::Ring.select(kind, n, nbytes),
+                        Algorithm::Ring
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_switches_on_size_and_scale() {
+        let k = CollectiveKind::Broadcast;
+        // Mid-scale (4 PEs): tiny messages stay linear, big ones go tree.
+        assert_eq!(AlgorithmPolicy::Auto.select(k, 4, 8), Algorithm::Linear);
+        assert_eq!(
+            AlgorithmPolicy::Auto.select(k, 4, 1 << 20),
+            Algorithm::Binomial
+        );
+        // At 8 PEs the serialised root loses at every size — always tree.
+        assert_eq!(AlgorithmPolicy::Auto.select(k, 8, 8), Algorithm::Binomial);
+        assert_eq!(
+            AlgorithmPolicy::Auto.select(k, 8, 1 << 20),
+            Algorithm::Binomial
+        );
+        // Two PEs never pay for tree staging.
+        assert_eq!(
+            AlgorithmPolicy::Auto.select(k, 2, 1 << 20),
+            Algorithm::Linear
+        );
+    }
+
+    #[test]
+    fn policy_entry_points_agree_with_fixed_algorithms() {
+        for policy in [
+            AlgorithmPolicy::Binomial,
+            AlgorithmPolicy::Linear,
+            AlgorithmPolicy::Ring,
+            AlgorithmPolicy::Auto,
+        ] {
+            let report = Fabric::run(FabricConfig::new(5), |pe| {
+                let b = pe.shared_malloc::<u64>(4);
+                broadcast_policy(pe, &b, &[5, 6, 7, 8], 4, 1, 3, policy);
+                pe.barrier();
+
+                let src = pe.shared_malloc::<i64>(2);
+                pe.heap_write(src.whole(), &[pe.rank() as i64 + 1, 2]);
+                pe.barrier();
+                let mut sum = [0i64; 2];
+                reduce_policy(pe, &mut sum, &src, 2, 1, 0, ReduceOp::Sum, policy);
+                pe.barrier();
+
+                let msgs = vec![2usize; 5];
+                let disp: Vec<usize> = (0..5).map(|r| r * 2).collect();
+                let full: Vec<u64> = (0..10).collect();
+                let sc_src: Vec<u64> = if pe.rank() == 1 { full } else { vec![] };
+                let mut mine = [0u64; 2];
+                scatter_policy(pe, &mut mine, &sc_src, &msgs, &disp, 10, 1, policy);
+                pe.barrier();
+                let mut back = vec![0u64; 10];
+                gather_policy(pe, &mut back, &mine, &msgs, &disp, 10, 1, policy);
+                pe.barrier();
+                (pe.heap_read_vec::<u64>(b.whole(), 4), sum, mine, back)
+            });
+            for (rank, (b, sum, mine, back)) in report.results.iter().enumerate() {
+                assert_eq!(b, &vec![5, 6, 7, 8], "{policy:?}");
+                if rank == 0 {
+                    assert_eq!(sum, &[15, 10], "{policy:?}");
+                }
+                assert_eq!(mine, &[2 * rank as u64, 2 * rank as u64 + 1], "{policy:?}");
+                if rank == 1 {
+                    assert_eq!(back, &(0..10).collect::<Vec<u64>>(), "{policy:?}");
+                }
+            }
+        }
+    }
+}

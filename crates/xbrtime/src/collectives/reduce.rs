@@ -8,8 +8,9 @@
 //! partners read it one-sidedly — while `dest` matters only on the root and
 //! may be private.
 
-use crate::collectives::vrank::{logical_rank, virtual_rank};
-use crate::fabric::{ceil_log2, Pe, SymmAlloc};
+use crate::collectives::schedule::{self, reduce_binomial};
+use crate::collectives::vrank::virtual_rank;
+use crate::fabric::{CollectiveKind, Pe, SymmAlloc};
 use crate::types::{ReduceOp, XbrBitwise, XbrNumeric, XbrType};
 
 /// Reduce with an arbitrary combining function.
@@ -30,16 +31,45 @@ pub fn reduce_with<T: XbrType>(
     root: usize,
     f: impl Fn(T, T) -> T,
 ) {
+    reduce_with_kind(
+        pe,
+        dest,
+        src,
+        nelems,
+        stride,
+        root,
+        CollectiveKind::Reduce,
+        f,
+    );
+}
+
+/// Reduce, reporting telemetry under an explicit kind — so composites
+/// like reduce-to-all attribute their internal reduction to themselves.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reduce_with_kind<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    kind: CollectiveKind,
+    f: impl Fn(T, T) -> T,
+) {
     let n_pes = pe.n_pes();
     let log_rank = pe.rank();
     let vir_rank = virtual_rank(log_rank, root, n_pes);
-    let span = if nelems == 0 { 0 } else { (nelems - 1) * stride + 1 };
 
-    // Working buffers: a symmetric staging buffer (read by partners) and a
-    // private landing buffer, "employed in order to prevent any unintended
-    // overwriting of values on any PE" (paper §4.4).
+    // A symmetric staging buffer (read one-sidedly by partners) is
+    // "employed in order to prevent any unintended overwriting of values
+    // on any PE" (paper §4.4); the executor provides the private landing
+    // buffer that pairs with it.
+    let span = if nelems == 0 {
+        0
+    } else {
+        (nelems - 1) * stride + 1
+    };
     let s_buff = pe.shared_malloc::<T>(span.max(1));
-    let mut l_buff = vec![T::default(); span.max(1)];
 
     // Load this PE's contribution into its shared staging buffer.
     if nelems > 0 {
@@ -47,28 +77,9 @@ pub fn reduce_with<T: XbrType>(
     }
     pe.barrier();
 
-    if n_pes > 1 && nelems > 0 {
-        let stages = ceil_log2(n_pes);
-        let mut mask = (1usize << stages) - 1;
-        for i in 0..stages {
-            mask ^= 1 << i;
-            if vir_rank | mask == mask && vir_rank & (1 << i) == 0 {
-                let vir_part = (vir_rank ^ (1 << i)) % n_pes;
-                let log_part = logical_rank(vir_part, root, n_pes);
-                if vir_rank < vir_part {
-                    pe.get(&mut l_buff, s_buff.whole(), nelems, stride, log_part);
-                    let mut mine = pe.heap_read_vec::<T>(s_buff.whole(), span);
-                    for j in 0..nelems {
-                        mine[j * stride] = f(mine[j * stride], l_buff[j * stride]);
-                    }
-                    // Combine ALU work is part of the algorithm's cost.
-                    pe.charge(pe.timing().cost.alu_cycles * nelems as u64);
-                    pe.heap_write(s_buff.whole(), &mine);
-                }
-            }
-            pe.barrier();
-        }
-    }
+    let mut sched = reduce_binomial(n_pes, root, nelems, stride);
+    sched.kind = kind;
+    schedule::execute(pe, &sched, s_buff.whole(), &[], &mut [], Some(&f));
 
     if vir_rank == 0 && nelems > 0 {
         pe.heap_read_strided(s_buff.whole(), dest, nelems, stride);
@@ -106,9 +117,9 @@ pub fn reduce<T: XbrNumeric>(
     root: usize,
     op: ReduceOp,
 ) {
-    let f = op.combiner::<T>().unwrap_or_else(|| {
-        panic!("reduction operator {op:?} requires a non-floating-point type")
-    });
+    let f = op
+        .combiner::<T>()
+        .unwrap_or_else(|| panic!("reduction operator {op:?} requires a non-floating-point type"));
     reduce_with(pe, dest, src, nelems, stride, root, f);
 }
 
@@ -122,7 +133,15 @@ pub fn reduce_bitwise<T: XbrBitwise>(
     root: usize,
     op: ReduceOp,
 ) {
-    reduce_with(pe, dest, src, nelems, stride, root, op.combiner_bitwise::<T>());
+    reduce_with(
+        pe,
+        dest,
+        src,
+        nelems,
+        stride,
+        root,
+        op.combiner_bitwise::<T>(),
+    );
 }
 
 #[cfg(test)]
@@ -132,7 +151,11 @@ mod tests {
 
     fn check_sum(n_pes: usize, root: usize, nelems: usize, stride: usize) {
         let report = Fabric::run(FabricConfig::new(n_pes), |pe| {
-            let span = if nelems == 0 { 1 } else { (nelems - 1) * stride + 1 };
+            let span = if nelems == 0 {
+                1
+            } else {
+                (nelems - 1) * stride + 1
+            };
             let src = pe.shared_malloc::<u64>(span);
             let contrib: Vec<u64> = (0..span as u64)
                 .map(|j| (pe.rank() as u64 + 1) * 1000 + j)
@@ -151,7 +174,8 @@ mod tests {
                     let idx = (j * stride) as u64;
                     let expect: u64 = (1..=n).map(|r| r * 1000 + idx).sum();
                     assert_eq!(
-                        got[j * stride], expect,
+                        got[j * stride],
+                        expect,
                         "n={n_pes} root={root} rank={rank} elem={j}"
                     );
                 }

@@ -13,18 +13,16 @@
 //! is sufficient at each stage". An adjusted-displacement array keeps the
 //! indexing straight.
 
+use crate::collectives::policy::Algorithm;
+use crate::collectives::schedule::{self, scatter_binomial, scatter_linear_sched};
 use crate::collectives::vrank::{logical_rank, virtual_rank};
-use crate::fabric::{ceil_log2, Pe};
+use crate::fabric::Pe;
 use crate::types::XbrType;
 
 /// Prefix displacements in *virtual-rank* order: `adj_disp[v]` is where
 /// virtual rank `v`'s segment begins in the reordered staging buffer, and
 /// `adj_disp[n]` is the total element count.
-pub(crate) fn adjusted_displacements(
-    pe_msgs: &[usize],
-    root: usize,
-    n_pes: usize,
-) -> Vec<usize> {
+pub(crate) fn adjusted_displacements(pe_msgs: &[usize], root: usize, n_pes: usize) -> Vec<usize> {
     let mut adj = Vec::with_capacity(n_pes + 1);
     let mut acc = 0usize;
     for v in 0..n_pes {
@@ -78,6 +76,32 @@ pub fn scatter<T: XbrType>(
     nelems: usize,
     root: usize,
 ) {
+    scatter_impl(
+        pe,
+        dest,
+        src,
+        pe_msgs,
+        pe_disp,
+        nelems,
+        root,
+        Algorithm::Binomial,
+    );
+}
+
+/// Scatter with an explicit algorithm shape: the staging/relocation
+/// wrapper is shared, only the communication schedule differs (`Ring`
+/// falls back to linear).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scatter_impl<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+    algo: Algorithm,
+) {
     let n_pes = pe.n_pes();
     let log_rank = pe.rank();
     validate(pe_msgs, pe_disp, nelems, n_pes, root);
@@ -94,49 +118,32 @@ pub fn scatter<T: XbrType>(
 
     // Root: reorder src by virtual rank into the staging buffer.
     if log_rank == root && nelems > 0 {
-        for v in 0..n_pes {
+        // adj_disp has a trailing total entry — only the first n_pes are
+        // per-PE displacements.
+        for (v, &disp) in adj_disp.iter().take(n_pes).enumerate() {
             let l = logical_rank(v, root, n_pes);
             let count = pe_msgs[l];
             if count > 0 {
-                pe.heap_write(
-                    s_buff.at(adj_disp[v]),
-                    &src[pe_disp[l]..pe_disp[l] + count],
-                );
+                pe.heap_write(s_buff.at(disp), &src[pe_disp[l]..pe_disp[l] + count]);
             }
         }
     }
     pe.barrier();
 
-    if n_pes > 1 && nelems > 0 {
-        let stages = ceil_log2(n_pes);
-        let mut mask = (1usize << stages) - 1;
-        for i in (0..stages).rev() {
-            mask ^= 1 << i;
-            if vir_rank & mask == 0 && vir_rank & (1 << i) == 0 {
-                let vir_part = (vir_rank ^ (1 << i)) % n_pes;
-                let log_part = logical_rank(vir_part, root, n_pes);
-                if vir_rank < vir_part {
-                    // Elements for the partner and the subtree below it.
-                    let subtree_end = (vir_part + (1 << i)).min(n_pes);
-                    let msg_size = adj_disp[subtree_end] - adj_disp[vir_part];
-                    if msg_size > 0 {
-                        pe.put_symm(
-                            s_buff.at(adj_disp[vir_part]),
-                            s_buff.at(adj_disp[vir_part]),
-                            msg_size,
-                            1,
-                            log_part,
-                        );
-                    }
-                }
-            }
-            pe.barrier();
-        }
-    }
+    let sched = match algo {
+        Algorithm::Binomial => scatter_binomial(n_pes, root, &adj_disp),
+        Algorithm::Linear | Algorithm::Ring => scatter_linear_sched(n_pes, root, &adj_disp),
+    };
+    schedule::execute(pe, &sched, s_buff.whole(), &[], &mut [], None);
 
     // Relocate this PE's assigned values from the staging buffer to dest.
     if my_count > 0 {
-        pe.heap_read_strided(s_buff.at(adj_disp[vir_rank]), &mut dest[..my_count], my_count, 1);
+        pe.heap_read_strided(
+            s_buff.at(adj_disp[vir_rank]),
+            &mut dest[..my_count],
+            my_count,
+            1,
+        );
     }
     pe.barrier();
     pe.shared_free(s_buff);
@@ -168,9 +175,9 @@ mod tests {
             dest
         });
         for (rank, got) in report.results.iter().enumerate() {
-            for j in 0..msgs[rank] {
+            for (j, &g) in got.iter().take(msgs[rank]).enumerate() {
                 assert_eq!(
-                    got[j],
+                    g,
                     (disp[rank] + j) as u64 + 500,
                     "n={n_pes} root={root} rank={rank} elem={j}"
                 );

@@ -145,6 +145,124 @@ pub struct FabricStats {
     pub amos: u64,
 }
 
+/// Telemetry key: which collective an executor episode belongs to.
+///
+/// Every collective in `collectives/` routes through the shared
+/// [`CommSchedule`](crate::collectives::schedule::CommSchedule) executor,
+/// which tags its counters with one of these kinds. Variants (teams,
+/// hierarchical, linear/ring baselines) fold into the kind of the paper
+/// collective they implement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Algorithm 1 and its linear/ring/hierarchical/team variants.
+    #[default]
+    Broadcast,
+    /// Algorithm 2 and its linear/hierarchical variants.
+    Reduce,
+    /// Algorithm 3 and its linear variant.
+    Scatter,
+    /// Algorithm 4 and its linear variant.
+    Gather,
+    /// Reduce-to-all (either strategy, world or team scoped).
+    AllReduce,
+    /// Gather-to-all.
+    AllGather,
+    /// Personalised all-to-all exchange.
+    AllToAll,
+}
+
+impl CollectiveKind {
+    /// Every kind, in display order.
+    pub const ALL: [CollectiveKind; 7] = [
+        CollectiveKind::Broadcast,
+        CollectiveKind::Reduce,
+        CollectiveKind::Scatter,
+        CollectiveKind::Gather,
+        CollectiveKind::AllReduce,
+        CollectiveKind::AllGather,
+        CollectiveKind::AllToAll,
+    ];
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::Scatter => "scatter",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::AllReduce => "allreduce",
+            CollectiveKind::AllGather => "allgather",
+            CollectiveKind::AllToAll => "alltoall",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CollectiveKind::Broadcast => 0,
+            CollectiveKind::Reduce => 1,
+            CollectiveKind::Scatter => 2,
+            CollectiveKind::Gather => 3,
+            CollectiveKind::AllReduce => 4,
+            CollectiveKind::AllGather => 5,
+            CollectiveKind::AllToAll => 6,
+        }
+    }
+}
+
+/// One PE's contribution to a collective episode, reported to the fabric
+/// by the schedule executor via [`Pe::note_collective`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollectiveSample {
+    /// Blocking + non-blocking puts this PE issued inside the episode.
+    pub puts: u64,
+    /// Blocking gets this PE issued inside the episode.
+    pub gets: u64,
+    /// Payload bytes this PE pushed.
+    pub bytes_put: u64,
+    /// Payload bytes this PE pulled.
+    pub bytes_get: u64,
+    /// Stages in the schedule (counted once per episode, from PE 0).
+    pub stages: u64,
+    /// Simulated cycles this PE spent inside the executor.
+    pub cycles: u64,
+}
+
+#[derive(Default)]
+struct CollAtomic {
+    calls: AtomicU64,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    bytes_put: AtomicU64,
+    bytes_get: AtomicU64,
+    stages: AtomicU64,
+    cycles: AtomicU64,
+}
+
+/// Aggregated telemetry for one collective kind over a whole fabric run.
+///
+/// `calls` and `stages` are counted once per episode (by PE 0, which
+/// participates in every schedule); `puts`/`gets`/`bytes_*`/`cycles` are
+/// summed over all PEs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollectiveRecord {
+    /// Which collective this row describes.
+    pub kind: CollectiveKind,
+    /// Executor episodes observed.
+    pub calls: u64,
+    /// Total puts issued across PEs.
+    pub puts: u64,
+    /// Total gets issued across PEs.
+    pub gets: u64,
+    /// Total payload bytes pushed.
+    pub bytes_put: u64,
+    /// Total payload bytes pulled.
+    pub bytes_get: u64,
+    /// Total schedule stages (summed over episodes, not PEs).
+    pub stages: u64,
+    /// Simulated cycles spent inside the executor, summed over PEs.
+    pub cycles: u64,
+}
+
 struct BarrierState {
     count: AtomicUsize,
     generation: AtomicUsize,
@@ -161,6 +279,7 @@ struct Shared {
     sim_now: Vec<AtomicU64>,
     poisoned: AtomicBool,
     stats: StatsAtomic,
+    coll: [CollAtomic; CollectiveKind::ALL.len()],
 }
 
 impl Shared {
@@ -179,7 +298,31 @@ impl Shared {
             sim_now: (0..cfg.n_pes).map(|_| AtomicU64::new(0)).collect(),
             poisoned: AtomicBool::new(false),
             stats: StatsAtomic::default(),
+            coll: Default::default(),
         }
+    }
+
+    fn collective_records(&self) -> Vec<CollectiveRecord> {
+        CollectiveKind::ALL
+            .iter()
+            .filter_map(|&kind| {
+                let a = &self.coll[kind.index()];
+                let calls = a.calls.load(Ordering::Relaxed);
+                if calls == 0 {
+                    return None;
+                }
+                Some(CollectiveRecord {
+                    kind,
+                    calls,
+                    puts: a.puts.load(Ordering::Relaxed),
+                    gets: a.gets.load(Ordering::Relaxed),
+                    bytes_put: a.bytes_put.load(Ordering::Relaxed),
+                    bytes_get: a.bytes_get.load(Ordering::Relaxed),
+                    stages: a.stages.load(Ordering::Relaxed),
+                    cycles: a.cycles.load(Ordering::Relaxed),
+                })
+            })
+            .collect()
     }
 
     fn snapshot(&self) -> FabricStats {
@@ -366,7 +509,12 @@ fn check_src<T>(src: &[T], nelems: usize, stride: usize) {
 }
 
 impl<'f> Pe<'f> {
-    fn new(rank: usize, shared: &'f Shared, timing: TimingConfig, topology: Option<Topology>) -> Self {
+    fn new(
+        rank: usize,
+        shared: &'f Shared,
+        timing: TimingConfig,
+        topology: Option<Topology>,
+    ) -> Self {
         Pe {
             rank,
             shared,
@@ -496,7 +644,10 @@ impl<'f> Pe<'f> {
     /// Store one element into this PE's own shared segment.
     pub fn heap_store<T: XbrType>(&self, dest: SymmRef<T>, v: T) {
         dest.check_span(1, 1);
-        self.clock.charge_local_range(self.host_addr(self.rank, dest.off), std::mem::size_of::<T>());
+        self.clock.charge_local_range(
+            self.host_addr(self.rank, dest.off),
+            std::mem::size_of::<T>(),
+        );
         unsafe {
             self.my_heap().write_from(
                 dest.off,
@@ -509,7 +660,8 @@ impl<'f> Pe<'f> {
     /// Load one element from this PE's own shared segment.
     pub fn heap_load<T: XbrType>(&self, src: SymmRef<T>) -> T {
         src.check_span(1, 1);
-        self.clock.charge_local_range(self.host_addr(self.rank, src.off), std::mem::size_of::<T>());
+        self.clock
+            .charge_local_range(self.host_addr(self.rank, src.off), std::mem::size_of::<T>());
         let mut v = T::default();
         unsafe {
             self.my_heap().read_into(
@@ -539,8 +691,10 @@ impl<'f> Pe<'f> {
         check_src(vals, nelems, stride);
         let es = std::mem::size_of::<T>();
         let heap = self.my_heap();
-        self.clock
-            .charge_local_range(self.host_addr(self.rank, dest.off), ((nelems.max(1) - 1) * stride + 1) * es);
+        self.clock.charge_local_range(
+            self.host_addr(self.rank, dest.off),
+            ((nelems.max(1) - 1) * stride + 1) * es,
+        );
         if stride == 1 {
             unsafe { heap.write_from(dest.off, vals.as_ptr() as *const u8, nelems * es) };
         } else {
@@ -575,8 +729,10 @@ impl<'f> Pe<'f> {
         check_src(out, nelems, stride);
         let es = std::mem::size_of::<T>();
         let heap = self.my_heap();
-        self.clock
-            .charge_local_range(self.host_addr(self.rank, src.off), ((nelems.max(1) - 1) * stride + 1) * es);
+        self.clock.charge_local_range(
+            self.host_addr(self.rank, src.off),
+            ((nelems.max(1) - 1) * stride + 1) * es,
+        );
         if stride == 1 {
             unsafe { heap.read_into(src.off, out.as_mut_ptr() as *mut u8, nelems * es) };
         } else {
@@ -625,7 +781,9 @@ impl<'f> Pe<'f> {
             Some(t) if t.same_node(self.rank, target) => t.intra_node_factor,
             _ => 1.0,
         };
-        let occupancy = ((cost.noc.occupancy(bytes) as f64) * scale).round().max(1.0) as u64;
+        let occupancy = ((cost.noc.occupancy(bytes) as f64) * scale)
+            .round()
+            .max(1.0) as u64;
         let base_latency = ((cost.noc.base_latency as f64) * scale).round() as u64;
 
         self.shared.chan_occ[self.rank].fetch_add(occupancy, Ordering::Relaxed);
@@ -690,13 +848,17 @@ impl<'f> Pe<'f> {
         let es = std::mem::size_of::<T>();
         let bytes = nelems * es;
         // Reading the local source goes through this PE's cache model.
-        self.clock
-            .charge_local_range(src.as_ptr() as u64, src.len().min((nelems.max(1) - 1) * stride + 1) * es);
+        self.clock.charge_local_range(
+            src.as_ptr() as u64,
+            src.len().min((nelems.max(1) - 1) * stride + 1) * es,
+        );
         self.clock.charge(self.timing.element_overhead(nelems));
         let fabric = self.fabric_cost(pe, bytes);
         if pe == self.rank {
-            self.clock
-                .charge_local_range(self.host_addr(pe, dest.off), ((nelems.max(1) - 1) * stride + 1) * es);
+            self.clock.charge_local_range(
+                self.host_addr(pe, dest.off),
+                ((nelems.max(1) - 1) * stride + 1) * es,
+            );
         } else {
             self.clock.charge(fabric);
         }
@@ -731,13 +893,17 @@ impl<'f> Pe<'f> {
         check_src(dest, nelems, stride);
         let es = std::mem::size_of::<T>();
         let bytes = nelems * es;
-        self.clock
-            .charge_local_range(dest.as_ptr() as u64, dest.len().min((nelems.max(1) - 1) * stride + 1) * es);
+        self.clock.charge_local_range(
+            dest.as_ptr() as u64,
+            dest.len().min((nelems.max(1) - 1) * stride + 1) * es,
+        );
         self.clock.charge(self.timing.element_overhead(nelems));
         let fabric = self.fabric_cost(pe, bytes);
         if pe == self.rank {
-            self.clock
-                .charge_local_range(self.host_addr(pe, src.off), ((nelems.max(1) - 1) * stride + 1) * es);
+            self.clock.charge_local_range(
+                self.host_addr(pe, src.off),
+                ((nelems.max(1) - 1) * stride + 1) * es,
+            );
         } else {
             self.clock.charge(fabric);
         }
@@ -772,24 +938,26 @@ impl<'f> Pe<'f> {
         src.check_span(nelems, stride);
         let es = std::mem::size_of::<T>();
         let bytes = nelems * es;
-        self.clock
-            .charge_local_range(self.host_addr(self.rank, src.off), ((nelems.max(1) - 1) * stride + 1) * es);
+        self.clock.charge_local_range(
+            self.host_addr(self.rank, src.off),
+            ((nelems.max(1) - 1) * stride + 1) * es,
+        );
         self.clock.charge(self.timing.element_overhead(nelems));
         let fabric = self.fabric_cost(pe, bytes);
         if pe == self.rank {
-            self.clock
-                .charge_local_range(self.host_addr(pe, dest.off), ((nelems.max(1) - 1) * stride + 1) * es);
+            self.clock.charge_local_range(
+                self.host_addr(pe, dest.off),
+                ((nelems.max(1) - 1) * stride + 1) * es,
+            );
         } else {
             self.clock.charge(fabric);
         }
         let src_heap = self.my_heap();
         let dst_heap = &self.shared.heaps[pe];
-        let step = |i: usize| {
-            unsafe {
-                let mut tmp = vec![0u8; es];
-                src_heap.read_into(src.off + i * stride * es, tmp.as_mut_ptr(), es);
-                dst_heap.write_from(dest.off + i * stride * es, tmp.as_ptr(), es);
-            }
+        let step = |i: usize| unsafe {
+            let mut tmp = vec![0u8; es];
+            src_heap.read_into(src.off + i * stride * es, tmp.as_mut_ptr(), es);
+            dst_heap.write_from(dest.off + i * stride * es, tmp.as_ptr(), es);
         };
         if stride == 1 {
             let mut tmp = vec![0u8; bytes];
@@ -818,13 +986,17 @@ impl<'f> Pe<'f> {
         src.check_span(nelems, stride);
         let es = std::mem::size_of::<T>();
         let bytes = nelems * es;
-        self.clock
-            .charge_local_range(self.host_addr(self.rank, dest.off), ((nelems.max(1) - 1) * stride + 1) * es);
+        self.clock.charge_local_range(
+            self.host_addr(self.rank, dest.off),
+            ((nelems.max(1) - 1) * stride + 1) * es,
+        );
         self.clock.charge(self.timing.element_overhead(nelems));
         let fabric = self.fabric_cost(pe, bytes);
         if pe == self.rank {
-            self.clock
-                .charge_local_range(self.host_addr(pe, src.off), ((nelems.max(1) - 1) * stride + 1) * es);
+            self.clock.charge_local_range(
+                self.host_addr(pe, src.off),
+                ((nelems.max(1) - 1) * stride + 1) * es,
+            );
         } else {
             self.clock.charge(fabric);
         }
@@ -883,8 +1055,10 @@ impl<'f> Pe<'f> {
         let issue = self.timing.cost.alu_cycles + self.timing.cost.olb_lookup_cycles;
         if pe == self.rank {
             // A local non-blocking put still walks the cache model.
-            self.clock
-                .charge_local_range(self.host_addr(pe, dest.off), ((nelems.max(1) - 1) * stride + 1) * es);
+            self.clock.charge_local_range(
+                self.host_addr(pe, dest.off),
+                ((nelems.max(1) - 1) * stride + 1) * es,
+            );
         }
         let full = self.timing.element_overhead(nelems) + self.fabric_cost(pe, bytes);
         self.clock.charge(issue);
@@ -933,8 +1107,10 @@ impl<'f> Pe<'f> {
         let bytes = nelems * es;
         let issue = self.timing.cost.alu_cycles + self.timing.cost.olb_lookup_cycles;
         if pe == self.rank {
-            self.clock
-                .charge_local_range(self.host_addr(pe, src.off), ((nelems.max(1) - 1) * stride + 1) * es);
+            self.clock.charge_local_range(
+                self.host_addr(pe, src.off),
+                ((nelems.max(1) - 1) * stride + 1) * es,
+            );
         }
         let full = self.timing.element_overhead(nelems) + self.fabric_cost(pe, bytes);
         self.clock.charge(issue);
@@ -989,11 +1165,7 @@ impl<'f> Pe<'f> {
     pub fn quiet(&self) {
         let mut out = self.outstanding.borrow_mut();
         if self.clock.enabled() {
-            let latest = out
-                .iter()
-                .map(|h| h.completion_cycles)
-                .max()
-                .unwrap_or(0);
+            let latest = out.iter().map(|h| h.completion_cycles).max().unwrap_or(0);
             self.clock.set_cycles(self.clock.cycles().max(latest));
         }
         out.clear();
@@ -1048,9 +1220,15 @@ impl<'f> Pe<'f> {
         }
         self.shared.stats.amos.fetch_add(1, Ordering::Relaxed);
         if pe == self.rank {
-            self.shared.stats.local_transfers.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .local_transfers
+                .fetch_add(1, Ordering::Relaxed);
         } else {
-            self.shared.stats.remote_transfers.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .remote_transfers
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -1125,7 +1303,10 @@ impl<'f> Pe<'f> {
             let mut spins = 0u32;
             while b.generation.load(Ordering::Acquire) == gen {
                 if self.shared.poisoned.load(Ordering::Relaxed) {
-                    panic!("PE {}: a peer PE panicked while this PE waited at a barrier", self.rank);
+                    panic!(
+                        "PE {}: a peer PE panicked while this PE waited at a barrier",
+                        self.rank
+                    );
                 }
                 spins += 1;
                 if spins < 64 {
@@ -1139,10 +1320,28 @@ impl<'f> Pe<'f> {
         if self.clock.enabled() {
             let arrived = b.max_cycles[slot].load(Ordering::Acquire);
             let rounds = ceil_log2(self.shared.n_pes.max(2)) as u64;
-            let cost = rounds
-                * (self.timing.cost.noc.base_latency + 2 * self.timing.cost.alu_cycles);
-            self.clock.set_cycles(arrived.max(self.clock.cycles()) + cost);
+            let cost =
+                rounds * (self.timing.cost.noc.base_latency + 2 * self.timing.cost.alu_cycles);
+            self.clock
+                .set_cycles(arrived.max(self.clock.cycles()) + cost);
         }
+    }
+
+    /// Record one PE's share of a collective episode (called by the
+    /// schedule executor). `calls` and `stages` are attributed once per
+    /// episode, by PE 0 (which participates in every schedule); per-PE
+    /// op/byte/cycle counts are summed across PEs.
+    pub fn note_collective(&self, kind: CollectiveKind, sample: CollectiveSample) {
+        let a = &self.shared.coll[kind.index()];
+        if self.rank == 0 {
+            a.calls.fetch_add(1, Ordering::Relaxed);
+            a.stages.fetch_add(sample.stages, Ordering::Relaxed);
+        }
+        a.puts.fetch_add(sample.puts, Ordering::Relaxed);
+        a.gets.fetch_add(sample.gets, Ordering::Relaxed);
+        a.bytes_put.fetch_add(sample.bytes_put, Ordering::Relaxed);
+        a.bytes_get.fetch_add(sample.bytes_get, Ordering::Relaxed);
+        a.cycles.fetch_add(sample.cycles, Ordering::Relaxed);
     }
 }
 
@@ -1194,9 +1393,7 @@ impl Context<'_, '_> {
         let mut out = self.outstanding.borrow_mut();
         let latest = out.iter().map(|h| h.completion_cycles).max().unwrap_or(0);
         if self.pe.clock.enabled() {
-            self.pe
-                .clock
-                .set_cycles(self.pe.clock.cycles().max(latest));
+            self.pe.clock.set_cycles(self.pe.clock.cycles().max(latest));
         }
         out.clear();
     }
@@ -1216,11 +1413,18 @@ pub struct RunReport<R> {
     pub cycles: Vec<u64>,
     /// Aggregate communication statistics.
     pub stats: FabricStats,
+    /// Per-collective telemetry from the schedule executor, one row per
+    /// [`CollectiveKind`] that was exercised (empty if no collective ran).
+    pub collectives: Vec<CollectiveRecord>,
     /// Host wall-clock duration of the run.
     pub wall: Duration,
 }
 
 impl<R> RunReport<R> {
+    /// Telemetry row for `kind`, if that collective ran.
+    pub fn collective(&self, kind: CollectiveKind) -> Option<&CollectiveRecord> {
+        self.collectives.iter().find(|r| r.kind == kind)
+    }
     /// The simulated makespan: the maximum cycle count over PEs.
     pub fn makespan_cycles(&self) -> u64 {
         self.cycles.iter().copied().max().unwrap_or(0)
@@ -1292,6 +1496,7 @@ impl Fabric {
             results,
             cycles,
             stats: shared.snapshot(),
+            collectives: shared.collective_records(),
             wall,
         }
     }
@@ -1499,7 +1704,11 @@ mod tests {
             },
         );
         let c0 = report.results[0];
-        assert!(report.results.iter().all(|&c| c == c0), "{:?}", report.results);
+        assert!(
+            report.results.iter().all(|&c| c == c0),
+            "{:?}",
+            report.results
+        );
         assert!(c0 >= 3000, "release time must cover the slowest arrival");
     }
 
@@ -1525,7 +1734,11 @@ mod tests {
         });
         // All PEs read the same sequence of values.
         let expect: u64 = (0..50u64).map(|r| r * 3 + 1).sum();
-        assert!(report.results.iter().all(|&a| a == expect), "{:?}", report.results);
+        assert!(
+            report.results.iter().all(|&a| a == expect),
+            "{:?}",
+            report.results
+        );
         assert_eq!(report.stats.barriers, 100);
     }
 
@@ -1557,19 +1770,16 @@ mod tests {
 
     #[test]
     fn try_malloc_reports_exhaustion_and_heap_stats_track() {
-        let report = Fabric::run(
-            FabricConfig::new(2).with_shared_bytes(1 << 12),
-            |pe| {
-                assert_eq!(pe.heap_capacity(), 1 << 12);
-                let a = pe.try_shared_malloc::<u64>(256).expect("2 KiB fits");
-                assert_eq!(pe.heap_in_use(), 2048);
-                let err = pe.try_shared_malloc::<u64>(1024).unwrap_err();
-                assert_eq!(err.requested, 8192);
-                pe.shared_free(a);
-                assert_eq!(pe.heap_in_use(), 0);
-                pe.try_shared_malloc::<u64>(512).is_ok()
-            },
-        );
+        let report = Fabric::run(FabricConfig::new(2).with_shared_bytes(1 << 12), |pe| {
+            assert_eq!(pe.heap_capacity(), 1 << 12);
+            let a = pe.try_shared_malloc::<u64>(256).expect("2 KiB fits");
+            assert_eq!(pe.heap_in_use(), 2048);
+            let err = pe.try_shared_malloc::<u64>(1024).unwrap_err();
+            assert_eq!(err.requested, 8192);
+            pe.shared_free(a);
+            assert_eq!(pe.heap_in_use(), 0);
+            pe.try_shared_malloc::<u64>(512).is_ok()
+        });
         assert_eq!(report.results, vec![true, true]);
     }
 
@@ -1804,8 +2014,7 @@ mod context_tests {
                     topology: None,
                 },
                 move |pe| {
-                    let bufs: Vec<_> =
-                        (0..8).map(|_| pe.shared_malloc::<u64>(4096)).collect();
+                    let bufs: Vec<_> = (0..8).map(|_| pe.shared_malloc::<u64>(4096)).collect();
                     let data = vec![3u64; 4096];
                     pe.barrier();
                     let t0 = pe.cycles();

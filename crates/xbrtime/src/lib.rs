@@ -49,9 +49,11 @@ pub mod timing;
 pub mod typed;
 pub mod types;
 
+pub use collectives::policy::{Algorithm, AlgorithmPolicy};
+pub use collectives::schedule::{CommSchedule, OpKind, Stage, TransferOp};
 pub use fabric::{
-    ceil_log2, Context, Fabric, FabricConfig, FabricStats, NbHandle, Pe, RunReport, SymmAlloc,
-    SymmRef, Topology,
+    ceil_log2, CollectiveKind, CollectiveRecord, CollectiveSample, Context, Fabric, FabricConfig,
+    FabricStats, NbHandle, Pe, RunReport, SymmAlloc, SymmRef, Topology,
 };
 pub use timing::TimingConfig;
 pub use types::{ReduceOp, TypeEntry, XbrBitwise, XbrNumeric, XbrType, TABLE1};

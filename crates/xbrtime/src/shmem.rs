@@ -24,6 +24,7 @@
 //!   OpenSHMEM model does not support a non-default stride size".
 
 use crate::collectives::extended::Team;
+use crate::collectives::AlgorithmPolicy;
 use crate::fabric::{Pe, SymmAlloc};
 use crate::types::{XbrNumeric, XbrType};
 
@@ -61,6 +62,13 @@ impl ActiveSet {
     /// Panics if the set is empty.
     pub fn team(&self) -> Team {
         Team::new(self.members())
+    }
+
+    /// Whether this set covers exactly the whole `n_pes`-PE world (the
+    /// common case, where collectives can skip the team machinery and go
+    /// through the policy-dispatched world entry points).
+    pub fn is_world(&self, n_pes: usize) -> bool {
+        self.pe_start == 0 && self.log_pe_stride == 0 && self.pe_size == n_pes
     }
 
     /// Set-rank of a global rank, if it is a member.
@@ -101,7 +109,15 @@ pub fn broadcast64<T: XbrType>(
     active: &ActiveSet,
 ) {
     assert_elem_size::<T>(64, "shmem_broadcast64");
-    shmem_broadcast(pe, dest, src, nelems, pe_root, active);
+    shmem_broadcast(
+        pe,
+        dest,
+        src,
+        nelems,
+        pe_root,
+        active,
+        AlgorithmPolicy::Binomial,
+    );
 }
 
 /// `shmem_broadcast32`: 32-bit variant of [`broadcast64`].
@@ -114,9 +130,50 @@ pub fn broadcast32<T: XbrType>(
     active: &ActiveSet,
 ) {
     assert_elem_size::<T>(32, "shmem_broadcast32");
-    shmem_broadcast(pe, dest, src, nelems, pe_root, active);
+    shmem_broadcast(
+        pe,
+        dest,
+        src,
+        nelems,
+        pe_root,
+        active,
+        AlgorithmPolicy::Binomial,
+    );
 }
 
+/// [`broadcast64`] under an explicit [`AlgorithmPolicy`]. World-spanning
+/// active sets dispatch through the policy; proper-subset teams always use
+/// the binomial tree.
+#[allow(clippy::too_many_arguments)]
+pub fn broadcast64_policy<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    pe_root: usize,
+    active: &ActiveSet,
+    policy: AlgorithmPolicy,
+) {
+    assert_elem_size::<T>(64, "shmem_broadcast64");
+    shmem_broadcast(pe, dest, src, nelems, pe_root, active, policy);
+}
+
+/// [`broadcast32`] under an explicit [`AlgorithmPolicy`].
+#[allow(clippy::too_many_arguments)]
+pub fn broadcast32_policy<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    pe_root: usize,
+    active: &ActiveSet,
+    policy: AlgorithmPolicy,
+) {
+    assert_elem_size::<T>(32, "shmem_broadcast32");
+    shmem_broadcast(pe, dest, src, nelems, pe_root, active, policy);
+}
+
+#[allow(clippy::too_many_arguments)]
 fn shmem_broadcast<T: XbrType>(
     pe: &Pe,
     dest: &SymmAlloc<T>,
@@ -124,6 +181,7 @@ fn shmem_broadcast<T: XbrType>(
     nelems: usize,
     pe_root: usize,
     active: &ActiveSet,
+    policy: AlgorithmPolicy,
 ) {
     let team = active.team();
     assert!(pe_root < team.size(), "pe_root outside the active set");
@@ -136,7 +194,13 @@ fn shmem_broadcast<T: XbrType>(
     } else {
         Vec::new()
     };
-    team.broadcast(pe, dest, src, nelems, pe_root);
+    if active.is_world(pe.n_pes()) {
+        // World sets (the overwhelmingly common OpenSHMEM case) route
+        // through the policy dispatcher; set-rank == global rank here.
+        crate::collectives::broadcast_policy(pe, dest, src, nelems, 1, pe_root, policy);
+    } else {
+        team.broadcast(pe, dest, src, nelems, pe_root);
+    }
     pe.barrier();
     if root_is_me && nelems > 0 {
         pe.heap_write(dest.whole(), &saved);
@@ -155,9 +219,9 @@ pub fn to_all<T: XbrNumeric>(
     op: crate::types::ReduceOp,
     active: &ActiveSet,
 ) {
-    let f = op.combiner::<T>().unwrap_or_else(|| {
-        panic!("reduction operator {op:?} requires a non-floating-point type")
-    });
+    let f = op
+        .combiner::<T>()
+        .unwrap_or_else(|| panic!("reduction operator {op:?} requires a non-floating-point type"));
     to_all_with(pe, dest, src, nreduce, f, active);
 }
 
@@ -300,6 +364,30 @@ mod tests {
         });
         assert_eq!(report.results[0], (1, 9)); // xBGAS writes root; SHMEM doesn't
         assert_eq!(report.results[1], (1, 1));
+    }
+
+    #[test]
+    fn policy_broadcast_keeps_shmem_semantics() {
+        // Root exclusion must survive every algorithm the policy can pick.
+        for policy in [
+            AlgorithmPolicy::Binomial,
+            AlgorithmPolicy::Linear,
+            AlgorithmPolicy::Ring,
+            AlgorithmPolicy::Auto,
+        ] {
+            let report = Fabric::run(FabricConfig::new(4), move |pe| {
+                let dest = pe.shared_malloc::<u64>(2);
+                pe.heap_write(dest.whole(), &[111, 222]); // sentinel
+                pe.barrier();
+                broadcast64_policy(pe, &dest, &[5, 6], 2, 1, &ActiveSet::world(4), policy);
+                pe.barrier();
+                pe.heap_read_vec::<u64>(dest.whole(), 2)
+            });
+            assert_eq!(report.results[1], vec![111, 222], "{policy:?}");
+            for rank in [0usize, 2, 3] {
+                assert_eq!(report.results[rank], vec![5, 6], "{policy:?} rank {rank}");
+            }
+        }
     }
 
     #[test]

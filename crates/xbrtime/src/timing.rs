@@ -167,11 +167,7 @@ impl PeClock {
     /// Snapshot of the (L1, L2, TLB) model statistics.
     pub fn mem_stats(&self) -> (CacheStats, CacheStats, TlbStats) {
         let hier = self.hier.borrow();
-        (
-            hier.l1.stats(),
-            hier.l2.stats(),
-            self.tlb.borrow().stats(),
-        )
+        (hier.l1.stats(), hier.l2.stats(), self.tlb.borrow().stats())
     }
 }
 

@@ -17,6 +17,7 @@
 //! compile time.
 
 use crate::collectives;
+use crate::collectives::AlgorithmPolicy;
 use crate::fabric::{NbHandle, Pe, SymmAlloc, SymmRef};
 use crate::types::ReduceOp;
 
@@ -27,59 +28,196 @@ macro_rules! typed_common {
         pub type Elem = $t;
 
         /// `xbrtime_TYPENAME_put(dest, src, nelems, stride, pe)`.
-        pub fn put(pe: &Pe, dest: SymmRef<$t>, src: &[$t], nelems: usize, stride: usize, target: usize) {
+        pub fn put(
+            pe: &Pe,
+            dest: SymmRef<$t>,
+            src: &[$t],
+            nelems: usize,
+            stride: usize,
+            target: usize,
+        ) {
             pe.put(dest, src, nelems, stride, target);
         }
 
         /// `xbrtime_TYPENAME_get(dest, src, nelems, stride, pe)`.
-        pub fn get(pe: &Pe, dest: &mut [$t], src: SymmRef<$t>, nelems: usize, stride: usize, target: usize) {
+        pub fn get(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: SymmRef<$t>,
+            nelems: usize,
+            stride: usize,
+            target: usize,
+        ) {
             pe.get(dest, src, nelems, stride, target);
         }
 
         /// Non-blocking put (paper §3.3: "non-blocking forms of both get and
         /// put are also included in the library").
-        pub fn put_nb(pe: &Pe, dest: SymmRef<$t>, src: &[$t], nelems: usize, stride: usize, target: usize) -> NbHandle {
+        pub fn put_nb(
+            pe: &Pe,
+            dest: SymmRef<$t>,
+            src: &[$t],
+            nelems: usize,
+            stride: usize,
+            target: usize,
+        ) -> NbHandle {
             pe.put_nb(dest, src, nelems, stride, target)
         }
 
         /// Non-blocking get.
-        pub fn get_nb(pe: &Pe, dest: &mut [$t], src: SymmRef<$t>, nelems: usize, stride: usize, target: usize) -> NbHandle {
+        pub fn get_nb(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: SymmRef<$t>,
+            nelems: usize,
+            stride: usize,
+            target: usize,
+        ) -> NbHandle {
             pe.get_nb(dest, src, nelems, stride, target)
         }
 
         /// `xbrtime_TYPENAME_broadcast(dest, src, nelems, stride, root)`.
-        pub fn broadcast(pe: &Pe, dest: &SymmAlloc<$t>, src: &[$t], nelems: usize, stride: usize, root: usize) {
+        pub fn broadcast(
+            pe: &Pe,
+            dest: &SymmAlloc<$t>,
+            src: &[$t],
+            nelems: usize,
+            stride: usize,
+            root: usize,
+        ) {
             collectives::broadcast(pe, dest, src, nelems, stride, root);
         }
 
         /// `xbrtime_TYPENAME_scatter(dest, src, pe_msgs, pe_disp, nelems, root)`.
-        pub fn scatter(pe: &Pe, dest: &mut [$t], src: &[$t], pe_msgs: &[usize], pe_disp: &[usize], nelems: usize, root: usize) {
+        pub fn scatter(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &[$t],
+            pe_msgs: &[usize],
+            pe_disp: &[usize],
+            nelems: usize,
+            root: usize,
+        ) {
             collectives::scatter(pe, dest, src, pe_msgs, pe_disp, nelems, root);
         }
 
         /// `xbrtime_TYPENAME_gather(dest, src, pe_msgs, pe_disp, nelems, root)`.
-        pub fn gather(pe: &Pe, dest: &mut [$t], src: &[$t], pe_msgs: &[usize], pe_disp: &[usize], nelems: usize, root: usize) {
+        pub fn gather(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &[$t],
+            pe_msgs: &[usize],
+            pe_disp: &[usize],
+            nelems: usize,
+            root: usize,
+        ) {
             collectives::gather(pe, dest, src, pe_msgs, pe_disp, nelems, root);
         }
 
         /// `xbrtime_TYPENAME_reduce_sum(dest, src, nelems, stride, root)`.
-        pub fn reduce_sum(pe: &Pe, dest: &mut [$t], src: &SymmAlloc<$t>, nelems: usize, stride: usize, root: usize) {
+        pub fn reduce_sum(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+            stride: usize,
+            root: usize,
+        ) {
             collectives::reduce(pe, dest, src, nelems, stride, root, ReduceOp::Sum);
         }
 
         /// `xbrtime_TYPENAME_reduce_prod`.
-        pub fn reduce_prod(pe: &Pe, dest: &mut [$t], src: &SymmAlloc<$t>, nelems: usize, stride: usize, root: usize) {
+        pub fn reduce_prod(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+            stride: usize,
+            root: usize,
+        ) {
             collectives::reduce(pe, dest, src, nelems, stride, root, ReduceOp::Prod);
         }
 
         /// `xbrtime_TYPENAME_reduce_min`.
-        pub fn reduce_min(pe: &Pe, dest: &mut [$t], src: &SymmAlloc<$t>, nelems: usize, stride: usize, root: usize) {
+        pub fn reduce_min(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+            stride: usize,
+            root: usize,
+        ) {
             collectives::reduce(pe, dest, src, nelems, stride, root, ReduceOp::Min);
         }
 
         /// `xbrtime_TYPENAME_reduce_max`.
-        pub fn reduce_max(pe: &Pe, dest: &mut [$t], src: &SymmAlloc<$t>, nelems: usize, stride: usize, root: usize) {
+        pub fn reduce_max(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+            stride: usize,
+            root: usize,
+        ) {
             collectives::reduce(pe, dest, src, nelems, stride, root, ReduceOp::Max);
+        }
+
+        /// [`broadcast`] under an explicit [`AlgorithmPolicy`].
+        pub fn broadcast_policy(
+            pe: &Pe,
+            dest: &SymmAlloc<$t>,
+            src: &[$t],
+            nelems: usize,
+            stride: usize,
+            root: usize,
+            policy: AlgorithmPolicy,
+        ) {
+            collectives::broadcast_policy(pe, dest, src, nelems, stride, root, policy);
+        }
+
+        /// Reduce with any named operator under an explicit [`AlgorithmPolicy`].
+        #[allow(clippy::too_many_arguments)]
+        pub fn reduce_policy(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+            stride: usize,
+            root: usize,
+            op: ReduceOp,
+            policy: AlgorithmPolicy,
+        ) {
+            collectives::reduce_policy(pe, dest, src, nelems, stride, root, op, policy);
+        }
+
+        /// [`scatter`] under an explicit [`AlgorithmPolicy`].
+        #[allow(clippy::too_many_arguments)]
+        pub fn scatter_policy(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &[$t],
+            pe_msgs: &[usize],
+            pe_disp: &[usize],
+            nelems: usize,
+            root: usize,
+            policy: AlgorithmPolicy,
+        ) {
+            collectives::scatter_policy(pe, dest, src, pe_msgs, pe_disp, nelems, root, policy);
+        }
+
+        /// [`gather`] under an explicit [`AlgorithmPolicy`].
+        #[allow(clippy::too_many_arguments)]
+        pub fn gather_policy(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &[$t],
+            pe_msgs: &[usize],
+            pe_disp: &[usize],
+            nelems: usize,
+            root: usize,
+            policy: AlgorithmPolicy,
+        ) {
+            collectives::gather_policy(pe, dest, src, pe_msgs, pe_disp, nelems, root, policy);
         }
     };
 }
@@ -87,17 +225,38 @@ macro_rules! typed_common {
 macro_rules! typed_bitwise {
     ($t:ty) => {
         /// `xbrtime_TYPENAME_reduce_and` (non-floating-point only, §4.4).
-        pub fn reduce_and(pe: &Pe, dest: &mut [$t], src: &SymmAlloc<$t>, nelems: usize, stride: usize, root: usize) {
+        pub fn reduce_and(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+            stride: usize,
+            root: usize,
+        ) {
             collectives::reduce_bitwise(pe, dest, src, nelems, stride, root, ReduceOp::And);
         }
 
         /// `xbrtime_TYPENAME_reduce_or`.
-        pub fn reduce_or(pe: &Pe, dest: &mut [$t], src: &SymmAlloc<$t>, nelems: usize, stride: usize, root: usize) {
+        pub fn reduce_or(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+            stride: usize,
+            root: usize,
+        ) {
             collectives::reduce_bitwise(pe, dest, src, nelems, stride, root, ReduceOp::Or);
         }
 
         /// `xbrtime_TYPENAME_reduce_xor`.
-        pub fn reduce_xor(pe: &Pe, dest: &mut [$t], src: &SymmAlloc<$t>, nelems: usize, stride: usize, root: usize) {
+        pub fn reduce_xor(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+            stride: usize,
+            root: usize,
+        ) {
             collectives::reduce_bitwise(pe, dest, src, nelems, stride, root, ReduceOp::Xor);
         }
     };
@@ -284,7 +443,11 @@ mod tests {
         let report = Fabric::run(FabricConfig::new(3), |pe| {
             let msgs = [1usize, 2, 1];
             let disp = [0usize, 1, 3];
-            let src: Vec<i16> = if pe.rank() == 0 { vec![10, 20, 21, 30] } else { vec![] };
+            let src: Vec<i16> = if pe.rank() == 0 {
+                vec![10, 20, 21, 30]
+            } else {
+                vec![]
+            };
             let mut mine = vec![0i16; 2];
             super::short::scatter(pe, &mut mine, &src, &msgs, &disp, 4, 0);
             pe.barrier();
@@ -294,6 +457,49 @@ mod tests {
             back
         });
         assert_eq!(report.results[0], vec![10, 20, 21, 30]);
+    }
+
+    #[test]
+    fn typed_policy_variants_match_defaults() {
+        use crate::collectives::AlgorithmPolicy;
+        let report = Fabric::run(FabricConfig::new(4), |pe| {
+            let mut out = Vec::new();
+            for policy in [
+                AlgorithmPolicy::Binomial,
+                AlgorithmPolicy::Linear,
+                AlgorithmPolicy::Auto,
+            ] {
+                let b = pe.shared_malloc::<u32>(2);
+                super::uint::broadcast_policy(pe, &b, &[4, 5], 2, 1, 1, policy);
+                pe.barrier();
+
+                let s = pe.shared_malloc::<i32>(1);
+                pe.heap_store(s.whole(), pe.rank() as i32 + 1);
+                pe.barrier();
+                let mut red = [0i32];
+                super::int::reduce_policy(
+                    pe,
+                    &mut red,
+                    &s,
+                    1,
+                    1,
+                    0,
+                    crate::types::ReduceOp::Sum,
+                    policy,
+                );
+                pe.barrier();
+                out.push((pe.heap_read_vec::<u32>(b.whole(), 2), red[0]));
+            }
+            out
+        });
+        for (rank, per_policy) in report.results.iter().enumerate() {
+            for (bcast, sum) in per_policy {
+                assert_eq!(bcast, &vec![4, 5]);
+                if rank == 0 {
+                    assert_eq!(*sum, 10);
+                }
+            }
+        }
     }
 
     #[test]
@@ -356,9 +562,9 @@ mod completeness {
     #[test]
     fn all_24_type_modules_exist_and_roundtrip() {
         let exercised = roundtrip_all!(
-            float, double, longdouble, char, uchar, schar, ushort, short, uint,
-            int, ulong, long, ulonglong, longlong, uint8, int8, uint16, int16,
-            uint32, int32, uint64, int64, size, ptrdiff,
+            float, double, longdouble, char, uchar, schar, ushort, short, uint, int, ulong, long,
+            ulonglong, longlong, uint8, int8, uint16, int16, uint32, int32, uint64, int64, size,
+            ptrdiff,
         );
         assert_eq!(exercised.len(), TABLE1.len());
         // Every Table 1 name has a module of the same name exercised above.

@@ -157,30 +157,174 @@ pub struct TypeEntry {
 
 /// The full Table 1 catalogue: all 24 matched type names.
 pub const TABLE1: [TypeEntry; 24] = [
-    TypeEntry { type_name: "float", c_type: "float", rust_type: "f32", size: 4, bitwise: false },
-    TypeEntry { type_name: "double", c_type: "double", rust_type: "f64", size: 8, bitwise: false },
-    TypeEntry { type_name: "longdouble", c_type: "long double", rust_type: "f64", size: 8, bitwise: false },
-    TypeEntry { type_name: "char", c_type: "char", rust_type: "i8", size: 1, bitwise: true },
-    TypeEntry { type_name: "uchar", c_type: "unsigned char", rust_type: "u8", size: 1, bitwise: true },
-    TypeEntry { type_name: "schar", c_type: "signed char", rust_type: "i8", size: 1, bitwise: true },
-    TypeEntry { type_name: "ushort", c_type: "unsigned short", rust_type: "u16", size: 2, bitwise: true },
-    TypeEntry { type_name: "short", c_type: "short", rust_type: "i16", size: 2, bitwise: true },
-    TypeEntry { type_name: "uint", c_type: "unsigned int", rust_type: "u32", size: 4, bitwise: true },
-    TypeEntry { type_name: "int", c_type: "int", rust_type: "i32", size: 4, bitwise: true },
-    TypeEntry { type_name: "ulong", c_type: "unsigned long", rust_type: "u64", size: 8, bitwise: true },
-    TypeEntry { type_name: "long", c_type: "long", rust_type: "i64", size: 8, bitwise: true },
-    TypeEntry { type_name: "ulonglong", c_type: "unsigned long long", rust_type: "u64", size: 8, bitwise: true },
-    TypeEntry { type_name: "longlong", c_type: "long long", rust_type: "i64", size: 8, bitwise: true },
-    TypeEntry { type_name: "uint8", c_type: "uint8_t", rust_type: "u8", size: 1, bitwise: true },
-    TypeEntry { type_name: "int8", c_type: "int8_t", rust_type: "i8", size: 1, bitwise: true },
-    TypeEntry { type_name: "uint16", c_type: "uint16_t", rust_type: "u16", size: 2, bitwise: true },
-    TypeEntry { type_name: "int16", c_type: "int16_t", rust_type: "i16", size: 2, bitwise: true },
-    TypeEntry { type_name: "uint32", c_type: "uint32_t", rust_type: "u32", size: 4, bitwise: true },
-    TypeEntry { type_name: "int32", c_type: "int32_t", rust_type: "i32", size: 4, bitwise: true },
-    TypeEntry { type_name: "uint64", c_type: "uint64_t", rust_type: "u64", size: 8, bitwise: true },
-    TypeEntry { type_name: "int64", c_type: "int64_t", rust_type: "i64", size: 8, bitwise: true },
-    TypeEntry { type_name: "size", c_type: "size_t", rust_type: "usize", size: 8, bitwise: true },
-    TypeEntry { type_name: "ptrdiff", c_type: "ptrdiff_t", rust_type: "isize", size: 8, bitwise: true },
+    TypeEntry {
+        type_name: "float",
+        c_type: "float",
+        rust_type: "f32",
+        size: 4,
+        bitwise: false,
+    },
+    TypeEntry {
+        type_name: "double",
+        c_type: "double",
+        rust_type: "f64",
+        size: 8,
+        bitwise: false,
+    },
+    TypeEntry {
+        type_name: "longdouble",
+        c_type: "long double",
+        rust_type: "f64",
+        size: 8,
+        bitwise: false,
+    },
+    TypeEntry {
+        type_name: "char",
+        c_type: "char",
+        rust_type: "i8",
+        size: 1,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "uchar",
+        c_type: "unsigned char",
+        rust_type: "u8",
+        size: 1,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "schar",
+        c_type: "signed char",
+        rust_type: "i8",
+        size: 1,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "ushort",
+        c_type: "unsigned short",
+        rust_type: "u16",
+        size: 2,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "short",
+        c_type: "short",
+        rust_type: "i16",
+        size: 2,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "uint",
+        c_type: "unsigned int",
+        rust_type: "u32",
+        size: 4,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "int",
+        c_type: "int",
+        rust_type: "i32",
+        size: 4,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "ulong",
+        c_type: "unsigned long",
+        rust_type: "u64",
+        size: 8,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "long",
+        c_type: "long",
+        rust_type: "i64",
+        size: 8,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "ulonglong",
+        c_type: "unsigned long long",
+        rust_type: "u64",
+        size: 8,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "longlong",
+        c_type: "long long",
+        rust_type: "i64",
+        size: 8,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "uint8",
+        c_type: "uint8_t",
+        rust_type: "u8",
+        size: 1,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "int8",
+        c_type: "int8_t",
+        rust_type: "i8",
+        size: 1,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "uint16",
+        c_type: "uint16_t",
+        rust_type: "u16",
+        size: 2,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "int16",
+        c_type: "int16_t",
+        rust_type: "i16",
+        size: 2,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "uint32",
+        c_type: "uint32_t",
+        rust_type: "u32",
+        size: 4,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "int32",
+        c_type: "int32_t",
+        rust_type: "i32",
+        size: 4,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "uint64",
+        c_type: "uint64_t",
+        rust_type: "u64",
+        size: 8,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "int64",
+        c_type: "int64_t",
+        rust_type: "i64",
+        size: 8,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "size",
+        c_type: "size_t",
+        rust_type: "usize",
+        size: 8,
+        bitwise: true,
+    },
+    TypeEntry {
+        type_name: "ptrdiff",
+        c_type: "ptrdiff_t",
+        rust_type: "isize",
+        size: 8,
+        bitwise: true,
+    },
 ];
 
 #[cfg(test)]

@@ -55,10 +55,7 @@ fn oversized_transfer_panics_with_span_diagnostics() {
         })
     }));
     let err = result.unwrap_err();
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(
         msg.contains("transfer of 16 elements") || msg.contains("peer PE panicked"),
         "message should explain the span violation: {msg:?}"

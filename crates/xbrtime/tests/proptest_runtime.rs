@@ -3,6 +3,11 @@
 //! arbitrary strides, and collective correctness over arbitrary
 //! (n_pes, root, payload) configurations.
 
+// The `..ProptestConfig::default()` spread is upstream proptest's
+// canonical config idiom; the local shim happens to have no other
+// fields, which trips needless_update.
+#![allow(clippy::needless_update)]
+
 use proptest::prelude::*;
 use xbrtime::collectives;
 use xbrtime::heap::{FreeList, HEAP_ALIGN};

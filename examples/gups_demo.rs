@@ -7,7 +7,7 @@
 //! ```
 
 use xbgas::apps::{run_gups, GupsConfig};
-use xbgas::xbrtime::{Fabric, FabricConfig};
+use xbgas::xbrtime::{AlgorithmPolicy, Fabric, FabricConfig};
 
 fn main() {
     // Demo scale: 2 MiB table, 2^16 total updates, verification on.
@@ -26,6 +26,7 @@ fn main() {
             updates_per_pe: total_updates / n,
             verify: true,
             use_amo: false,
+            policy: AlgorithmPolicy::Auto,
         };
         let fc = FabricConfig::paper(n).with_shared_bytes(cfg.table_bytes() + (1 << 20));
         let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));
@@ -33,8 +34,12 @@ fn main() {
         let makespan = report.results.iter().map(|r| r.cycles).max().unwrap();
         let secs = makespan as f64 / 1.0e9;
         let total_mops = total_updates as f64 / secs / 1.0e6;
-        let remote: f64 =
-            report.results.iter().map(|r| r.remote_fraction).sum::<f64>() / n as f64;
+        let remote: f64 = report
+            .results
+            .iter()
+            .map(|r| r.remote_fraction)
+            .sum::<f64>()
+            / n as f64;
         let errors: usize = report.results.iter().map(|r| r.errors).sum();
         println!(
             "{n:>4} {total_mops:>12.3} {:>12.3} {remote:>14.2} {errors:>8}",

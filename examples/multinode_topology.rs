@@ -40,7 +40,10 @@ fn measure(hier: bool, n_pes: usize, pes_per_node: usize) -> u64 {
 }
 
 fn main() {
-    println!("broadcast of {MSG} u64 ({} KiB), intra-node links 4x cheaper\n", MSG * 8 / 1024);
+    println!(
+        "broadcast of {MSG} u64 ({} KiB), intra-node links 4x cheaper\n",
+        MSG * 8 / 1024
+    );
     println!(
         "{:>6} {:>10} {:>16} {:>12} {:>9}",
         "PEs", "node size", "hierarchical cyc", "flat cyc", "speedup"

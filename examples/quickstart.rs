@@ -46,7 +46,11 @@ fn main() {
         // --- scatter + gather (Algorithms 3, 4) ------------------------
         let msgs = vec![1usize; n];
         let disp: Vec<usize> = (0..n).collect();
-        let src: Vec<u64> = if me == 0 { (10..10 + n as u64).collect() } else { vec![] };
+        let src: Vec<u64> = if me == 0 {
+            (10..10 + n as u64).collect()
+        } else {
+            vec![]
+        };
         let mut mine = [0u64];
         collectives::scatter(pe, &mut mine, &src, &msgs, &disp, n, 0);
         pe.barrier();

@@ -40,7 +40,13 @@ fn main() {
                 handles.push(pe.put_nb(field.at(CELLS_PER_PE + 1), &cur[1..2], 1, 1, me - 1));
             }
             if me + 1 < n {
-                handles.push(pe.put_nb(field.at(0), &cur[CELLS_PER_PE..CELLS_PER_PE + 1], 1, 1, me + 1));
+                handles.push(pe.put_nb(
+                    field.at(0),
+                    &cur[CELLS_PER_PE..CELLS_PER_PE + 1],
+                    1,
+                    1,
+                    me + 1,
+                ));
             }
             for h in handles {
                 pe.wait(h);

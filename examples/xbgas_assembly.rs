@@ -59,7 +59,12 @@ fn main() {
     machine.load_program(0x1000, &image.words);
 
     let summary = machine.run();
-    assert_eq!(summary.exit, RunExit::AllHalted, "machine: {:?}", summary.exit);
+    assert_eq!(
+        summary.exit,
+        RunExit::AllHalted,
+        "machine: {:?}",
+        summary.exit
+    );
 
     println!("PE  console  cycles  instret");
     for pe in 0..n {

@@ -3,7 +3,7 @@
 //! Figure 5 stand on.
 
 use xbgas::apps::{run_gups, run_is, GupsConfig, IsClass, IsConfig};
-use xbgas::xbrtime::{Fabric, FabricConfig};
+use xbgas::xbrtime::{AlgorithmPolicy, Fabric, FabricConfig};
 
 #[test]
 fn gups_verifies_across_pe_counts() {
@@ -14,6 +14,7 @@ fn gups_verifies_across_pe_counts() {
             updates_per_pe: (4 * table_words / n).min(8192),
             verify: true,
             use_amo: false,
+            policy: AlgorithmPolicy::Binomial,
         };
         // 3 PEs: 2^14 doesn't divide by 3 — skip, as HPCC requires even
         // distribution (checked separately below).
@@ -37,7 +38,8 @@ fn gups_rejects_uneven_distribution() {
         log2_table_size: 10,
         updates_per_pe: 16,
         verify: false,
-            use_amo: false,
+        use_amo: false,
+        policy: AlgorithmPolicy::Binomial,
     };
     Fabric::run(FabricConfig::new(3), move |pe| run_gups(pe, &cfg));
 }
@@ -59,6 +61,7 @@ fn is_sorts_and_verifies_all_classes_downscaled() {
                 class,
                 iterations: 2,
                 verify: true,
+                policy: AlgorithmPolicy::Binomial,
             };
             let report = Fabric::run(FabricConfig::new(n), move |pe| run_is(pe, &cfg));
             for (rank, r) in report.results.iter().enumerate() {
@@ -87,6 +90,7 @@ fn simulated_time_is_deterministic_for_single_pe() {
             updates_per_pe: 4096,
             verify: false,
             use_amo: false,
+            policy: AlgorithmPolicy::Binomial,
         };
         let report = Fabric::run(FabricConfig::paper(1), move |pe| run_gups(pe, &cfg));
         report.results[0].cycles
@@ -108,6 +112,7 @@ fn multi_pe_simulated_time_is_stable() {
             updates_per_pe: 8192,
             verify: false,
             use_amo: false,
+            policy: AlgorithmPolicy::Binomial,
         };
         let report = Fabric::run(FabricConfig::paper(4), move |pe| run_gups(pe, &cfg));
         report.results.iter().map(|r| r.cycles).max().unwrap()
@@ -178,18 +183,21 @@ fn fig4_mechanism_cache_hit_rate_rises_as_table_shrinks() {
             updates_per_pe: (1 << 20) / n,
             verify: false,
             use_amo: false,
+            policy: AlgorithmPolicy::Binomial,
         };
         let fc =
             xbgas::xbrtime::FabricConfig::paper(n).with_shared_bytes(cfg.table_bytes() + (1 << 20));
         let report = Fabric::run(fc, move |pe| {
             let r = run_gups(pe, &cfg);
             let (_, l2, tlb) = pe.mem_stats();
-            (r, l2.hit_rate(), tlb.hits as f64 / (tlb.hits + tlb.misses).max(1) as f64)
+            (
+                r,
+                l2.hit_rate(),
+                tlb.hits as f64 / (tlb.hits + tlb.misses).max(1) as f64,
+            )
         });
-        let l2: f64 =
-            report.results.iter().map(|(_, l2, _)| l2).sum::<f64>() / n as f64;
-        let tlb: f64 =
-            report.results.iter().map(|(_, _, t)| t).sum::<f64>() / n as f64;
+        let l2: f64 = report.results.iter().map(|(_, l2, _)| l2).sum::<f64>() / n as f64;
+        let tlb: f64 = report.results.iter().map(|(_, _, t)| t).sum::<f64>() / n as f64;
         (l2, tlb)
     };
     let (l2_1, tlb_1) = hit_rates(1);

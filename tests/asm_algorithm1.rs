@@ -128,7 +128,12 @@ fn run_asm_broadcast(n_pes: usize, root: usize) -> Machine {
         m.mem_mut(root).store_u64(0x8000 + 8 * j, 1000 + j).unwrap();
     }
     let s = m.run();
-    assert_eq!(s.exit, RunExit::AllHalted, "n={n_pes} root={root}: {:?}", s.exit);
+    assert_eq!(
+        s.exit,
+        RunExit::AllHalted,
+        "n={n_pes} root={root}: {:?}",
+        s.exit
+    );
     m
 }
 

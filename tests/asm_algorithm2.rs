@@ -122,7 +122,12 @@ fn run_asm_reduce(n_pes: usize, root: usize) -> (Machine, Vec<u64>) {
         }
     }
     let s = m.run();
-    assert_eq!(s.exit, RunExit::AllHalted, "n={n_pes} root={root}: {:?}", s.exit);
+    assert_eq!(
+        s.exit,
+        RunExit::AllHalted,
+        "n={n_pes} root={root}: {:?}",
+        s.exit
+    );
     let codes = (0..n_pes)
         .map(|pe| match m.hart(pe).state {
             HartState::Halted { code } => code,

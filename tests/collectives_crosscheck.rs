@@ -64,11 +64,13 @@ fn randomized_reduce_matches_oracle_and_baseline() {
         let (tree, lin) = &report.results[root];
         for j in 0..nelems {
             assert_eq!(
-                tree[j * stride], expect[j],
+                tree[j * stride],
+                expect[j],
                 "trial {trial}: tree vs oracle (n={n_pes} root={root} op={op:?})"
             );
             assert_eq!(
-                lin[j * stride], expect[j],
+                lin[j * stride],
+                expect[j],
                 "trial {trial}: linear vs oracle"
             );
         }
@@ -96,7 +98,11 @@ fn randomized_scatter_gather_roundtrip() {
 
         let (m2, d2, dat2) = (msgs.clone(), disp.clone(), data.clone());
         let report = Fabric::run(FabricConfig::new(n_pes), move |pe| {
-            let src: Vec<u64> = if pe.rank() == root { dat2.clone() } else { vec![] };
+            let src: Vec<u64> = if pe.rank() == root {
+                dat2.clone()
+            } else {
+                vec![]
+            };
             let my_count = m2[pe.rank()];
             let mut mine = vec![0u64; my_count.max(1)];
             collectives::scatter(pe, &mut mine, &src, &m2, &d2, nelems, root);

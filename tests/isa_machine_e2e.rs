@@ -119,7 +119,13 @@ fn olb_window_objects_translate_with_base_offsets() {
     // access it: the 64-bit base address is offset by the window base —
     // the memory-mapped-I/O usage paper §3.1 sketches.
     let mut m = Machine::new(MachineConfig::test(2));
-    m.olb_mut(0).insert(0x50, OlbEntry { pe: 1, base: 0x2000 });
+    m.olb_mut(0).insert(
+        0x50,
+        OlbEntry {
+            pe: 1,
+            base: 0x2000,
+        },
+    );
     let img = assemble(
         0x1000,
         r#"

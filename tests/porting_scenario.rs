@@ -15,8 +15,12 @@ const N_PES: usize = 6;
 const CHUNK: usize = 512;
 
 fn local_vectors(rank: usize) -> (Vec<i64>, Vec<i64>) {
-    let a: Vec<i64> = (0..CHUNK).map(|i| ((rank * CHUNK + i) % 17) as i64 - 8).collect();
-    let b: Vec<i64> = (0..CHUNK).map(|i| ((rank * CHUNK + i) % 23) as i64 - 11).collect();
+    let a: Vec<i64> = (0..CHUNK)
+        .map(|i| ((rank * CHUNK + i) % 17) as i64 - 8)
+        .collect();
+    let b: Vec<i64> = (0..CHUNK)
+        .map(|i| ((rank * CHUNK + i) % 23) as i64 - 11)
+        .collect();
     (a, b)
 }
 
@@ -29,7 +33,14 @@ fn dot_shmem(pe: &Pe) -> i64 {
     let dest = pe.shared_malloc::<i64>(1);
     pe.heap_store(src.whole(), partial);
     pe.barrier();
-    shmem::to_all(pe, &dest, &src, 1, ReduceOp::Sum, &ActiveSet::world(pe.n_pes()));
+    shmem::to_all(
+        pe,
+        &dest,
+        &src,
+        1,
+        ReduceOp::Sum,
+        &ActiveSet::world(pe.n_pes()),
+    );
     let out = pe.heap_load(dest.whole());
     pe.barrier();
     pe.shared_free(dest);
