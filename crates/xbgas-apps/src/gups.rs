@@ -13,7 +13,7 @@
 //! an involution) and counts residual mismatches; like HPCC, up to 1% is
 //! tolerated to absorb racing concurrent updates to the same word.
 
-use xbrtime::{collectives, AlgorithmPolicy, Pe, ReduceOp};
+use xbrtime::{collectives, AlgorithmPolicy, Pe, ReduceOp, SyncMode};
 
 /// The HPCC RandomAccess polynomial.
 const POLY: u64 = 0x7;
@@ -92,6 +92,8 @@ pub struct GupsConfig {
     pub use_amo: bool,
     /// Algorithm policy for the verification tail's reduce + broadcast.
     pub policy: AlgorithmPolicy,
+    /// Executor synchronization mode for those collectives.
+    pub sync: SyncMode,
 }
 
 impl GupsConfig {
@@ -103,6 +105,7 @@ impl GupsConfig {
             verify: true,
             use_amo: false,
             policy: AlgorithmPolicy::Auto,
+            sync: SyncMode::Auto,
         }
     }
 
@@ -116,6 +119,7 @@ impl GupsConfig {
             verify: false,
             use_amo: false,
             policy: AlgorithmPolicy::Binomial,
+            sync: SyncMode::Barrier,
         }
     }
 
@@ -247,9 +251,19 @@ pub fn run_gups(pe: &Pe, cfg: &GupsConfig) -> GupsResult {
         pe.heap_store(err_sym.whole(), errors as u64);
         pe.barrier();
         let mut total = [0u64];
-        collectives::reduce_policy(pe, &mut total, &err_sym, 1, 1, 0, ReduceOp::Sum, cfg.policy);
+        collectives::reduce_policy_sync(
+            pe,
+            &mut total,
+            &err_sym,
+            1,
+            1,
+            0,
+            ReduceOp::Sum,
+            cfg.policy,
+            cfg.sync,
+        );
         let bcast = pe.shared_malloc::<u64>(1);
-        collectives::broadcast_policy(pe, &bcast, &total, 1, 1, 0, cfg.policy);
+        collectives::broadcast_policy_sync(pe, &bcast, &total, 1, 1, 0, cfg.policy, cfg.sync);
         pe.barrier();
         let global_errors = pe.heap_load(bcast.whole());
         let total_updates = (cfg.updates_per_pe * n_pes) as u64;
@@ -364,6 +378,7 @@ mod tests {
             verify: false,
             use_amo: false,
             policy: AlgorithmPolicy::Binomial,
+            sync: SyncMode::Barrier,
         };
         let cfg_big = GupsConfig {
             log2_table_size: 10,
@@ -371,6 +386,7 @@ mod tests {
             verify: false,
             use_amo: false,
             policy: AlgorithmPolicy::Binomial,
+            sync: SyncMode::Barrier,
         };
         let cycles = |cfg: GupsConfig| {
             let report = Fabric::run(FabricConfig::paper(2), move |pe| run_gups(pe, &cfg));

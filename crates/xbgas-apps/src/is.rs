@@ -15,7 +15,7 @@
 //! verification checks the global sorted order at the end.
 
 use xbrtime::collectives::{self, AllReduceAlgo};
-use xbrtime::{AlgorithmPolicy, Pe, ReduceOp};
+use xbrtime::{AlgorithmPolicy, Pe, ReduceOp, SyncMode};
 
 /// NPB problem classes (key count, key range).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -202,6 +202,9 @@ pub struct IsConfig {
     /// The per-iteration histogram combine keeps the reduce-then-broadcast
     /// composite (the paper's pattern) regardless of policy.
     pub policy: AlgorithmPolicy,
+    /// Executor synchronization mode for the verification tail's
+    /// collectives.
+    pub sync: SyncMode,
 }
 
 impl IsConfig {
@@ -215,6 +218,7 @@ impl IsConfig {
             iterations: 3,
             verify: true,
             policy: AlgorithmPolicy::Auto,
+            sync: SyncMode::Auto,
         }
     }
 
@@ -232,6 +236,7 @@ impl IsConfig {
             iterations: 10,
             verify: true,
             policy: AlgorithmPolicy::Binomial,
+            sync: SyncMode::Barrier,
         }
     }
 }
@@ -394,7 +399,7 @@ pub fn run_is(pe: &Pe, cfg: &IsConfig) -> IsResult {
         pe.heap_store(count_sym.whole(), mine.len() as u64);
         pe.barrier();
         let mut total = [0u64];
-        collectives::reduce_policy(
+        collectives::reduce_policy_sync(
             pe,
             &mut total,
             &count_sym,
@@ -403,9 +408,10 @@ pub fn run_is(pe: &Pe, cfg: &IsConfig) -> IsResult {
             0,
             ReduceOp::Sum,
             cfg.policy,
+            cfg.sync,
         );
         let bcast = pe.shared_malloc::<u64>(1);
-        collectives::broadcast_policy(pe, &bcast, &total, 1, 1, 0, cfg.policy);
+        collectives::broadcast_policy_sync(pe, &bcast, &total, 1, 1, 0, cfg.policy, cfg.sync);
         pe.barrier();
         if pe.heap_load(bcast.whole()) != total_keys as u64 {
             verified = false;

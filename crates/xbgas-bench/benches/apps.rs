@@ -17,6 +17,7 @@ fn bench_gups(c: &mut Criterion) {
                     verify: false,
                     use_amo: false,
                     policy: xbrtime::AlgorithmPolicy::Binomial,
+                    sync: xbrtime::SyncMode::Barrier,
                 };
                 Fabric::run(FabricConfig::new(n), move |pe| run_gups(pe, &cfg))
             })
@@ -39,6 +40,7 @@ fn bench_is(c: &mut Criterion) {
                     iterations: 2,
                     verify: false,
                     policy: xbrtime::AlgorithmPolicy::Binomial,
+                    sync: xbrtime::SyncMode::Barrier,
                 };
                 Fabric::run(FabricConfig::new(n), move |pe| run_is(pe, &cfg))
             })

@@ -6,9 +6,12 @@
 //!    the paper's prescription — vs a direct recursive-doubling butterfly.
 //! 3. **Per-stage barriers**: the barrier cost share of a broadcast, by
 //!    comparing against the same tree's pure transfer cycles.
+//! 4. **Executor sync modes**: the per-stage barrier discipline vs the
+//!    point-to-point signal plane (signaled / segmented-pipelined), with
+//!    the executor's signal/wait/overlap telemetry per mode.
 
 use xbgas_bench::{
-    ablation_allreduce, ablation_gups_amo, ablation_topology, ablation_unroll,
+    ablation_allreduce, ablation_gups_amo, ablation_sync_modes, ablation_topology, ablation_unroll,
     collective_telemetry, sweep_broadcast, Algo,
 };
 use xbrtime::collectives::AllReduceAlgo;
@@ -78,6 +81,29 @@ fn main() {
         let t = sweep_broadcast(Algo::Binomial, n, 4096).cycles;
         let l = sweep_broadcast(Algo::Linear, n, 4096).cycles;
         println!("{n:>5} {t:>12} {l:>12}");
+    }
+
+    println!("\n# Ablation 6 — executor sync modes (binomial broadcast, warmed call;");
+    println!("#   signals/waits/stall cycles aggregated across PEs; overlap =");
+    println!("#   1 - wait_cycles/executor_cycles)");
+    for (n, nelems) in [(8usize, 256usize), (8, 65536)] {
+        println!(
+            "{:>5} {:>9} {:>10} {:>12} {:>8} {:>7} {:>12} {:>8}",
+            "PEs", "elems", "mode", "makespan", "signals", "waits", "wait cycles", "overlap"
+        );
+        for row in ablation_sync_modes(n, nelems) {
+            println!(
+                "{:>5} {:>9} {:>10} {:>12} {:>8} {:>7} {:>12} {:>8.3}",
+                n,
+                nelems,
+                row.sync.name(),
+                row.makespan,
+                row.signals,
+                row.waits,
+                row.wait_cycles,
+                row.overlap_ratio
+            );
+        }
     }
 
     println!("\n# Per-collective executor telemetry (8 PEs, 1024 u64 each,");

@@ -13,10 +13,10 @@
 
 use xbgas_bench::json::{to_string_pretty, Json, ToJson};
 use xbgas_bench::{
-    sweep_broadcast, sweep_broadcast_policy, sweep_gather, sweep_reduce, sweep_scatter, Algo,
-    SweepPoint,
+    sweep_broadcast, sweep_broadcast_policy, sweep_broadcast_sync, sweep_gather, sweep_reduce,
+    sweep_reduce_sync, sweep_scatter, Algo, SweepPoint,
 };
-use xbrtime::AlgorithmPolicy;
+use xbrtime::{AlgorithmPolicy, SyncMode};
 
 /// `Auto` vs always-binomial on one sweep cell.
 struct PolicyCell {
@@ -44,6 +44,97 @@ impl ToJson for PolicyCell {
     }
 }
 
+/// One executor sync-mode cell: barrier vs signaled vs pipelined vs
+/// `SyncMode::Auto` on the same collective, PE count and payload.
+struct SyncCell {
+    collective: &'static str,
+    n_pes: usize,
+    nelems: usize,
+    barrier_cycles: u64,
+    signaled_cycles: u64,
+    pipelined_cycles: u64,
+    auto_cycles: u64,
+}
+
+/// Queue-occupancy noise tolerance for makespan comparisons (the fabric's
+/// M/M/1 wait term makes repeated runs jitter by a couple percent).
+const SYNC_TOLERANCE: f64 = 1.05;
+
+impl SyncCell {
+    fn measure(collective: &'static str, n_pes: usize, nelems: usize) -> SyncCell {
+        let run = |sync| match collective {
+            "broadcast" => sweep_broadcast_sync(sync, n_pes, nelems),
+            _ => sweep_reduce_sync(sync, n_pes, nelems),
+        };
+        SyncCell {
+            collective,
+            n_pes,
+            nelems,
+            barrier_cycles: run(SyncMode::Barrier),
+            signaled_cycles: run(SyncMode::Signaled),
+            pipelined_cycles: run(SyncMode::Pipelined),
+            auto_cycles: run(SyncMode::Auto),
+        }
+    }
+
+    fn best_fixed(&self) -> u64 {
+        self.barrier_cycles
+            .min(self.signaled_cycles)
+            .min(self.pipelined_cycles)
+    }
+
+    fn winner(&self) -> &'static str {
+        let best = self.best_fixed();
+        if best == self.barrier_cycles {
+            "barrier"
+        } else if best == self.signaled_cycles {
+            "signaled"
+        } else {
+            "pipelined"
+        }
+    }
+
+    /// The smoke gate: `Auto` must not lose to always-barrier on any cell
+    /// beyond measurement noise.
+    fn auto_ok(&self) -> bool {
+        (self.auto_cycles as f64) <= self.barrier_cycles as f64 * SYNC_TOLERANCE
+    }
+
+    /// `Auto` also has to track the best fixed mode, not merely tie the
+    /// baseline — this is what the JSON report records per cell.
+    fn auto_tracks_winner(&self) -> bool {
+        (self.auto_cycles as f64) <= self.best_fixed() as f64 * SYNC_TOLERANCE
+    }
+}
+
+impl ToJson for SyncCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("collective", Json::Str(self.collective.into())),
+            ("n_pes", self.n_pes.to_json()),
+            ("nelems", self.nelems.to_json()),
+            ("barrier_cycles", self.barrier_cycles.to_json()),
+            ("signaled_cycles", self.signaled_cycles.to_json()),
+            ("pipelined_cycles", self.pipelined_cycles.to_json()),
+            ("auto_cycles", self.auto_cycles.to_json()),
+            ("winner", Json::Str(self.winner().into())),
+            ("auto_tracks_winner", self.auto_tracks_winner().to_json()),
+            ("auto_beats_always_barrier", self.auto_ok().to_json()),
+        ])
+    }
+}
+
+/// Smallest swept payload (bytes) at which a point-to-point mode strictly
+/// beats the per-stage-barrier executor for a PE count, if any — the
+/// crossover `SyncMode::Auto`'s constants are calibrated against.
+fn sync_crossover_bytes(cells: &[SyncCell], collective: &str, n_pes: usize) -> Option<usize> {
+    cells
+        .iter()
+        .filter(|c| c.collective == collective && c.n_pes == n_pes)
+        .find(|c| c.signaled_cycles.min(c.pipelined_cycles) < c.barrier_cycles)
+        .map(|c| c.nelems * 8)
+}
+
 /// Smallest swept payload (bytes) at which binomial wins for a PE count,
 /// if any — the crossover the `Auto` constants are calibrated against.
 fn crossover_bytes(points: &[SweepPoint], n_pes: usize, sizes: &[usize]) -> Option<usize> {
@@ -66,9 +157,81 @@ fn crossover_bytes(points: &[SweepPoint], n_pes: usize, sizes: &[usize]) -> Opti
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let pe_counts = [2usize, 4, 8];
     let sizes = [1usize, 16, 256, 4096, 65536];
     let algos = [Algo::Binomial, Algo::Linear, Algo::Ring];
+
+    // Executor sync-mode sweep: barrier vs signaled vs pipelined vs Auto.
+    // Run first so `--smoke` (the CI gate) skips the algorithm sweep.
+    let mut sync_cells = Vec::new();
+    for &n in &pe_counts {
+        for &sz in &sizes {
+            sync_cells.push(SyncCell::measure("broadcast", n, sz));
+        }
+        for &sz in &[256usize, 65536] {
+            sync_cells.push(SyncCell::measure("reduce", n, sz));
+        }
+    }
+
+    let sync_crossovers: Vec<(usize, Option<usize>)> = pe_counts
+        .iter()
+        .map(|&n| (n, sync_crossover_bytes(&sync_cells, "broadcast", n)))
+        .collect();
+
+    if !json {
+        println!("# Executor sync modes: simulated cycles per warmed call (lower is better)");
+        println!(
+            "{:>10} {:>5} {:>9} {:>12} {:>12} {:>12} {:>12}  winner",
+            "collective", "PEs", "elems", "barrier", "signaled", "pipelined", "auto"
+        );
+        for c in &sync_cells {
+            println!(
+                "{:>10} {:>5} {:>9} {:>12} {:>12} {:>12} {:>12}  {}{}",
+                c.collective,
+                c.n_pes,
+                c.nelems,
+                c.barrier_cycles,
+                c.signaled_cycles,
+                c.pipelined_cycles,
+                c.auto_cycles,
+                c.winner(),
+                if c.auto_ok() { "" } else { "  [AUTO LOSES]" }
+            );
+        }
+        println!(
+            "\n# Sync crossover: smallest broadcast payload where point-to-point beats barrier"
+        );
+        for (n, bytes) in &sync_crossovers {
+            match bytes {
+                Some(b) => println!("  {n} PEs: signaled/pipelined from {b} bytes"),
+                None => println!("  {n} PEs: per-stage barrier wins at every swept size"),
+            }
+        }
+    }
+
+    if smoke {
+        let losses: Vec<&SyncCell> = sync_cells.iter().filter(|c| !c.auto_ok()).collect();
+        if losses.is_empty() {
+            println!(
+                "\nsmoke OK: SyncMode::Auto within {:.0}% of always-barrier on all {} cells",
+                (SYNC_TOLERANCE - 1.0) * 100.0,
+                sync_cells.len()
+            );
+            return;
+        }
+        eprintln!(
+            "\nsmoke FAILED: SyncMode::Auto loses to always-barrier on {} cell(s):",
+            losses.len()
+        );
+        for c in losses {
+            eprintln!(
+                "  {} n_pes={} nelems={}: auto {} vs barrier {}",
+                c.collective, c.n_pes, c.nelems, c.auto_cycles, c.barrier_cycles
+            );
+        }
+        std::process::exit(1);
+    }
 
     let mut points = Vec::new();
     for &n in &pe_counts {
@@ -122,6 +285,35 @@ fn main() {
         (
             "auto_beats_binomial_somewhere",
             policy_cells.iter().any(|c| c.auto_wins()).to_json(),
+        ),
+        ("sync_mode_points", sync_cells.to_json()),
+        (
+            "sync_crossovers",
+            Json::Arr(
+                sync_crossovers
+                    .iter()
+                    .map(|&(n, bytes)| {
+                        Json::obj([
+                            ("n_pes", n.to_json()),
+                            (
+                                "point_to_point_wins_from_bytes",
+                                bytes.map_or(Json::Null, |b| b.to_json()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "sync_auto_tracks_winner_everywhere",
+            sync_cells.iter().all(|c| c.auto_tracks_winner()).to_json(),
+        ),
+        (
+            "point_to_point_beats_barrier_somewhere",
+            sync_cells
+                .iter()
+                .any(|c| c.signaled_cycles.min(c.pipelined_cycles) < c.barrier_cycles)
+                .to_json(),
         ),
     ]);
     let rendered = to_string_pretty(&report);

@@ -12,6 +12,7 @@
 //! Both are semantically interchangeable with the tree versions, so every
 //! test of Algorithms 1–4 can (and does) cross-check against them.
 
+use crate::collectives::policy::SyncMode;
 use crate::collectives::schedule::{
     self, broadcast_linear_sched, broadcast_ring_sched, reduce_linear_sched, CommSchedule, OpKind,
     Stage, TransferOp,
@@ -28,11 +29,24 @@ pub fn broadcast_linear<T: XbrType>(
     stride: usize,
     root: usize,
 ) {
+    broadcast_linear_sync(pe, dest, src, nelems, stride, root, SyncMode::Barrier);
+}
+
+/// [`broadcast_linear`] with an explicit executor [`SyncMode`].
+pub fn broadcast_linear_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    sync: SyncMode,
+) {
     if pe.rank() == root {
         pe.heap_write_strided(dest.whole(), src, nelems, stride);
     }
     let sched = broadcast_linear_sched(pe.n_pes(), root, nelems, stride);
-    schedule::execute(pe, &sched, dest.whole(), &[], &mut [], None);
+    schedule::execute_sync(pe, &sched, dest.whole(), &[], &mut [], None, sync);
 }
 
 /// Ring broadcast: the payload hops `rank → rank+1` for `N − 1` stages.
@@ -44,11 +58,27 @@ pub fn broadcast_ring<T: XbrType>(
     stride: usize,
     root: usize,
 ) {
+    broadcast_ring_sync(pe, dest, src, nelems, stride, root, SyncMode::Barrier);
+}
+
+/// [`broadcast_ring`] with an explicit executor [`SyncMode`]. The ring is
+/// where signaling shines brightest: each hop waits only on its upstream
+/// neighbour, so the `N − 1` stages pipeline through the ring instead of
+/// lock-stepping at `N − 1` barriers.
+pub fn broadcast_ring_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    sync: SyncMode,
+) {
     if pe.rank() == root {
         pe.heap_write_strided(dest.whole(), src, nelems, stride);
     }
     let sched = broadcast_ring_sched(pe.n_pes(), root, nelems, stride);
-    schedule::execute(pe, &sched, dest.whole(), &[], &mut [], None);
+    schedule::execute_sync(pe, &sched, dest.whole(), &[], &mut [], None, sync);
 }
 
 /// Linear reduction: the root gets every peer's contribution and folds it
@@ -64,6 +94,21 @@ pub fn reduce_linear<T: XbrType>(
     root: usize,
     f: impl Fn(T, T) -> T,
 ) {
+    reduce_linear_sync(pe, dest, src, nelems, stride, root, f, SyncMode::Barrier);
+}
+
+/// [`reduce_linear`] with an explicit executor [`SyncMode`].
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_linear_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    f: impl Fn(T, T) -> T,
+    sync: SyncMode,
+) {
     let n_pes = pe.n_pes();
     assert!(root < n_pes, "root {root} out of range");
     let span = if nelems == 0 {
@@ -78,7 +123,7 @@ pub fn reduce_linear<T: XbrType>(
         pe.heap_read_strided(src.whole(), &mut acc, nelems, stride);
     }
     let sched = reduce_linear_sched(n_pes, root, nelems, stride);
-    schedule::execute(pe, &sched, src.whole(), &[], &mut acc, Some(&f));
+    schedule::execute_sync(pe, &sched, src.whole(), &[], &mut acc, Some(&f), sync);
     if pe.rank() == root {
         for j in 0..nelems {
             dest[j * stride] = acc[j * stride];

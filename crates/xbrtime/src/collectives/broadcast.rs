@@ -7,6 +7,7 @@
 //! A barrier closes every stage (paper: *"While not shown in Algorithm 1, a
 //! barrier operation takes place at the end of each loop iteration"*).
 
+use crate::collectives::policy::SyncMode;
 use crate::collectives::schedule::{self, broadcast_binomial};
 use crate::fabric::{CollectiveKind, Pe, SymmAlloc};
 use crate::types::XbrType;
@@ -52,6 +53,28 @@ pub fn broadcast<T: XbrType>(
     );
 }
 
+/// [`broadcast`] with an explicit executor [`SyncMode`].
+pub fn broadcast_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    sync: SyncMode,
+) {
+    broadcast_kind_sync(
+        pe,
+        dest,
+        src,
+        nelems,
+        stride,
+        root,
+        CollectiveKind::Broadcast,
+        sync,
+    );
+}
+
 /// Broadcast, reporting telemetry under an explicit kind — so composites
 /// like reduce-to-all attribute their internal broadcast to themselves.
 pub(crate) fn broadcast_kind<T: XbrType>(
@@ -63,6 +86,20 @@ pub(crate) fn broadcast_kind<T: XbrType>(
     root: usize,
     kind: CollectiveKind,
 ) {
+    broadcast_kind_sync(pe, dest, src, nelems, stride, root, kind, SyncMode::Barrier);
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn broadcast_kind_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    kind: CollectiveKind,
+    sync: SyncMode,
+) {
     // The root stages the payload into its symmetric dest so that interior
     // tree stages can forward heap-to-heap with a single put each.
     if pe.rank() == root {
@@ -70,7 +107,7 @@ pub(crate) fn broadcast_kind<T: XbrType>(
     }
     let mut sched = broadcast_binomial(pe.n_pes(), root, nelems, stride);
     sched.kind = kind;
-    schedule::execute(pe, &sched, dest.whole(), &[], &mut [], None);
+    schedule::execute_sync(pe, &sched, dest.whole(), &[], &mut [], None, sync);
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! toward the root, and the root finally reorders the staging buffer back
 //! into *logical*-rank order through `pe_disp`.
 
-use crate::collectives::policy::Algorithm;
+use crate::collectives::policy::{Algorithm, SyncMode};
 use crate::collectives::scatter::adjusted_displacements;
 use crate::collectives::schedule::{self, gather_binomial, gather_linear_sched};
 use crate::collectives::vrank::virtual_rank;
@@ -65,6 +65,31 @@ pub(crate) fn gather_impl<T: XbrType>(
     root: usize,
     algo: Algorithm,
 ) {
+    gather_impl_sync(
+        pe,
+        dest,
+        src,
+        pe_msgs,
+        pe_disp,
+        nelems,
+        root,
+        algo,
+        SyncMode::Barrier,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gather_impl_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+    algo: Algorithm,
+    sync: SyncMode,
+) {
     let n_pes = pe.n_pes();
     let log_rank = pe.rank();
     assert!(root < n_pes, "root {root} out of range");
@@ -96,7 +121,7 @@ pub(crate) fn gather_impl<T: XbrType>(
         Algorithm::Binomial => gather_binomial(n_pes, root, &adj_disp),
         Algorithm::Linear | Algorithm::Ring => gather_linear_sched(n_pes, root, &adj_disp),
     };
-    schedule::execute(pe, &sched, s_buff.whole(), &[], &mut [], None);
+    schedule::execute_sync(pe, &sched, s_buff.whole(), &[], &mut [], None, sync);
 
     // Root: reorder from virtual-rank staging order back to logical order.
     if vir_rank == 0 && nelems > 0 {

@@ -25,15 +25,18 @@ pub mod schedule;
 pub mod vrank;
 
 pub use baseline::{
-    broadcast_linear, broadcast_ring, gather_linear, reduce_linear, scatter_linear,
+    broadcast_linear, broadcast_linear_sync, broadcast_ring, broadcast_ring_sync, gather_linear,
+    reduce_linear, reduce_linear_sync, scatter_linear,
 };
-pub use broadcast::broadcast;
+pub use broadcast::{broadcast, broadcast_sync};
 pub use extended::{all_gather, all_to_all, reduce_all, reduce_all_with, AllReduceAlgo, Team};
 pub use gather::gather;
 pub use hierarchical::{broadcast_hier, reduce_hier};
 pub use policy::{
-    broadcast_policy, gather_policy, reduce_policy, scatter_policy, Algorithm, AlgorithmPolicy,
+    broadcast_policy, broadcast_policy_sync, gather_policy, gather_policy_sync, pipeline_chunks,
+    reduce_policy, reduce_policy_sync, scatter_policy, scatter_policy_sync, Algorithm,
+    AlgorithmPolicy, SyncMode, MAX_PIPELINE_CHUNKS, PIPELINE_CHUNK_BYTES,
 };
-pub use reduce::{reduce, reduce_bitwise, reduce_with};
+pub use reduce::{reduce, reduce_bitwise, reduce_with, reduce_with_sync};
 pub use scatter::scatter;
 pub use vrank::{logical_rank, rank_table, virtual_rank};

@@ -55,6 +55,107 @@ pub enum AlgorithmPolicy {
     Auto,
 }
 
+/// How the schedule executor synchronizes the stages of a collective.
+///
+/// The paper's Algorithms 1–4 close every stage with a full barrier.
+/// The alternative modes replace that global synchronization with the
+/// point-to-point signal plane ([`Pe::signal_post`](crate::fabric::Pe) /
+/// [`Pe::signal_wait`](crate::fabric::Pe)): each transfer waits only on
+/// the signals of the transfers that feed it, and one barrier closes the
+/// whole collective.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SyncMode {
+    /// A full-fabric barrier after every stage — the paper's Algorithms
+    /// 1–4 exactly as written.
+    #[default]
+    Barrier,
+    /// Put-with-signal / wait-until between communicating pairs; the
+    /// per-stage barriers disappear and one final barrier closes the
+    /// collective.
+    Signaled,
+    /// [`Signaled`](SyncMode::Signaled), plus segmented pipelining: large
+    /// puts are split into [`pipeline_chunks`] segments, each signaled
+    /// independently, so a child can forward chunk `k` while chunk `k+1`
+    /// is still in flight to it.
+    Pipelined,
+    /// Pick per call from `(n_pes, payload bytes)` using the crossovers
+    /// calibrated from `xbench_sweep` (see `BENCH_sweep.json`).
+    Auto,
+}
+
+/// Below this PE count the schedules are one or two stages deep and a
+/// barrier costs no more than the signal exchange that would replace it
+/// (`xbench_sweep` at 2 PEs: barrier wins every swept cell by the signal
+/// bookkeeping, ~30 cycles): `Auto` stays with the paper's barrier
+/// executor. The executor additionally falls back to barriers for
+/// single-stage schedules at any scale (see `execute_sync`).
+const AUTO_SYNC_MIN_PES: usize = 4;
+
+/// Payload size (bytes per transfer) from which `Auto` turns on
+/// segmented pipelining. Calibrated from `xbench_sweep` on the paper
+/// cost model: from 512 KiB broadcasts the pipelined chain overlaps hop
+/// `k`'s forwarding with hop `k + 1`'s arrival and beats the barrier
+/// executor's best algorithm by 12% at 8 PEs (720k vs 818k cycles) and
+/// 24% at 4 PEs (363k vs 478k); at 32 KiB and below the per-segment
+/// fabric overhead (OLB + flight latency + remote DRAM per chunk) eats
+/// the overlap win and plain signaling is the better point-to-point
+/// mode.
+const AUTO_PIPELINE_MIN_BYTES: usize = 64 * 1024;
+
+/// Segment size for [`SyncMode::Pipelined`]: large enough that the
+/// per-segment fixed fabric cost (OLB lookup + flight latency + remote
+/// DRAM ≈ 230 cycles) stays small against the segment's channel
+/// occupancy (8 KiB / 8 B-per-cycle = 1024 cycles), small enough that a
+/// binomial tree's forwarding chain gets several segments in flight.
+pub const PIPELINE_CHUNK_BYTES: usize = 8 * 1024;
+
+/// Upper bound on segments per transfer, which also sizes the signal
+/// table's per-op chunk slots.
+pub const MAX_PIPELINE_CHUNKS: usize = 8;
+
+/// Deterministic segment count for a transfer of `nbytes` under
+/// [`SyncMode::Pipelined`]. Every PE computes this from the schedule
+/// alone, so posters and waiters always agree on the chunking.
+pub fn pipeline_chunks(nbytes: usize) -> usize {
+    if nbytes < 2 * PIPELINE_CHUNK_BYTES {
+        1
+    } else {
+        nbytes
+            .div_ceil(PIPELINE_CHUNK_BYTES)
+            .min(MAX_PIPELINE_CHUNKS)
+    }
+}
+
+impl SyncMode {
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncMode::Barrier => "barrier",
+            SyncMode::Signaled => "signaled",
+            SyncMode::Pipelined => "pipelined",
+            SyncMode::Auto => "auto",
+        }
+    }
+
+    /// Resolve `Auto` to a concrete mode for one call. `nbytes` is the
+    /// largest single transfer in the schedule. Deterministic in its
+    /// inputs, so every PE of a collective resolves identically.
+    pub fn resolve(self, n_pes: usize, nbytes: usize) -> SyncMode {
+        match self {
+            SyncMode::Auto => {
+                if n_pes < AUTO_SYNC_MIN_PES {
+                    SyncMode::Barrier
+                } else if nbytes >= AUTO_PIPELINE_MIN_BYTES {
+                    SyncMode::Pipelined
+                } else {
+                    SyncMode::Signaled
+                }
+            }
+            m => m,
+        }
+    }
+}
+
 /// With 2 PEs every shape degenerates to one transfer and the swept
 /// cycles are identical across algorithms; `Auto` goes linear (one stage,
 /// one barrier, no tree bookkeeping).
@@ -97,6 +198,29 @@ fn auto_select(kind: CollectiveKind, n_pes: usize, nbytes: usize) -> Algorithm {
         Algorithm::Binomial
     } else {
         Algorithm::Linear
+    }
+}
+
+/// Broadcast algorithm selection when the executor's sync mode is known.
+///
+/// The binomial tree is bandwidth-bound at the root: the root injects
+/// `⌈log2 n⌉` full copies back to back, and no synchronization scheme can
+/// shorten that serialisation. The chain (ring) shape injects the payload
+/// exactly once — but under per-stage barriers its `n − 1` hops serialise
+/// into `(n − 1) · T`, which is why the barrier-mode `Auto` never picks
+/// it. Segmented pipelining changes the trade: each hop forwards segment
+/// `k` while segment `k + 1` is still arriving, so the chain completes in
+/// roughly `T + (n − 2) · T_chunk`, beating the tree's `⌈log2 n⌉ · T`
+/// root bottleneck once the payload is deep enough to pipeline
+/// (`xbench_sweep`: 720k vs 818k cycles at 8 PEs / 512 KiB, 363k vs 478k
+/// at 4 PEs). This is the calibrated coupling: `Auto` switches broadcast
+/// to the chain exactly when the resolved mode pipelines and the payload
+/// clears [`AUTO_PIPELINE_MIN_BYTES`].
+fn auto_select_broadcast_sync(n_pes: usize, nbytes: usize, resolved: SyncMode) -> Algorithm {
+    if resolved == SyncMode::Pipelined && n_pes > 2 && nbytes >= AUTO_PIPELINE_MIN_BYTES {
+        Algorithm::Ring
+    } else {
+        auto_select(CollectiveKind::Broadcast, n_pes, nbytes)
     }
 }
 
@@ -181,6 +305,106 @@ pub fn gather_policy<T: XbrType>(
     gather::gather_impl(pe, dest, src, pe_msgs, pe_disp, nelems, root, algo);
 }
 
+/// [`broadcast_policy`] with an explicit executor [`SyncMode`]. Unlike
+/// the barrier-only entry point, `Auto` here selects the algorithm
+/// *jointly* with the resolved sync mode: a pipelined executor makes the
+/// chain (ring) shape the bandwidth winner for large payloads (see
+/// [`auto_select_broadcast_sync`]).
+#[allow(clippy::too_many_arguments)]
+pub fn broadcast_policy_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    policy: AlgorithmPolicy,
+    sync: SyncMode,
+) {
+    let nbytes = nelems * std::mem::size_of::<T>();
+    // For broadcast every schedule op carries the full payload, so
+    // resolving from `nbytes` here matches the executor's own
+    // max-op-bytes resolution exactly.
+    let resolved = sync.resolve(pe.n_pes(), nbytes);
+    let algo = match policy {
+        AlgorithmPolicy::Auto => auto_select_broadcast_sync(pe.n_pes(), nbytes, resolved),
+        _ => policy.select(CollectiveKind::Broadcast, pe.n_pes(), nbytes),
+    };
+    // The *original* mode goes to the executor: it re-resolves `Auto`
+    // with the schedule in hand (falling back to plain barriers for
+    // single-stage shapes), which `resolved` above cannot know about.
+    match algo {
+        Algorithm::Binomial => broadcast::broadcast_sync(pe, dest, src, nelems, stride, root, sync),
+        Algorithm::Linear => {
+            baseline::broadcast_linear_sync(pe, dest, src, nelems, stride, root, sync)
+        }
+        Algorithm::Ring => baseline::broadcast_ring_sync(pe, dest, src, nelems, stride, root, sync),
+    }
+}
+
+/// [`reduce_policy`] with an explicit executor [`SyncMode`].
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_policy_sync<T: XbrNumeric>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    op: ReduceOp,
+    policy: AlgorithmPolicy,
+    sync: SyncMode,
+) {
+    let nbytes = nelems * std::mem::size_of::<T>();
+    let f = op
+        .combiner::<T>()
+        .unwrap_or_else(|| panic!("reduction operator {op:?} requires a non-floating-point type"));
+    match policy.select(CollectiveKind::Reduce, pe.n_pes(), nbytes) {
+        Algorithm::Binomial => {
+            reduce::reduce_with_sync(pe, dest, src, nelems, stride, root, f, sync)
+        }
+        Algorithm::Linear | Algorithm::Ring => {
+            baseline::reduce_linear_sync(pe, dest, src, nelems, stride, root, f, sync)
+        }
+    }
+}
+
+/// [`scatter_policy`] with an explicit executor [`SyncMode`].
+#[allow(clippy::too_many_arguments)]
+pub fn scatter_policy_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+    policy: AlgorithmPolicy,
+    sync: SyncMode,
+) {
+    let nbytes = nelems * std::mem::size_of::<T>();
+    let algo = policy.select(CollectiveKind::Scatter, pe.n_pes(), nbytes);
+    scatter::scatter_impl_sync(pe, dest, src, pe_msgs, pe_disp, nelems, root, algo, sync);
+}
+
+/// [`gather_policy`] with an explicit executor [`SyncMode`].
+#[allow(clippy::too_many_arguments)]
+pub fn gather_policy_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+    policy: AlgorithmPolicy,
+    sync: SyncMode,
+) {
+    let nbytes = nelems * std::mem::size_of::<T>();
+    let algo = policy.select(CollectiveKind::Gather, pe.n_pes(), nbytes);
+    gather::gather_impl_sync(pe, dest, src, pe_msgs, pe_disp, nelems, root, algo, sync);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +450,39 @@ mod tests {
         // Two PEs never pay for tree staging.
         assert_eq!(
             AlgorithmPolicy::Auto.select(k, 2, 1 << 20),
+            Algorithm::Linear
+        );
+    }
+
+    #[test]
+    fn auto_broadcast_goes_chain_only_when_pipelining_pays() {
+        let big = 1 << 20;
+        // Pipelined executor + deep payload → chain.
+        assert_eq!(
+            auto_select_broadcast_sync(8, big, SyncMode::Pipelined),
+            Algorithm::Ring
+        );
+        assert_eq!(
+            auto_select_broadcast_sync(8, big, SyncMode::Auto.resolve(8, big)),
+            Algorithm::Ring
+        );
+        // Shallow payloads can't fill the pipeline — stay with the tree.
+        assert_eq!(
+            auto_select_broadcast_sync(8, 1 << 10, SyncMode::Pipelined),
+            Algorithm::Binomial
+        );
+        // Barrier/signaled executors serialise the chain's n−1 hops.
+        assert_eq!(
+            auto_select_broadcast_sync(8, big, SyncMode::Barrier),
+            Algorithm::Binomial
+        );
+        assert_eq!(
+            auto_select_broadcast_sync(8, big, SyncMode::Signaled),
+            Algorithm::Binomial
+        );
+        // Two PEs have no chain to pipeline.
+        assert_eq!(
+            auto_select_broadcast_sync(2, big, SyncMode::Pipelined),
             Algorithm::Linear
         );
     }

@@ -8,6 +8,7 @@
 //! partners read it one-sidedly — while `dest` matters only on the root and
 //! may be private.
 
+use crate::collectives::policy::SyncMode;
 use crate::collectives::schedule::{self, reduce_binomial};
 use crate::collectives::vrank::virtual_rank;
 use crate::fabric::{CollectiveKind, Pe, SymmAlloc};
@@ -43,6 +44,31 @@ pub fn reduce_with<T: XbrType>(
     );
 }
 
+/// [`reduce_with`] with an explicit executor [`SyncMode`].
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_with_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    f: impl Fn(T, T) -> T,
+    sync: SyncMode,
+) {
+    reduce_with_kind_sync(
+        pe,
+        dest,
+        src,
+        nelems,
+        stride,
+        root,
+        CollectiveKind::Reduce,
+        f,
+        sync,
+    );
+}
+
 /// Reduce, reporting telemetry under an explicit kind — so composites
 /// like reduce-to-all attribute their internal reduction to themselves.
 #[allow(clippy::too_many_arguments)]
@@ -55,6 +81,31 @@ pub(crate) fn reduce_with_kind<T: XbrType>(
     root: usize,
     kind: CollectiveKind,
     f: impl Fn(T, T) -> T,
+) {
+    reduce_with_kind_sync(
+        pe,
+        dest,
+        src,
+        nelems,
+        stride,
+        root,
+        kind,
+        f,
+        SyncMode::Barrier,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reduce_with_kind_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    stride: usize,
+    root: usize,
+    kind: CollectiveKind,
+    f: impl Fn(T, T) -> T,
+    sync: SyncMode,
 ) {
     let n_pes = pe.n_pes();
     let log_rank = pe.rank();
@@ -79,7 +130,7 @@ pub(crate) fn reduce_with_kind<T: XbrType>(
 
     let mut sched = reduce_binomial(n_pes, root, nelems, stride);
     sched.kind = kind;
-    schedule::execute(pe, &sched, s_buff.whole(), &[], &mut [], Some(&f));
+    schedule::execute_sync(pe, &sched, s_buff.whole(), &[], &mut [], Some(&f), sync);
 
     if vir_rank == 0 && nelems > 0 {
         pe.heap_read_strided(s_buff.whole(), dest, nelems, stride);

@@ -13,7 +13,7 @@
 //! is sufficient at each stage". An adjusted-displacement array keeps the
 //! indexing straight.
 
-use crate::collectives::policy::Algorithm;
+use crate::collectives::policy::{Algorithm, SyncMode};
 use crate::collectives::schedule::{self, scatter_binomial, scatter_linear_sched};
 use crate::collectives::vrank::{logical_rank, virtual_rank};
 use crate::fabric::Pe;
@@ -102,6 +102,31 @@ pub(crate) fn scatter_impl<T: XbrType>(
     root: usize,
     algo: Algorithm,
 ) {
+    scatter_impl_sync(
+        pe,
+        dest,
+        src,
+        pe_msgs,
+        pe_disp,
+        nelems,
+        root,
+        algo,
+        SyncMode::Barrier,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scatter_impl_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    pe_msgs: &[usize],
+    pe_disp: &[usize],
+    nelems: usize,
+    root: usize,
+    algo: Algorithm,
+    sync: SyncMode,
+) {
     let n_pes = pe.n_pes();
     let log_rank = pe.rank();
     validate(pe_msgs, pe_disp, nelems, n_pes, root);
@@ -134,7 +159,7 @@ pub(crate) fn scatter_impl<T: XbrType>(
         Algorithm::Binomial => scatter_binomial(n_pes, root, &adj_disp),
         Algorithm::Linear | Algorithm::Ring => scatter_linear_sched(n_pes, root, &adj_disp),
     };
-    schedule::execute(pe, &sched, s_buff.whole(), &[], &mut [], None);
+    schedule::execute_sync(pe, &sched, s_buff.whole(), &[], &mut [], None, sync);
 
     // Relocate this PE's assigned values from the staging buffer to dest.
     if my_count > 0 {

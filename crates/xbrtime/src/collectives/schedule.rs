@@ -10,18 +10,46 @@
 //! values — op counts, stage counts, PE coverage — without spawning a
 //! single PE thread.
 //!
-//! A single generic executor, [`execute`], runs any schedule on a [`Pe`]:
-//! each PE issues the ops it owns (`put_symm`/`get_symm`/`put`/`get`/
-//! `put_nb`), applies any folds, and closes every stage with a barrier —
-//! reproducing, op for op and barrier for barrier, the hand-written loops
-//! these schedules replaced. The executor also reports per-collective
-//! telemetry (ops, bytes, stages, simulated cycles) to the fabric via
+//! A single generic executor runs any schedule on a [`Pe`], under one of
+//! three synchronization disciplines ([`SyncMode`]):
+//!
+//! * **Barrier** ([`execute`]) — each PE issues the ops it owns
+//!   (`put_symm`/`get_symm`/`put`/`get`/`put_nb`), applies any folds, and
+//!   closes every stage with a barrier — reproducing, op for op and
+//!   barrier for barrier, the paper's Algorithms 1–4.
+//! * **Signaled** ([`execute_sync`]) — the per-stage barriers disappear.
+//!   Every op depends only on the point-to-point signals of the ops that
+//!   feed it: puts carry a completion flag into a per-op slot of the
+//!   fabric's symmetric signal table ([`Pe::put_symm_signal`]), gets wait
+//!   for a readiness flag from the producer, and a single barrier closes
+//!   the collective. Independent subtrees proceed without waiting for the
+//!   slowest PE of each stage.
+//! * **Pipelined** — signaled, plus large puts split into
+//!   [`pipeline_chunks`] segments, each signaled independently, so a
+//!   child can forward segment `k` while segment `k+1` is still in
+//!   flight to it (Träff-style doubly-pipelined stages).
+//!
+//! The executor reports per-collective telemetry (ops, bytes, stages,
+//! simulated cycles, signal posts/waits/stall cycles) to the fabric via
 //! [`Pe::note_collective`], surfaced through
 //! [`RunReport::collectives`](crate::fabric::RunReport).
 
+use crate::collectives::policy::{pipeline_chunks, SyncMode, MAX_PIPELINE_CHUNKS};
 use crate::collectives::vrank::logical_rank;
 use crate::fabric::{ceil_log2, CollectiveKind, CollectiveSample, Pe, SymmRef};
 use crate::types::XbrType;
+
+/// Signal-table slots reserved per op: one per possible pipeline segment,
+/// plus a readiness slot (get-kind ops: "my segment is valid, pull away")
+/// and an acknowledgement slot (deferred folds: "I have read your
+/// segment, you may overwrite yours").
+const SLOTS_PER_OP: usize = MAX_PIPELINE_CHUNKS + 2;
+const READY_SLOT: usize = MAX_PIPELINE_CHUNKS;
+const ACK_SLOT: usize = MAX_PIPELINE_CHUNKS + 1;
+
+fn is_put_kind(k: OpKind) -> bool {
+    matches!(k, OpKind::Put | OpKind::PutNb | OpKind::PutFrom)
+}
 
 /// How a [`TransferOp`] moves data, and which side issues it.
 ///
@@ -184,8 +212,8 @@ impl CommSchedule {
     }
 }
 
-/// Run `sched` on this PE. Every PE of the fabric must call this
-/// collectively with the same schedule.
+/// Run `sched` on this PE under the barrier discipline. Every PE of the
+/// fabric must call this collectively with the same schedule.
 ///
 /// `buf` is the base of the symmetric working buffer all symmetric op
 /// offsets index. `local_src`/`local_dst` back the private-memory op kinds
@@ -204,6 +232,37 @@ pub fn execute<T: XbrType>(
     local_dst: &mut [T],
     fold: Option<&dyn Fn(T, T) -> T>,
 ) {
+    execute_sync(
+        pe,
+        sched,
+        buf,
+        local_src,
+        local_dst,
+        fold,
+        SyncMode::Barrier,
+    );
+}
+
+/// [`execute`] under an explicit [`SyncMode`]. `SyncMode::Auto` resolves
+/// from the schedule's PE count and largest transfer, identically on
+/// every PE.
+///
+/// The signaled/pipelined disciplines require the standing schedule
+/// invariants the generators in this module maintain (and the barrier
+/// discipline implicitly relied on): ops within one stage touch disjoint
+/// regions, a symmetric region is remotely written at most once, and a
+/// PE's segment is not overwritten after a peer read it except in
+/// `deferred_fold` stages (where the executor acknowledges reads
+/// explicitly).
+pub fn execute_sync<T: XbrType>(
+    pe: &Pe,
+    sched: &CommSchedule,
+    buf: SymmRef<T>,
+    local_src: &[T],
+    local_dst: &mut [T],
+    fold: Option<&dyn Fn(T, T) -> T>,
+    sync: SyncMode,
+) {
     assert_eq!(
         sched.n_pes,
         pe.n_pes(),
@@ -211,12 +270,35 @@ pub fn execute<T: XbrType>(
         sched.n_pes,
         pe.n_pes()
     );
+    // Structural checks are a full schedule walk — debug builds (and the
+    // test suite) pay it on every call, release hot paths do not.
+    #[cfg(debug_assertions)]
+    sched.validate();
+
     let me = pe.rank();
     let es = std::mem::size_of::<T>();
     let t0 = pe.cycles();
     let mut sample = CollectiveSample {
         stages: sched.stages.len() as u64,
         ..CollectiveSample::default()
+    };
+
+    // Schedules that move no data (single-PE or zero-element collectives)
+    // need no transfers and therefore no ordering: skip every barrier.
+    if !sched.ops().any(|op| op.nelems > 0) {
+        pe.note_collective(sched.kind, sample);
+        return;
+    }
+
+    let max_bytes = sched.ops().map(|op| op.nelems * es).max().unwrap_or(0);
+    // A single-stage schedule has no per-stage barrier to eliminate —
+    // `Auto` keeps the plain barrier executor there regardless of scale
+    // (linear shapes at any payload). Explicit modes are honoured as
+    // given so every discipline stays directly testable.
+    let sync = if sync == SyncMode::Auto && sched.stages.len() < 2 {
+        SyncMode::Barrier
+    } else {
+        sync.resolve(sched.n_pes, max_bytes)
     };
 
     // One landing buffer reused across every fold stage — the same buffer
@@ -256,53 +338,365 @@ pub fn execute<T: XbrType>(
         }
     };
 
-    for stage in &sched.stages {
-        if stage.deferred_fold {
-            // Phase 1: every read lands.
+    if sync == SyncMode::Barrier {
+        for stage in &sched.stages {
+            if stage.deferred_fold {
+                // Phase 1: every read lands.
+                for op in &stage.ops {
+                    if op.issuer() != me {
+                        continue;
+                    }
+                    debug_assert!(op.is_fold(), "deferred_fold stages hold only fold ops");
+                    pe.get(
+                        &mut landing,
+                        buf.offset(op.src_at),
+                        op.nelems,
+                        op.stride,
+                        op.src_pe,
+                    );
+                    sample.gets += 1;
+                    sample.bytes_get += (op.nelems * es) as u64;
+                }
+                // Both partners read each other's buffer this stage, so the
+                // combine must wait until every read has landed.
+                pe.barrier();
+                // Phase 2: fold.
+                for op in &stage.ops {
+                    if op.issuer() == me {
+                        apply_fold(pe, op, &landing, local_dst);
+                    }
+                }
+                pe.barrier();
+                continue;
+            }
             for op in &stage.ops {
                 if op.issuer() != me {
                     continue;
                 }
-                debug_assert!(op.is_fold(), "deferred_fold stages hold only fold ops");
-                pe.get(
-                    &mut landing,
-                    buf.offset(op.src_at),
-                    op.nelems,
-                    op.stride,
-                    op.src_pe,
-                );
-                sample.gets += 1;
-                sample.bytes_get += (op.nelems * es) as u64;
-            }
-            // Both partners read each other's buffer this stage, so the
-            // combine must wait until every read has landed.
-            pe.barrier();
-            // Phase 2: fold.
-            for op in &stage.ops {
-                if op.issuer() == me {
-                    apply_fold(pe, op, &landing, local_dst);
+                match op.kind {
+                    OpKind::Put => {
+                        pe.put_symm(
+                            buf.offset(op.dst_at),
+                            buf.offset(op.src_at),
+                            op.nelems,
+                            op.stride,
+                            op.dst_pe,
+                        );
+                        sample.puts += 1;
+                        sample.bytes_put += (op.nelems * es) as u64;
+                    }
+                    OpKind::Get => {
+                        pe.get_symm(
+                            buf.offset(op.dst_at),
+                            buf.offset(op.src_at),
+                            op.nelems,
+                            op.stride,
+                            op.src_pe,
+                        );
+                        sample.gets += 1;
+                        sample.bytes_get += (op.nelems * es) as u64;
+                    }
+                    OpKind::PutFrom => {
+                        let seg = &local_src[op.src_at..op.src_at + op.span()];
+                        pe.put(buf.offset(op.dst_at), seg, op.nelems, op.stride, op.dst_pe);
+                        sample.puts += 1;
+                        sample.bytes_put += (op.nelems * es) as u64;
+                    }
+                    OpKind::PutNb => {
+                        let seg = &local_src[op.src_at..op.src_at + op.span()];
+                        // The stage-closing barrier quiesces the transfer.
+                        let _ =
+                            pe.put_nb(buf.offset(op.dst_at), seg, op.nelems, op.stride, op.dst_pe);
+                        sample.puts += 1;
+                        sample.bytes_put += (op.nelems * es) as u64;
+                    }
+                    OpKind::GetInto => {
+                        let seg = &mut local_dst[op.dst_at..op.dst_at + op.span()];
+                        pe.get(seg, buf.offset(op.src_at), op.nelems, op.stride, op.src_pe);
+                        sample.gets += 1;
+                        sample.bytes_get += (op.nelems * es) as u64;
+                    }
+                    OpKind::GetFold | OpKind::GetFoldInto => {
+                        pe.get(
+                            &mut landing,
+                            buf.offset(op.src_at),
+                            op.nelems,
+                            op.stride,
+                            op.src_pe,
+                        );
+                        sample.gets += 1;
+                        sample.bytes_get += (op.nelems * es) as u64;
+                        apply_fold(pe, op, &landing, local_dst);
+                    }
                 }
             }
             pe.barrier();
-            continue;
         }
-        for op in &stage.ops {
-            if op.issuer() != me {
-                continue;
+
+        sample.cycles = pe.cycles() - t0;
+        pe.note_collective(sched.kind, sample);
+        return;
+    }
+
+    // ------------------------------------------------------------------
+    // Signaled / pipelined execution: no per-stage barriers.
+    //
+    // Slot addressing is by *global op index* into the fabric's symmetric
+    // signal table, so distinct ops never collide regardless of schedule
+    // shape. A slot lives on the heap of the PE that waits on it: data
+    // chunks on the put's destination, readiness on the get's issuer,
+    // acknowledgement on the read segment's owner. Every posted slot is
+    // consumed before the closing barrier (the drain below), which keeps
+    // the table all-zero between collectives — that invariant is what
+    // lets the table be reused without a zeroing barrier per call.
+    // ------------------------------------------------------------------
+    let pipelined = sync == SyncMode::Pipelined;
+    let mut op_base = Vec::with_capacity(sched.stages.len());
+    {
+        let mut acc = 0usize;
+        for stage in &sched.stages {
+            op_base.push(acc);
+            acc += stage.ops.len();
+        }
+    }
+    let table = pe.signal_table(sched.total_ops() * SLOTS_PER_OP);
+
+    let chunks_of = |op: &TransferOp| -> usize {
+        if pipelined && is_put_kind(op.kind) {
+            pipeline_chunks(op.nelems * es)
+        } else {
+            1
+        }
+    };
+    // Chunk `c` of an op covers elements [c·per, min((c+1)·per, nelems)).
+    let chunk_elems = |op: &TransferOp, c: usize, n: usize| -> (usize, usize) {
+        let per = op.nelems.div_ceil(n);
+        ((c * per).min(op.nelems), ((c + 1) * per).min(op.nelems))
+    };
+    // Contiguous element range [start, end) that chunk [c0, c1) of a
+    // strided span occupies, measured from buffer offset `at`.
+    let chunk_range = |at: usize, stride: usize, c0: usize, c1: usize| -> (usize, usize) {
+        (at + c0 * stride, at + (c1 - 1) * stride + 1)
+    };
+
+    // Incoming puts whose completion signals this PE has not consumed
+    // yet, with the element range they land in. Before using any region
+    // of its own symmetric buffer, a PE consumes the pending signals that
+    // overlap it — the point-to-point replacement for the stage barrier.
+    struct Pending {
+        slot: usize,
+        start: usize,
+        end: usize,
+    }
+    let mut pending: Vec<Pending> = Vec::new();
+    let consume_overlapping =
+        |pending: &mut Vec<Pending>, sample: &mut CollectiveSample, start: usize, end: usize| {
+            let mut i = 0;
+            while i < pending.len() {
+                if pending[i].start < end && start < pending[i].end {
+                    let p = pending.swap_remove(i);
+                    sample.wait_cycles += pe.signal_wait(table.offset(p.slot));
+                    sample.waits += 1;
+                } else {
+                    i += 1;
+                }
             }
-            match op.kind {
-                OpKind::Put => {
-                    pe.put_symm(
-                        buf.offset(op.dst_at),
+        };
+
+    for (si, stage) in sched.stages.iter().enumerate() {
+        let base = op_base[si];
+        if stage.deferred_fold {
+            // Announce my segments to the partners that will read them…
+            for (oi, op) in stage.ops.iter().enumerate() {
+                if op.nelems > 0 && op.src_pe == me && op.issuer() != me {
+                    consume_overlapping(
+                        &mut pending,
+                        &mut sample,
+                        op.src_at,
+                        op.src_at + op.span(),
+                    );
+                    pe.signal_post(
+                        table.offset((base + oi) * SLOTS_PER_OP + READY_SLOT),
+                        op.dst_pe,
+                    );
+                    sample.signals += 1;
+                }
+            }
+            // …pull my partners' segments, acknowledging each read…
+            for (oi, op) in stage.ops.iter().enumerate() {
+                if op.issuer() != me || op.nelems == 0 {
+                    continue;
+                }
+                debug_assert!(op.is_fold(), "deferred_fold stages hold only fold ops");
+                if op.src_pe != me {
+                    sample.wait_cycles +=
+                        pe.signal_wait(table.offset((base + oi) * SLOTS_PER_OP + READY_SLOT));
+                    sample.waits += 1;
+                    pe.get_signal(
+                        &mut landing,
                         buf.offset(op.src_at),
                         op.nelems,
                         op.stride,
-                        op.dst_pe,
+                        op.src_pe,
+                        table.offset((base + oi) * SLOTS_PER_OP + ACK_SLOT),
                     );
-                    sample.puts += 1;
-                    sample.bytes_put += (op.nelems * es) as u64;
+                    sample.signals += 1;
+                } else {
+                    pe.get(
+                        &mut landing,
+                        buf.offset(op.src_at),
+                        op.nelems,
+                        op.stride,
+                        op.src_pe,
+                    );
+                }
+                sample.gets += 1;
+                sample.bytes_get += (op.nelems * es) as u64;
+            }
+            // …wait until my own segment has been read, then fold.
+            for (oi, op) in stage.ops.iter().enumerate() {
+                if op.nelems > 0 && op.src_pe == me && op.issuer() != me {
+                    sample.wait_cycles +=
+                        pe.signal_wait(table.offset((base + oi) * SLOTS_PER_OP + ACK_SLOT));
+                    sample.waits += 1;
+                }
+            }
+            for op in &stage.ops {
+                if op.issuer() == me && op.nelems > 0 {
+                    apply_fold(pe, op, &landing, local_dst);
+                }
+            }
+            continue;
+        }
+
+        // Readiness first: peers pulling from me this stage unblock as
+        // soon as my segment is consistent, before I start my own work.
+        for (oi, op) in stage.ops.iter().enumerate() {
+            if op.nelems > 0 && !is_put_kind(op.kind) && op.src_pe == me && op.issuer() != me {
+                consume_overlapping(&mut pending, &mut sample, op.src_at, op.src_at + op.span());
+                pe.signal_post(
+                    table.offset((base + oi) * SLOTS_PER_OP + READY_SLOT),
+                    op.dst_pe,
+                );
+                sample.signals += 1;
+            }
+        }
+
+        for (oi, op) in stage.ops.iter().enumerate() {
+            if op.issuer() != me || op.nelems == 0 {
+                continue;
+            }
+            let sig = (base + oi) * SLOTS_PER_OP;
+            match op.kind {
+                OpKind::Put => {
+                    let n = chunks_of(op);
+                    for c in 0..n {
+                        let (c0, c1) = chunk_elems(op, c, n);
+                        if c0 >= c1 {
+                            continue;
+                        }
+                        // Forwarding dependency, per segment: segment k of
+                        // the incoming put unblocks segment k's forward
+                        // while later segments are still in flight.
+                        let (s0, s1) = chunk_range(op.src_at, op.stride, c0, c1);
+                        consume_overlapping(&mut pending, &mut sample, s0, s1);
+                        if op.dst_pe == me {
+                            pe.put_symm(
+                                buf.offset(op.dst_at + c0 * op.stride),
+                                buf.offset(op.src_at + c0 * op.stride),
+                                c1 - c0,
+                                op.stride,
+                                op.dst_pe,
+                            );
+                        } else {
+                            pe.put_symm_signal(
+                                buf.offset(op.dst_at + c0 * op.stride),
+                                buf.offset(op.src_at + c0 * op.stride),
+                                c1 - c0,
+                                op.stride,
+                                op.dst_pe,
+                                table.offset(sig + c),
+                            );
+                            sample.signals += 1;
+                        }
+                        sample.puts += 1;
+                        sample.bytes_put += ((c1 - c0) * es) as u64;
+                    }
+                }
+                OpKind::PutFrom => {
+                    let n = chunks_of(op);
+                    for c in 0..n {
+                        let (c0, c1) = chunk_elems(op, c, n);
+                        if c0 >= c1 {
+                            continue;
+                        }
+                        let (s0, s1) = chunk_range(op.src_at, op.stride, c0, c1);
+                        let seg = &local_src[s0..s1];
+                        if op.dst_pe == me {
+                            pe.put(
+                                buf.offset(op.dst_at + c0 * op.stride),
+                                seg,
+                                c1 - c0,
+                                op.stride,
+                                op.dst_pe,
+                            );
+                        } else {
+                            pe.put_signal(
+                                buf.offset(op.dst_at + c0 * op.stride),
+                                seg,
+                                c1 - c0,
+                                op.stride,
+                                op.dst_pe,
+                                table.offset(sig + c),
+                            );
+                            sample.signals += 1;
+                        }
+                        sample.puts += 1;
+                        sample.bytes_put += ((c1 - c0) * es) as u64;
+                    }
+                }
+                OpKind::PutNb => {
+                    let n = chunks_of(op);
+                    for c in 0..n {
+                        let (c0, c1) = chunk_elems(op, c, n);
+                        if c0 >= c1 {
+                            continue;
+                        }
+                        let (s0, s1) = chunk_range(op.src_at, op.stride, c0, c1);
+                        let seg = &local_src[s0..s1];
+                        let h = pe.put_nb(
+                            buf.offset(op.dst_at + c0 * op.stride),
+                            seg,
+                            c1 - c0,
+                            op.stride,
+                            op.dst_pe,
+                        );
+                        if op.dst_pe != me {
+                            // The signal rides the transfer: it is posted
+                            // now (the payload is already in flight) but
+                            // stamped with the transfer's completion time.
+                            pe.signal_post_at(
+                                table.offset(sig + c),
+                                op.dst_pe,
+                                h.completion_cycles(),
+                            );
+                            sample.signals += 1;
+                        }
+                        sample.puts += 1;
+                        sample.bytes_put += ((c1 - c0) * es) as u64;
+                    }
                 }
                 OpKind::Get => {
+                    if op.src_pe != me {
+                        sample.wait_cycles += pe.signal_wait(table.offset(sig + READY_SLOT));
+                        sample.waits += 1;
+                    }
+                    consume_overlapping(
+                        &mut pending,
+                        &mut sample,
+                        op.dst_at,
+                        op.dst_at + op.span(),
+                    );
                     pe.get_symm(
                         buf.offset(op.dst_at),
                         buf.offset(op.src_at),
@@ -313,26 +707,35 @@ pub fn execute<T: XbrType>(
                     sample.gets += 1;
                     sample.bytes_get += (op.nelems * es) as u64;
                 }
-                OpKind::PutFrom => {
-                    let seg = &local_src[op.src_at..op.src_at + op.span()];
-                    pe.put(buf.offset(op.dst_at), seg, op.nelems, op.stride, op.dst_pe);
-                    sample.puts += 1;
-                    sample.bytes_put += (op.nelems * es) as u64;
-                }
-                OpKind::PutNb => {
-                    let seg = &local_src[op.src_at..op.src_at + op.span()];
-                    // The stage-closing barrier quiesces the transfer.
-                    let _ = pe.put_nb(buf.offset(op.dst_at), seg, op.nelems, op.stride, op.dst_pe);
-                    sample.puts += 1;
-                    sample.bytes_put += (op.nelems * es) as u64;
-                }
                 OpKind::GetInto => {
+                    if op.src_pe != me {
+                        sample.wait_cycles += pe.signal_wait(table.offset(sig + READY_SLOT));
+                        sample.waits += 1;
+                    } else {
+                        consume_overlapping(
+                            &mut pending,
+                            &mut sample,
+                            op.src_at,
+                            op.src_at + op.span(),
+                        );
+                    }
                     let seg = &mut local_dst[op.dst_at..op.dst_at + op.span()];
                     pe.get(seg, buf.offset(op.src_at), op.nelems, op.stride, op.src_pe);
                     sample.gets += 1;
                     sample.bytes_get += (op.nelems * es) as u64;
                 }
                 OpKind::GetFold | OpKind::GetFoldInto => {
+                    if op.src_pe != me {
+                        sample.wait_cycles += pe.signal_wait(table.offset(sig + READY_SLOT));
+                        sample.waits += 1;
+                    } else {
+                        consume_overlapping(
+                            &mut pending,
+                            &mut sample,
+                            op.src_at,
+                            op.src_at + op.span(),
+                        );
+                    }
                     pe.get(
                         &mut landing,
                         buf.offset(op.src_at),
@@ -342,12 +745,50 @@ pub fn execute<T: XbrType>(
                     );
                     sample.gets += 1;
                     sample.bytes_get += (op.nelems * es) as u64;
+                    if op.kind == OpKind::GetFold {
+                        consume_overlapping(
+                            &mut pending,
+                            &mut sample,
+                            op.dst_at,
+                            op.dst_at + op.span(),
+                        );
+                    }
                     apply_fold(pe, op, &landing, local_dst);
                 }
             }
         }
-        pe.barrier();
+
+        // This stage's puts into my buffer become pending: later stages
+        // (or the final drain) consume their signals before touching the
+        // regions they land in.
+        for (oi, op) in stage.ops.iter().enumerate() {
+            if op.nelems == 0 || !is_put_kind(op.kind) || op.dst_pe != me || op.src_pe == me {
+                continue;
+            }
+            let n = chunks_of(op);
+            for c in 0..n {
+                let (c0, c1) = chunk_elems(op, c, n);
+                if c0 >= c1 {
+                    continue;
+                }
+                let (start, end) = chunk_range(op.dst_at, op.stride, c0, c1);
+                pending.push(Pending {
+                    slot: (base + oi) * SLOTS_PER_OP + c,
+                    start,
+                    end,
+                });
+            }
+        }
     }
+
+    // Drain: consume every signal still in flight toward this PE, so the
+    // signal table is all-zero again when the collective closes.
+    for p in pending.drain(..) {
+        sample.wait_cycles += pe.signal_wait(table.offset(p.slot));
+        sample.waits += 1;
+    }
+    // One barrier closes the whole collective.
+    pe.barrier();
 
     sample.cycles = pe.cycles() - t0;
     pe.note_collective(sched.kind, sample);
@@ -942,5 +1383,125 @@ mod tests {
             let sched = reduce_binomial(2, 0, 1, 1);
             execute(pe, &sched, buf.whole(), &[], &mut [], None);
         });
+    }
+
+    /// 128 KiB broadcast at 8 PEs: large enough that every pipelined put
+    /// splits into `MAX_PIPELINE_CHUNKS` segments, so the chunked poster
+    /// and waiter sides genuinely disagree-proof each other.
+    #[test]
+    fn pipelined_large_broadcast_matches_barrier() {
+        use crate::fabric::{Fabric, FabricConfig};
+        let nelems = 16 * 1024usize; // 128 KiB of u64
+        let run = |sync: SyncMode| {
+            Fabric::run(FabricConfig::paper(8), move |pe| {
+                let buf = pe.shared_malloc::<u64>(nelems);
+                let src: Vec<u64> = (0..nelems as u64).map(|i| i * 3 + 7).collect();
+                let sched = broadcast_binomial(8, 5, nelems, 1);
+                if pe.rank() == 5 {
+                    pe.heap_write(buf.whole(), &src);
+                }
+                execute_sync(pe, &sched, buf.whole(), &[], &mut [], None, sync);
+                pe.barrier();
+                pe.heap_read_vec::<u64>(buf.whole(), nelems)
+            })
+        };
+        let barrier = run(SyncMode::Barrier);
+        let pipelined = run(SyncMode::Pipelined);
+        assert_eq!(barrier.results, pipelined.results);
+        // Pipelining splits each of the 7 tree puts into 8 segments.
+        assert_eq!(pipelined.stats.puts, 7 * 8);
+        assert_eq!(pipelined.stats.signals, pipelined.stats.signal_waits);
+        // Per-stage barriers are gone: the one-time signal-table growth
+        // barrier, the executor's closing barrier and the trailing
+        // explicit one remain.
+        assert_eq!(pipelined.stats.barriers, 3);
+        assert_eq!(barrier.stats.barriers, 4);
+    }
+
+    /// Large uneven scatter: a parent's forwarded block covers several
+    /// grandchildren segments, so children forward *subspans* of the
+    /// chunks they receive — the partial-overlap consume path.
+    #[test]
+    fn pipelined_scatter_forwards_subspans() {
+        use crate::collectives::scatter::adjusted_displacements;
+        use crate::fabric::{Fabric, FabricConfig};
+        let n_pes = 8usize;
+        let per = 4 * 1024usize; // 32 KiB per PE, 256 KiB total
+        let msgs = vec![per; n_pes];
+        let adj = adjusted_displacements(&msgs, 0, n_pes);
+        let total = per * n_pes;
+        let run = |sync: SyncMode| {
+            let adj = adj.clone();
+            Fabric::run(FabricConfig::paper(n_pes), move |pe| {
+                let buf = pe.shared_malloc::<u64>(total);
+                if pe.rank() == 0 {
+                    let src: Vec<u64> = (0..total as u64).map(|i| i ^ 0xfeed).collect();
+                    pe.heap_write(buf.whole(), &src);
+                }
+                pe.barrier();
+                let sched = scatter_binomial(n_pes, 0, &adj);
+                execute_sync(pe, &sched, buf.whole(), &[], &mut [], None, sync);
+                pe.barrier();
+                // Each PE's own segment is what scatter delivers.
+                pe.heap_read_vec::<u64>(buf.at(adj[pe.rank()]), per)
+            })
+        };
+        let barrier = run(SyncMode::Barrier);
+        let pipelined = run(SyncMode::Pipelined);
+        assert_eq!(barrier.results, pipelined.results);
+        assert_eq!(pipelined.stats.signals, pipelined.stats.signal_waits);
+    }
+
+    /// The signaled executor's telemetry: one signal per remote transfer,
+    /// every one consumed, and the overlap ratio is a valid fraction.
+    #[test]
+    fn signaled_telemetry_counts_signals_and_waits() {
+        use crate::fabric::{CollectiveKind, Fabric, FabricConfig};
+        let report = Fabric::run(FabricConfig::paper(8), |pe| {
+            let buf = pe.shared_malloc::<u64>(64);
+            let sched = broadcast_binomial(8, 0, 64, 1);
+            if pe.rank() == 0 {
+                pe.heap_write(buf.whole(), &[9u64; 64]);
+            }
+            execute_sync(
+                pe,
+                &sched,
+                buf.whole(),
+                &[],
+                &mut [],
+                None,
+                SyncMode::Signaled,
+            );
+            pe.barrier();
+        });
+        // 7 tree puts → 7 signals posted, 7 consumed, no leaks.
+        assert_eq!(report.stats.signals, 7);
+        assert_eq!(report.stats.signal_waits, 7);
+        let rec = report.collective(CollectiveKind::Broadcast).unwrap();
+        assert_eq!(rec.signals, 7);
+        assert_eq!(rec.waits, 7);
+        let ratio = rec.overlap_ratio();
+        assert!((0.0..=1.0).contains(&ratio), "overlap ratio {ratio}");
+    }
+
+    /// Zero-payload and single-PE schedules skip every barrier in every
+    /// sync mode.
+    #[test]
+    fn empty_schedules_skip_all_barriers() {
+        use crate::fabric::{Fabric, FabricConfig};
+        for sync in [SyncMode::Barrier, SyncMode::Signaled, SyncMode::Auto] {
+            let report = Fabric::run(FabricConfig::new(4), move |pe| {
+                let buf = pe.shared_malloc::<u64>(1);
+                let sched = broadcast_binomial(4, 0, 0, 1);
+                execute_sync(pe, &sched, buf.whole(), &[], &mut [], None, sync);
+            });
+            assert_eq!(report.stats.barriers, 0, "sync={sync:?}");
+            let report = Fabric::run(FabricConfig::new(1), move |pe| {
+                let buf = pe.shared_malloc::<u64>(4);
+                let sched = broadcast_binomial(1, 0, 4, 1);
+                execute_sync(pe, &sched, buf.whole(), &[], &mut [], None, sync);
+            });
+            assert_eq!(report.stats.barriers, 0, "sync={sync:?}");
+        }
     }
 }

@@ -118,6 +118,8 @@ struct StatsAtomic {
     local_transfers: AtomicU64,
     remote_transfers: AtomicU64,
     amos: AtomicU64,
+    signals: AtomicU64,
+    signal_waits: AtomicU64,
 }
 
 /// Aggregate communication counters for a fabric run.
@@ -143,6 +145,12 @@ pub struct FabricStats {
     pub remote_transfers: u64,
     /// Remote atomic operations issued.
     pub amos: u64,
+    /// Completion signals posted ([`Pe::signal_post`] and the
+    /// `put_signal`/`get_signal` composites).
+    pub signals: u64,
+    /// Completion signals consumed by [`Pe::signal_wait`]. Equal to
+    /// `signals` after a clean run (every posted slot is consumed).
+    pub signal_waits: u64,
 }
 
 /// Telemetry key: which collective an executor episode belongs to.
@@ -225,6 +233,12 @@ pub struct CollectiveSample {
     pub stages: u64,
     /// Simulated cycles this PE spent inside the executor.
     pub cycles: u64,
+    /// Completion signals this PE posted inside the episode.
+    pub signals: u64,
+    /// Signal waits this PE performed inside the episode.
+    pub waits: u64,
+    /// Simulated cycles this PE stalled inside signal waits.
+    pub wait_cycles: u64,
 }
 
 #[derive(Default)]
@@ -236,6 +250,9 @@ struct CollAtomic {
     bytes_get: AtomicU64,
     stages: AtomicU64,
     cycles: AtomicU64,
+    signals: AtomicU64,
+    waits: AtomicU64,
+    wait_cycles: AtomicU64,
 }
 
 /// Aggregated telemetry for one collective kind over a whole fabric run.
@@ -261,6 +278,26 @@ pub struct CollectiveRecord {
     pub stages: u64,
     /// Simulated cycles spent inside the executor, summed over PEs.
     pub cycles: u64,
+    /// Completion signals posted across PEs (signaled/pipelined modes).
+    pub signals: u64,
+    /// Signal waits performed across PEs.
+    pub waits: u64,
+    /// Simulated cycles stalled inside signal waits, summed over PEs.
+    pub wait_cycles: u64,
+}
+
+impl CollectiveRecord {
+    /// Fraction of executor time spent making progress rather than
+    /// stalled on point-to-point signal waits: `1 − wait_cycles/cycles`.
+    /// Barrier-mode episodes (no signal waits) report 1.0; the barrier
+    /// tax itself hides inside `cycles`, which is the quantity the
+    /// sync-mode ablation compares across modes.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.cycles == 0 {
+            return 1.0;
+        }
+        1.0 - (self.wait_cycles as f64 / self.cycles as f64).min(1.0)
+    }
 }
 
 struct BarrierState {
@@ -320,6 +357,9 @@ impl Shared {
                     bytes_get: a.bytes_get.load(Ordering::Relaxed),
                     stages: a.stages.load(Ordering::Relaxed),
                     cycles: a.cycles.load(Ordering::Relaxed),
+                    signals: a.signals.load(Ordering::Relaxed),
+                    waits: a.waits.load(Ordering::Relaxed),
+                    wait_cycles: a.wait_cycles.load(Ordering::Relaxed),
                 })
             })
             .collect()
@@ -338,6 +378,8 @@ impl Shared {
             local_transfers: s.local_transfers.load(Ordering::Relaxed),
             remote_transfers: s.remote_transfers.load(Ordering::Relaxed),
             amos: s.amos.load(Ordering::Relaxed),
+            signals: s.signals.load(Ordering::Relaxed),
+            signal_waits: s.signal_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -479,6 +521,15 @@ pub struct NbHandle {
     completion_cycles: u64,
 }
 
+impl NbHandle {
+    /// Simulated cycle at which the transfer lands on the target — the
+    /// arrival stamp a signal tied to this transfer should carry
+    /// ([`Pe::signal_post_at`]).
+    pub fn completion_cycles(&self) -> u64 {
+        self.completion_cycles
+    }
+}
+
 /// The per-PE runtime context handed to the SPMD body.
 pub struct Pe<'f> {
     rank: usize,
@@ -493,6 +544,11 @@ pub struct Pe<'f> {
     /// previously-issued non-blocking transfers occupy the channel
     /// interface. Purely local (own clock), so it is exact and skew-free.
     port_busy: std::cell::Cell<u64>,
+    /// Cached symmetric signal table for signaled collectives. Grown on
+    /// demand by [`Pe::signal_table`] and kept alive for the rest of the
+    /// run; the executor's drain invariant keeps it all-zero between
+    /// collectives so reuse needs no re-zeroing barrier.
+    signal_table: RefCell<Option<SymmAlloc<u64>>>,
 }
 
 fn check_src<T>(src: &[T], nelems: usize, stride: usize) {
@@ -525,6 +581,7 @@ impl<'f> Pe<'f> {
             outstanding: RefCell::new(Vec::new()),
             next_handle: std::cell::Cell::new(0),
             port_busy: std::cell::Cell::new(0),
+            signal_table: RefCell::new(None),
         }
     }
 
@@ -1278,6 +1335,174 @@ impl<'f> Pe<'f> {
     }
 
     // ------------------------------------------------------------------
+    // Signaled synchronization (the point-to-point data plane)
+    // ------------------------------------------------------------------
+
+    /// The fabric-resident symmetric signal table, grown to hold at least
+    /// `min_slots` 8-byte slots. Collective: every PE must call with the
+    /// same `min_slots` (derived from the same schedule, so this holds by
+    /// construction).
+    ///
+    /// The first call — and any call that needs growth — allocates
+    /// collectively, zeroes this PE's copy and closes with a barrier so no
+    /// PE posts into a table a peer has not finished zeroing. Subsequent
+    /// calls are barrier-free: callers must leave every slot zero again
+    /// when they finish (consume every signal they are sent), which the
+    /// executor's drain pass guarantees. The table is deliberately never
+    /// freed; it is a few KiB of symmetric heap retained for the run.
+    pub fn signal_table(&self, min_slots: usize) -> SymmRef<u64> {
+        let mut cached = self.signal_table.borrow_mut();
+        let needs_grow = match cached.as_ref() {
+            Some(t) => t.len() < min_slots,
+            None => true,
+        };
+        if needs_grow {
+            if let Some(old) = cached.take() {
+                self.shared_free(old);
+            }
+            let cap = min_slots.next_power_of_two().max(64);
+            let t = self.shared_malloc::<u64>(cap);
+            self.heap_write(t.whole(), &vec![0u64; cap]);
+            let r = t.whole();
+            *cached = Some(t);
+            drop(cached);
+            self.barrier();
+            return r;
+        }
+        cached.as_ref().unwrap().whole()
+    }
+
+    /// Post a completion signal into the symmetric slot `sig` on PE `pe`.
+    ///
+    /// The flag models a small control word riding the **tail of the
+    /// payload's fabric transaction** (put-with-signal), so posting
+    /// charges only ALU issue cost locally; the flight latency is carried
+    /// by the *arrival stamp* written into the slot — the poster's clock
+    /// plus one (topology-scaled) hop of base latency. The waiting PE's
+    /// clock advances to that stamp when it consumes the signal
+    /// ([`Pe::signal_wait`]), which is how "data can't be observed before
+    /// it arrives" is modelled without a global barrier.
+    ///
+    /// The slot is raised with an atomic `fetch_max`, so a stale (lower)
+    /// stamp never overwrites a newer one and a post never erases a
+    /// concurrent post.
+    pub fn signal_post(&self, sig: SymmRef<u64>, pe: usize) {
+        let stamp = if pe == self.rank || !self.clock.enabled() {
+            self.clock.cycles()
+        } else {
+            let scale = match self.topology {
+                Some(t) if t.same_node(self.rank, pe) => t.intra_node_factor,
+                _ => 1.0,
+            };
+            self.clock.cycles()
+                + ((self.timing.cost.noc.base_latency as f64) * scale).round() as u64
+        };
+        self.signal_post_at(sig, pe, stamp);
+    }
+
+    /// [`Pe::signal_post`] with an explicit arrival stamp — used to tie a
+    /// signal to a non-blocking transfer's completion time
+    /// ([`NbHandle::completion_cycles`]).
+    pub fn signal_post_at(&self, sig: SymmRef<u64>, pe: usize, arrival: u64) {
+        self.clock.charge(self.timing.cost.alu_cycles);
+        // `.max(1)`: zero means "not yet posted", so a signal posted at
+        // simulated time 0 must still read as present.
+        self.amo_slot(sig, pe)
+            .fetch_max(arrival.max(1), Ordering::AcqRel);
+        self.shared.stats.signals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Block until the **local** signal slot `sig` is posted, consume it
+    /// (reset to zero), and advance this PE's simulated clock to the
+    /// posted arrival stamp. Returns the simulated cycles this PE stalled
+    /// waiting (zero when the signal had already arrived in simulated
+    /// time — the overlap case).
+    ///
+    /// Like [`Pe::barrier`], the spin aborts with a panic if a peer PE
+    /// panicked, so a dead producer cannot deadlock the waiter.
+    pub fn signal_wait(&self, sig: SymmRef<u64>) -> u64 {
+        let slot = self.amo_slot(sig, self.rank);
+        let mut spins = 0u32;
+        loop {
+            let stamp = slot.swap(0, Ordering::AcqRel);
+            if stamp != 0 {
+                self.shared
+                    .stats
+                    .signal_waits
+                    .fetch_add(1, Ordering::Relaxed);
+                let now = self.clock.cycles();
+                if self.clock.enabled() && stamp > now {
+                    self.clock.set_cycles(stamp);
+                    return stamp - now;
+                }
+                return 0;
+            }
+            if self.shared.poisoned.load(Ordering::Relaxed) {
+                panic!(
+                    "PE {}: a peer PE panicked while this PE waited on a signal",
+                    self.rank
+                );
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Heap-to-heap put followed by a completion signal into `sig` on the
+    /// target PE: payload and flag travel as one transaction, so the
+    /// target's [`Pe::signal_wait`] is the only synchronization the pair
+    /// needs.
+    pub fn put_symm_signal<T: XbrType>(
+        &self,
+        dest: SymmRef<T>,
+        src: SymmRef<T>,
+        nelems: usize,
+        stride: usize,
+        pe: usize,
+        sig: SymmRef<u64>,
+    ) {
+        self.put_symm(dest, src, nelems, stride, pe);
+        self.signal_post(sig, pe);
+    }
+
+    /// Blocking put from a private slice followed by a completion signal
+    /// into `sig` on the target PE.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_signal<T: XbrType>(
+        &self,
+        dest: SymmRef<T>,
+        src: &[T],
+        nelems: usize,
+        stride: usize,
+        pe: usize,
+        sig: SymmRef<u64>,
+    ) {
+        self.put(dest, src, nelems, stride, pe);
+        self.signal_post(sig, pe);
+    }
+
+    /// Blocking get followed by a completion signal into `sig` on the
+    /// **source** PE — "your buffer has been read" — so the producer can
+    /// reuse or overwrite the buffer without a barrier.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_signal<T: XbrType>(
+        &self,
+        dest: &mut [T],
+        src: SymmRef<T>,
+        nelems: usize,
+        stride: usize,
+        pe: usize,
+        sig: SymmRef<u64>,
+    ) {
+        self.get(dest, src, nelems, stride, pe);
+        self.signal_post(sig, pe);
+    }
+
+    // ------------------------------------------------------------------
     // Barrier
     // ------------------------------------------------------------------
 
@@ -1342,6 +1567,10 @@ impl<'f> Pe<'f> {
         a.bytes_put.fetch_add(sample.bytes_put, Ordering::Relaxed);
         a.bytes_get.fetch_add(sample.bytes_get, Ordering::Relaxed);
         a.cycles.fetch_add(sample.cycles, Ordering::Relaxed);
+        a.signals.fetch_add(sample.signals, Ordering::Relaxed);
+        a.waits.fetch_add(sample.waits, Ordering::Relaxed);
+        a.wait_cycles
+            .fetch_add(sample.wait_cycles, Ordering::Relaxed);
     }
 }
 

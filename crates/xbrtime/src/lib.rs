@@ -49,7 +49,7 @@ pub mod timing;
 pub mod typed;
 pub mod types;
 
-pub use collectives::policy::{Algorithm, AlgorithmPolicy};
+pub use collectives::policy::{Algorithm, AlgorithmPolicy, SyncMode};
 pub use collectives::schedule::{CommSchedule, OpKind, Stage, TransferOp};
 pub use fabric::{
     ceil_log2, CollectiveKind, CollectiveRecord, CollectiveSample, Context, Fabric, FabricConfig,

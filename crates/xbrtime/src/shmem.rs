@@ -24,7 +24,7 @@
 //!   OpenSHMEM model does not support a non-default stride size".
 
 use crate::collectives::extended::Team;
-use crate::collectives::AlgorithmPolicy;
+use crate::collectives::{AlgorithmPolicy, SyncMode};
 use crate::fabric::{Pe, SymmAlloc};
 use crate::types::{XbrNumeric, XbrType};
 
@@ -173,6 +173,40 @@ pub fn broadcast32_policy<T: XbrType>(
     shmem_broadcast(pe, dest, src, nelems, pe_root, active, policy);
 }
 
+/// [`broadcast64_policy`] with an explicit executor [`SyncMode`] (the
+/// mode applies on world-spanning active sets; proper-subset teams keep
+/// the barrier discipline).
+#[allow(clippy::too_many_arguments)]
+pub fn broadcast64_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    pe_root: usize,
+    active: &ActiveSet,
+    policy: AlgorithmPolicy,
+    sync: SyncMode,
+) {
+    assert_elem_size::<T>(64, "shmem_broadcast64");
+    shmem_broadcast_sync(pe, dest, src, nelems, pe_root, active, policy, sync);
+}
+
+/// [`broadcast32_policy`] with an explicit executor [`SyncMode`].
+#[allow(clippy::too_many_arguments)]
+pub fn broadcast32_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    pe_root: usize,
+    active: &ActiveSet,
+    policy: AlgorithmPolicy,
+    sync: SyncMode,
+) {
+    assert_elem_size::<T>(32, "shmem_broadcast32");
+    shmem_broadcast_sync(pe, dest, src, nelems, pe_root, active, policy, sync);
+}
+
 #[allow(clippy::too_many_arguments)]
 fn shmem_broadcast<T: XbrType>(
     pe: &Pe,
@@ -182,6 +216,29 @@ fn shmem_broadcast<T: XbrType>(
     pe_root: usize,
     active: &ActiveSet,
     policy: AlgorithmPolicy,
+) {
+    shmem_broadcast_sync(
+        pe,
+        dest,
+        src,
+        nelems,
+        pe_root,
+        active,
+        policy,
+        SyncMode::Barrier,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn shmem_broadcast_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    pe_root: usize,
+    active: &ActiveSet,
+    policy: AlgorithmPolicy,
+    sync: SyncMode,
 ) {
     let team = active.team();
     assert!(pe_root < team.size(), "pe_root outside the active set");
@@ -197,7 +254,7 @@ fn shmem_broadcast<T: XbrType>(
     if active.is_world(pe.n_pes()) {
         // World sets (the overwhelmingly common OpenSHMEM case) route
         // through the policy dispatcher; set-rank == global rank here.
-        crate::collectives::broadcast_policy(pe, dest, src, nelems, 1, pe_root, policy);
+        crate::collectives::broadcast_policy_sync(pe, dest, src, nelems, 1, pe_root, policy, sync);
     } else {
         team.broadcast(pe, dest, src, nelems, pe_root);
     }

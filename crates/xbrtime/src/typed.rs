@@ -17,7 +17,7 @@
 //! compile time.
 
 use crate::collectives;
-use crate::collectives::AlgorithmPolicy;
+use crate::collectives::{AlgorithmPolicy, SyncMode};
 use crate::fabric::{NbHandle, Pe, SymmAlloc, SymmRef};
 use crate::types::ReduceOp;
 
@@ -218,6 +218,73 @@ macro_rules! typed_common {
             policy: AlgorithmPolicy,
         ) {
             collectives::gather_policy(pe, dest, src, pe_msgs, pe_disp, nelems, root, policy);
+        }
+
+        /// [`broadcast_policy`] with an explicit executor [`SyncMode`].
+        #[allow(clippy::too_many_arguments)]
+        pub fn broadcast_policy_sync(
+            pe: &Pe,
+            dest: &SymmAlloc<$t>,
+            src: &[$t],
+            nelems: usize,
+            stride: usize,
+            root: usize,
+            policy: AlgorithmPolicy,
+            sync: SyncMode,
+        ) {
+            collectives::broadcast_policy_sync(pe, dest, src, nelems, stride, root, policy, sync);
+        }
+
+        /// [`reduce_policy`] with an explicit executor [`SyncMode`].
+        #[allow(clippy::too_many_arguments)]
+        pub fn reduce_policy_sync(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+            stride: usize,
+            root: usize,
+            op: ReduceOp,
+            policy: AlgorithmPolicy,
+            sync: SyncMode,
+        ) {
+            collectives::reduce_policy_sync(pe, dest, src, nelems, stride, root, op, policy, sync);
+        }
+
+        /// [`scatter_policy`] with an explicit executor [`SyncMode`].
+        #[allow(clippy::too_many_arguments)]
+        pub fn scatter_policy_sync(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &[$t],
+            pe_msgs: &[usize],
+            pe_disp: &[usize],
+            nelems: usize,
+            root: usize,
+            policy: AlgorithmPolicy,
+            sync: SyncMode,
+        ) {
+            collectives::scatter_policy_sync(
+                pe, dest, src, pe_msgs, pe_disp, nelems, root, policy, sync,
+            );
+        }
+
+        /// [`gather_policy`] with an explicit executor [`SyncMode`].
+        #[allow(clippy::too_many_arguments)]
+        pub fn gather_policy_sync(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &[$t],
+            pe_msgs: &[usize],
+            pe_disp: &[usize],
+            nelems: usize,
+            root: usize,
+            policy: AlgorithmPolicy,
+            sync: SyncMode,
+        ) {
+            collectives::gather_policy_sync(
+                pe, dest, src, pe_msgs, pe_disp, nelems, root, policy, sync,
+            );
         }
     };
 }
@@ -494,6 +561,55 @@ mod tests {
         });
         for (rank, per_policy) in report.results.iter().enumerate() {
             for (bcast, sum) in per_policy {
+                assert_eq!(bcast, &vec![4, 5]);
+                if rank == 0 {
+                    assert_eq!(*sum, 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_sync_variants_match_defaults() {
+        use crate::collectives::{AlgorithmPolicy, SyncMode};
+        let report = Fabric::run(FabricConfig::new(4), |pe| {
+            let mut out = Vec::new();
+            for sync in [SyncMode::Barrier, SyncMode::Signaled, SyncMode::Auto] {
+                let b = pe.shared_malloc::<u32>(2);
+                super::uint::broadcast_policy_sync(
+                    pe,
+                    &b,
+                    &[4, 5],
+                    2,
+                    1,
+                    1,
+                    AlgorithmPolicy::Binomial,
+                    sync,
+                );
+                pe.barrier();
+
+                let s = pe.shared_malloc::<i32>(1);
+                pe.heap_store(s.whole(), pe.rank() as i32 + 1);
+                pe.barrier();
+                let mut red = [0i32];
+                super::int::reduce_policy_sync(
+                    pe,
+                    &mut red,
+                    &s,
+                    1,
+                    1,
+                    0,
+                    crate::types::ReduceOp::Sum,
+                    AlgorithmPolicy::Binomial,
+                    sync,
+                );
+                pe.barrier();
+                out.push((pe.heap_read_vec::<u32>(b.whole(), 2), red[0]));
+            }
+            out
+        });
+        for (rank, per_sync) in report.results.iter().enumerate() {
+            for (bcast, sum) in per_sync {
                 assert_eq!(bcast, &vec![4, 5]);
                 if rank == 0 {
                     assert_eq!(*sum, 10);

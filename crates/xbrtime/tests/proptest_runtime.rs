@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use xbrtime::collectives;
 use xbrtime::heap::{FreeList, HEAP_ALIGN};
-use xbrtime::{Fabric, FabricConfig, ReduceOp};
+use xbrtime::{AlgorithmPolicy, Fabric, FabricConfig, ReduceOp, SyncMode};
 
 // ---------------------------------------------------------------------
 // Allocator: model-based testing against a set of live intervals.
@@ -268,6 +268,86 @@ proptest! {
         });
         if nelems > 0 {
             prop_assert_eq!(&report.results[root][..nelems], &data[..]);
+        }
+    }
+
+    /// The signaled and pipelined executors are drop-in replacements for
+    /// the barrier executor: byte-identical results across the four
+    /// rooted collectives at arbitrary (n_pes, root, payload, stride),
+    /// and every posted signal is consumed (no slot leaks into the next
+    /// collective — the invariant signal-table reuse rests on).
+    #[test]
+    fn sync_modes_are_equivalent(
+        n_pes in 1usize..9,
+        root_seed in any::<usize>(),
+        nelems in 0usize..40,
+        stride in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let root = root_seed % n_pes;
+        let span = if nelems == 0 { 1 } else { (nelems - 1) * stride + 1 };
+        let mut outcomes = Vec::new();
+        for sync in [SyncMode::Barrier, SyncMode::Signaled, SyncMode::Pipelined, SyncMode::Auto] {
+            let payload: Vec<u64> = (0..span as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+            let report = Fabric::run(FabricConfig::new(n_pes), move |pe| {
+                // Broadcast.
+                let b = pe.shared_malloc::<u64>(span);
+                pe.heap_write(b.whole(), &vec![u64::MAX; span]);
+                pe.barrier();
+                collectives::broadcast_sync(pe, &b, &payload, nelems, stride, root, sync);
+                pe.barrier();
+                let bcast = pe.heap_read_vec::<u64>(b.whole(), span);
+
+                // Reduce.
+                let src = pe.shared_malloc::<u64>(span);
+                let mine: Vec<u64> = (0..span as u64)
+                    .map(|j| (pe.rank() as u64 + 1).wrapping_mul(seed ^ j))
+                    .collect();
+                pe.heap_write(src.whole(), &mine);
+                pe.barrier();
+                let mut red = vec![0u64; span];
+                collectives::reduce_with_sync(
+                    pe, &mut red, &src, nelems, stride, root, u64::wrapping_add, sync,
+                );
+                pe.barrier();
+
+                // Scatter + gather round-trip with irregular counts.
+                let msgs: Vec<usize> = (0..n_pes).map(|r| ((seed >> (r * 3)) & 0x7) as usize).collect();
+                let total: usize = msgs.iter().sum();
+                let disp: Vec<usize> = msgs
+                    .iter()
+                    .scan(0usize, |acc, &m| { let d = *acc; *acc += m; Some(d) })
+                    .collect();
+                let sc_src: Vec<u64> = if pe.rank() == root {
+                    (0..total as u64).map(|i| i ^ seed).collect()
+                } else {
+                    vec![]
+                };
+                let mine_n = msgs[pe.rank()];
+                let mut mine = vec![0u64; mine_n.max(1)];
+                collectives::scatter_policy_sync(
+                    pe, &mut mine, &sc_src, &msgs, &disp, total, root,
+                    AlgorithmPolicy::Binomial, sync,
+                );
+                pe.barrier();
+                let mut back = vec![0u64; total.max(1)];
+                collectives::gather_policy_sync(
+                    pe, &mut back, &mine[..mine_n], &msgs, &disp, total, root,
+                    AlgorithmPolicy::Binomial, sync,
+                );
+                pe.barrier();
+                (bcast, red, back)
+            });
+            // No leaked waits: every signal posted was consumed.
+            prop_assert_eq!(
+                report.stats.signals, report.stats.signal_waits,
+                "sync={:?}: leaked signal-table slots", sync
+            );
+            outcomes.push(report.results);
+        }
+        let barrier = &outcomes[0];
+        for (i, other) in outcomes.iter().enumerate().skip(1) {
+            prop_assert_eq!(barrier, other, "mode #{} diverged from barrier", i);
         }
     }
 

@@ -7,7 +7,7 @@
 //! ```
 
 use xbgas::apps::{run_gups, GupsConfig};
-use xbgas::xbrtime::{AlgorithmPolicy, Fabric, FabricConfig};
+use xbgas::xbrtime::{AlgorithmPolicy, Fabric, FabricConfig, SyncMode};
 
 fn main() {
     // Demo scale: 2 MiB table, 2^16 total updates, verification on.
@@ -27,6 +27,7 @@ fn main() {
             verify: true,
             use_amo: false,
             policy: AlgorithmPolicy::Auto,
+            sync: SyncMode::Auto,
         };
         let fc = FabricConfig::paper(n).with_shared_bytes(cfg.table_bytes() + (1 << 20));
         let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));

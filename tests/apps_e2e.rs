@@ -3,7 +3,7 @@
 //! Figure 5 stand on.
 
 use xbgas::apps::{run_gups, run_is, GupsConfig, IsClass, IsConfig};
-use xbgas::xbrtime::{AlgorithmPolicy, Fabric, FabricConfig};
+use xbgas::xbrtime::{AlgorithmPolicy, Fabric, FabricConfig, SyncMode};
 
 #[test]
 fn gups_verifies_across_pe_counts() {
@@ -15,6 +15,7 @@ fn gups_verifies_across_pe_counts() {
             verify: true,
             use_amo: false,
             policy: AlgorithmPolicy::Binomial,
+            sync: SyncMode::Barrier,
         };
         // 3 PEs: 2^14 doesn't divide by 3 — skip, as HPCC requires even
         // distribution (checked separately below).
@@ -40,6 +41,7 @@ fn gups_rejects_uneven_distribution() {
         verify: false,
         use_amo: false,
         policy: AlgorithmPolicy::Binomial,
+        sync: SyncMode::Barrier,
     };
     Fabric::run(FabricConfig::new(3), move |pe| run_gups(pe, &cfg));
 }
@@ -62,6 +64,7 @@ fn is_sorts_and_verifies_all_classes_downscaled() {
                 iterations: 2,
                 verify: true,
                 policy: AlgorithmPolicy::Binomial,
+                sync: SyncMode::Barrier,
             };
             let report = Fabric::run(FabricConfig::new(n), move |pe| run_is(pe, &cfg));
             for (rank, r) in report.results.iter().enumerate() {
@@ -91,6 +94,7 @@ fn simulated_time_is_deterministic_for_single_pe() {
             verify: false,
             use_amo: false,
             policy: AlgorithmPolicy::Binomial,
+            sync: SyncMode::Barrier,
         };
         let report = Fabric::run(FabricConfig::paper(1), move |pe| run_gups(pe, &cfg));
         report.results[0].cycles
@@ -113,6 +117,7 @@ fn multi_pe_simulated_time_is_stable() {
             verify: false,
             use_amo: false,
             policy: AlgorithmPolicy::Binomial,
+            sync: SyncMode::Barrier,
         };
         let report = Fabric::run(FabricConfig::paper(4), move |pe| run_gups(pe, &cfg));
         report.results.iter().map(|r| r.cycles).max().unwrap()
@@ -184,6 +189,7 @@ fn fig4_mechanism_cache_hit_rate_rises_as_table_shrinks() {
             verify: false,
             use_amo: false,
             policy: AlgorithmPolicy::Binomial,
+            sync: SyncMode::Barrier,
         };
         let fc =
             xbgas::xbrtime::FabricConfig::paper(n).with_shared_bytes(cfg.table_bytes() + (1 << 20));
