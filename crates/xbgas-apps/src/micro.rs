@@ -27,7 +27,7 @@ pub fn put_latency(timing: TimingConfig, nelems: usize, reps: usize) -> MicroRes
             n_pes: 2,
             shared_bytes: (bytes * 2).max(1 << 20),
             timing,
-            topology: None,
+            ..FabricConfig::new(2)
         },
         move |pe| {
             let dest = pe.shared_malloc::<u64>(nelems.max(1));
@@ -69,7 +69,7 @@ pub fn put_bandwidth(
             n_pes: 2,
             shared_bytes: (bytes * window + (1 << 16)).max(1 << 20),
             timing,
-            topology: None,
+            ..FabricConfig::new(2)
         },
         move |pe| {
             let dest = pe.shared_malloc::<u64>((nelems * window).max(1));
@@ -107,7 +107,7 @@ pub fn get_latency(timing: TimingConfig, nelems: usize, reps: usize) -> MicroRes
             n_pes: 2,
             shared_bytes: (bytes * 2).max(1 << 20),
             timing,
-            topology: None,
+            ..FabricConfig::new(2)
         },
         move |pe| {
             let src = pe.shared_malloc::<u64>(nelems.max(1));
@@ -140,7 +140,7 @@ pub fn barrier_latency(timing: TimingConfig, n_pes: usize, reps: usize) -> Micro
             n_pes,
             shared_bytes: 1 << 16,
             timing,
-            topology: None,
+            ..FabricConfig::new(2)
         },
         move |pe| {
             pe.barrier();

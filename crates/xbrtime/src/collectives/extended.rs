@@ -17,8 +17,9 @@
 //! * [`Team`] — a subset of PEs with translated ranks; team-scoped
 //!   broadcast/reduce reuse the tree algorithms over team ranks.
 
-use crate::collectives::broadcast::broadcast_kind;
-use crate::collectives::reduce::reduce_with_kind;
+use crate::collectives::broadcast::broadcast_kind_sync;
+use crate::collectives::policy::SyncMode;
+use crate::collectives::reduce::reduce_with_kind_sync;
 use crate::collectives::schedule::{
     self, binomial_halving_stages, CommSchedule, OpKind, Stage, TransferOp,
 };
@@ -139,10 +140,23 @@ pub fn reduce_all<T: XbrNumeric>(
     op: ReduceOp,
     algo: AllReduceAlgo,
 ) {
+    reduce_all_sync(pe, dest, src, nelems, op, algo, SyncMode::Barrier);
+}
+
+/// [`reduce_all`] under an explicit [`SyncMode`].
+pub fn reduce_all_sync<T: XbrNumeric>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    op: ReduceOp,
+    algo: AllReduceAlgo,
+    sync: SyncMode,
+) {
     let f = op
         .combiner::<T>()
         .unwrap_or_else(|| panic!("reduction operator {op:?} requires a non-floating-point type"));
-    reduce_all_with(pe, dest, src, nelems, f, algo);
+    reduce_all_with_sync(pe, dest, src, nelems, f, algo, sync);
 }
 
 /// All-reduce with an arbitrary associative, commutative combiner.
@@ -154,12 +168,28 @@ pub fn reduce_all_with<T: XbrType>(
     f: impl Fn(T, T) -> T + Copy,
     algo: AllReduceAlgo,
 ) {
+    reduce_all_with_sync(pe, dest, src, nelems, f, algo, SyncMode::Barrier);
+}
+
+/// [`reduce_all_with`] under an explicit [`SyncMode`]. The sync mode
+/// covers every internal phase, including the non-power-of-two tail
+/// (reduce-to-0 + broadcast through rank 0) of the recursive-doubling
+/// strategy.
+pub fn reduce_all_with_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    f: impl Fn(T, T) -> T + Copy,
+    algo: AllReduceAlgo,
+    sync: SyncMode,
+) {
     assert!(dest.len() >= nelems, "dest too small for all-reduce result");
     let n_pes = pe.n_pes();
     let kind = CollectiveKind::AllReduce;
     match algo {
         AllReduceAlgo::ReduceThenBroadcast => {
-            reduce_with_kind(pe, dest, src, nelems, 1, 0, kind, f);
+            reduce_with_kind_sync(pe, dest, src, nelems, 1, 0, kind, f, sync);
             let bcast = pe.shared_malloc::<T>(nelems.max(1));
             // Rank 0 holds the result; broadcast it to everyone.
             let payload: Vec<T> = if pe.rank() == 0 {
@@ -167,7 +197,7 @@ pub fn reduce_all_with<T: XbrType>(
             } else {
                 vec![T::default(); nelems]
             };
-            broadcast_kind(pe, &bcast, &payload, nelems, 1, 0, kind);
+            broadcast_kind_sync(pe, &bcast, &payload, nelems, 1, 0, kind, sync);
             pe.barrier();
             if nelems > 0 {
                 pe.heap_read_strided(bcast.whole(), &mut dest[..nelems], nelems, 1);
@@ -182,19 +212,19 @@ pub fn reduce_all_with<T: XbrType>(
             }
             pe.barrier();
             let sched = allreduce_recursive_doubling(n_pes, nelems);
-            schedule::execute(pe, &sched, work.whole(), &[], &mut [], Some(&f));
+            schedule::execute_sync(pe, &sched, work.whole(), &[], &mut [], Some(&f), sync);
             // Non-power-of-two tails: ranks ≥ 2^⌊log2 n⌋ may have missed
             // partners in some stages; the butterfly is only exact when n
             // is a power of two, so synchronise through rank 0.
             if nelems > 0 && n_pes > 1 && !n_pes.is_power_of_two() {
                 let mut full = vec![T::default(); nelems];
-                reduce_with_kind(pe, &mut full, src, nelems, 1, 0, kind, f);
+                reduce_with_kind_sync(pe, &mut full, src, nelems, 1, 0, kind, f, sync);
                 let payload = if pe.rank() == 0 {
                     full
                 } else {
                     vec![T::default(); nelems]
                 };
-                broadcast_kind(pe, &work, &payload, nelems, 1, 0, kind);
+                broadcast_kind_sync(pe, &work, &payload, nelems, 1, 0, kind, sync);
                 pe.barrier();
             }
             if nelems > 0 {
@@ -369,10 +399,35 @@ impl Team {
         nelems: usize,
         team_root: usize,
     ) {
-        self.broadcast_with_kind(pe, dest, src, nelems, team_root, CollectiveKind::Broadcast);
+        self.broadcast_sync(pe, dest, src, nelems, team_root, SyncMode::Barrier);
     }
 
-    fn broadcast_with_kind<T: XbrType>(
+    /// [`Team::broadcast`] under an explicit [`SyncMode`]. Non-members
+    /// appear in no op, so under signaled/pipelined sync they post and
+    /// wait on no slots; like members, they join the collective's single
+    /// closing barrier.
+    pub fn broadcast_sync<T: XbrType>(
+        &self,
+        pe: &Pe,
+        dest: &SymmAlloc<T>,
+        src: &[T],
+        nelems: usize,
+        team_root: usize,
+        sync: SyncMode,
+    ) {
+        self.broadcast_with_kind_sync(
+            pe,
+            dest,
+            src,
+            nelems,
+            team_root,
+            CollectiveKind::Broadcast,
+            sync,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn broadcast_with_kind_sync<T: XbrType>(
         &self,
         pe: &Pe,
         dest: &SymmAlloc<T>,
@@ -380,13 +435,14 @@ impl Team {
         nelems: usize,
         team_root: usize,
         kind: CollectiveKind,
+        sync: SyncMode,
     ) {
         if self.team_rank(pe.rank()) == Some(team_root) {
             pe.heap_write_strided(dest.whole(), src, nelems, 1);
         }
         let mut sched = self.broadcast_schedule(pe.n_pes(), nelems, team_root);
         sched.kind = kind;
-        schedule::execute(pe, &sched, dest.whole(), &[], &mut [], None);
+        schedule::execute_sync(pe, &sched, dest.whole(), &[], &mut [], None, sync);
     }
 
     /// Team-scoped all-reduce (reduce-to-team-root-then-broadcast). Every
@@ -399,6 +455,19 @@ impl Team {
         nelems: usize,
         f: impl Fn(T, T) -> T + Copy,
     ) {
+        self.reduce_all_sync(pe, dest, src, nelems, f, SyncMode::Barrier);
+    }
+
+    /// [`Team::reduce_all`] under an explicit [`SyncMode`].
+    pub fn reduce_all_sync<T: XbrType>(
+        &self,
+        pe: &Pe,
+        dest: &mut [T],
+        src: &SymmAlloc<T>,
+        nelems: usize,
+        f: impl Fn(T, T) -> T + Copy,
+        sync: SyncMode,
+    ) {
         let my_team_rank = self.team_rank(pe.rank());
         let work = pe.shared_malloc::<T>(nelems.max(1));
         if my_team_rank.is_some() && nelems > 0 {
@@ -407,14 +476,22 @@ impl Team {
         pe.barrier();
         // Tree-reduce over team ranks toward team rank 0.
         let sched = self.reduce_schedule(pe.n_pes(), nelems);
-        schedule::execute(pe, &sched, work.whole(), &[], &mut [], Some(&f));
+        schedule::execute_sync(pe, &sched, work.whole(), &[], &mut [], Some(&f), sync);
         // Team-rank 0 broadcasts the result back through the team.
         let payload: Vec<T> = if my_team_rank == Some(0) {
             pe.heap_read_vec(work.whole(), nelems)
         } else {
             vec![T::default(); nelems]
         };
-        self.broadcast_with_kind(pe, &work, &payload, nelems, 0, CollectiveKind::AllReduce);
+        self.broadcast_with_kind_sync(
+            pe,
+            &work,
+            &payload,
+            nelems,
+            0,
+            CollectiveKind::AllReduce,
+            sync,
+        );
         pe.barrier();
         if my_team_rank.is_some() && nelems > 0 {
             pe.heap_read_strided(work.whole(), &mut dest[..nelems], nelems, 1);
@@ -574,5 +651,88 @@ mod tests {
     #[should_panic(expected = "duplicate team members")]
     fn duplicate_members_rejected() {
         let _ = Team::new(vec![0, 1, 1]);
+    }
+
+    /// Team collectives under every concrete sync mode: non-members must
+    /// neither receive data nor strand signal slots (a stranded slot would
+    /// hang the drain, and the short watchdog would turn that hang into a
+    /// failure here rather than a stuck test run).
+    #[test]
+    fn team_collectives_under_all_sync_modes() {
+        use std::time::Duration;
+        for sync in SyncMode::CONCRETE {
+            let cfg = FabricConfig::new(6).with_watchdog(Duration::from_secs(5));
+            let report = Fabric::run(cfg, move |pe| {
+                let team = Team::new(vec![1, 3, 4, 5]);
+                let dest = pe.shared_malloc::<u64>(2);
+                pe.heap_write(dest.whole(), &[0, 0]);
+                let src_sum = pe.shared_malloc::<i64>(1);
+                pe.heap_store(src_sum.whole(), pe.rank() as i64 + 1);
+                pe.barrier();
+                team.broadcast_sync(pe, &dest, &[42, 43], 2, 0, sync);
+                let mut sum = [0i64];
+                team.reduce_all_sync(pe, &mut sum, &src_sum, 1, |a, b| a + b, sync);
+                pe.barrier();
+                (pe.heap_read_vec(dest.whole(), 2), sum[0])
+            });
+            for (rank, (bcast, sum)) in report.results.iter().enumerate() {
+                if [1, 3, 4, 5].contains(&rank) {
+                    assert_eq!(bcast, &vec![42, 43], "sync={sync:?} member {rank}");
+                    // Members 1,3,4,5 contribute rank+1: 2+4+5+6 = 17.
+                    assert_eq!(*sum, 17, "sync={sync:?} member {rank}");
+                } else {
+                    assert_eq!(bcast, &vec![0, 0], "sync={sync:?} non-member {rank}");
+                    assert_eq!(*sum, 0, "sync={sync:?} non-member {rank}");
+                }
+            }
+            // Every posted signal was consumed: nothing left stranded in
+            // the symmetric table by the non-members.
+            assert_eq!(
+                report.stats.signals, report.stats.signal_waits,
+                "sync={sync:?}: stranded signal slots"
+            );
+        }
+    }
+
+    /// `reduce_all_with`'s non-power-of-two tail (reduce-to-0 + broadcast
+    /// through rank 0 after the butterfly) across every sync mode.
+    #[test]
+    fn reduce_all_non_power_of_two_tail_all_sync_modes() {
+        use std::time::Duration;
+        for n in [3usize, 5, 6, 7] {
+            for sync in SyncMode::CONCRETE {
+                let cfg = FabricConfig::new(n).with_watchdog(Duration::from_secs(5));
+                let report = Fabric::run(cfg, move |pe| {
+                    let src = pe.shared_malloc::<u64>(3);
+                    pe.heap_write(src.whole(), &[pe.rank() as u64, 1, pe.rank() as u64 * 2]);
+                    pe.barrier();
+                    let mut d = [0u64; 3];
+                    reduce_all_with_sync(
+                        pe,
+                        &mut d,
+                        &src,
+                        3,
+                        |a, b| a.wrapping_add(b),
+                        AllReduceAlgo::RecursiveDoubling,
+                        sync,
+                    );
+                    pe.barrier();
+                    d
+                });
+                let n64 = n as u64;
+                let expect = [
+                    (0..n64).sum::<u64>(),
+                    n64,
+                    (0..n64).map(|r| r * 2).sum::<u64>(),
+                ];
+                for (rank, got) in report.results.iter().enumerate() {
+                    assert_eq!(got, &expect, "n={n} sync={sync:?} rank={rank}");
+                }
+                assert_eq!(
+                    report.stats.signals, report.stats.signal_waits,
+                    "n={n} sync={sync:?}: stranded signal slots"
+                );
+            }
+        }
     }
 }

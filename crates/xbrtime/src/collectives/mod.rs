@@ -29,7 +29,10 @@ pub use baseline::{
     reduce_linear, reduce_linear_sync, scatter_linear,
 };
 pub use broadcast::{broadcast, broadcast_sync};
-pub use extended::{all_gather, all_to_all, reduce_all, reduce_all_with, AllReduceAlgo, Team};
+pub use extended::{
+    all_gather, all_to_all, reduce_all, reduce_all_sync, reduce_all_with, reduce_all_with_sync,
+    AllReduceAlgo, Team,
+};
 pub use gather::gather;
 pub use hierarchical::{broadcast_hier, reduce_hier};
 pub use policy::{

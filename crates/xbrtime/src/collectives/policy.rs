@@ -127,6 +127,11 @@ pub fn pipeline_chunks(nbytes: usize) -> usize {
 }
 
 impl SyncMode {
+    /// The concrete (non-`Auto`) modes, in display order — the axis chaos
+    /// and equivalence sweeps iterate over.
+    pub const CONCRETE: [SyncMode; 3] =
+        [SyncMode::Barrier, SyncMode::Signaled, SyncMode::Pipelined];
+
     /// Lower-case display name.
     pub fn name(self) -> &'static str {
         match self {

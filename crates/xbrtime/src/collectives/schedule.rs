@@ -290,6 +290,11 @@ pub fn execute_sync<T: XbrType>(
         return;
     }
 
+    // Publish the episode to the progress plane so a watchdog firing
+    // anywhere in the fabric can name this collective (and stage) in its
+    // DeadlockReport.
+    pe.progress_collective(Some(sched.kind));
+
     let max_bytes = sched.ops().map(|op| op.nelems * es).max().unwrap_or(0);
     // A single-stage schedule has no per-stage barrier to eliminate —
     // `Auto` keeps the plain barrier executor there regardless of scale
@@ -339,7 +344,8 @@ pub fn execute_sync<T: XbrType>(
     };
 
     if sync == SyncMode::Barrier {
-        for stage in &sched.stages {
+        for (si, stage) in sched.stages.iter().enumerate() {
+            pe.progress_stage(si);
             if stage.deferred_fold {
                 // Phase 1: every read lands.
                 for op in &stage.ops {
@@ -433,6 +439,7 @@ pub fn execute_sync<T: XbrType>(
             pe.barrier();
         }
 
+        pe.progress_collective(None);
         sample.cycles = pe.cycles() - t0;
         pe.note_collective(sched.kind, sample);
         return;
@@ -474,8 +481,13 @@ pub fn execute_sync<T: XbrType>(
         ((c * per).min(op.nelems), ((c + 1) * per).min(op.nelems))
     };
     // Contiguous element range [start, end) that chunk [c0, c1) of a
-    // strided span occupies, measured from buffer offset `at`.
+    // strided span occupies, measured from buffer offset `at`. An empty
+    // chunk window maps to an empty range rather than underflowing on
+    // `c1 - 1` (zero-`nelems` ops produce `c0 == c1 == 0`).
     let chunk_range = |at: usize, stride: usize, c0: usize, c1: usize| -> (usize, usize) {
+        if c1 <= c0 {
+            return (at, at);
+        }
         (at + c0 * stride, at + (c1 - 1) * stride + 1)
     };
 
@@ -504,6 +516,7 @@ pub fn execute_sync<T: XbrType>(
         };
 
     for (si, stage) in sched.stages.iter().enumerate() {
+        pe.progress_stage(si);
         let base = op_base[si];
         if stage.deferred_fold {
             // Announce my segments to the partners that will read them…
@@ -782,7 +795,10 @@ pub fn execute_sync<T: XbrType>(
     }
 
     // Drain: consume every signal still in flight toward this PE, so the
-    // signal table is all-zero again when the collective closes.
+    // signal table is all-zero again when the collective closes. Published
+    // as one-past-the-last stage so a DeadlockReport can tell "stuck in
+    // the drain" apart from "stuck inside a stage".
+    pe.progress_stage(sched.stages.len());
     for p in pending.drain(..) {
         sample.wait_cycles += pe.signal_wait(table.offset(p.slot));
         sample.waits += 1;
@@ -790,6 +806,7 @@ pub fn execute_sync<T: XbrType>(
     // One barrier closes the whole collective.
     pe.barrier();
 
+    pe.progress_collective(None);
     sample.cycles = pe.cycles() - t0;
     pe.note_collective(sched.kind, sample);
 }
@@ -1502,6 +1519,49 @@ mod tests {
                 execute_sync(pe, &sched, buf.whole(), &[], &mut [], None, sync);
             });
             assert_eq!(report.stats.barriers, 0, "sync={sync:?}");
+        }
+    }
+
+    /// Regression: a zero-`nelems` op sharing a stage with real transfers
+    /// must be skipped cleanly by the pipelined chunk bookkeeping (its
+    /// empty chunk window once underflowed `c1 - 1` in `chunk_range`).
+    #[test]
+    fn pipelined_executor_skips_empty_ops() {
+        use crate::fabric::{Fabric, FabricConfig};
+        for sync in SyncMode::CONCRETE {
+            let report = Fabric::run(FabricConfig::new(3), move |pe| {
+                let buf = pe.shared_malloc::<u64>(8);
+                pe.heap_write(buf.whole(), &[pe.rank() as u64 + 1; 8]);
+                pe.barrier();
+                let sched = CommSchedule {
+                    n_pes: 3,
+                    kind: CollectiveKind::Broadcast,
+                    stages: vec![Stage::new(vec![
+                        TransferOp {
+                            src_pe: 0,
+                            dst_pe: 1,
+                            src_at: 0,
+                            dst_at: 0,
+                            nelems: 0, // the degenerate op
+                            stride: 1,
+                            kind: OpKind::Put,
+                        },
+                        TransferOp {
+                            src_pe: 0,
+                            dst_pe: 2,
+                            src_at: 0,
+                            dst_at: 0,
+                            nelems: 8,
+                            stride: 1,
+                            kind: OpKind::Put,
+                        },
+                    ])],
+                };
+                execute_sync(pe, &sched, buf.whole(), &[], &mut [], None, sync);
+                pe.heap_read_vec(buf.whole(), 8)
+            });
+            assert_eq!(report.results[2], vec![1u64; 8], "sync={sync:?}");
+            assert_eq!(report.results[1], vec![2u64; 8], "sync={sync:?}");
         }
     }
 }

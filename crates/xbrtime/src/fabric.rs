@@ -17,11 +17,12 @@
 //! paper prescribes). See [`crate::heap::HeapData`] for the full contract.
 
 use crate::heap::{FreeList, HeapData};
-use crate::timing::{PeClock, TimingConfig};
+use crate::timing::{Backoff, PeClock, TimingConfig};
 use crate::types::XbrType;
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Physical grouping of PEs into nodes, for location-aware costing.
@@ -42,7 +43,15 @@ pub struct Topology {
 
 impl Topology {
     /// Node index owning a PE.
+    ///
+    /// `pes_per_node` must be at least 1; [`FabricConfig::with_topology`]
+    /// and [`Fabric::run`] validate this up front so a zero never reaches
+    /// the division here.
     pub fn node_of(&self, pe: usize) -> usize {
+        assert!(
+            self.pes_per_node > 0,
+            "topology with pes_per_node == 0 (every node must own at least one PE)"
+        );
         pe / self.pes_per_node
     }
 
@@ -51,6 +60,113 @@ impl Topology {
         self.node_of(a) == self.node_of(b)
     }
 }
+
+/// Seeded, deterministic fault injection for a fabric run.
+///
+/// Real xBGAS hardware can lose progress in ways the simulated fabric's
+/// lossless shared-memory transport never does on its own: a NIC can
+/// coalesce or delay a put-with-signal, a preempted PE can stall mid
+/// collective, a control word can be dropped and retransmitted. This
+/// config injects those behaviours *on purpose* so the watchdog and the
+/// signal plane's recovery paths are testable: every decision is drawn
+/// from a per-PE splitmix64 stream seeded from `seed ^ rank`, so a run is
+/// exactly reproducible from `(FaultConfig, n_pes)`.
+///
+/// All delays are **wall-clock** sleeps: they perturb thread interleaving
+/// without touching the simulated clock, so a delays-only faulted run
+/// must produce buffers (and simulated cycle counts) identical to the
+/// fault-free run — the invariant the chaos harness asserts.
+///
+/// Probabilities are in permille (0–1000: 25 ⇒ 2.5% of events faulted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Base seed for the per-PE deterministic fault streams.
+    pub seed: u64,
+    /// Permille of transfers (`put`/`get`/`put_symm`/`get_symm`/
+    /// `put_nb`/`get_nb`) delayed before the copy executes.
+    pub transfer_delay_permille: u16,
+    /// Upper bound (µs) on an injected transfer delay.
+    pub max_transfer_delay_us: u64,
+    /// Permille of signal posts delayed before the slot is raised.
+    pub signal_delay_permille: u16,
+    /// Upper bound (µs) on an injected signal delay.
+    pub max_signal_delay_us: u64,
+    /// Permille of signal posts *dropped*: the slot is not raised at post
+    /// time. With `signal_redeliver_after_us > 0` the fabric redelivers
+    /// the signal that much later (a retransmitted control word); with 0
+    /// the signal is lost forever and only the watchdog can save the run.
+    pub signal_drop_permille: u16,
+    /// Redelivery delay (µs) for dropped signals; 0 means never.
+    pub signal_redeliver_after_us: u64,
+    /// Permille of barrier entries at which the PE stalls (a preempted or
+    /// descheduled core).
+    pub stall_permille: u16,
+    /// Upper bound (µs) on an injected per-PE stall.
+    pub max_stall_us: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all — the identity config, useful as a builder base.
+    pub const fn none(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            transfer_delay_permille: 0,
+            max_transfer_delay_us: 0,
+            signal_delay_permille: 0,
+            max_signal_delay_us: 0,
+            signal_drop_permille: 0,
+            signal_redeliver_after_us: 0,
+            stall_permille: 0,
+            max_stall_us: 0,
+        }
+    }
+
+    /// Benign chaos: delayed transfers and signals plus per-PE stalls,
+    /// but nothing is ever lost. A run under this config must produce
+    /// buffers identical to the fault-free run.
+    pub const fn delays(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            transfer_delay_permille: 60,
+            max_transfer_delay_us: 120,
+            signal_delay_permille: 60,
+            max_signal_delay_us: 120,
+            signal_drop_permille: 0,
+            signal_redeliver_after_us: 0,
+            stall_permille: 30,
+            max_stall_us: 200,
+        }
+    }
+
+    /// Lossy-but-recovering: some signals are dropped at post time and
+    /// redelivered `redeliver_us` later. Collectives still converge; the
+    /// watchdog must stay quiet (given a timeout above the redelivery
+    /// horizon).
+    pub const fn drops_with_redelivery(seed: u64, permille: u16, redeliver_us: u64) -> Self {
+        let mut f = FaultConfig::none(seed);
+        f.signal_drop_permille = permille;
+        f.signal_redeliver_after_us = redeliver_us;
+        f
+    }
+
+    /// Permanently lossy: dropped signals are never redelivered, so a
+    /// signaled collective will hang until the watchdog converts the hang
+    /// into a [`DeadlockReport`].
+    pub const fn drops_forever(seed: u64, permille: u16) -> Self {
+        Self::drops_with_redelivery(seed, permille, 0)
+    }
+
+    /// `true` when dropped signals are eventually redelivered (so spin
+    /// loops must pump the redelivery queue).
+    pub(crate) const fn redelivers(&self) -> bool {
+        self.signal_drop_permille > 0 && self.signal_redeliver_after_us > 0
+    }
+}
+
+/// Default watchdog timeout: generous enough that debug-mode test runs
+/// under heavy host load never trip it, small enough that a genuinely
+/// wedged run fails the same CI job that started it.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(60);
 
 /// Configuration for a fabric run.
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +180,13 @@ pub struct FabricConfig {
     /// Optional physical topology; `None` prices every remote transfer
     /// identically (the flat model the paper's initial library assumes).
     pub topology: Option<Topology>,
+    /// Optional fault-injection plane; `None` is the lossless fabric.
+    pub faults: Option<FaultConfig>,
+    /// Progress watchdog: the longest any spin wait (barrier, signal
+    /// wait, executor drain) may starve before the run fails fast with a
+    /// [`DeadlockReport`]. `None` disables the watchdog (spin forever,
+    /// the pre-watchdog behaviour).
+    pub watchdog: Option<Duration>,
 }
 
 impl FabricConfig {
@@ -74,6 +197,8 @@ impl FabricConfig {
             shared_bytes: 16 * 1024 * 1024,
             timing: TimingConfig::disabled(),
             topology: None,
+            faults: None,
+            watchdog: Some(DEFAULT_WATCHDOG),
         }
     }
 
@@ -84,6 +209,8 @@ impl FabricConfig {
             shared_bytes: 16 * 1024 * 1024,
             timing: TimingConfig::paper(),
             topology: None,
+            faults: None,
+            watchdog: Some(DEFAULT_WATCHDOG),
         }
     }
 
@@ -94,8 +221,36 @@ impl FabricConfig {
     }
 
     /// Builder-style topology override.
+    ///
+    /// # Panics
+    /// Panics if `topology.pes_per_node` is zero — [`Topology::node_of`]
+    /// divides by it, so the degenerate value is rejected at
+    /// configuration time with a clear error instead of a bare
+    /// divide-by-zero inside the first transfer.
     pub const fn with_topology(mut self, topology: Topology) -> Self {
+        assert!(
+            topology.pes_per_node > 0,
+            "topology pes_per_node must be at least 1"
+        );
         self.topology = Some(topology);
+        self
+    }
+
+    /// Builder-style fault-injection plane.
+    pub const fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Builder-style watchdog timeout override.
+    pub const fn with_watchdog(mut self, timeout: Duration) -> Self {
+        self.watchdog = Some(timeout);
+        self
+    }
+
+    /// Disable the progress watchdog (spin forever on lost progress).
+    pub const fn without_watchdog(mut self) -> Self {
+        self.watchdog = None;
         self
     }
 }
@@ -120,6 +275,11 @@ struct StatsAtomic {
     amos: AtomicU64,
     signals: AtomicU64,
     signal_waits: AtomicU64,
+    transfer_delays: AtomicU64,
+    signal_delays: AtomicU64,
+    signals_dropped: AtomicU64,
+    signals_redelivered: AtomicU64,
+    stalls: AtomicU64,
 }
 
 /// Aggregate communication counters for a fabric run.
@@ -151,6 +311,16 @@ pub struct FabricStats {
     /// Completion signals consumed by [`Pe::signal_wait`]. Equal to
     /// `signals` after a clean run (every posted slot is consumed).
     pub signal_waits: u64,
+    /// Injected transfer delays ([`FaultConfig`]).
+    pub transfer_delays: u64,
+    /// Injected signal-post delays.
+    pub signal_delays: u64,
+    /// Signals dropped at post time by the fault plane.
+    pub signals_dropped: u64,
+    /// Dropped signals later redelivered by the fault plane.
+    pub signals_redelivered: u64,
+    /// Injected per-PE stalls at barrier entry.
+    pub stalls: u64,
 }
 
 /// Telemetry key: which collective an executor episode belongs to.
@@ -214,6 +384,10 @@ impl CollectiveKind {
             CollectiveKind::AllGather => 5,
             CollectiveKind::AllToAll => 6,
         }
+    }
+
+    fn from_index(i: usize) -> CollectiveKind {
+        Self::ALL[i]
     }
 }
 
@@ -300,6 +474,216 @@ impl CollectiveRecord {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The progress watchdog's structured failure report.
+// ---------------------------------------------------------------------------
+
+/// Where a PE was last observed when the watchdog fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitSite {
+    /// Executing user or collective code (not blocked in the fabric).
+    Running,
+    /// Spinning inside [`Pe::barrier`].
+    Barrier,
+    /// Spinning inside [`Pe::signal_wait`] on the symmetric slot at this
+    /// byte offset in the PE's own shared segment.
+    Signal {
+        /// Byte offset of the awaited slot in the symmetric heap.
+        off: usize,
+    },
+    /// The PE's SPMD body returned; it will never make further progress.
+    Finished,
+}
+
+impl WaitSite {
+    fn encode(self) -> usize {
+        match self {
+            WaitSite::Running => 0,
+            WaitSite::Barrier => 1,
+            WaitSite::Finished => 2,
+            WaitSite::Signal { off } => 3 + off,
+        }
+    }
+
+    fn decode(v: usize) -> Self {
+        match v {
+            0 => WaitSite::Running,
+            1 => WaitSite::Barrier,
+            2 => WaitSite::Finished,
+            n => WaitSite::Signal { off: n - 3 },
+        }
+    }
+}
+
+/// One PE's row in a [`DeadlockReport`]: everything the progress plane
+/// knew about the PE when the watchdog fired.
+#[derive(Clone, Debug)]
+pub struct PeProbe {
+    /// The PE's rank.
+    pub rank: usize,
+    /// Collective episode the PE was inside, if any (set by the schedule
+    /// executor).
+    pub collective: Option<CollectiveKind>,
+    /// Stage index within that collective. A value equal to the
+    /// schedule's stage count denotes the executor's final drain.
+    pub stage: Option<usize>,
+    /// Where the PE was blocked (or not).
+    pub site: WaitSite,
+    /// Monotonic count of progress events (transfers, signals, barrier
+    /// crossings) the PE had completed — two probes with the same value
+    /// mean the PE made no progress in between.
+    pub progress_ops: u64,
+    /// Nonzero slots of this PE's signal table: `(slot index, stamp)` for
+    /// every signal posted to this PE but not yet consumed.
+    pub pending_signals: Vec<(usize, u64)>,
+}
+
+/// Structured report produced when the progress watchdog fires: a
+/// whole-fabric snapshot naming which PE is stuck where, inside which
+/// collective and stage, and which signal slots are still pending.
+///
+/// Returned through [`Fabric::try_run`] as
+/// [`RunError::Deadlock`]; [`Fabric::run`] panics with its [`Display`]
+/// rendering. The PE that trips the watchdog poisons the fabric, so
+/// every peer unwinds promptly instead of spinning forever.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Clone, Debug)]
+pub struct DeadlockReport {
+    /// Rank of the PE whose watchdog fired first.
+    pub detector: usize,
+    /// The configured timeout that was exceeded.
+    pub timeout: Duration,
+    /// Byte offset and slot count of the symmetric signal table, if the
+    /// signal plane was in use (lets slot offsets be named as indices).
+    pub signal_table: Option<(usize, usize)>,
+    /// One probe per PE, indexed by rank.
+    pub pes: Vec<PeProbe>,
+}
+
+impl DeadlockReport {
+    /// The most likely culprit PE. A PE parked at the barrier is a
+    /// *victim* — it waits on everyone else — so a PE blocked on a
+    /// signal (or still running) is preferred over it, and the detector
+    /// breaks ties.
+    pub fn stuck(&self) -> &PeProbe {
+        let score = |p: &PeProbe| match p.site {
+            WaitSite::Signal { .. } => 0,
+            WaitSite::Running => 1,
+            WaitSite::Barrier => 2,
+            WaitSite::Finished => 3,
+        };
+        self.pes
+            .iter()
+            .min_by_key(|p| (score(p), p.rank != self.detector))
+            .unwrap_or(&self.pes[self.detector])
+    }
+
+    fn slot_name(&self, off: usize) -> String {
+        match self.signal_table {
+            Some((base, len)) if off >= base && (off - base) / 8 < len => {
+                format!("slot {}", (off - base) / 8)
+            }
+            _ => format!("heap offset {off:#x}"),
+        }
+    }
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "no progress for {:?}: PE {} tripped the watchdog",
+            self.timeout, self.detector
+        )?;
+        let culprit = self.stuck().rank;
+        for p in &self.pes {
+            let coll = match p.collective {
+                Some(k) => k.name(),
+                None => "-",
+            };
+            let stage = match p.stage {
+                Some(s) => s.to_string(),
+                None => "-".to_string(),
+            };
+            let site = match p.site {
+                WaitSite::Running => "running".to_string(),
+                WaitSite::Barrier => "blocked at barrier".to_string(),
+                WaitSite::Finished => "finished".to_string(),
+                WaitSite::Signal { off } => {
+                    format!("blocked on signal {}", self.slot_name(off))
+                }
+            };
+            let pending = if p.pending_signals.is_empty() {
+                String::new()
+            } else {
+                let list: Vec<String> = p
+                    .pending_signals
+                    .iter()
+                    .map(|&(s, v)| format!("{s}:{v}"))
+                    .collect();
+                format!(" pending[{}]", list.join(", "))
+            };
+            writeln!(
+                f,
+                "  PE {}: {} | collective {} stage {} | progress {} {}{}",
+                p.rank,
+                site,
+                coll,
+                stage,
+                p.progress_ops,
+                if p.rank == culprit { "<- stuck" } else { "" },
+                pending
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Why [`Fabric::try_run`] failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The progress watchdog fired; the report names the stuck PE.
+    Deadlock(DeadlockReport),
+    /// A PE panicked (the payload's message, when it carried one).
+    Panic(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock(report) => write!(f, "deadlock detected: {report}"),
+            RunError::Panic(msg) => write!(f, "a PE panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Per-PE progress publication, read by any PE's watchdog at timeout.
+/// All stores are `Relaxed`: the fields are diagnostics, not
+/// synchronisation, and a slightly stale probe row is acceptable.
+#[derive(Default)]
+struct ProgressCell {
+    /// Monotonic progress events (transfers, signal posts/consumes,
+    /// barrier crossings).
+    ops: AtomicU64,
+    /// `CollectiveKind::index() + 1` of the active collective, 0 if none.
+    coll: AtomicUsize,
+    /// Stage index within the active collective; `usize::MAX` if none.
+    stage: AtomicUsize,
+    /// Encoded [`WaitSite`].
+    site: AtomicUsize,
+}
+
+/// A signal the fault plane dropped at post time, queued for redelivery.
+struct DroppedSignal {
+    pe: usize,
+    off: usize,
+    stamp: u64,
+    due: Instant,
+}
+
 struct BarrierState {
     count: AtomicUsize,
     generation: AtomicUsize,
@@ -317,6 +701,22 @@ struct Shared {
     poisoned: AtomicBool,
     stats: StatsAtomic,
     coll: [CollAtomic; CollectiveKind::ALL.len()],
+    /// Per-PE progress publication for the watchdog (indexed by rank).
+    progress: Vec<ProgressCell>,
+    /// Published byte offset of the symmetric signal table, plus one
+    /// (0 = table not yet allocated). Lets the watchdog name slots.
+    sig_off: AtomicUsize,
+    /// Published slot count of the symmetric signal table.
+    sig_len: AtomicUsize,
+    /// First deadlock report wins; peers that trip later keep it.
+    deadlock: Mutex<Option<DeadlockReport>>,
+    /// Signals dropped by the fault plane, awaiting redelivery.
+    dropped: Mutex<Vec<DroppedSignal>>,
+    /// True iff the fault plane may queue redeliveries (so spin loops
+    /// know whether pumping `redeliver_due` can ever help).
+    redelivery_armed: bool,
+    /// Watchdog timeout every spin loop must respect; `None` disables.
+    watchdog: Option<Duration>,
 }
 
 impl Shared {
@@ -336,6 +736,89 @@ impl Shared {
             poisoned: AtomicBool::new(false),
             stats: StatsAtomic::default(),
             coll: Default::default(),
+            progress: (0..cfg.n_pes).map(|_| ProgressCell::default()).collect(),
+            sig_off: AtomicUsize::new(0),
+            sig_len: AtomicUsize::new(0),
+            deadlock: Mutex::new(None),
+            dropped: Mutex::new(Vec::new()),
+            redelivery_armed: cfg.faults.is_some_and(|f| f.redelivers()),
+            watchdog: cfg.watchdog,
+        }
+    }
+
+    /// Deliver every dropped signal whose redelivery deadline has passed.
+    /// Pumped from spin loops so a dropped-then-redelivered signal can
+    /// arrive even while its poster has moved on.
+    fn redeliver_due(&self) {
+        if !self.redelivery_armed {
+            return;
+        }
+        let now = Instant::now();
+        let mut due = Vec::new();
+        {
+            let mut q = self.dropped.lock().unwrap();
+            if q.is_empty() {
+                return;
+            }
+            let mut i = 0;
+            while i < q.len() {
+                if q[i].due <= now {
+                    due.push(q.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for d in due {
+            let slot =
+                unsafe { AtomicU64::from_ptr(self.heaps[d.pe].base().add(d.off) as *mut u64) };
+            slot.fetch_max(d.stamp.max(1), Ordering::AcqRel);
+            self.stats
+                .signals_redelivered
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Build a whole-fabric probe: one row per PE from the progress plane
+    /// plus the nonzero slots of each PE's signal table.
+    fn probe(&self, detector: usize, timeout: Duration) -> DeadlockReport {
+        let sig_off = self.sig_off.load(Ordering::Acquire);
+        let sig_len = self.sig_len.load(Ordering::Acquire);
+        let signal_table = (sig_off != 0).then(|| (sig_off - 1, sig_len));
+        let pes = (0..self.n_pes)
+            .map(|rank| {
+                let cell = &self.progress[rank];
+                let coll = cell.coll.load(Ordering::Relaxed);
+                let stage = cell.stage.load(Ordering::Relaxed);
+                let pending_signals = match signal_table {
+                    Some((base, len)) => (0..len)
+                        .filter_map(|s| {
+                            let slot = unsafe {
+                                AtomicU64::from_ptr(
+                                    self.heaps[rank].base().add(base + s * 8) as *mut u64
+                                )
+                            };
+                            let v = slot.load(Ordering::Acquire);
+                            (v != 0).then_some((s, v))
+                        })
+                        .collect(),
+                    None => Vec::new(),
+                };
+                PeProbe {
+                    rank,
+                    collective: (coll != 0).then(|| CollectiveKind::from_index(coll - 1)),
+                    stage: (stage != usize::MAX).then_some(stage),
+                    site: WaitSite::decode(cell.site.load(Ordering::Relaxed)),
+                    progress_ops: cell.ops.load(Ordering::Relaxed),
+                    pending_signals,
+                }
+            })
+            .collect();
+        DeadlockReport {
+            detector,
+            timeout,
+            signal_table,
+            pes,
         }
     }
 
@@ -380,6 +863,11 @@ impl Shared {
             amos: s.amos.load(Ordering::Relaxed),
             signals: s.signals.load(Ordering::Relaxed),
             signal_waits: s.signal_waits.load(Ordering::Relaxed),
+            transfer_delays: s.transfer_delays.load(Ordering::Relaxed),
+            signal_delays: s.signal_delays.load(Ordering::Relaxed),
+            signals_dropped: s.signals_dropped.load(Ordering::Relaxed),
+            signals_redelivered: s.signals_redelivered.load(Ordering::Relaxed),
+            stalls: s.stalls.load(Ordering::Relaxed),
         }
     }
 }
@@ -549,6 +1037,10 @@ pub struct Pe<'f> {
     /// run; the executor's drain invariant keeps it all-zero between
     /// collectives so reuse needs no re-zeroing barrier.
     signal_table: RefCell<Option<SymmAlloc<u64>>>,
+    /// Fault-injection config, when the fabric runs in chaos mode.
+    faults: Option<FaultConfig>,
+    /// splitmix64 state for this PE's deterministic fault rolls.
+    fault_rng: std::cell::Cell<u64>,
 }
 
 fn check_src<T>(src: &[T], nelems: usize, stride: usize) {
@@ -570,7 +1062,11 @@ impl<'f> Pe<'f> {
         shared: &'f Shared,
         timing: TimingConfig,
         topology: Option<Topology>,
+        faults: Option<FaultConfig>,
     ) -> Self {
+        // Seed each PE's fault stream independently so PE count and rank
+        // order do not perturb each other's rolls.
+        let seed = faults.map_or(0, |f| f.seed) ^ (rank as u64).wrapping_mul(0xA076_1D64_78BD_642F);
         Pe {
             rank,
             shared,
@@ -582,7 +1078,121 @@ impl<'f> Pe<'f> {
             next_handle: std::cell::Cell::new(0),
             port_busy: std::cell::Cell::new(0),
             signal_table: RefCell::new(None),
+            faults,
+            fault_rng: std::cell::Cell::new(seed),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault plane: seeded, deterministic chaos. All injected delays are
+    // wall-clock sleeps — they never touch the simulated clock, so a
+    // delays-only run produces byte-identical buffers (and, whenever the
+    // timing model itself is interleaving-deterministic, identical
+    // cycles) — only slower in real time.
+    // ------------------------------------------------------------------
+
+    /// splitmix64 step over this PE's private fault stream.
+    fn fault_next(&self) -> u64 {
+        let mut z = self.fault_rng.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.fault_rng.set(z);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Roll against a permille probability; on success return a wall-clock
+    /// sleep duration uniform in `[1, max_us]` microseconds.
+    fn fault_roll(&self, permille: u16, max_us: u64) -> Option<Duration> {
+        if permille == 0 {
+            return None;
+        }
+        let r = self.fault_next();
+        if r % 1000 >= u64::from(permille) {
+            return None;
+        }
+        let us = if max_us == 0 {
+            0
+        } else {
+            1 + (r >> 10) % max_us
+        };
+        Some(Duration::from_micros(us))
+    }
+
+    /// Fault hook at the head of every put/get (blocking or not).
+    #[inline]
+    fn fault_transfer(&self) {
+        let Some(f) = self.faults else { return };
+        if let Some(d) = self.fault_roll(f.transfer_delay_permille, f.max_transfer_delay_us) {
+            self.shared
+                .stats
+                .transfer_delays
+                .fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Fault hook modelling a whole-PE stall (OS jitter, page fault, …),
+    /// rolled at barrier entry.
+    #[inline]
+    fn fault_stall(&self) {
+        let Some(f) = self.faults else { return };
+        if let Some(d) = self.fault_roll(f.stall_permille, f.max_stall_us) {
+            self.shared.stats.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(d);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Progress plane: publish where this PE is so any peer's watchdog can
+    // assemble a DeadlockReport. Relaxed stores — diagnostics only.
+    // ------------------------------------------------------------------
+
+    fn progress_tick(&self) {
+        self.shared.progress[self.rank]
+            .ops
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn progress_site(&self, site: WaitSite) {
+        self.shared.progress[self.rank]
+            .site
+            .store(site.encode(), Ordering::Relaxed);
+    }
+
+    /// Publish the collective episode this PE is entering (`None` clears).
+    /// Called by the schedule executor.
+    pub(crate) fn progress_collective(&self, kind: Option<CollectiveKind>) {
+        let cell = &self.shared.progress[self.rank];
+        cell.coll
+            .store(kind.map_or(0, |k| k.index() + 1), Ordering::Relaxed);
+        cell.stage.store(usize::MAX, Ordering::Relaxed);
+    }
+
+    /// Publish the stage index this PE is executing. A value equal to the
+    /// schedule's stage count denotes the executor's final drain. Called
+    /// by the schedule executor.
+    pub(crate) fn progress_stage(&self, stage: usize) {
+        self.shared.progress[self.rank]
+            .stage
+            .store(stage, Ordering::Relaxed);
+        self.progress_tick();
+    }
+
+    /// Trip the watchdog: record a whole-fabric DeadlockReport (first
+    /// detector wins), poison the fabric so peers unwind, and panic with
+    /// the rendered report.
+    fn watchdog_trip(&self, site: WaitSite, timeout: Duration) -> ! {
+        self.progress_site(site);
+        let report = self.shared.probe(self.rank, timeout);
+        let msg = format!("PE {}: watchdog: {report}", self.rank);
+        {
+            let mut slot = self.shared.deadlock.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(report);
+            }
+        }
+        self.shared.poisoned.store(true, Ordering::Release);
+        panic!("{msg}");
     }
 
     /// This PE's rank (`xbrtime_mype`).
@@ -887,6 +1497,7 @@ impl<'f> Pe<'f> {
         } else {
             s.remote_transfers.fetch_add(1, Ordering::Relaxed);
         }
+        self.progress_tick();
     }
 
     /// Copy `nelems` elements from a local slice into `dest` on PE `pe`
@@ -900,6 +1511,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) {
+        self.fault_transfer();
         dest.check_span(nelems, stride);
         check_src(src, nelems, stride);
         let es = std::mem::size_of::<T>();
@@ -946,6 +1558,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) {
+        self.fault_transfer();
         src.check_span(nelems, stride);
         check_src(dest, nelems, stride);
         let es = std::mem::size_of::<T>();
@@ -991,6 +1604,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) {
+        self.fault_transfer();
         dest.check_span(nelems, stride);
         src.check_span(nelems, stride);
         let es = std::mem::size_of::<T>();
@@ -1039,6 +1653,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) {
+        self.fault_transfer();
         dest.check_span(nelems, stride);
         src.check_span(nelems, stride);
         let es = std::mem::size_of::<T>();
@@ -1105,6 +1720,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) -> NbHandle {
+        self.fault_transfer();
         dest.check_span(nelems, stride);
         check_src(src, nelems, stride);
         let es = std::mem::size_of::<T>();
@@ -1158,6 +1774,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) -> NbHandle {
+        self.fault_transfer();
         src.check_span(nelems, stride);
         check_src(dest, nelems, stride);
         let es = std::mem::size_of::<T>();
@@ -1364,6 +1981,10 @@ impl<'f> Pe<'f> {
             let t = self.shared_malloc::<u64>(cap);
             self.heap_write(t.whole(), &vec![0u64; cap]);
             let r = t.whole();
+            // Publish the table's location so the watchdog can name slots
+            // in a DeadlockReport (collective call: all PEs agree).
+            self.shared.sig_off.store(r.off + 1, Ordering::Release);
+            self.shared.sig_len.store(cap, Ordering::Release);
             *cached = Some(t);
             drop(cached);
             self.barrier();
@@ -1405,11 +2026,51 @@ impl<'f> Pe<'f> {
     /// ([`NbHandle::completion_cycles`]).
     pub fn signal_post_at(&self, sig: SymmRef<u64>, pe: usize, arrival: u64) {
         self.clock.charge(self.timing.cost.alu_cycles);
+        // Charge and count the post before any fault branch: a dropped
+        // signal was still *issued* by this PE, so telemetry invariants
+        // (`signals == signal_waits` once redelivered) stay intact.
+        self.shared.stats.signals.fetch_add(1, Ordering::Relaxed);
+        self.progress_tick();
+        if let Some(f) = self.faults {
+            // Drop: the flag transaction is lost in the fabric. With
+            // redelivery configured it reappears after a wall-clock
+            // deadline (pumped by spinning peers); without, it is gone
+            // and only the watchdog can name the resulting hang.
+            if f.signal_drop_permille > 0 {
+                let r = self.fault_next();
+                if r % 1000 < u64::from(f.signal_drop_permille) {
+                    // Validate the slot exactly as a real post would.
+                    let _ = self.amo_slot(sig, pe);
+                    self.shared
+                        .stats
+                        .signals_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    if f.redelivers() {
+                        self.shared.dropped.lock().unwrap().push(DroppedSignal {
+                            pe,
+                            off: sig.off,
+                            stamp: arrival,
+                            due: Instant::now()
+                                + Duration::from_micros(f.signal_redeliver_after_us),
+                        });
+                    }
+                    return;
+                }
+            }
+            // Delay: the flag arrives late in wall-clock terms (the
+            // arrival *stamp* is unchanged, so simulated time is not).
+            if let Some(d) = self.fault_roll(f.signal_delay_permille, f.max_signal_delay_us) {
+                self.shared
+                    .stats
+                    .signal_delays
+                    .fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+            }
+        }
         // `.max(1)`: zero means "not yet posted", so a signal posted at
         // simulated time 0 must still read as present.
         self.amo_slot(sig, pe)
             .fetch_max(arrival.max(1), Ordering::AcqRel);
-        self.shared.stats.signals.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Block until the **local** signal slot `sig` is posted, consume it
@@ -1419,17 +2080,25 @@ impl<'f> Pe<'f> {
     /// time — the overlap case).
     ///
     /// Like [`Pe::barrier`], the spin aborts with a panic if a peer PE
-    /// panicked, so a dead producer cannot deadlock the waiter.
+    /// panicked, so a dead producer cannot deadlock the waiter; and it is
+    /// bounded by the configured watchdog ([`FabricConfig::with_watchdog`]),
+    /// which trips with a [`DeadlockReport`] naming this PE and slot.
     pub fn signal_wait(&self, sig: SymmRef<u64>) -> u64 {
         let slot = self.amo_slot(sig, self.rank);
-        let mut spins = 0u32;
+        let site = WaitSite::Signal { off: sig.off };
+        let mut waited = false;
+        let mut backoff = Backoff::new();
         loop {
             let stamp = slot.swap(0, Ordering::AcqRel);
             if stamp != 0 {
+                if waited {
+                    self.progress_site(WaitSite::Running);
+                }
                 self.shared
                     .stats
                     .signal_waits
                     .fetch_add(1, Ordering::Relaxed);
+                self.progress_tick();
                 let now = self.clock.cycles();
                 if self.clock.enabled() && stamp > now {
                     self.clock.set_cycles(stamp);
@@ -1443,11 +2112,13 @@ impl<'f> Pe<'f> {
                     self.rank
                 );
             }
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
+            if !waited {
+                waited = true;
+                self.progress_site(site);
+            }
+            self.shared.redeliver_due();
+            if !backoff.wait(self.shared.watchdog) {
+                self.watchdog_trip(site, self.shared.watchdog.unwrap());
             }
         }
     }
@@ -1511,6 +2182,7 @@ impl<'f> Pe<'f> {
     /// Simulated clocks synchronise: every PE leaves at the maximum arrival
     /// time plus a dissemination-barrier cost of `⌈log2 n⌉` fabric rounds.
     pub fn barrier(&self) {
+        self.fault_stall();
         let b = &self.shared.barrier;
         let gen = b.generation.load(Ordering::Acquire);
         let slot = gen & 1;
@@ -1525,7 +2197,8 @@ impl<'f> Pe<'f> {
             b.max_cycles[(gen + 1) & 1].store(0, Ordering::Release);
             b.generation.store(gen.wrapping_add(1), Ordering::Release);
         } else {
-            let mut spins = 0u32;
+            self.progress_site(WaitSite::Barrier);
+            let mut backoff = Backoff::new();
             while b.generation.load(Ordering::Acquire) == gen {
                 if self.shared.poisoned.load(Ordering::Relaxed) {
                     panic!(
@@ -1533,14 +2206,14 @@ impl<'f> Pe<'f> {
                         self.rank
                     );
                 }
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
+                self.shared.redeliver_due();
+                if !backoff.wait(self.shared.watchdog) {
+                    self.watchdog_trip(WaitSite::Barrier, self.shared.watchdog.unwrap());
                 }
             }
+            self.progress_site(WaitSite::Running);
         }
+        self.progress_tick();
 
         if self.clock.enabled() {
             let arrived = b.max_cycles[slot].load(Ordering::Acquire);
@@ -1684,36 +2357,113 @@ impl Fabric {
     ///
     /// # Panics
     /// Propagates the first PE panic (peers waiting at a barrier are
-    /// released with a poison panic rather than deadlocking).
+    /// released with a poison panic rather than deadlocking). A watchdog
+    /// timeout panics with the rendered [`DeadlockReport`]; use
+    /// [`Fabric::try_run`] to receive it as a value instead.
     pub fn run<F, R>(config: FabricConfig, body: F) -> RunReport<R>
     where
         F: Fn(&Pe) -> R + Sync,
         R: Send,
     {
+        match Self::run_impl(config, body) {
+            Ok(report) => report,
+            Err((_, payload)) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Like [`Fabric::run`], but returns failures as values: a watchdog
+    /// timeout yields [`RunError::Deadlock`] carrying the structured
+    /// [`DeadlockReport`], and any other PE panic yields
+    /// [`RunError::Panic`] with its message.
+    pub fn try_run<F, R>(config: FabricConfig, body: F) -> Result<RunReport<R>, RunError>
+    where
+        F: Fn(&Pe) -> R + Sync,
+        R: Send,
+    {
+        match Self::run_impl(config, body) {
+            Ok(report) => Ok(report),
+            Err((Some(report), _)) => Err(RunError::Deadlock(report)),
+            Err((None, payload)) => {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(RunError::Panic(msg))
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_impl<F, R>(
+        config: FabricConfig,
+        body: F,
+    ) -> Result<RunReport<R>, (Option<DeadlockReport>, Box<dyn std::any::Any + Send>)>
+    where
+        F: Fn(&Pe) -> R + Sync,
+        R: Send,
+    {
         assert!(config.n_pes > 0, "fabric needs at least one PE");
+        if let Some(t) = config.topology {
+            assert!(
+                t.pes_per_node > 0,
+                "fabric topology invalid: pes_per_node must be at least 1"
+            );
+        }
         let shared = Shared::new(&config);
         let start = Instant::now();
-        let per_pe: Vec<(R, u64)> = std::thread::scope(|s| {
+        type Panics = Vec<(usize, Box<dyn std::any::Any + Send>)>;
+        let per_pe: Result<Vec<(R, u64)>, Panics> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..config.n_pes)
                 .map(|rank| {
                     let shared = &shared;
                     let body = &body;
                     s.spawn(move || {
                         let _guard = PoisonGuard(shared);
-                        let pe = Pe::new(rank, shared, config.timing, config.topology);
+                        let pe =
+                            Pe::new(rank, shared, config.timing, config.topology, config.faults);
                         let r = body(&pe);
+                        pe.progress_site(WaitSite::Finished);
                         (r, pe.clock.cycles())
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(v) => v,
-                    Err(e) => std::panic::resume_unwind(e),
-                })
-                .collect()
+            // Join every PE before deciding the outcome, so a deadlock
+            // report filed by a later rank is not missed and no thread
+            // outlives the scope borrowing `shared`.
+            let mut out = Vec::with_capacity(config.n_pes);
+            let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(v) => out.push(Some(v)),
+                    Err(e) => {
+                        panics.push((rank, e));
+                        out.push(None);
+                    }
+                }
+            }
+            if panics.is_empty() {
+                // All Some: panics are the only way a slot stays None.
+                Ok(out.into_iter().map(|v| v.unwrap()).collect())
+            } else {
+                Err(panics)
+            }
         });
+        let per_pe = match per_pe {
+            Ok(v) => v,
+            Err(mut panics) => {
+                let report = shared.deadlock.lock().unwrap().take();
+                // Re-raise the detector's own panic when a watchdog fired
+                // (it carries the rendered report); otherwise the first.
+                let pick = report
+                    .as_ref()
+                    .and_then(|r| panics.iter().position(|(rank, _)| *rank == r.detector))
+                    .unwrap_or(0);
+                return Err((report, panics.swap_remove(pick).1));
+            }
+        };
         let wall = start.elapsed();
         let mut results = Vec::with_capacity(config.n_pes);
         let mut cycles = Vec::with_capacity(config.n_pes);
@@ -1721,13 +2471,13 @@ impl Fabric {
             results.push(r);
             cycles.push(c);
         }
-        RunReport {
+        Ok(RunReport {
             results,
             cycles,
             stats: shared.snapshot(),
             collectives: shared.collective_records(),
             wall,
-        }
+        })
     }
 }
 
@@ -1858,10 +2608,8 @@ mod tests {
     fn nonblocking_put_completes_at_wait() {
         let report = Fabric::run(
             FabricConfig {
-                n_pes: 2,
                 shared_bytes: 1 << 16,
-                timing: TimingConfig::paper(),
-                topology: None,
+                ..FabricConfig::paper(2)
             },
             |pe| {
                 let buf = pe.shared_malloc::<u64>(64);
@@ -1893,10 +2641,8 @@ mod tests {
     fn quiet_completes_everything() {
         let report = Fabric::run(
             FabricConfig {
-                n_pes: 2,
                 shared_bytes: 1 << 16,
-                timing: TimingConfig::paper(),
-                topology: None,
+                ..FabricConfig::paper(2)
             },
             |pe| {
                 let buf = pe.shared_malloc::<u32>(128);
@@ -1920,10 +2666,8 @@ mod tests {
     fn barrier_synchronises_simulated_clocks() {
         let report = Fabric::run(
             FabricConfig {
-                n_pes: 4,
                 shared_bytes: 1 << 12,
-                timing: TimingConfig::paper(),
-                topology: None,
+                ..FabricConfig::paper(4)
             },
             |pe| {
                 // Skewed arrival.
@@ -2034,10 +2778,8 @@ mod tests {
     fn remote_transfer_charges_fabric_latency() {
         let report = Fabric::run(
             FabricConfig {
-                n_pes: 2,
                 shared_bytes: 1 << 16,
-                timing: TimingConfig::paper(),
-                topology: None,
+                ..FabricConfig::paper(2)
             },
             |pe| {
                 let buf = pe.shared_malloc::<u64>(1);
@@ -2173,10 +2915,8 @@ mod context_tests {
     fn contexts_quiesce_independently() {
         let report = Fabric::run(
             FabricConfig {
-                n_pes: 2,
                 shared_bytes: 1 << 20,
-                timing: crate::timing::TimingConfig::paper(),
-                topology: None,
+                ..FabricConfig::paper(2)
             },
             |pe| {
                 let a = pe.shared_malloc::<u64>(4096);
@@ -2237,10 +2977,8 @@ mod context_tests {
         let run = |use_ctx: bool| {
             let report = Fabric::run(
                 FabricConfig {
-                    n_pes: 2,
                     shared_bytes: 1 << 22,
-                    timing: crate::timing::TimingConfig::paper(),
-                    topology: None,
+                    ..FabricConfig::paper(2)
                 },
                 move |pe| {
                     let bufs: Vec<_> = (0..8).map(|_| pe.shared_malloc::<u64>(4096)).collect();

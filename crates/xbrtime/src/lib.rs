@@ -52,8 +52,9 @@ pub mod types;
 pub use collectives::policy::{Algorithm, AlgorithmPolicy, SyncMode};
 pub use collectives::schedule::{CommSchedule, OpKind, Stage, TransferOp};
 pub use fabric::{
-    ceil_log2, CollectiveKind, CollectiveRecord, CollectiveSample, Context, Fabric, FabricConfig,
-    FabricStats, NbHandle, Pe, RunReport, SymmAlloc, SymmRef, Topology,
+    ceil_log2, CollectiveKind, CollectiveRecord, CollectiveSample, Context, DeadlockReport, Fabric,
+    FabricConfig, FabricStats, FaultConfig, NbHandle, Pe, PeProbe, RunError, RunReport, SymmAlloc,
+    SymmRef, Topology, WaitSite, DEFAULT_WATCHDOG,
 };
 pub use timing::TimingConfig;
 pub use types::{ReduceOp, TypeEntry, XbrBitwise, XbrNumeric, XbrType, TABLE1};

@@ -10,6 +10,7 @@
 //! operations/second with [`TimingConfig::core_hz`].
 
 use std::cell::{Cell, RefCell};
+use std::time::{Duration, Instant};
 use xbgas_sim::cache::{Cache, CacheStats, MemHierarchy};
 use xbgas_sim::cost::CostConfig;
 use xbgas_sim::tlb::{Tlb, TlbStats};
@@ -168,6 +169,63 @@ impl PeClock {
     pub fn mem_stats(&self) -> (CacheStats, CacheStats, TlbStats) {
         let hier = self.hier.borrow();
         (hier.l1.stats(), hier.l2.stats(), self.tlb.borrow().stats())
+    }
+}
+
+/// Bounded exponential backoff for the fabric's spin loops, wall-clock
+/// only (never the simulated clock).
+///
+/// The ladder: busy-spin for the first few dozen iterations (the common
+/// case — a peer is at most one cache miss behind), then yield to the
+/// scheduler, then sleep with exponentially growing intervals capped at
+/// 1 ms so oversubscribed runs (more PEs than cores) stop burning cores.
+/// Each call to [`Backoff::wait`] takes one step and reports whether the
+/// caller's watchdog deadline has passed.
+pub(crate) struct Backoff {
+    spins: u32,
+    sleep: Duration,
+    /// Watchdog deadline, computed lazily on the first sleeping step so
+    /// loops that never block pay nothing for the clock read.
+    deadline: Option<Instant>,
+}
+
+const BACKOFF_SPIN_STEPS: u32 = 64;
+const BACKOFF_YIELD_STEPS: u32 = 192;
+const BACKOFF_SLEEP_MIN: Duration = Duration::from_micros(10);
+const BACKOFF_SLEEP_MAX: Duration = Duration::from_millis(1);
+
+impl Backoff {
+    pub(crate) fn new() -> Self {
+        Backoff {
+            spins: 0,
+            sleep: BACKOFF_SLEEP_MIN,
+            deadline: None,
+        }
+    }
+
+    /// Take one backoff step. Returns `false` when `timeout` (counted
+    /// from the first sleeping step) has expired — the caller must then
+    /// fail fast instead of spinning forever. With `timeout == None`, the
+    /// wait is unbounded and this always returns `true`.
+    pub(crate) fn wait(&mut self, timeout: Option<Duration>) -> bool {
+        self.spins += 1;
+        if self.spins < BACKOFF_SPIN_STEPS {
+            std::hint::spin_loop();
+            return true;
+        }
+        if self.spins < BACKOFF_YIELD_STEPS {
+            std::thread::yield_now();
+            return true;
+        }
+        if let Some(t) = timeout {
+            let deadline = *self.deadline.get_or_insert_with(|| Instant::now() + t);
+            if Instant::now() >= deadline {
+                return false;
+            }
+        }
+        std::thread::sleep(self.sleep);
+        self.sleep = (self.sleep * 2).min(BACKOFF_SLEEP_MAX);
+        true
     }
 }
 

@@ -1,0 +1,199 @@
+//! Chaos harness: every collective × sync mode × awkward PE count under
+//! seeded fault injection. Benign faults (delays, stalls) must leave the
+//! results byte-identical to a fault-free run; lossy faults must either
+//! converge (redelivery) or die loudly with a [`DeadlockReport`] naming
+//! the culpable PE and stage — never hang silently.
+
+// The `..ProptestConfig::default()` spread is upstream proptest's
+// canonical config idiom; the local shim happens to have no other
+// fields, which trips needless_update.
+#![allow(clippy::needless_update)]
+
+use proptest::prelude::*;
+use std::time::Duration;
+use xbrtime::collectives::{self, AllReduceAlgo};
+use xbrtime::{
+    AlgorithmPolicy, Fabric, FabricConfig, FaultConfig, ReduceOp, RunError, SyncMode, WaitSite,
+};
+
+/// The collective shapes the chaos plane exercises.
+const KINDS: [&str; 5] = ["broadcast", "reduce", "scatter", "gather", "reduce_all"];
+
+/// Run one collective on `n` PEs and return every PE's local result
+/// buffer. `faults: None` is the golden fault-free run.
+fn run_case(
+    kind: &'static str,
+    sync: SyncMode,
+    n: usize,
+    root: usize,
+    faults: Option<FaultConfig>,
+) -> Vec<Vec<u64>> {
+    let mut cfg = FabricConfig::new(n).with_watchdog(Duration::from_secs(30));
+    if let Some(f) = faults {
+        cfg = cfg.with_faults(f);
+    }
+    // Uneven per-PE counts for scatter/gather stress the tail paths.
+    let msgs: Vec<usize> = (0..n).map(|i| (i % 3) + 1).collect();
+    let disp: Vec<usize> = msgs
+        .iter()
+        .scan(0, |at, &m| {
+            let d = *at;
+            *at += m;
+            Some(d)
+        })
+        .collect();
+    let total: usize = msgs.iter().sum();
+    let report = Fabric::run(cfg, move |pe| {
+        let me = pe.rank() as u64;
+        match kind {
+            "broadcast" => {
+                let dest = pe.shared_malloc::<u64>(33);
+                let src: Vec<u64> = (0..33).map(|i| i * 7 + 1).collect();
+                collectives::broadcast_sync(pe, &dest, &src, 33, 1, root, sync);
+                pe.heap_read_vec(dest.whole(), 33)
+            }
+            "reduce" => {
+                let src = pe.shared_malloc::<u64>(17);
+                pe.heap_write(src.whole(), &[me + 1; 17]);
+                pe.barrier();
+                let mut dest = vec![0u64; 17];
+                collectives::reduce_with_sync(
+                    pe,
+                    &mut dest,
+                    &src,
+                    17,
+                    1,
+                    root,
+                    u64::wrapping_add,
+                    sync,
+                );
+                dest
+            }
+            "scatter" => {
+                let src: Vec<u64> = (0..total as u64).map(|i| i + 100).collect();
+                let mut dest = vec![0u64; msgs[pe.rank()]];
+                collectives::scatter_policy_sync(
+                    pe,
+                    &mut dest,
+                    &src,
+                    &msgs,
+                    &disp,
+                    total,
+                    root,
+                    AlgorithmPolicy::Binomial,
+                    sync,
+                );
+                dest
+            }
+            "gather" => {
+                let src = vec![me * 11 + 1; msgs[pe.rank()]];
+                let mut dest = vec![0u64; total];
+                collectives::gather_policy_sync(
+                    pe,
+                    &mut dest,
+                    &src,
+                    &msgs,
+                    &disp,
+                    total,
+                    root,
+                    AlgorithmPolicy::Binomial,
+                    sync,
+                );
+                dest
+            }
+            _ => {
+                let src = pe.shared_malloc::<u64>(9);
+                pe.heap_write(src.whole(), &[me * 3 + 1; 9]);
+                pe.barrier();
+                let mut dest = vec![0u64; 9];
+                collectives::reduce_all_sync(
+                    pe,
+                    &mut dest,
+                    &src,
+                    9,
+                    ReduceOp::Sum,
+                    AllReduceAlgo::RecursiveDoubling,
+                    sync,
+                );
+                dest
+            }
+        }
+    });
+    report.results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Delay-only chaos is semantically invisible: for any collective,
+    /// sync mode, (non-power-of-two-friendly) PE count, root and fault
+    /// seed, the faulted run yields exactly the fault-free buffers.
+    #[test]
+    fn delay_chaos_preserves_every_collective(
+        kind_ix in 0usize..KINDS.len(),
+        sync_ix in 0usize..SyncMode::CONCRETE.len(),
+        n in 3usize..8,
+        root_sel in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let kind = KINDS[kind_ix];
+        let sync = SyncMode::CONCRETE[sync_ix];
+        let root = root_sel % n;
+        let golden = run_case(kind, sync, n, root, None);
+        let faulted = run_case(kind, sync, n, root, Some(FaultConfig::delays(seed)));
+        prop_assert_eq!(
+            golden, faulted,
+            "{} n={} root={} {:?} seed={}: delays changed the data",
+            kind, n, root, sync, seed
+        );
+    }
+}
+
+#[test]
+fn dropped_signals_trip_watchdog_naming_pe_and_stage() {
+    // Permanent signal loss under every signal-using sync mode: the run
+    // must end in a structured report whose culprit is parked on a
+    // signal wait inside a known collective stage — not a silent hang.
+    for sync in [SyncMode::Signaled, SyncMode::Pipelined] {
+        for seed in [1u64, 2, 3] {
+            let cfg = FabricConfig::new(6)
+                .with_watchdog(Duration::from_millis(400))
+                .with_faults(FaultConfig::drops_forever(seed, 1000));
+            let result = Fabric::try_run(cfg, move |pe| {
+                let dest = pe.shared_malloc::<u64>(48);
+                collectives::broadcast_sync(pe, &dest, &[3u64; 48], 48, 1, 0, sync);
+            });
+            match result {
+                Err(RunError::Deadlock(report)) => {
+                    let stuck = report.stuck();
+                    assert!(
+                        matches!(stuck.site, WaitSite::Signal { .. }),
+                        "{sync:?} seed {seed}: culprit should be on a signal wait: {report}"
+                    );
+                    assert!(
+                        stuck.collective.is_some(),
+                        "{sync:?} seed {seed}: report must name the collective: {report}"
+                    );
+                    assert!(
+                        stuck.stage.is_some(),
+                        "{sync:?} seed {seed}: report must name the stage: {report}"
+                    );
+                }
+                other => panic!("{sync:?} seed {seed}: expected Err(Deadlock), got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn redelivered_drops_converge_across_sync_modes() {
+    // Lossy-but-recovering chaos: signals are dropped and redelivered
+    // 1.5 ms later. Every signal-plane collective still converges and
+    // consumes exactly what was posted.
+    for sync in [SyncMode::Signaled, SyncMode::Pipelined] {
+        let golden = run_case("reduce_all", sync, 6, 0, None);
+        let cfg_faults = FaultConfig::drops_with_redelivery(11, 350, 1_500);
+        let faulted = run_case("reduce_all", sync, 6, 0, Some(cfg_faults));
+        assert_eq!(golden, faulted, "{sync:?}: redelivered run diverged");
+    }
+}

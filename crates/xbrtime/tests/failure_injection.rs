@@ -3,7 +3,10 @@
 //! misuse class must surface as a panic with a diagnosable message.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use xbrtime::{Fabric, FabricConfig};
+use std::time::Duration;
+use xbrtime::{
+    CollectiveKind, Fabric, FabricConfig, FaultConfig, RunError, SyncMode, Topology, WaitSite,
+};
 
 #[test]
 fn panicking_pe_releases_peers_waiting_at_barrier() {
@@ -107,4 +110,193 @@ fn exhausted_heap_names_the_pe_and_sizes() {
         "expected exhaustion diagnostics, got: {msg:?}"
     );
     assert!(msg.contains("PE 0"), "should name the PE: {msg:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog + fault plane
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stranded_signal_wait_trips_watchdog_with_report() {
+    // PE 1 waits on a signal nobody posts. The watchdog must convert the
+    // silent hang into a structured DeadlockReport naming the PE and slot.
+    let cfg = FabricConfig::new(2).with_watchdog(Duration::from_millis(300));
+    let started = std::time::Instant::now();
+    let result = Fabric::try_run(cfg, |pe| {
+        let table = pe.signal_table(4);
+        if pe.rank() == 1 {
+            pe.signal_wait(table.offset(2));
+        }
+        pe.barrier();
+    });
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "watchdog must fire well before a human notices the hang"
+    );
+    match result {
+        Err(RunError::Deadlock(report)) => {
+            assert_eq!(report.stuck().rank, 1, "PE 1 is the stuck PE");
+            assert!(
+                matches!(report.stuck().site, WaitSite::Signal { .. }),
+                "stuck site should be a signal wait: {:?}",
+                report.stuck().site
+            );
+            // The rendered report names the slot index via the published
+            // signal table.
+            let text = report.to_string();
+            assert!(text.contains("slot 2"), "report should name slot 2: {text}");
+            assert!(text.contains("PE 1"), "report should name PE 1: {text}");
+        }
+        other => panic!("expected Err(Deadlock), got {other:?}"),
+    }
+}
+
+#[test]
+fn dropped_signal_names_collective_kind_and_stage() {
+    // Drop every signal with no redelivery: a signaled broadcast must die
+    // with a report naming the collective and a valid stage (or drain).
+    let cfg = FabricConfig::new(4)
+        .with_watchdog(Duration::from_millis(300))
+        .with_faults(FaultConfig::drops_forever(7, 1000));
+    let result = Fabric::try_run(cfg, |pe| {
+        let dest = pe.shared_malloc::<u64>(64);
+        xbrtime::collectives::broadcast_sync(pe, &dest, &[5u64; 64], 64, 1, 0, SyncMode::Signaled);
+    });
+    match result {
+        Err(RunError::Deadlock(report)) => {
+            let stuck = report.stuck();
+            assert_eq!(
+                stuck.collective,
+                Some(CollectiveKind::Broadcast),
+                "report must name the collective: {report}"
+            );
+            let stage = stuck.stage.expect("stuck PE should be inside a stage");
+            // ceil(log2 4) = 2 stages; stage == 2 denotes the drain.
+            assert!(stage <= 2, "stage {stage} out of range: {report}");
+        }
+        other => panic!("expected Err(Deadlock), got {other:?}"),
+    }
+}
+
+#[test]
+fn run_panics_with_rendered_report_on_deadlock() {
+    // The panicking (non-try) entry point must carry the human-readable
+    // report in its payload.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Fabric::run(
+            FabricConfig::new(2).with_watchdog(Duration::from_millis(200)),
+            |pe| {
+                let table = pe.signal_table(1);
+                if pe.rank() == 0 {
+                    pe.signal_wait(table.offset(0));
+                }
+                pe.barrier();
+            },
+        )
+    }));
+    let err = result.unwrap_err();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("watchdog") && msg.contains("no progress"),
+        "panic payload should be the rendered report: {msg:?}"
+    );
+}
+
+#[test]
+fn delays_only_faults_preserve_results_and_cycles() {
+    // Wall-clock fault delays must not perturb simulated time or data.
+    let body = |pe: &xbrtime::Pe| {
+        let src = pe.shared_malloc::<u64>(8);
+        pe.heap_write(src.whole(), &[pe.rank() as u64 + 1; 8]);
+        pe.barrier();
+        let mut sum = [0u64; 8];
+        xbrtime::collectives::reduce_all_with(
+            pe,
+            &mut sum,
+            &src,
+            8,
+            |a, b| a + b,
+            xbrtime::collectives::AllReduceAlgo::RecursiveDoubling,
+        );
+        sum
+    };
+    // Under the paper timing model only the *data* is asserted: the
+    // congestion model samples concurrent offered load, so cycle counts
+    // are not interleaving-deterministic even without faults.
+    let clean = Fabric::run(FabricConfig::paper(4), body);
+    let faulty = Fabric::run(
+        FabricConfig::paper(4).with_faults(FaultConfig::delays(42)),
+        body,
+    );
+    assert_eq!(clean.results, faulty.results, "data must be identical");
+
+    // With timing disabled the whole simulation is deterministic, so the
+    // faulty run must match exactly — cycles included.
+    let clean = Fabric::run(FabricConfig::new(4), body);
+    let faulty = Fabric::run(
+        FabricConfig::new(4).with_faults(FaultConfig::delays(42)),
+        body,
+    );
+    assert_eq!(clean.results, faulty.results);
+    assert_eq!(
+        clean.cycles, faulty.cycles,
+        "simulated clocks must be untouched by wall-clock faults"
+    );
+}
+
+#[test]
+fn dropped_then_redelivered_signals_converge() {
+    // Aggressive drops with redelivery: the run completes (slowly) and
+    // every signal is eventually consumed.
+    let cfg = FabricConfig::new(4)
+        .with_watchdog(Duration::from_secs(20))
+        .with_faults(FaultConfig::drops_with_redelivery(3, 400, 2_000));
+    let report = Fabric::run(cfg, |pe| {
+        let dest = pe.shared_malloc::<u64>(32);
+        xbrtime::collectives::broadcast_sync(pe, &dest, &[9u64; 32], 32, 1, 0, SyncMode::Signaled);
+        pe.heap_read_vec(dest.whole(), 32)
+    });
+    for (rank, got) in report.results.iter().enumerate() {
+        assert_eq!(got, &vec![9u64; 32], "rank {rank}");
+    }
+    assert_eq!(
+        report.stats.signals_dropped, report.stats.signals_redelivered,
+        "every dropped signal must be redelivered"
+    );
+    assert_eq!(report.stats.signals, report.stats.signal_waits);
+}
+
+#[test]
+fn zero_pes_per_node_topology_is_rejected_at_run() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut cfg = FabricConfig::new(2);
+        // Bypass the builder validation by setting the field directly —
+        // Fabric::run must still catch it.
+        cfg.topology = Some(Topology {
+            pes_per_node: 0,
+            intra_node_factor: 0.25,
+        });
+        Fabric::run(cfg, |pe| pe.rank())
+    }));
+    let err = result.unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("pes_per_node"),
+        "error must explain the invalid topology: {msg:?}"
+    );
+}
+
+#[test]
+fn zero_pes_per_node_topology_is_rejected_by_builder() {
+    let result = catch_unwind(|| {
+        FabricConfig::new(2).with_topology(Topology {
+            pes_per_node: 0,
+            intra_node_factor: 0.25,
+        })
+    });
+    assert!(result.is_err(), "builder must reject pes_per_node == 0");
 }
