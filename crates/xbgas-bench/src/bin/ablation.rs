@@ -12,11 +12,12 @@
 
 use xbgas_bench::{
     ablation_allreduce, ablation_gups_amo, ablation_sync_modes, ablation_topology, ablation_unroll,
-    collective_telemetry, sweep_broadcast, Algo,
+    collective_run, export_trace, sweep_broadcast, trace_arg, Algo,
 };
 use xbrtime::collectives::AllReduceAlgo;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     println!("# Ablation 1 — transfer loop unrolling (remote put of N u64)");
     println!(
         "{:>9} {:>14} {:>14} {:>8}",
@@ -112,7 +113,11 @@ fn main() {
         "{:>11} {:>6} {:>7} {:>7} {:>11} {:>11} {:>7} {:>12}",
         "collective", "calls", "puts", "gets", "bytes put", "bytes got", "stages", "cycles"
     );
-    for rec in collective_telemetry(8, 1024) {
+    // The telemetry workload runs with the tracing plane on: the same run
+    // feeds the table above, the event timeline below, and (with
+    // `--trace <out.json>`) the exported Perfetto file.
+    let report = collective_run(8, 1024, true);
+    for rec in &report.collectives {
         println!(
             "{:>11} {:>6} {:>7} {:>7} {:>11} {:>11} {:>7} {:>12}",
             rec.kind.name(),
@@ -124,5 +129,13 @@ fn main() {
             rec.stages,
             rec.cycles
         );
+    }
+
+    let trace = report.trace.as_ref().expect("traced run");
+    println!("\n# Event timeline of the telemetry run (cycle-stamped trace,");
+    println!("#   first events + per-collective critical paths)");
+    print!("{}", trace.text_timeline(40));
+    if let Some(path) = trace_arg(&args) {
+        export_trace(&path, trace);
     }
 }

@@ -2,9 +2,11 @@
 //!
 //! Prints total and per-PE MOPS (the two series of the paper's Figure 4)
 //! from simulated cycles under the paper-calibrated cost model. Pass
-//! `--json` for machine-readable output, `--quick` for a quarter-scale run.
+//! `--json` for machine-readable output, `--quick` for a quarter-scale run,
+//! `--trace <out.json>` to additionally run the 8-PE configuration with
+//! event tracing on and export a Perfetto timeline of it.
 
-use xbgas_bench::{render_rows, run_fig4};
+use xbgas_bench::{export_trace, render_rows, run_fig4, run_fig4_traced, trace_arg};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -14,6 +16,14 @@ fn main() {
     } else {
         0
     };
+
+    if let Some(path) = trace_arg(&args) {
+        // Traced runs always use the quarter-scale configuration: the
+        // point is the event timeline of the collective tail, not the
+        // MOPS numbers (which the untraced sweep below reports).
+        let report = run_fig4_traced(8, scale.max(2));
+        export_trace(&path, report.trace.as_ref().expect("traced run"));
+    }
 
     let rows = run_fig4(&[1, 2, 4, 8], scale);
     if json {

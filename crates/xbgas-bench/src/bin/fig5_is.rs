@@ -3,10 +3,13 @@
 //! Runs the scaled class-B configuration (see EXPERIMENTS.md) with full
 //! verification enabled, as the paper does, and prints total and per-PE
 //! MOPS. Pass `--json` for machine-readable output, `--quick` to halve the
-//! iteration count.
+//! iteration count, `--trace <out.json>` to additionally run the 8-PE
+//! configuration traced and export a Perfetto timeline.
 
 use xbgas_apps::IsClass;
-use xbgas_bench::{render_rows, run_fig5, run_fig5_class};
+use xbgas_bench::{
+    export_trace, render_rows, run_fig5, run_fig5_class, run_fig5_traced, trace_arg,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,6 +33,14 @@ fn main() {
             "b" => IsClass::B,
             other => panic!("unknown class `{other}` (expected s|w|a|b)"),
         });
+
+    if let Some(path) = trace_arg(&args) {
+        // Traced IS runs use class S and one iteration regardless of the
+        // requested scale: full-class traces are enormous and the ring
+        // would wrap long before the timed region of interest.
+        let report = run_fig5_traced(8, 10, class.or(Some(IsClass::S)));
+        export_trace(&path, report.trace.as_ref().expect("traced run"));
+    }
 
     let rows = match class {
         Some(c) => run_fig5_class(&[1, 2, 4, 8], scale, c),

@@ -13,8 +13,8 @@
 
 use xbgas_bench::json::{to_string_pretty, Json, ToJson};
 use xbgas_bench::{
-    sweep_broadcast, sweep_broadcast_policy, sweep_broadcast_sync, sweep_gather, sweep_reduce,
-    sweep_reduce_sync, sweep_scatter, Algo, SweepPoint,
+    export_trace, sweep_broadcast, sweep_broadcast_policy, sweep_broadcast_sync, sweep_gather,
+    sweep_reduce, sweep_reduce_sync, sweep_scatter, trace_arg, traced_broadcast, Algo, SweepPoint,
 };
 use xbrtime::{AlgorithmPolicy, SyncMode};
 
@@ -156,8 +156,19 @@ fn crossover_bytes(points: &[SweepPoint], n_pes: usize, sizes: &[usize]) -> Opti
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    // `--trace <out.json>`: export a Perfetto timeline of one traced
+    // pipelined broadcast (8 PEs, 32 KiB) — large enough to exercise
+    // segmented chunk forwarding and signal flow arrows, small enough for
+    // the CI smoke gate.
+    if let Some(path) = trace_arg(&args) {
+        let report = traced_broadcast(SyncMode::Pipelined, 8, 4096);
+        export_trace(&path, report.trace.as_ref().expect("traced run"));
+    }
+
     let pe_counts = [2usize, 4, 8];
     let sizes = [1usize, 16, 256, 4096, 65536];
     let algos = [Algo::Binomial, Algo::Linear, Algo::Ring];

@@ -21,9 +21,9 @@
 pub mod json;
 
 use json::{Json, ToJson};
-use xbgas_apps::{run_gups, run_is, GupsConfig, IsConfig};
+use xbgas_apps::{run_gups, run_is, GupsConfig, GupsResult, IsConfig, IsResult};
 use xbrtime::collectives::{self, AllReduceAlgo};
-use xbrtime::{Fabric, FabricConfig, ReduceOp};
+use xbrtime::{Fabric, FabricConfig, Pe, ReduceOp, RunReport};
 
 /// Core frequency used to convert simulated cycles into seconds.
 pub const CORE_HZ: u64 = 1_000_000_000;
@@ -464,10 +464,30 @@ pub fn sweep_gather(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
 /// run's [`xbrtime::RunReport`] — the executor-level accounting the
 /// schedule/executor split provides for free.
 pub fn collective_telemetry(n_pes: usize, nelems: usize) -> Vec<xbrtime::CollectiveRecord> {
+    collective_run(n_pes, nelems, false).collectives
+}
+
+/// Run the every-collective workload behind [`collective_telemetry`] and
+/// return the full [`RunReport`]. With `traced` the fabric's event-tracing
+/// plane is on ([`FabricConfig::with_trace`]) and `report.trace` holds the
+/// merged per-PE event log — this is the run `ablation` prints a timeline
+/// for and `xbench_sweep --trace` exports as Perfetto JSON.
+pub fn collective_run(n_pes: usize, nelems: usize, traced: bool) -> RunReport<()> {
     let per_pe = nelems.max(1);
     let total = per_pe * n_pes;
-    let fc = FabricConfig::paper(n_pes).with_shared_bytes((total * 8 * 4 + (1 << 16)).max(1 << 20));
-    let report = Fabric::run(fc, move |pe| {
+    let mut fc =
+        FabricConfig::paper(n_pes).with_shared_bytes((total * 8 * 4 + (1 << 16)).max(1 << 20));
+    if traced {
+        fc = fc.with_trace();
+    }
+    Fabric::run(fc, move |pe| collective_workload(pe, n_pes, per_pe))
+}
+
+/// One call to every collective in the library (the shared body of
+/// [`collective_telemetry`] / [`collective_run`]).
+fn collective_workload(pe: &Pe, n_pes: usize, per_pe: usize) {
+    let total = per_pe * n_pes;
+    {
         let bcast = pe.shared_malloc::<u64>(per_pe);
         let src = vec![3u64; per_pe];
         collectives::broadcast(pe, &bcast, &src, per_pe, 1, 0);
@@ -510,8 +530,87 @@ pub fn collective_telemetry(n_pes: usize, nelems: usize) -> Vec<xbrtime::Collect
             AllReduceAlgo::ReduceThenBroadcast,
         );
         pe.barrier();
-    });
-    report.collectives
+    }
+}
+
+/// Run one Figure-4 GUPs configuration with the tracing plane enabled and
+/// return the full [`RunReport`]: `report.trace` holds the merged event
+/// log that `fig4_gups --trace` exports as Perfetto JSON, and
+/// `report.collectives` the telemetry the trace's per-collective critical
+/// paths are checked against.
+pub fn run_fig4_traced(n_pes: usize, scale_shift: u32) -> RunReport<GupsResult> {
+    let mut cfg = GupsConfig::fig4(n_pes);
+    cfg.updates_per_pe >>= scale_shift;
+    // The collective episodes live in the verification tail (reduce +
+    // broadcast of the error count) — the traced run keeps it on.
+    cfg.verify = true;
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes(cfg.table_bytes() + (1 << 20))
+        .with_trace();
+    Fabric::run(fc, move |pe| run_gups(pe, &cfg))
+}
+
+/// [`run_fig4_traced`] for the Figure-5 IS harness.
+pub fn run_fig5_traced(
+    n_pes: usize,
+    scale_shift: u32,
+    class: Option<xbgas_apps::IsClass>,
+) -> RunReport<IsResult> {
+    let mut cfg = IsConfig::fig5();
+    if let Some(c) = class {
+        cfg.class = c;
+    }
+    cfg.iterations = (cfg.iterations >> scale_shift).max(1);
+    let (total_keys, max_key) = cfg.class.sizes();
+    let heap = (max_key * 8 + total_keys * 4 + (1 << 22)).max(16 << 20);
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes(heap)
+        .with_trace();
+    Fabric::run(fc, move |pe| run_is(pe, &cfg))
+}
+
+/// One traced broadcast episode under an explicit [`xbrtime::SyncMode`] —
+/// the representative run `xbench_sweep --trace` exports. The warm-up call
+/// shares the trace, so the exported timeline shows both episodes.
+pub fn traced_broadcast(sync: xbrtime::SyncMode, n_pes: usize, nelems: usize) -> RunReport<()> {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
+        .with_trace();
+    Fabric::run(fc, move |pe| {
+        let dest = pe.shared_malloc::<u64>(nelems.max(1));
+        let src = vec![7u64; nelems];
+        let policy = xbrtime::AlgorithmPolicy::Auto;
+        collectives::broadcast_policy_sync(pe, &dest, &src, nelems, 1, 0, policy, sync);
+        pe.barrier();
+        collectives::broadcast_policy_sync(pe, &dest, &src, nelems, 1, 0, policy, sync);
+        pe.barrier();
+    })
+}
+
+/// `--trace <out.json>` argument shared by the harness binaries: returns
+/// the requested output path, if any.
+pub fn trace_arg(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Write a run's merged trace to `path` as Perfetto/Chrome trace-event
+/// JSON (load it at <https://ui.perfetto.dev>). Exits the process on I/O
+/// failure — harness binaries treat a requested-but-unwritable trace as a
+/// hard error rather than silently dropping the artifact.
+pub fn export_trace(path: &str, trace: &xbrtime::Trace) {
+    if let Err(e) = std::fs::write(path, trace.to_perfetto_json()) {
+        eprintln!("trace: could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "trace: wrote {} events from {} PEs to {path} ({} dropped by ring wrap)",
+        trace.len(),
+        trace.n_pes,
+        trace.dropped
+    );
 }
 
 /// Ablation: simulated cycles for a bulk put at a given unroll threshold.

@@ -111,11 +111,15 @@ pub(crate) fn gather_impl_sync<T: XbrType>(
     let adj_disp = adjusted_displacements(pe_msgs, root, n_pes);
     let s_buff = pe.shared_malloc::<T>(nelems.max(1));
 
-    // Stage this PE's candidate gather data at its virtual offset.
+    // Stage this PE's candidate gather data at its virtual offset. The
+    // staging barriers only order access to `s_buff`, which a zero-length
+    // gather never touches — skip them so an empty episode is fully inert.
     if my_count > 0 {
         pe.heap_write(s_buff.at(adj_disp[vir_rank]), &src[..my_count]);
     }
-    pe.barrier();
+    if nelems > 0 {
+        pe.barrier();
+    }
 
     let sched = match algo {
         Algorithm::Binomial => gather_binomial(n_pes, root, &adj_disp),
@@ -142,7 +146,9 @@ pub(crate) fn gather_impl_sync<T: XbrType>(
             }
         }
     }
-    pe.barrier();
+    if nelems > 0 {
+        pe.barrier();
+    }
     pe.shared_free(s_buff);
 }
 

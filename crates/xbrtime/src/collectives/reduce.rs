@@ -122,11 +122,14 @@ pub(crate) fn reduce_with_kind_sync<T: XbrType>(
     };
     let s_buff = pe.shared_malloc::<T>(span.max(1));
 
-    // Load this PE's contribution into its shared staging buffer.
+    // Load this PE's contribution into its shared staging buffer. The
+    // ordering barriers only guard the staging buffer, which a
+    // zero-length reduction never touches — skip them so an empty
+    // episode is fully inert (no barrier events in a trace either).
     if nelems > 0 {
         pe.get_symm(s_buff.whole(), src.whole(), nelems, stride, log_rank);
+        pe.barrier();
     }
-    pe.barrier();
 
     let mut sched = reduce_binomial(n_pes, root, nelems, stride);
     sched.kind = kind;
@@ -135,7 +138,9 @@ pub(crate) fn reduce_with_kind_sync<T: XbrType>(
     if vir_rank == 0 && nelems > 0 {
         pe.heap_read_strided(s_buff.whole(), dest, nelems, stride);
     }
-    pe.barrier();
+    if nelems > 0 {
+        pe.barrier();
+    }
     pe.shared_free(s_buff);
 }
 

@@ -153,7 +153,12 @@ pub(crate) fn scatter_impl_sync<T: XbrType>(
             }
         }
     }
-    pe.barrier();
+    // The staging barriers only order access to `s_buff`, which a
+    // zero-length scatter never touches — skip them so an empty episode
+    // is fully inert.
+    if nelems > 0 {
+        pe.barrier();
+    }
 
     let sched = match algo {
         Algorithm::Binomial => scatter_binomial(n_pes, root, &adj_disp),
@@ -170,7 +175,9 @@ pub(crate) fn scatter_impl_sync<T: XbrType>(
             1,
         );
     }
-    pe.barrier();
+    if nelems > 0 {
+        pe.barrier();
+    }
     pe.shared_free(s_buff);
 }
 

@@ -37,6 +37,7 @@
 use crate::collectives::policy::{pipeline_chunks, SyncMode, MAX_PIPELINE_CHUNKS};
 use crate::collectives::vrank::logical_rank;
 use crate::fabric::{ceil_log2, CollectiveKind, CollectiveSample, Pe, SymmRef};
+use crate::trace::TraceKind;
 use crate::types::XbrType;
 
 /// Signal-table slots reserved per op: one per possible pipeline segment,
@@ -294,6 +295,7 @@ pub fn execute_sync<T: XbrType>(
     // anywhere in the fabric can name this collective (and stage) in its
     // DeadlockReport.
     pe.progress_collective(Some(sched.kind));
+    let t_ep = pe.trace_start();
 
     let max_bytes = sched.ops().map(|op| op.nelems * es).max().unwrap_or(0);
     // A single-stage schedule has no per-stage barrier to eliminate —
@@ -320,6 +322,7 @@ pub fn execute_sync<T: XbrType>(
     let mut landing: Vec<T> = vec![T::default(); landing_len];
 
     let apply_fold = |pe: &Pe, op: &TransferOp, landing: &[T], local_dst: &mut [T]| {
+        let t_rd = pe.trace_start();
         let f = fold.expect("schedule contains fold ops but no fold function was given");
         match op.kind {
             OpKind::GetFold => {
@@ -341,11 +344,13 @@ pub fn execute_sync<T: XbrType>(
             }
             _ => unreachable!("apply_fold on a non-fold op"),
         }
+        pe.trace_emit(t_rd, TraceKind::Reduce, None, (op.nelems * es) as u64, 0);
     };
 
     if sync == SyncMode::Barrier {
         for (si, stage) in sched.stages.iter().enumerate() {
             pe.progress_stage(si);
+            let t_st = pe.trace_start();
             if stage.deferred_fold {
                 // Phase 1: every read lands.
                 for op in &stage.ops {
@@ -373,6 +378,7 @@ pub fn execute_sync<T: XbrType>(
                     }
                 }
                 pe.barrier();
+                pe.trace_emit(t_st, TraceKind::Stage, None, 0, si as u64);
                 continue;
             }
             for op in &stage.ops {
@@ -437,8 +443,12 @@ pub fn execute_sync<T: XbrType>(
                 }
             }
             pe.barrier();
+            pe.trace_emit(t_st, TraceKind::Stage, None, 0, si as u64);
         }
 
+        // The episode span is emitted before the progress plane forgets the
+        // collective, so the event still carries its kind tag.
+        pe.trace_emit(t_ep, TraceKind::Collective, None, 0, 0);
         pe.progress_collective(None);
         sample.cycles = pe.cycles() - t0;
         pe.note_collective(sched.kind, sample);
@@ -517,6 +527,7 @@ pub fn execute_sync<T: XbrType>(
 
     for (si, stage) in sched.stages.iter().enumerate() {
         pe.progress_stage(si);
+        let t_st = pe.trace_start();
         let base = op_base[si];
         if stage.deferred_fold {
             // Announce my segments to the partners that will read them…
@@ -579,6 +590,7 @@ pub fn execute_sync<T: XbrType>(
                     apply_fold(pe, op, &landing, local_dst);
                 }
             }
+            pe.trace_emit(t_st, TraceKind::Stage, None, 0, si as u64);
             continue;
         }
 
@@ -611,6 +623,7 @@ pub fn execute_sync<T: XbrType>(
                         // Forwarding dependency, per segment: segment k of
                         // the incoming put unblocks segment k's forward
                         // while later segments are still in flight.
+                        let t_ck = if n > 1 { pe.trace_start() } else { None };
                         let (s0, s1) = chunk_range(op.src_at, op.stride, c0, c1);
                         consume_overlapping(&mut pending, &mut sample, s0, s1);
                         if op.dst_pe == me {
@@ -632,6 +645,13 @@ pub fn execute_sync<T: XbrType>(
                             );
                             sample.signals += 1;
                         }
+                        pe.trace_emit(
+                            t_ck,
+                            TraceKind::Chunk,
+                            Some(op.dst_pe),
+                            ((c1 - c0) * es) as u64,
+                            c as u64,
+                        );
                         sample.puts += 1;
                         sample.bytes_put += ((c1 - c0) * es) as u64;
                     }
@@ -643,6 +663,7 @@ pub fn execute_sync<T: XbrType>(
                         if c0 >= c1 {
                             continue;
                         }
+                        let t_ck = if n > 1 { pe.trace_start() } else { None };
                         let (s0, s1) = chunk_range(op.src_at, op.stride, c0, c1);
                         let seg = &local_src[s0..s1];
                         if op.dst_pe == me {
@@ -664,6 +685,13 @@ pub fn execute_sync<T: XbrType>(
                             );
                             sample.signals += 1;
                         }
+                        pe.trace_emit(
+                            t_ck,
+                            TraceKind::Chunk,
+                            Some(op.dst_pe),
+                            ((c1 - c0) * es) as u64,
+                            c as u64,
+                        );
                         sample.puts += 1;
                         sample.bytes_put += ((c1 - c0) * es) as u64;
                     }
@@ -675,6 +703,7 @@ pub fn execute_sync<T: XbrType>(
                         if c0 >= c1 {
                             continue;
                         }
+                        let t_ck = if n > 1 { pe.trace_start() } else { None };
                         let (s0, s1) = chunk_range(op.src_at, op.stride, c0, c1);
                         let seg = &local_src[s0..s1];
                         let h = pe.put_nb(
@@ -695,6 +724,13 @@ pub fn execute_sync<T: XbrType>(
                             );
                             sample.signals += 1;
                         }
+                        pe.trace_emit(
+                            t_ck,
+                            TraceKind::Chunk,
+                            Some(op.dst_pe),
+                            ((c1 - c0) * es) as u64,
+                            c as u64,
+                        );
                         sample.puts += 1;
                         sample.bytes_put += ((c1 - c0) * es) as u64;
                     }
@@ -792,6 +828,7 @@ pub fn execute_sync<T: XbrType>(
                 });
             }
         }
+        pe.trace_emit(t_st, TraceKind::Stage, None, 0, si as u64);
     }
 
     // Drain: consume every signal still in flight toward this PE, so the
@@ -799,13 +836,24 @@ pub fn execute_sync<T: XbrType>(
     // as one-past-the-last stage so a DeadlockReport can tell "stuck in
     // the drain" apart from "stuck inside a stage".
     pe.progress_stage(sched.stages.len());
+    let t_drain = pe.trace_start();
     for p in pending.drain(..) {
         sample.wait_cycles += pe.signal_wait(table.offset(p.slot));
         sample.waits += 1;
     }
     // One barrier closes the whole collective.
     pe.barrier();
+    pe.trace_emit(
+        t_drain,
+        TraceKind::Stage,
+        None,
+        0,
+        sched.stages.len() as u64,
+    );
 
+    // Emitted before the progress plane forgets the collective, so the
+    // episode span still carries its kind tag.
+    pe.trace_emit(t_ep, TraceKind::Collective, None, 0, 0);
     pe.progress_collective(None);
     sample.cycles = pe.cycles() - t0;
     pe.note_collective(sched.kind, sample);

@@ -18,8 +18,9 @@
 
 use crate::heap::{FreeList, HeapData};
 use crate::timing::{Backoff, PeClock, TimingConfig};
+use crate::trace::{self, Trace, TraceConfig, TraceEvent, TraceKind, TracePlane};
 use crate::types::XbrType;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -168,6 +169,11 @@ impl FaultConfig {
 /// wedged run fails the same CI job that started it.
 pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(60);
 
+/// Trace events per PE embedded in a [`DeadlockReport`] when the run was
+/// traced: the tail of each PE's ring, i.e. what it did just before the
+/// hang.
+const DEADLOCK_RECENT_EVENTS: usize = 8;
+
 /// Configuration for a fabric run.
 #[derive(Clone, Copy, Debug)]
 pub struct FabricConfig {
@@ -187,6 +193,12 @@ pub struct FabricConfig {
     /// [`DeadlockReport`]. `None` disables the watchdog (spin forever,
     /// the pre-watchdog behaviour).
     pub watchdog: Option<Duration>,
+    /// Tracing plane: when set, every transfer, signal, barrier, stage and
+    /// local reduction is recorded into per-PE ring buffers and merged into
+    /// [`RunReport::trace`]. `None` (the default) records nothing and adds
+    /// one untaken branch per instrumented site — zero simulated-clock
+    /// perturbation.
+    pub trace: Option<TraceConfig>,
 }
 
 impl FabricConfig {
@@ -199,6 +211,7 @@ impl FabricConfig {
             topology: None,
             faults: None,
             watchdog: Some(DEFAULT_WATCHDOG),
+            trace: None,
         }
     }
 
@@ -211,6 +224,7 @@ impl FabricConfig {
             topology: None,
             faults: None,
             watchdog: Some(DEFAULT_WATCHDOG),
+            trace: None,
         }
     }
 
@@ -251,6 +265,21 @@ impl FabricConfig {
     /// Disable the progress watchdog (spin forever on lost progress).
     pub const fn without_watchdog(mut self) -> Self {
         self.watchdog = None;
+        self
+    }
+
+    /// Enable the tracing plane with the default ring capacity (64 Ki
+    /// events per PE). The merged event log lands in [`RunReport::trace`].
+    pub const fn with_trace(mut self) -> Self {
+        self.trace = Some(TraceConfig {
+            events_per_pe: 65_536,
+        });
+        self
+    }
+
+    /// Enable the tracing plane with an explicit per-PE ring capacity.
+    pub const fn with_trace_capacity(mut self, events_per_pe: usize) -> Self {
+        self.trace = Some(TraceConfig { events_per_pe });
         self
     }
 }
@@ -374,7 +403,7 @@ impl CollectiveKind {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             CollectiveKind::Broadcast => 0,
             CollectiveKind::Reduce => 1,
@@ -386,7 +415,7 @@ impl CollectiveKind {
         }
     }
 
-    fn from_index(i: usize) -> CollectiveKind {
+    pub(crate) fn from_index(i: usize) -> CollectiveKind {
         Self::ALL[i]
     }
 }
@@ -536,6 +565,10 @@ pub struct PeProbe {
     /// Nonzero slots of this PE's signal table: `(slot index, stamp)` for
     /// every signal posted to this PE but not yet consumed.
     pub pending_signals: Vec<(usize, u64)>,
+    /// The newest trace events this PE emitted before the watchdog fired
+    /// (empty when the run was not traced) — what the PE was doing just
+    /// before the hang.
+    pub recent_events: Vec<TraceEvent>,
 }
 
 /// Structured report produced when the progress watchdog fires: a
@@ -635,6 +668,9 @@ impl std::fmt::Display for DeadlockReport {
                 if p.rank == culprit { "<- stuck" } else { "" },
                 pending
             )?;
+            for ev in &p.recent_events {
+                writeln!(f, "      {ev}")?;
+            }
         }
         Ok(())
     }
@@ -717,6 +753,8 @@ struct Shared {
     redelivery_armed: bool,
     /// Watchdog timeout every spin loop must respect; `None` disables.
     watchdog: Option<Duration>,
+    /// Per-PE trace rings; `None` when tracing is off.
+    trace: Option<TracePlane>,
 }
 
 impl Shared {
@@ -743,6 +781,7 @@ impl Shared {
             dropped: Mutex::new(Vec::new()),
             redelivery_armed: cfg.faults.is_some_and(|f| f.redelivers()),
             watchdog: cfg.watchdog,
+            trace: cfg.trace.map(|t| TracePlane::new(cfg.n_pes, t)),
         }
     }
 
@@ -811,6 +850,11 @@ impl Shared {
                     site: WaitSite::decode(cell.site.load(Ordering::Relaxed)),
                     progress_ops: cell.ops.load(Ordering::Relaxed),
                     pending_signals,
+                    recent_events: self
+                        .trace
+                        .as_ref()
+                        .map(|t| t.recent(rank, DEADLOCK_RECENT_EVENTS))
+                        .unwrap_or_default(),
                 }
             })
             .collect();
@@ -1041,6 +1085,14 @@ pub struct Pe<'f> {
     faults: Option<FaultConfig>,
     /// splitmix64 state for this PE's deterministic fault rolls.
     fault_rng: std::cell::Cell<u64>,
+    /// Tracing context: `(collective kind index + 1, stage + 1)`, both 0
+    /// when not inside one. Maintained by the progress plane only when the
+    /// run is traced.
+    tctx: Cell<(u8, u16)>,
+    /// Per-PE collective episode counter (saturating). Episodes are
+    /// collective calls, which every PE makes in the same order, so the
+    /// counter agrees across PEs and groups one episode's events.
+    trace_episode: Cell<u16>,
 }
 
 fn check_src<T>(src: &[T], nelems: usize, stride: usize) {
@@ -1080,6 +1132,8 @@ impl<'f> Pe<'f> {
             signal_table: RefCell::new(None),
             faults,
             fault_rng: std::cell::Cell::new(seed),
+            tctx: Cell::new((0, 0)),
+            trace_episode: Cell::new(0),
         }
     }
 
@@ -1166,6 +1220,16 @@ impl<'f> Pe<'f> {
         cell.coll
             .store(kind.map_or(0, |k| k.index() + 1), Ordering::Relaxed);
         cell.stage.store(usize::MAX, Ordering::Relaxed);
+        if self.shared.trace.is_some() {
+            match kind {
+                Some(k) => {
+                    self.trace_episode
+                        .set(self.trace_episode.get().saturating_add(1));
+                    self.tctx.set((k.index() as u8 + 1, 0));
+                }
+                None => self.tctx.set((0, 0)),
+            }
+        }
     }
 
     /// Publish the stage index this PE is executing. A value equal to the
@@ -1176,6 +1240,54 @@ impl<'f> Pe<'f> {
             .stage
             .store(stage, Ordering::Relaxed);
         self.progress_tick();
+        if self.shared.trace.is_some() {
+            let (coll, _) = self.tctx.get();
+            self.tctx.set((coll, stage.min(0xfffe) as u16 + 1));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing plane: record cycle-timestamped events into this PE's ring.
+    // Every instrumented site pays one untaken branch when tracing is off
+    // and never touches the simulated clock either way.
+    // ------------------------------------------------------------------
+
+    /// Start stamp for a traced operation: `Some(current cycle)` when
+    /// tracing is on, `None` (making the paired [`Pe::trace_emit`] a
+    /// no-op) when off.
+    #[inline]
+    pub(crate) fn trace_start(&self) -> Option<u64> {
+        self.shared.trace.as_ref().map(|_| self.clock.cycles())
+    }
+
+    /// Record an event spanning `start`..now. No-op when `start` is `None`
+    /// (tracing off).
+    #[inline]
+    pub(crate) fn trace_emit(
+        &self,
+        start: Option<u64>,
+        kind: TraceKind,
+        peer: Option<usize>,
+        bytes: u64,
+        aux: u64,
+    ) {
+        let (Some(cycle_start), Some(plane)) = (start, self.shared.trace.as_ref()) else {
+            return;
+        };
+        let (coll, stage) = self.tctx.get();
+        let ev = TraceEvent {
+            cycle_start,
+            cycle_end: self.clock.cycles().max(cycle_start),
+            pe: self.rank,
+            kind,
+            collective: (coll != 0).then(|| CollectiveKind::from_index(coll as usize - 1)),
+            episode: self.trace_episode.get() as u32,
+            stage: (stage != 0).then(|| stage as u32 - 1),
+            peer,
+            bytes,
+            aux,
+        };
+        plane.ring(self.rank).record(trace::encode(&ev));
     }
 
     /// Trip the watchdog: record a whole-fabric DeadlockReport (first
@@ -1511,6 +1623,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) {
+        let t0 = self.trace_start();
         self.fault_transfer();
         dest.check_span(nelems, stride);
         check_src(src, nelems, stride);
@@ -1546,6 +1659,7 @@ impl<'f> Pe<'f> {
             }
         }
         self.note_transfer(pe, bytes, true, false);
+        self.trace_emit(t0, TraceKind::Put, Some(pe), bytes as u64, 0);
     }
 
     /// Copy `nelems` elements from `src` on PE `pe` into a local slice
@@ -1558,6 +1672,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) {
+        let t0 = self.trace_start();
         self.fault_transfer();
         src.check_span(nelems, stride);
         check_src(dest, nelems, stride);
@@ -1592,6 +1707,7 @@ impl<'f> Pe<'f> {
             }
         }
         self.note_transfer(pe, bytes, false, false);
+        self.trace_emit(t0, TraceKind::Get, Some(pe), bytes as u64, 0);
     }
 
     /// One-sided put whose source is this PE's *own shared segment* —
@@ -1604,6 +1720,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) {
+        let t0 = self.trace_start();
         self.fault_transfer();
         dest.check_span(nelems, stride);
         src.check_span(nelems, stride);
@@ -1642,6 +1759,7 @@ impl<'f> Pe<'f> {
             }
         }
         self.note_transfer(pe, bytes, true, false);
+        self.trace_emit(t0, TraceKind::Put, Some(pe), bytes as u64, 0);
     }
 
     /// One-sided get whose destination is this PE's own shared segment.
@@ -1653,6 +1771,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) {
+        let t0 = self.trace_start();
         self.fault_transfer();
         dest.check_span(nelems, stride);
         src.check_span(nelems, stride);
@@ -1690,6 +1809,7 @@ impl<'f> Pe<'f> {
             }
         }
         self.note_transfer(pe, bytes, false, false);
+        self.trace_emit(t0, TraceKind::Get, Some(pe), bytes as u64, 0);
     }
 
     /// Completion time for a non-blocking transfer: the transfer starts
@@ -1720,6 +1840,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) -> NbHandle {
+        let t0 = self.trace_start();
         self.fault_transfer();
         dest.check_span(nelems, stride);
         check_src(src, nelems, stride);
@@ -1752,6 +1873,7 @@ impl<'f> Pe<'f> {
             }
         }
         self.note_transfer(pe, bytes, true, true);
+        self.trace_emit(t0, TraceKind::PutNb, Some(pe), bytes as u64, completion);
         let h = NbHandle {
             id: self.next_handle.replace(self.next_handle.get() + 1),
             completion_cycles: completion,
@@ -1774,6 +1896,7 @@ impl<'f> Pe<'f> {
         stride: usize,
         pe: usize,
     ) -> NbHandle {
+        let t0 = self.trace_start();
         self.fault_transfer();
         src.check_span(nelems, stride);
         check_src(dest, nelems, stride);
@@ -1805,6 +1928,7 @@ impl<'f> Pe<'f> {
             }
         }
         self.note_transfer(pe, bytes, false, true);
+        self.trace_emit(t0, TraceKind::GetNb, Some(pe), bytes as u64, completion);
         let h = NbHandle {
             id: self.next_handle.replace(self.next_handle.get() + 1),
             completion_cycles: completion,
@@ -2025,6 +2149,7 @@ impl<'f> Pe<'f> {
     /// signal to a non-blocking transfer's completion time
     /// ([`NbHandle::completion_cycles`]).
     pub fn signal_post_at(&self, sig: SymmRef<u64>, pe: usize, arrival: u64) {
+        let t0 = self.trace_start();
         self.clock.charge(self.timing.cost.alu_cycles);
         // Charge and count the post before any fault branch: a dropped
         // signal was still *issued* by this PE, so telemetry invariants
@@ -2054,6 +2179,10 @@ impl<'f> Pe<'f> {
                                 + Duration::from_micros(f.signal_redeliver_after_us),
                         });
                     }
+                    // The post was issued even though the fabric lost it;
+                    // the trace shows what this PE *did*, and the matching
+                    // wait (if redelivery saves the run) pairs with it.
+                    self.trace_emit(t0, TraceKind::SignalPost, Some(pe), 8, sig.off as u64);
                     return;
                 }
             }
@@ -2071,6 +2200,7 @@ impl<'f> Pe<'f> {
         // simulated time 0 must still read as present.
         self.amo_slot(sig, pe)
             .fetch_max(arrival.max(1), Ordering::AcqRel);
+        self.trace_emit(t0, TraceKind::SignalPost, Some(pe), 8, sig.off as u64);
     }
 
     /// Block until the **local** signal slot `sig` is posted, consume it
@@ -2084,6 +2214,7 @@ impl<'f> Pe<'f> {
     /// bounded by the configured watchdog ([`FabricConfig::with_watchdog`]),
     /// which trips with a [`DeadlockReport`] naming this PE and slot.
     pub fn signal_wait(&self, sig: SymmRef<u64>) -> u64 {
+        let t0 = self.trace_start();
         let slot = self.amo_slot(sig, self.rank);
         let site = WaitSite::Signal { off: sig.off };
         let mut waited = false;
@@ -2100,11 +2231,21 @@ impl<'f> Pe<'f> {
                     .fetch_add(1, Ordering::Relaxed);
                 self.progress_tick();
                 let now = self.clock.cycles();
-                if self.clock.enabled() && stamp > now {
+                let stalled = if self.clock.enabled() && stamp > now {
                     self.clock.set_cycles(stamp);
-                    return stamp - now;
+                    stamp - now
+                } else {
+                    0
+                };
+                if backoff.sleeps() > 0 {
+                    // Zero-cycle marker: the spin fell through to wall
+                    // sleeping (`aux` = sleep steps), which never advances
+                    // simulated time — width would double-count the wait.
+                    let now_c = t0.map(|_| self.clock.cycles());
+                    self.trace_emit(now_c, TraceKind::BackoffSleep, None, 0, backoff.sleeps());
                 }
-                return 0;
+                self.trace_emit(t0, TraceKind::SignalWait, None, 8, sig.off as u64);
+                return stalled;
             }
             if self.shared.poisoned.load(Ordering::Relaxed) {
                 panic!(
@@ -2182,6 +2323,7 @@ impl<'f> Pe<'f> {
     /// Simulated clocks synchronise: every PE leaves at the maximum arrival
     /// time plus a dissemination-barrier cost of `⌈log2 n⌉` fabric rounds.
     pub fn barrier(&self) {
+        let t0 = self.trace_start();
         self.fault_stall();
         let b = &self.shared.barrier;
         let gen = b.generation.load(Ordering::Acquire);
@@ -2191,6 +2333,7 @@ impl<'f> Pe<'f> {
         self.quiet();
         b.max_cycles[slot].fetch_max(self.clock.cycles(), Ordering::AcqRel);
 
+        let mut sleeps = 0;
         if b.count.fetch_add(1, Ordering::AcqRel) + 1 == self.shared.n_pes {
             self.shared.stats.barriers.fetch_add(1, Ordering::Relaxed);
             b.count.store(0, Ordering::Release);
@@ -2212,6 +2355,7 @@ impl<'f> Pe<'f> {
                 }
             }
             self.progress_site(WaitSite::Running);
+            sleeps = backoff.sleeps();
         }
         self.progress_tick();
 
@@ -2223,6 +2367,13 @@ impl<'f> Pe<'f> {
             self.clock
                 .set_cycles(arrived.max(self.clock.cycles()) + cost);
         }
+        if sleeps > 0 {
+            let now_c = t0.map(|_| self.clock.cycles());
+            self.trace_emit(now_c, TraceKind::BackoffSleep, None, 0, sleeps);
+        }
+        // `aux` = generation: the critical-path analyzer groups the PEs of
+        // one barrier episode by it to model the release wave.
+        self.trace_emit(t0, TraceKind::Barrier, None, 0, gen as u64);
     }
 
     /// Record one PE's share of a collective episode (called by the
@@ -2316,10 +2467,14 @@ pub struct RunReport<R> {
     /// Aggregate communication statistics.
     pub stats: FabricStats,
     /// Per-collective telemetry from the schedule executor, one row per
-    /// [`CollectiveKind`] that was exercised (empty if no collective ran).
+    /// [`CollectiveKind`] that was exercised (empty if no collective ran),
+    /// deterministically ordered by kind ([`CollectiveKind::ALL`] order).
     pub collectives: Vec<CollectiveRecord>,
     /// Host wall-clock duration of the run.
     pub wall: Duration,
+    /// The merged event log when the run was traced
+    /// ([`FabricConfig::with_trace`]); `None` otherwise.
+    pub trace: Option<Trace>,
 }
 
 impl<R> RunReport<R> {
@@ -2477,6 +2632,9 @@ impl Fabric {
             stats: shared.snapshot(),
             collectives: shared.collective_records(),
             wall,
+            // Merged after every PE thread has joined, so no ring is
+            // concurrently written.
+            trace: shared.trace.as_ref().map(|t| t.merge()),
         })
     }
 }

@@ -14,6 +14,7 @@
 //! per-PE allocators assign identical offsets — symmetry by construction
 //! (verified by tests and a runtime signature check in the fabric).
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Raw storage for one PE's shared segment.
@@ -150,6 +151,11 @@ pub struct FreeList {
     capacity: usize,
     /// Bytes currently allocated.
     in_use: usize,
+    /// Rounded size of every live allocation, keyed by offset. `free`
+    /// validates the caller's size against this record: a mismatched size
+    /// would otherwise silently splice a wrong-length hole into the free
+    /// list and corrupt later allocations.
+    allocated: BTreeMap<usize, usize>,
 }
 
 /// All allocations are aligned to this many bytes (covers every `XbrType`,
@@ -167,6 +173,7 @@ impl FreeList {
             },
             capacity,
             in_use: 0,
+            allocated: BTreeMap::new(),
         }
     }
 
@@ -201,6 +208,7 @@ impl FreeList {
                     self.free[i] = (off + need, size - need);
                 }
                 self.in_use += need;
+                self.allocated.insert(off, need);
                 return Ok(off);
             }
         }
@@ -214,10 +222,20 @@ impl FreeList {
     /// same `bytes` argument.
     ///
     /// # Panics
-    /// Panics on frees that overlap a free block or exceed the arena —
-    /// symptoms of a double free or a corrupted handle.
+    /// Panics when `off` is not a live allocation (double free or corrupted
+    /// handle), when `bytes` disagrees with the size recorded at `alloc`
+    /// time (wrong-size free), or when the block overlaps a free block or
+    /// exceeds the arena.
     pub fn free(&mut self, off: usize, bytes: usize) {
         let size = Self::round(bytes.max(1));
+        let recorded = self.allocated.remove(&off).unwrap_or_else(|| {
+            panic!("double free / unknown offset: no live allocation at offset {off}")
+        });
+        assert!(
+            recorded == size,
+            "wrong-size free at offset {off}: allocated {recorded} bytes, freed {size} \
+             (rounded from {bytes})"
+        );
         assert!(
             off + size <= self.capacity,
             "free of [{off}, {off}+{size}) exceeds arena"
@@ -340,6 +358,45 @@ mod tests {
         a.free(x, 64);
         let z = a.alloc(32).unwrap();
         assert_eq!(z, x, "first-fit should reuse the freed hole");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong-size free")]
+    fn wrong_size_free_detected() {
+        let mut a = FreeList::new(256);
+        let x = a.alloc(64).unwrap();
+        // Freeing with a smaller size used to splice a short hole into the
+        // free list silently; it must now panic against the recorded size.
+        a.free(x, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong-size free")]
+    fn oversize_free_detected() {
+        let mut a = FreeList::new(256);
+        let x = a.alloc(32).unwrap();
+        a.free(x, 64);
+    }
+
+    #[test]
+    fn same_rounded_size_free_is_accepted() {
+        // 17 and 30 both round to 32: the recorded size is the rounded one,
+        // so any byte count in the same alignment bucket is a correct free.
+        let mut a = FreeList::new(256);
+        let x = a.alloc(17).unwrap();
+        a.free(x, 30);
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.largest_free(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_after_realloc_of_neighbor_detected() {
+        let mut a = FreeList::new(256);
+        let x = a.alloc(32).unwrap();
+        let _y = a.alloc(32).unwrap();
+        a.free(x, 32);
+        a.free(x, 32);
     }
 
     #[test]

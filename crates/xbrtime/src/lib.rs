@@ -46,6 +46,7 @@ pub mod fabric;
 pub mod heap;
 pub mod shmem;
 pub mod timing;
+pub mod trace;
 pub mod typed;
 pub mod types;
 
@@ -57,4 +58,5 @@ pub use fabric::{
     SymmRef, Topology, WaitSite, DEFAULT_WATCHDOG,
 };
 pub use timing::TimingConfig;
+pub use trace::{CriticalPath, Trace, TraceCategory, TraceConfig, TraceEvent, TraceKind};
 pub use types::{ReduceOp, TypeEntry, XbrBitwise, XbrNumeric, XbrType, TABLE1};

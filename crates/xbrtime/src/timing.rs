@@ -183,7 +183,8 @@ impl PeClock {
 /// caller's watchdog deadline has passed.
 pub(crate) struct Backoff {
     spins: u32,
-    sleep: Duration,
+    /// Number of sleeping steps taken (for trace/telemetry consumers).
+    sleeps: u64,
     /// Watchdog deadline, computed lazily on the first sleeping step so
     /// loops that never block pay nothing for the clock read.
     deadline: Option<Instant>,
@@ -194,13 +195,32 @@ const BACKOFF_YIELD_STEPS: u32 = 192;
 const BACKOFF_SLEEP_MIN: Duration = Duration::from_micros(10);
 const BACKOFF_SLEEP_MAX: Duration = Duration::from_millis(1);
 
+/// Sleep duration for the `step`-th sleeping step of the exponential
+/// phase: `BACKOFF_SLEEP_MIN * 2^step`, capped at [`BACKOFF_SLEEP_MAX`].
+///
+/// The exponent is clamped *before* shifting: long watchdog budgets can
+/// push a wait loop to billions of steps, and an unclamped `1 << step`
+/// wraps (wrapping the sleep to 0 in release, panicking in debug). The
+/// clamp of 10 is already past the cap (10 µs · 2⁷ > 1 ms), so the result
+/// saturates at `BACKOFF_SLEEP_MAX` — bounded and nonzero — for every
+/// `step` up to `u32::MAX`.
+pub(crate) fn backoff_sleep(step: u32) -> Duration {
+    let exp = step.min(10);
+    (BACKOFF_SLEEP_MIN * (1u32 << exp)).min(BACKOFF_SLEEP_MAX)
+}
+
 impl Backoff {
     pub(crate) fn new() -> Self {
         Backoff {
             spins: 0,
-            sleep: BACKOFF_SLEEP_MIN,
+            sleeps: 0,
             deadline: None,
         }
+    }
+
+    /// Number of sleeping steps taken so far.
+    pub(crate) fn sleeps(&self) -> u64 {
+        self.sleeps
     }
 
     /// Take one backoff step. Returns `false` when `timeout` (counted
@@ -208,7 +228,10 @@ impl Backoff {
     /// fail fast instead of spinning forever. With `timeout == None`, the
     /// wait is unbounded and this always returns `true`.
     pub(crate) fn wait(&mut self, timeout: Option<Duration>) -> bool {
-        self.spins += 1;
+        // Saturating: a wait that outlives 2^32 steps must keep sleeping at
+        // the cap, not wrap the counter back into the busy-spin phase (or
+        // panic on overflow in debug builds).
+        self.spins = self.spins.saturating_add(1);
         if self.spins < BACKOFF_SPIN_STEPS {
             std::hint::spin_loop();
             return true;
@@ -223,8 +246,8 @@ impl Backoff {
                 return false;
             }
         }
-        std::thread::sleep(self.sleep);
-        self.sleep = (self.sleep * 2).min(BACKOFF_SLEEP_MAX);
+        std::thread::sleep(backoff_sleep(self.spins - BACKOFF_YIELD_STEPS));
+        self.sleeps = self.sleeps.saturating_add(1);
         true
     }
 }
@@ -280,6 +303,40 @@ mod tests {
         let at = cfg.element_overhead(cfg.unroll_threshold);
         // 7 elements cost 7 cycles; 8 elements unrolled cost 8/4 = 2.
         assert!(at < below, "unrolled {at} should undercut rolled {below}");
+    }
+
+    #[test]
+    fn backoff_sleep_saturates_bounded_nonzero() {
+        // The first sleeping step starts at the minimum.
+        assert_eq!(backoff_sleep(0), BACKOFF_SLEEP_MIN);
+        // Doubling until the cap, never past it, never wrapping to zero —
+        // including at exponents that would overflow an unclamped shift.
+        let mut prev = Duration::ZERO;
+        for step in [0u32, 1, 3, 7, 10, 31, 32, 64, 1_000_000, u32::MAX] {
+            let d = backoff_sleep(step);
+            assert!(d > Duration::ZERO, "step {step} slept zero");
+            assert!(d <= BACKOFF_SLEEP_MAX, "step {step} slept {d:?}");
+            assert!(d >= prev, "sleep must be monotone in step");
+            prev = d;
+        }
+        assert_eq!(backoff_sleep(u32::MAX), BACKOFF_SLEEP_MAX);
+    }
+
+    #[test]
+    fn backoff_counter_saturates_instead_of_wrapping() {
+        let mut b = Backoff {
+            spins: u32::MAX - 2,
+            sleeps: 0,
+            deadline: None,
+        };
+        // A handful of steps at the saturation point: each must stay in the
+        // sleeping phase (bounded by the cap) rather than wrap back into
+        // busy-spinning or panic on `spins + 1` overflow in debug builds.
+        for _ in 0..4 {
+            assert!(b.wait(None));
+        }
+        assert_eq!(b.spins, u32::MAX);
+        assert_eq!(b.sleeps(), 4);
     }
 
     #[test]

@@ -179,6 +179,35 @@ fn dropped_signal_names_collective_kind_and_stage() {
 }
 
 #[test]
+fn traced_deadlock_report_embeds_recent_events() {
+    // With the tracing plane on, the DeadlockReport carries each PE's
+    // most recent trace events — the flight recorder for post-mortems.
+    let cfg = FabricConfig::new(4)
+        .with_watchdog(Duration::from_millis(300))
+        .with_faults(FaultConfig::drops_forever(7, 1000))
+        .with_trace();
+    let result = Fabric::try_run(cfg, |pe| {
+        let dest = pe.shared_malloc::<u64>(64);
+        xbrtime::collectives::broadcast_sync(pe, &dest, &[5u64; 64], 64, 1, 0, SyncMode::Signaled);
+    });
+    match result {
+        Err(RunError::Deadlock(report)) => {
+            assert!(
+                report.pes.iter().any(|p| !p.recent_events.is_empty()),
+                "some PE must have traced events by deadlock time: {report}"
+            );
+            // The rendered report interleaves the event lines.
+            let text = report.to_string();
+            assert!(
+                text.contains("broadcast#"),
+                "report should render traced events: {text}"
+            );
+        }
+        other => panic!("expected Err(Deadlock), got {other:?}"),
+    }
+}
+
+#[test]
 fn run_panics_with_rendered_report_on_deadlock() {
     // The panicking (non-try) entry point must carry the human-readable
     // report in its payload.

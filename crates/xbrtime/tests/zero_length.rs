@@ -1,0 +1,114 @@
+//! Zero-length collectives: `nelems == 0` must schedule no transfers,
+//! leak no signals, and leave the (enabled) tracing plane empty but
+//! well-formed — across every collective shape, sync mode, and PE count,
+//! including the degenerate single-PE fabric.
+
+use xbrtime::{collectives, Fabric, FabricConfig, RunReport, SyncMode};
+
+const PE_COUNTS: [usize; 3] = [1, 3, 8];
+const SYNC_MODES: [SyncMode; 4] = [
+    SyncMode::Barrier,
+    SyncMode::Signaled,
+    SyncMode::Pipelined,
+    SyncMode::Auto,
+];
+
+fn run_traced(n_pes: usize, body: impl Fn(&xbrtime::Pe) + Sync) -> RunReport<()> {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes(1 << 20)
+        .with_trace();
+    Fabric::run(fc, body)
+}
+
+/// The shared assertions: nothing moved, nothing signaled, the trace is
+/// empty (zero-length episodes return before emitting a single event)
+/// yet still exports a loadable Perfetto document.
+fn assert_inert(report: &RunReport<()>, what: &str) {
+    let s = &report.stats;
+    assert_eq!(s.puts, 0, "{what}: puts issued");
+    assert_eq!(s.gets, 0, "{what}: gets issued");
+    assert_eq!(s.nb_puts, 0, "{what}: non-blocking puts issued");
+    assert_eq!(s.nb_gets, 0, "{what}: non-blocking gets issued");
+    assert_eq!(s.signals, 0, "{what}: signals posted");
+    assert_eq!(s.signal_waits, 0, "{what}: signals consumed");
+    for rec in &report.collectives {
+        assert!(rec.calls >= 1, "{what}: episode not recorded");
+        assert_eq!(
+            rec.puts + rec.gets,
+            0,
+            "{what}: {} moved data",
+            rec.kind.name()
+        );
+        assert_eq!(rec.bytes_put + rec.bytes_get, 0, "{what}: bytes moved");
+        assert_eq!(rec.signals + rec.waits, 0, "{what}: signal traffic");
+    }
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    assert!(
+        trace.is_empty(),
+        "{what}: zero-length run traced {} events: {:?}",
+        trace.len(),
+        trace.events
+    );
+    let json = trace.to_perfetto_json();
+    let json = json.trim_end();
+    assert!(
+        json.starts_with('{') && json.ends_with('}'),
+        "{what}: {json}"
+    );
+    assert!(json.contains("\"traceEvents\""), "{what}: {json}");
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "{what}: unbalanced JSON"
+    );
+}
+
+#[test]
+fn zero_length_broadcast_all_modes() {
+    for n in PE_COUNTS {
+        for sync in SYNC_MODES {
+            let report = run_traced(n, move |pe| {
+                let dest = pe.shared_malloc::<u64>(1);
+                collectives::broadcast_sync(pe, &dest, &[], 0, 1, 0, sync);
+            });
+            assert_inert(&report, &format!("broadcast n={n} {sync:?}"));
+        }
+    }
+}
+
+#[test]
+fn zero_length_reduce_all_modes() {
+    for n in PE_COUNTS {
+        for sync in SYNC_MODES {
+            let report = run_traced(n, move |pe| {
+                let src = pe.shared_malloc::<u64>(1);
+                let mut dest: Vec<u64> = vec![];
+                collectives::reduce_with_sync(
+                    pe,
+                    &mut dest,
+                    &src,
+                    0,
+                    1,
+                    0,
+                    |a: u64, b: u64| a.wrapping_add(b),
+                    sync,
+                );
+            });
+            assert_inert(&report, &format!("reduce n={n} {sync:?}"));
+        }
+    }
+}
+
+#[test]
+fn zero_length_scatter_and_gather() {
+    for n in PE_COUNTS {
+        let report = run_traced(n, move |pe| {
+            let msgs = vec![0usize; pe.n_pes()];
+            let disp = vec![0usize; pe.n_pes()];
+            let mut dest: Vec<u64> = vec![];
+            collectives::scatter(pe, &mut dest, &[], &msgs, &disp, 0, 0);
+            collectives::gather(pe, &mut dest, &[], &msgs, &disp, 0, 0);
+        });
+        assert_inert(&report, &format!("scatter/gather n={n}"));
+    }
+}
