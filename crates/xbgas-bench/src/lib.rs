@@ -11,6 +11,7 @@
 //! | Table 2 (rank mapping) | `table2_ranks` | [`xbrtime::collectives::rank_table`] |
 //! | §4.7 comparison        | `xbench_sweep` | [`sweep_broadcast`] / [`sweep_reduce`] |
 //! | design ablations       | `ablation`     | [`ablation_unroll`], [`ablation_allreduce`] |
+//! | conformance plane      | `conformance`  | `xbrtime::collectives::{verify, explore}` |
 //!
 //! The Criterion benches under `benches/` measure host wall-clock of the
 //! same operations; the binaries report *simulated* cycles, which is what

@@ -192,4 +192,24 @@ proptest! {
     fn disasm_never_panics(word in any::<u32>()) {
         let _ = disasm_word(word);
     }
+
+    #[test]
+    fn disasm_reassembles_byte_identical(inst in arb_inst()) {
+        // Full tooling loop: every encodable instruction's disassembly
+        // must be accepted by the assembler and re-encode to the
+        // identical word. Pc-relative operands (branches, jal, auipc)
+        // are printed as bare offsets, which `assemble` resolves against
+        // base 0 — the same frame the disassembler prints in.
+        let word = encode(&inst).expect("generated instruction must encode");
+        let text = format_inst(&inst);
+        let img = xbgas_sim::asm::assemble(0, &text)
+            .unwrap_or_else(|e| panic!("assembler rejected {text:?} (from {inst:?}): {e}"));
+        prop_assert_eq!(
+            &img.words,
+            &vec![word],
+            "{:?} → {:?} reassembled differently",
+            inst,
+            text
+        );
+    }
 }

@@ -22,6 +22,7 @@
 //! inspectable — the inter-node crossing count the hierarchy exists to
 //! minimise is just a filter over the ops.
 
+use crate::collectives::policy::SyncMode;
 use crate::collectives::schedule::{self, CommSchedule, OpKind, Stage, TransferOp};
 use crate::fabric::{ceil_log2, CollectiveKind, Pe, SymmAlloc};
 use crate::types::XbrType;
@@ -216,6 +217,20 @@ pub fn broadcast_hier<T: XbrType>(
     nelems: usize,
     root: usize,
 ) {
+    broadcast_hier_sync(pe, dest, src, nelems, root, SyncMode::Barrier);
+}
+
+/// [`broadcast_hier`] under an explicit synchronization discipline —
+/// the hierarchical schedule runs unchanged through the signaled and
+/// pipelined executor paths.
+pub fn broadcast_hier_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    root: usize,
+    sync: SyncMode,
+) {
     let Some(topo) = pe.topology() else {
         crate::collectives::broadcast(pe, dest, src, nelems, 1, root);
         return;
@@ -230,7 +245,7 @@ pub fn broadcast_hier<T: XbrType>(
     }
 
     let sched = broadcast_hier_sched(pe.n_pes(), topo.pes_per_node, root, nelems);
-    schedule::execute(pe, &sched, dest.whole(), &[], &mut [], None);
+    schedule::execute_sync(pe, &sched, dest.whole(), &[], &mut [], None, sync);
 }
 
 /// Hierarchical reduction with an arbitrary combiner: tier 1 within nodes
@@ -244,6 +259,19 @@ pub fn reduce_hier<T: XbrType>(
     root: usize,
     f: impl Fn(T, T) -> T + Copy,
 ) {
+    reduce_hier_sync(pe, dest, src, nelems, root, f, SyncMode::Barrier);
+}
+
+/// [`reduce_hier`] under an explicit synchronization discipline.
+pub fn reduce_hier_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    root: usize,
+    f: impl Fn(T, T) -> T + Copy,
+    sync: SyncMode,
+) {
     let Some(topo) = pe.topology() else {
         crate::collectives::reduce_with(pe, dest, src, nelems, 1, root, f);
         return;
@@ -256,7 +284,7 @@ pub fn reduce_hier<T: XbrType>(
     pe.barrier();
 
     let sched = reduce_hier_sched(pe.n_pes(), topo.pes_per_node, root, nelems);
-    schedule::execute(pe, &sched, work.whole(), &[], &mut [], Some(&f));
+    schedule::execute_sync(pe, &sched, work.whole(), &[], &mut [], Some(&f), sync);
 
     if pe.rank() == root && nelems > 0 {
         pe.heap_read_strided(work.whole(), &mut dest[..nelems], nelems, 1);
@@ -396,6 +424,49 @@ mod tests {
             hier < flat,
             "hierarchical {hier} should beat flat {flat} on a 2-node topology"
         );
+    }
+
+    #[test]
+    fn hier_ragged_nodes_across_all_sync_modes() {
+        // `pes_per_node ∤ n_pes`: the last node is short, so tier-2 trees
+        // differ in shape across nodes while stage counts stay uniform.
+        // Every sync discipline must deliver identical results on these
+        // ragged layouts.
+        for (n, k, root) in [(7, 3, 2), (5, 2, 4), (10, 4, 9)] {
+            for sync in SyncMode::CONCRETE {
+                let report = Fabric::run(topo_cfg(n, k), move |pe| {
+                    let dest = pe.shared_malloc::<u64>(4);
+                    broadcast_hier_sync(pe, &dest, &[11, 22, 33, 44], 4, root, sync);
+                    pe.barrier();
+                    pe.heap_read_vec::<u64>(dest.whole(), 4)
+                });
+                for (rank, got) in report.results.iter().enumerate() {
+                    assert_eq!(
+                        got,
+                        &vec![11, 22, 33, 44],
+                        "bcast n={n} k={k} root={root} rank={rank} {}",
+                        sync.name()
+                    );
+                }
+
+                let report = Fabric::run(topo_cfg(n, k), move |pe| {
+                    let src = pe.shared_malloc::<u64>(2);
+                    pe.heap_write(src.whole(), &[pe.rank() as u64 + 1, 1]);
+                    pe.barrier();
+                    let mut out = [0u64; 2];
+                    reduce_hier_sync(pe, &mut out, &src, 2, root, |a, b| a + b, sync);
+                    pe.barrier();
+                    out
+                });
+                let n64 = n as u64;
+                assert_eq!(
+                    report.results[root],
+                    [n64 * (n64 + 1) / 2, n64],
+                    "reduce n={n} k={k} root={root} {}",
+                    sync.name()
+                );
+            }
+        }
     }
 
     #[test]

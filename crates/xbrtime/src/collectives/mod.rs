@@ -12,9 +12,16 @@
 //! materialises the communication pattern as a [`schedule::CommSchedule`]
 //! (pure data, unit-testable without a fabric) and one generic executor
 //! issues it on a PE. [`policy`] selects among algorithm shapes at runtime.
+//!
+//! Because schedules are pure data, they can be checked without a fabric:
+//! [`verify`] interprets a schedule against an abstract provenance memory
+//! model (final-buffer equivalence, happens-before, write races) and
+//! [`explore`] enumerates interleavings of the modelled executor — up to
+//! exhaustively — and mutation-tests the oracle itself.
 
 pub mod baseline;
 pub mod broadcast;
+pub mod explore;
 pub mod extended;
 pub mod gather;
 pub mod hierarchical;
@@ -22,6 +29,7 @@ pub mod policy;
 pub mod reduce;
 pub mod scatter;
 pub mod schedule;
+pub mod verify;
 pub mod vrank;
 
 pub use baseline::{
@@ -29,12 +37,16 @@ pub use baseline::{
     reduce_linear, reduce_linear_sync, scatter_linear,
 };
 pub use broadcast::{broadcast, broadcast_sync};
+pub use explore::{
+    explore_exhaustive, run_mutation_harness, ExploreConfig, ExploreOutcome, Mutation,
+    MutationReport, RandomPriority, RoundRobin, Scheduler,
+};
 pub use extended::{
     all_gather, all_to_all, reduce_all, reduce_all_sync, reduce_all_with, reduce_all_with_sync,
     AllReduceAlgo, Team,
 };
 pub use gather::gather;
-pub use hierarchical::{broadcast_hier, reduce_hier};
+pub use hierarchical::{broadcast_hier, broadcast_hier_sync, reduce_hier, reduce_hier_sync};
 pub use policy::{
     broadcast_policy, broadcast_policy_sync, gather_policy, gather_policy_sync, pipeline_chunks,
     reduce_policy, reduce_policy_sync, scatter_policy, scatter_policy_sync, Algorithm,
@@ -42,4 +54,5 @@ pub use policy::{
 };
 pub use reduce::{reduce, reduce_bitwise, reduce_with, reduce_with_sync};
 pub use scatter::scatter;
+pub use verify::{check_schedule, CollectiveSpec, ConformanceReport, ModelConfig};
 pub use vrank::{logical_rank, rank_table, virtual_rank};

@@ -126,6 +126,54 @@ pub fn pipeline_chunks(nbytes: usize) -> usize {
     }
 }
 
+/// Signal-table slots reserved per schedule op: one per possible pipeline
+/// segment, plus a readiness slot (get-kind ops: "my segment is valid,
+/// pull away") and an acknowledgement slot (deferred folds: "I have read
+/// your segment, you may overwrite yours"). The executor, the watchdog's
+/// slot naming, and the conformance oracle all derive slot addresses from
+/// this one layout.
+pub const SLOTS_PER_OP: usize = MAX_PIPELINE_CHUNKS + 2;
+
+/// Per-op slot index of the readiness flag.
+pub const READY_SLOT: usize = MAX_PIPELINE_CHUNKS;
+
+/// Per-op slot index of the deferred-fold acknowledgement flag.
+pub const ACK_SLOT: usize = MAX_PIPELINE_CHUNKS + 1;
+
+/// What a signal-table slot is used for, under the executor's
+/// [`SLOTS_PER_OP`] per-op layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotRole {
+    /// Completion flag of pipeline segment `.0` of the op's payload.
+    Chunk(usize),
+    /// The op's readiness flag.
+    Ready,
+    /// The op's deferred-fold read acknowledgement.
+    Ack,
+}
+
+impl std::fmt::Display for SlotRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotRole::Chunk(c) => write!(f, "chunk {c}"),
+            SlotRole::Ready => write!(f, "ready"),
+            SlotRole::Ack => write!(f, "ack"),
+        }
+    }
+}
+
+/// Decompose a global signal-table slot index into the executor's
+/// `(global op index, role)` addressing. The op index is global in
+/// stage-major order (`CommSchedule::op_bases` recovers the stage).
+pub fn slot_role(slot: usize) -> (usize, SlotRole) {
+    let role = match slot % SLOTS_PER_OP {
+        READY_SLOT => SlotRole::Ready,
+        ACK_SLOT => SlotRole::Ack,
+        c => SlotRole::Chunk(c),
+    };
+    (slot / SLOTS_PER_OP, role)
+}
+
 impl SyncMode {
     /// The concrete (non-`Auto`) modes, in display order — the axis chaos
     /// and equivalence sweeps iterate over.

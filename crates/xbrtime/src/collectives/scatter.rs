@@ -22,7 +22,10 @@ use crate::types::XbrType;
 /// Prefix displacements in *virtual-rank* order: `adj_disp[v]` is where
 /// virtual rank `v`'s segment begins in the reordered staging buffer, and
 /// `adj_disp[n]` is the total element count.
-pub(crate) fn adjusted_displacements(pe_msgs: &[usize], root: usize, n_pes: usize) -> Vec<usize> {
+///
+/// Public because the conformance plane builds scatter/gather specs from
+/// the same table the schedule generators consume.
+pub fn adjusted_displacements(pe_msgs: &[usize], root: usize, n_pes: usize) -> Vec<usize> {
     let mut adj = Vec::with_capacity(n_pes + 1);
     let mut acc = 0usize;
     for v in 0..n_pes {

@@ -34,21 +34,15 @@
 //! [`Pe::note_collective`], surfaced through
 //! [`RunReport::collectives`](crate::fabric::RunReport).
 
-use crate::collectives::policy::{pipeline_chunks, SyncMode, MAX_PIPELINE_CHUNKS};
+use crate::collectives::policy::{pipeline_chunks, SyncMode, ACK_SLOT, READY_SLOT, SLOTS_PER_OP};
 use crate::collectives::vrank::logical_rank;
 use crate::fabric::{ceil_log2, CollectiveKind, CollectiveSample, Pe, SymmRef};
 use crate::trace::TraceKind;
 use crate::types::XbrType;
 
-/// Signal-table slots reserved per op: one per possible pipeline segment,
-/// plus a readiness slot (get-kind ops: "my segment is valid, pull away")
-/// and an acknowledgement slot (deferred folds: "I have read your
-/// segment, you may overwrite yours").
-const SLOTS_PER_OP: usize = MAX_PIPELINE_CHUNKS + 2;
-const READY_SLOT: usize = MAX_PIPELINE_CHUNKS;
-const ACK_SLOT: usize = MAX_PIPELINE_CHUNKS + 1;
-
-fn is_put_kind(k: OpKind) -> bool {
+/// `true` for the op kinds that push data (and therefore carry per-chunk
+/// completion signals under the signaled/pipelined disciplines).
+pub fn is_put_kind(k: OpKind) -> bool {
     matches!(k, OpKind::Put | OpKind::PutNb | OpKind::PutFrom)
 }
 
@@ -187,6 +181,57 @@ impl CommSchedule {
         self.stages.iter().flat_map(|s| s.ops.iter())
     }
 
+    /// Global op index of each stage's first op (stage-major numbering) —
+    /// the base the executor's signal-slot addressing is built on, and the
+    /// inverse of [`crate::collectives::policy::slot_role`]'s op index.
+    pub fn op_bases(&self) -> Vec<usize> {
+        let mut bases = Vec::with_capacity(self.stages.len());
+        let mut acc = 0usize;
+        for stage in &self.stages {
+            bases.push(acc);
+            acc += stage.ops.len();
+        }
+        bases
+    }
+
+    /// The `(stage, op-within-stage)` coordinates of global op index `g`,
+    /// or `None` when `g` is past the last op.
+    pub fn op_coords(&self, g: usize) -> Option<(usize, usize)> {
+        let mut acc = 0usize;
+        for (si, stage) in self.stages.iter().enumerate() {
+            if g < acc + stage.ops.len() {
+                return Some((si, g - acc));
+            }
+            acc += stage.ops.len();
+        }
+        None
+    }
+
+    /// Largest single-op payload in bytes at element size `elem_bytes` —
+    /// the quantity `SyncMode::Auto` resolution keys on.
+    pub fn max_op_bytes(&self, elem_bytes: usize) -> usize {
+        self.ops()
+            .map(|op| op.nelems * elem_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The concrete [`SyncMode`] the executor will run this schedule
+    /// under when asked for `sync` at element size `elem_bytes`: `Auto`
+    /// keeps the plain barrier discipline for single-stage schedules
+    /// (there is no per-stage barrier to eliminate) and otherwise resolves
+    /// on PE count and largest transfer; explicit modes are honoured as
+    /// given. The conformance oracle compiles its abstract machine from
+    /// this same answer, so model and executor can never disagree on the
+    /// discipline.
+    pub fn resolve_sync(&self, sync: SyncMode, elem_bytes: usize) -> SyncMode {
+        if sync == SyncMode::Auto && self.stages.len() < 2 {
+            SyncMode::Barrier
+        } else {
+            sync.resolve(self.n_pes, self.max_op_bytes(elem_bytes))
+        }
+    }
+
     /// Check structural sanity: every PE index in range, no op sends a
     /// segment from a PE to itself via the fabric kinds that would make it
     /// a pointless self-copy (`Put`/`Get`/`GetFold`).
@@ -297,16 +342,7 @@ pub fn execute_sync<T: XbrType>(
     pe.progress_collective(Some(sched.kind));
     let t_ep = pe.trace_start();
 
-    let max_bytes = sched.ops().map(|op| op.nelems * es).max().unwrap_or(0);
-    // A single-stage schedule has no per-stage barrier to eliminate —
-    // `Auto` keeps the plain barrier executor there regardless of scale
-    // (linear shapes at any payload). Explicit modes are honoured as
-    // given so every discipline stays directly testable.
-    let sync = if sync == SyncMode::Auto && sched.stages.len() < 2 {
-        SyncMode::Barrier
-    } else {
-        sync.resolve(sched.n_pes, max_bytes)
-    };
+    let sync = sched.resolve_sync(sync, es);
 
     // One landing buffer reused across every fold stage — the same buffer
     // reuse (and therefore the same cache behaviour) as the hand-written
@@ -468,14 +504,7 @@ pub fn execute_sync<T: XbrType>(
     // lets the table be reused without a zeroing barrier per call.
     // ------------------------------------------------------------------
     let pipelined = sync == SyncMode::Pipelined;
-    let mut op_base = Vec::with_capacity(sched.stages.len());
-    {
-        let mut acc = 0usize;
-        for stage in &sched.stages {
-            op_base.push(acc);
-            acc += stage.ops.len();
-        }
-    }
+    let op_base = sched.op_bases();
     let table = pe.signal_table(sched.total_ops() * SLOTS_PER_OP);
 
     let chunks_of = |op: &TransferOp| -> usize {

@@ -162,6 +162,18 @@ impl FaultConfig {
     pub(crate) const fn redelivers(&self) -> bool {
         self.signal_drop_permille > 0 && self.signal_redeliver_after_us > 0
     }
+
+    /// Seed of PE `rank`'s private fault stream under base seed `seed`.
+    ///
+    /// Each PE's stream is independent so PE count and rank order never
+    /// perturb each other's rolls; the mix is pure `u64` arithmetic, so a
+    /// `(seed, rank)` pair names the identical stream on every platform.
+    /// Public so tests (and the chaos harness) can replay a PE's rolls
+    /// through [`crate::timing::SplitMix64`] and predict exactly which
+    /// events a config will fault.
+    pub const fn pe_stream_seed(seed: u64, rank: usize) -> u64 {
+        seed ^ (rank as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+    }
 }
 
 /// Default watchdog timeout: generous enough that debug-mode test runs
@@ -612,12 +624,26 @@ impl DeadlockReport {
             .unwrap_or(&self.pes[self.detector])
     }
 
-    fn slot_name(&self, off: usize) -> String {
+    /// Translate a symmetric-heap byte offset (e.g. a
+    /// [`WaitSite::Signal`]'s `off`) into a signal-table slot index, when
+    /// a signal table was in use and the offset falls inside it.
+    pub fn signal_slot(&self, off: usize) -> Option<usize> {
         match self.signal_table {
-            Some((base, len)) if off >= base && (off - base) / 8 < len => {
-                format!("slot {}", (off - base) / 8)
+            Some((base, len)) if off >= base && (off - base) / 8 < len => Some((off - base) / 8),
+            _ => None,
+        }
+    }
+
+    fn slot_name(&self, off: usize) -> String {
+        match self.signal_slot(off) {
+            Some(slot) => {
+                // The executor is the only in-tree signal-table user, so a
+                // slot decomposes under its per-op layout: which global op
+                // the waiter was stuck on, and which chunk/ready/ack flag.
+                let (op, role) = crate::collectives::policy::slot_role(slot);
+                format!("slot {slot} (op {op}, {role})")
             }
-            _ => format!("heap offset {off:#x}"),
+            None => format!("heap offset {off:#x}"),
         }
     }
 }
@@ -1118,7 +1144,7 @@ impl<'f> Pe<'f> {
     ) -> Self {
         // Seed each PE's fault stream independently so PE count and rank
         // order do not perturb each other's rolls.
-        let seed = faults.map_or(0, |f| f.seed) ^ (rank as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        let seed = FaultConfig::pe_stream_seed(faults.map_or(0, |f| f.seed), rank);
         Pe {
             rank,
             shared,
@@ -1145,13 +1171,13 @@ impl<'f> Pe<'f> {
     // cycles) — only slower in real time.
     // ------------------------------------------------------------------
 
-    /// splitmix64 step over this PE's private fault stream.
+    /// One step of this PE's private fault stream
+    /// ([`crate::timing::SplitMix64`] state persisted in a `Cell`).
     fn fault_next(&self) -> u64 {
-        let mut z = self.fault_rng.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
-        self.fault_rng.set(z);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        let mut rng = crate::timing::SplitMix64::new(self.fault_rng.get());
+        let v = rng.next_u64();
+        self.fault_rng.set(rng.state());
+        v
     }
 
     /// Roll against a permille probability; on success return a wall-clock

@@ -15,6 +15,49 @@ use xbgas_sim::cache::{Cache, CacheStats, MemHierarchy};
 use xbgas_sim::cost::CostConfig;
 use xbgas_sim::tlb::{Tlb, TlbStats};
 
+/// The splitmix64 generator — the single PRNG behind every deterministic
+/// stream in the runtime (the fault plane's per-PE rolls, the conformance
+/// explorer's random-priority schedulers).
+///
+/// All arithmetic is on `u64` with wrapping semantics, so a given seed
+/// produces the identical stream on every platform regardless of
+/// `usize` width or endianness — the property the golden-seed tests in
+/// `tests/conformance.rs` pin down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream starting from `seed` (the first output mixes `seed +
+    /// 0x9E3779B97F4A7C15`, never `seed` itself).
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The raw generator state (exposed so callers that persist the state
+    /// in a `Cell<u64>` can round-trip it).
+    pub const fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut z = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.state = z;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough pick in `0..n` (`n > 0`); modulo bias is irrelevant
+    /// for scheduling choices.
+    pub fn pick(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "pick from an empty range");
+        self.next_u64() % n
+    }
+}
+
 /// Timing parameters for the fabric.
 #[derive(Clone, Copy, Debug)]
 pub struct TimingConfig {

@@ -186,6 +186,65 @@ fn dropped_signals_trip_watchdog_naming_pe_and_stage() {
 }
 
 #[test]
+fn dropped_chunk_signal_report_names_pe_stage_and_chunk() {
+    use xbrtime::collectives::policy::{slot_role, SlotRole};
+    use xbrtime::collectives::schedule::{self, broadcast_binomial};
+    use xbrtime::fabric::CollectiveKind;
+
+    // One pipelined Put of 128 KiB (8 chunks) from PE 0 to PE 1, with
+    // every signal dropped forever: PE 1 wedges at the drain waiting for
+    // chunk 0's completion signal. The report must name not just the PE
+    // and collective but the exact op and chunk index, via the signal
+    // table's slot layout.
+    let nelems = 16_384usize; // × u64 = 128 KiB → 8 pipeline chunks
+    let cfg = FabricConfig::new(2)
+        .with_shared_bytes(nelems * 8 + (1 << 20))
+        .with_watchdog(Duration::from_millis(400))
+        .with_faults(FaultConfig::drops_forever(5, 1000));
+    let result = Fabric::try_run(cfg, move |pe| {
+        let buf = pe.shared_malloc::<u64>(nelems);
+        let sched = broadcast_binomial(2, 0, nelems, 1);
+        schedule::execute_sync(
+            pe,
+            &sched,
+            buf.whole(),
+            &[],
+            &mut [],
+            None,
+            SyncMode::Pipelined,
+        );
+    });
+    let report = match result {
+        Err(RunError::Deadlock(report)) => report,
+        other => panic!("expected Err(Deadlock), got {other:?}"),
+    };
+    let stuck = report.stuck();
+    assert_eq!(stuck.rank, 1, "the receiver is the wedged PE: {report}");
+    assert_eq!(
+        stuck.collective,
+        Some(CollectiveKind::Broadcast),
+        "report must name the collective: {report}"
+    );
+    // The drain runs after the schedule's single stage.
+    assert_eq!(stuck.stage, Some(1), "drain stage: {report}");
+    let WaitSite::Signal { off } = stuck.site else {
+        panic!("culprit should be on a signal wait: {report}");
+    };
+    let slot = report
+        .signal_slot(off)
+        .expect("wait offset must fall inside the signal table");
+    assert_eq!(
+        slot_role(slot),
+        (0, SlotRole::Chunk(0)),
+        "first pending wait is op 0 chunk 0: {report}"
+    );
+    assert!(
+        report.to_string().contains("chunk 0"),
+        "rendered report names the chunk: {report}"
+    );
+}
+
+#[test]
 fn redelivered_drops_converge_across_sync_modes() {
     // Lossy-but-recovering chaos: signals are dropped and redelivered
     // 1.5 ms later. Every signal-plane collective still converges and
