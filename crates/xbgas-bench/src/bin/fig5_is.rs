@@ -4,16 +4,19 @@
 //! verification enabled, as the paper does, and prints total and per-PE
 //! MOPS. Pass `--json` for machine-readable output, `--quick` to halve the
 //! iteration count, `--trace <out.json>` to additionally run the 8-PE
-//! configuration traced and export a Perfetto timeline.
+//! configuration traced and export a Perfetto timeline, and
+//! `--backend {threads,coop}` to pick the execution engine.
 
 use xbgas_apps::IsClass;
 use xbgas_bench::{
-    export_trace, render_rows, run_fig5, run_fig5_class, run_fig5_traced, trace_arg,
+    backend_arg, export_trace, render_rows, run_fig5_class_on, run_fig5_on, run_fig5_traced_on,
+    trace_arg,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
+    let engine = backend_arg(&args);
     let scale = if args.iter().any(|a| a == "--quick") {
         1
     } else {
@@ -38,13 +41,13 @@ fn main() {
         // Traced IS runs use class S and one iteration regardless of the
         // requested scale: full-class traces are enormous and the ring
         // would wrap long before the timed region of interest.
-        let report = run_fig5_traced(8, 10, class.or(Some(IsClass::S)));
+        let report = run_fig5_traced_on(engine, 8, 10, class.or(Some(IsClass::S)));
         export_trace(&path, report.trace.as_ref().expect("traced run"));
     }
 
     let rows = match class {
-        Some(c) => run_fig5_class(&[1, 2, 4, 8], scale, c),
-        None => run_fig5(&[1, 2, 4, 8], scale),
+        Some(c) => run_fig5_class_on(engine, &[1, 2, 4, 8], scale, c),
+        None => run_fig5_on(engine, &[1, 2, 4, 8], scale),
     };
     if json {
         println!("{}", xbgas_bench::json::to_string_pretty(&rows));

@@ -10,13 +10,31 @@
 //! the per-cell winner. Pass `--json` to print the machine-readable report
 //! to stdout; the same report is always written to `BENCH_sweep.json` so
 //! future changes can track the perf trajectory.
+//!
+//! Engine flags:
+//!
+//! - `--backend {threads,coop}` runs every fabric in the sweep on the
+//!   chosen execution engine (default: thread-per-PE).
+//! - `--large` extends the sweep to n_pes ∈ {64, 256, 1024, 4096} —
+//!   broadcast (`Auto`/`Auto`) and all-reduce cells plus the ring-vs-tree
+//!   chain-cap calibration rows — and records them under `large` in
+//!   `BENCH_sweep.json`, each row tagged with its backend. Only the
+//!   cooperative engine makes these PE counts practical on a small host.
+//! - `--coop-smoke` runs the CI gate instead of the sweep: 256 PEs on the
+//!   cooperative backend, broadcast/reduce/allreduce under every concrete
+//!   sync mode, required to converge with verified buffers and zero
+//!   deadlock reports.
 
+use std::time::Duration;
 use xbgas_bench::json::{to_string_pretty, Json, ToJson};
 use xbgas_bench::{
-    export_trace, sweep_broadcast, sweep_broadcast_policy, sweep_broadcast_sync, sweep_gather,
-    sweep_reduce, sweep_reduce_sync, sweep_scatter, trace_arg, traced_broadcast, Algo, SweepPoint,
+    ablation_allreduce_on, backend_arg, export_trace, sweep_broadcast_on,
+    sweep_broadcast_policy_on, sweep_broadcast_policy_sync_on, sweep_broadcast_sync_on,
+    sweep_gather_on, sweep_reduce_on, sweep_reduce_sync_on, sweep_scatter_on, trace_arg,
+    traced_broadcast_on, Algo, SweepPoint,
 };
-use xbrtime::{AlgorithmPolicy, SyncMode};
+use xbrtime::collectives::{self, AllReduceAlgo};
+use xbrtime::{AlgorithmPolicy, EngineConfig, Fabric, FabricConfig, ReduceOp, RunError, SyncMode};
 
 /// `Auto` vs always-binomial on one sweep cell.
 struct PolicyCell {
@@ -61,10 +79,15 @@ struct SyncCell {
 const SYNC_TOLERANCE: f64 = 1.05;
 
 impl SyncCell {
-    fn measure(collective: &'static str, n_pes: usize, nelems: usize) -> SyncCell {
+    fn measure(
+        engine: EngineConfig,
+        collective: &'static str,
+        n_pes: usize,
+        nelems: usize,
+    ) -> SyncCell {
         let run = |sync| match collective {
-            "broadcast" => sweep_broadcast_sync(sync, n_pes, nelems),
-            _ => sweep_reduce_sync(sync, n_pes, nelems),
+            "broadcast" => sweep_broadcast_sync_on(engine, sync, n_pes, nelems),
+            _ => sweep_reduce_sync_on(engine, sync, n_pes, nelems),
         };
         SyncCell {
             collective,
@@ -155,17 +178,261 @@ fn crossover_bytes(points: &[SweepPoint], n_pes: usize, sizes: &[usize]) -> Opti
         .map(|sz| sz * 8)
 }
 
+/// One large-`n` measurement: a collective at a PE count the thread
+/// backend cannot reasonably host, tagged with the engine that ran it.
+struct LargeCell {
+    collective: &'static str,
+    algo: &'static str,
+    n_pes: usize,
+    nelems: usize,
+    cycles: u64,
+    backend: &'static str,
+}
+
+impl ToJson for LargeCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("collective", Json::Str(self.collective.into())),
+            ("algo", Json::Str(self.algo.into())),
+            ("n_pes", self.n_pes.to_json()),
+            ("nelems", self.nelems.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("backend", Json::Str(self.backend.into())),
+        ])
+    }
+}
+
+/// Ring-vs-tree under the pipelined executor at one PE count — the
+/// measured evidence behind `AUTO_CHAIN_MAX_PES` in `policy.rs`.
+struct ChainCapCell {
+    n_pes: usize,
+    nelems: usize,
+    ring_cycles: u64,
+    binomial_cycles: u64,
+    backend: &'static str,
+}
+
+impl ToJson for ChainCapCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_pes", self.n_pes.to_json()),
+            ("nelems", self.nelems.to_json()),
+            ("ring_pipelined_cycles", self.ring_cycles.to_json()),
+            ("binomial_pipelined_cycles", self.binomial_cycles.to_json()),
+            (
+                "ring_wins",
+                (self.ring_cycles < self.binomial_cycles).to_json(),
+            ),
+            ("backend", Json::Str(self.backend.into())),
+        ])
+    }
+}
+
+/// The `--large` extension: broadcast + all-reduce at 64–4096 PEs, plus
+/// the chain-cap calibration rows. PE counts and payloads shrink together
+/// so the host wall-clock stays in minutes: the big counts answer "does
+/// the engine scale", the mid counts answer "where do the algorithm
+/// crossovers sit".
+fn large_sweep(engine: EngineConfig) -> (Vec<LargeCell>, Vec<ChainCapCell>) {
+    let backend = engine.name();
+    let mut cells = Vec::new();
+    let plan: [(usize, &[usize]); 4] = [
+        (64, &[16, 4096, 65536]),
+        (256, &[16, 4096, 65536]),
+        (1024, &[16, 4096]),
+        (4096, &[16]),
+    ];
+    for (n, sizes) in plan {
+        for &sz in sizes {
+            eprintln!("large: broadcast auto n_pes={n} nelems={sz}");
+            cells.push(LargeCell {
+                collective: "broadcast",
+                algo: "auto",
+                n_pes: n,
+                nelems: sz,
+                cycles: sweep_broadcast_policy_sync_on(
+                    engine,
+                    AlgorithmPolicy::Auto,
+                    SyncMode::Auto,
+                    n,
+                    sz,
+                ),
+                backend,
+            });
+            eprintln!("large: allreduce recursive-doubling n_pes={n} nelems={sz}");
+            cells.push(LargeCell {
+                collective: "allreduce",
+                algo: "recursive-doubling",
+                n_pes: n,
+                nelems: sz,
+                cycles: ablation_allreduce_on(engine, AllReduceAlgo::RecursiveDoubling, n, sz),
+                backend,
+            });
+        }
+    }
+    // Chain-cap evidence: the pipelined ring's linear depth term against
+    // the pipelined tree's logarithmic one, across the cap boundary.
+    let chain_cap = [16usize, 32, 64, 128]
+        .into_iter()
+        .map(|n| {
+            eprintln!("large: chain-cap ring vs tree n_pes={n}");
+            let run = |policy| {
+                sweep_broadcast_policy_sync_on(engine, policy, SyncMode::Pipelined, n, 65_536)
+            };
+            ChainCapCell {
+                n_pes: n,
+                nelems: 65_536,
+                ring_cycles: run(AlgorithmPolicy::Ring),
+                binomial_cycles: run(AlgorithmPolicy::Binomial),
+                backend,
+            }
+        })
+        .collect();
+    (cells, chain_cap)
+}
+
+/// The `--coop-smoke` CI gate: broadcast, reduce and all-reduce at 256
+/// PEs on the cooperative backend, under every concrete sync mode. Every
+/// run must converge (no deadlock report, no panic) with byte-verified
+/// result buffers. Exits the process with the verdict.
+fn coop_smoke() -> ! {
+    const N: usize = 256;
+    const NELEMS: usize = 64;
+    let engine = EngineConfig::coop();
+    let mut failures = 0usize;
+    println!("# coop smoke: {N} PEs on the cooperative backend (workers auto)");
+    println!(
+        "{:>10} {:>10} {:>12} {:>9}",
+        "collective", "sync", "cycles", "ok"
+    );
+    for kind in ["broadcast", "reduce", "allreduce"] {
+        for sync in SyncMode::CONCRETE {
+            let cfg = FabricConfig::paper(N)
+                .with_shared_bytes(1 << 20)
+                .with_watchdog(Duration::from_secs(120))
+                .with_engine(engine);
+            let result = Fabric::try_run(cfg, move |pe| {
+                let me = pe.rank() as u64;
+                match kind {
+                    "broadcast" => {
+                        let dest = pe.shared_malloc::<u64>(NELEMS);
+                        let src: Vec<u64> = (0..NELEMS as u64).map(|i| i * 3 + 1).collect();
+                        collectives::broadcast_sync(pe, &dest, &src, NELEMS, 1, 0, sync);
+                        pe.barrier();
+                        pe.heap_read_vec(dest.whole(), NELEMS)
+                    }
+                    "reduce" => {
+                        let src = pe.shared_malloc::<u64>(NELEMS);
+                        pe.heap_write(src.whole(), &[me + 1; NELEMS]);
+                        pe.barrier();
+                        let mut dest = vec![0u64; NELEMS];
+                        collectives::reduce_with_sync(
+                            pe,
+                            &mut dest,
+                            &src,
+                            NELEMS,
+                            1,
+                            0,
+                            u64::wrapping_add,
+                            sync,
+                        );
+                        pe.barrier();
+                        dest
+                    }
+                    _ => {
+                        let src = pe.shared_malloc::<u64>(NELEMS);
+                        pe.heap_write(src.whole(), &[me * 2 + 1; NELEMS]);
+                        pe.barrier();
+                        let mut dest = vec![0u64; NELEMS];
+                        collectives::reduce_all_sync(
+                            pe,
+                            &mut dest,
+                            &src,
+                            NELEMS,
+                            ReduceOp::Sum,
+                            AllReduceAlgo::RecursiveDoubling,
+                            sync,
+                        );
+                        pe.barrier();
+                        dest
+                    }
+                }
+            });
+            let verdict = match result {
+                Ok(report) => {
+                    let ranks = 0..N as u64;
+                    let expect: Vec<u64> = match kind {
+                        "broadcast" => (0..NELEMS as u64).map(|i| i * 3 + 1).collect(),
+                        "reduce" => vec![ranks.clone().map(|r| r + 1).sum(); NELEMS],
+                        _ => vec![ranks.map(|r| r * 2 + 1).sum(); NELEMS],
+                    };
+                    let data_ok = match kind {
+                        // Only the root's reduce buffer is defined.
+                        "reduce" => report.results[0] == expect,
+                        _ => report.results.iter().all(|r| *r == expect),
+                    };
+                    if data_ok {
+                        let makespan = report.cycles.iter().copied().max().unwrap_or(0);
+                        println!("{kind:>10} {:>10} {makespan:>12} {:>9}", sync.name(), "yes");
+                        true
+                    } else {
+                        println!(
+                            "{kind:>10} {:>10} {:>12} {:>9}",
+                            sync.name(),
+                            "-",
+                            "BAD DATA"
+                        );
+                        false
+                    }
+                }
+                Err(RunError::Deadlock(report)) => {
+                    println!(
+                        "{kind:>10} {:>10} {:>12} {:>9}\n  {report}",
+                        sync.name(),
+                        "-",
+                        "DEADLOCK"
+                    );
+                    false
+                }
+                Err(RunError::Panic(msg)) => {
+                    println!(
+                        "{kind:>10} {:>10} {:>12} {:>9}: {msg}",
+                        sync.name(),
+                        "-",
+                        "PANIC"
+                    );
+                    false
+                }
+            };
+            if !verdict {
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!("\ncoop smoke OK: 9 cells converged with verified buffers, zero deadlock reports");
+        std::process::exit(0);
+    }
+    eprintln!("\ncoop smoke FAILED: {failures} cell(s) violated");
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let large = args.iter().any(|a| a == "--large");
+    let engine = backend_arg(&args);
+    if args.iter().any(|a| a == "--coop-smoke") {
+        coop_smoke();
+    }
 
     // `--trace <out.json>`: export a Perfetto timeline of one traced
     // pipelined broadcast (8 PEs, 32 KiB) — large enough to exercise
     // segmented chunk forwarding and signal flow arrows, small enough for
     // the CI smoke gate.
     if let Some(path) = trace_arg(&args) {
-        let report = traced_broadcast(SyncMode::Pipelined, 8, 4096);
+        let report = traced_broadcast_on(engine, SyncMode::Pipelined, 8, 4096);
         export_trace(&path, report.trace.as_ref().expect("traced run"));
     }
 
@@ -178,10 +445,10 @@ fn main() {
     let mut sync_cells = Vec::new();
     for &n in &pe_counts {
         for &sz in &sizes {
-            sync_cells.push(SyncCell::measure("broadcast", n, sz));
+            sync_cells.push(SyncCell::measure(engine, "broadcast", n, sz));
         }
         for &sz in &[256usize, 65536] {
-            sync_cells.push(SyncCell::measure("reduce", n, sz));
+            sync_cells.push(SyncCell::measure(engine, "reduce", n, sz));
         }
     }
 
@@ -248,7 +515,7 @@ fn main() {
     for &n in &pe_counts {
         for &sz in &sizes {
             for &algo in &algos {
-                points.push(sweep_broadcast(algo, n, sz));
+                points.push(sweep_broadcast_on(engine, algo, n, sz));
             }
         }
     }
@@ -266,14 +533,27 @@ fn main() {
             sizes.iter().map(move |&sz| PolicyCell {
                 n_pes: n,
                 nelems: sz,
-                auto_cycles: sweep_broadcast_policy(AlgorithmPolicy::Auto, n, sz),
-                binomial_cycles: sweep_broadcast_policy(AlgorithmPolicy::Binomial, n, sz),
+                auto_cycles: sweep_broadcast_policy_on(engine, AlgorithmPolicy::Auto, n, sz),
+                binomial_cycles: sweep_broadcast_policy_on(
+                    engine,
+                    AlgorithmPolicy::Binomial,
+                    n,
+                    sz,
+                ),
             })
         })
         .collect();
 
-    let report = Json::obj([
+    // `--large`: the coop-engine scaling cells plus the chain-cap
+    // calibration rows, appended to the report under "large".
+    let large_section = large.then(|| {
+        let (cells, chain_cap) = large_sweep(engine);
+        (cells, chain_cap)
+    });
+
+    let mut report_fields = vec![
         ("benchmark", Json::Str("xbench_sweep".into())),
+        ("backend", Json::Str(engine.name().into())),
         ("broadcast_points", points.to_json()),
         (
             "crossovers",
@@ -326,7 +606,17 @@ fn main() {
                 .any(|c| c.signaled_cycles.min(c.pipelined_cycles) < c.barrier_cycles)
                 .to_json(),
         ),
-    ]);
+    ];
+    if let Some((cells, chain_cap)) = &large_section {
+        report_fields.push((
+            "large",
+            Json::obj([
+                ("cells", cells.to_json()),
+                ("chain_cap", chain_cap.to_json()),
+            ]),
+        ));
+    }
+    let report = Json::obj(report_fields);
     let rendered = to_string_pretty(&report);
     if let Err(e) = std::fs::write("BENCH_sweep.json", &rendered) {
         eprintln!("warning: could not write BENCH_sweep.json: {e}");
@@ -397,10 +687,10 @@ fn main() {
     );
     for &n in &pe_counts {
         for per in [16usize, 1024, 8192] {
-            let st = sweep_scatter(Algo::Binomial, n, per).cycles;
-            let sl = sweep_scatter(Algo::Linear, n, per).cycles;
-            let gt = sweep_gather(Algo::Binomial, n, per).cycles;
-            let gl = sweep_gather(Algo::Linear, n, per).cycles;
+            let st = sweep_scatter_on(engine, Algo::Binomial, n, per).cycles;
+            let sl = sweep_scatter_on(engine, Algo::Linear, n, per).cycles;
+            let gt = sweep_gather_on(engine, Algo::Binomial, n, per).cycles;
+            let gl = sweep_gather_on(engine, Algo::Linear, n, per).cycles;
             println!("{n:>5} {per:>9} {st:>14} {sl:>14} {gt:>14} {gl:>14}");
         }
     }
@@ -412,8 +702,8 @@ fn main() {
     );
     for &n in &pe_counts {
         for &sz in &sizes {
-            let t = sweep_reduce(Algo::Binomial, n, sz).cycles;
-            let l = sweep_reduce(Algo::Linear, n, sz).cycles;
+            let t = sweep_reduce_on(engine, Algo::Binomial, n, sz).cycles;
+            let l = sweep_reduce_on(engine, Algo::Linear, n, sz).cycles;
             println!(
                 "{:>5} {:>9} {:>12} {:>12}  {}",
                 n,
@@ -421,6 +711,38 @@ fn main() {
                 t,
                 l,
                 if t <= l { "binomial" } else { "linear" }
+            );
+        }
+    }
+
+    if let Some((cells, chain_cap)) = &large_section {
+        println!(
+            "\n# Large-n cells ({} backend): makespan cycles",
+            engine.name()
+        );
+        println!(
+            "{:>10} {:>20} {:>6} {:>9} {:>14}",
+            "collective", "algo", "PEs", "elems", "cycles"
+        );
+        for c in cells {
+            println!(
+                "{:>10} {:>20} {:>6} {:>9} {:>14}",
+                c.collective, c.algo, c.n_pes, c.nelems, c.cycles
+            );
+        }
+        println!("\n# Chain cap: pipelined ring vs pipelined binomial at 64 KiB elems");
+        println!("{:>6} {:>14} {:>14}  ring wins", "PEs", "ring", "binomial");
+        for c in chain_cap {
+            println!(
+                "{:>6} {:>14} {:>14}  {}",
+                c.n_pes,
+                c.ring_cycles,
+                c.binomial_cycles,
+                if c.ring_cycles < c.binomial_cycles {
+                    "yes"
+                } else {
+                    "no"
+                }
             );
         }
     }

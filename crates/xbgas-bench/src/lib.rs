@@ -24,7 +24,27 @@ pub mod json;
 use json::{Json, ToJson};
 use xbgas_apps::{run_gups, run_is, GupsConfig, GupsResult, IsConfig, IsResult};
 use xbrtime::collectives::{self, AllReduceAlgo};
-use xbrtime::{Fabric, FabricConfig, Pe, ReduceOp, RunReport};
+use xbrtime::{EngineConfig, Fabric, FabricConfig, Pe, ReduceOp, RunReport};
+
+/// `--backend {threads,coop}` argument shared by the harness binaries:
+/// the execution engine every fabric in the run is built on. Defaults to
+/// the thread-per-PE engine; `coop` multiplexes the PEs over the
+/// work-stealing cooperative scheduler (the only way the large-`n`
+/// sweeps fit on a small host). Exits with an error on an unknown name
+/// rather than silently measuring the wrong engine.
+pub fn backend_arg(args: &[String]) -> EngineConfig {
+    match args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+    {
+        None => EngineConfig::threads(),
+        Some(name) => EngineConfig::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown --backend `{name}` (expected `threads` or `coop`)");
+            std::process::exit(2);
+        }),
+    }
+}
 
 /// Core frequency used to convert simulated cycles into seconds.
 pub const CORE_HZ: u64 = 1_000_000_000;
@@ -76,13 +96,20 @@ pub fn render_rows(title: &str, unit: &str, rows: &[FigureRow]) -> String {
 /// Run the Figure 4 GUPs sweep over `pe_counts` at `scale` (1 = the full
 /// harness size of 2^20 total updates; tests use a smaller scale).
 pub fn run_fig4(pe_counts: &[usize], scale_shift: u32) -> Vec<FigureRow> {
+    run_fig4_on(EngineConfig::threads(), pe_counts, scale_shift)
+}
+
+/// [`run_fig4`] on an explicit execution engine.
+pub fn run_fig4_on(engine: EngineConfig, pe_counts: &[usize], scale_shift: u32) -> Vec<FigureRow> {
     pe_counts
         .iter()
         .map(|&n| {
             let mut cfg = GupsConfig::fig4(n);
             cfg.updates_per_pe >>= scale_shift;
             let total_updates = cfg.updates_per_pe * n;
-            let fc = FabricConfig::paper(n).with_shared_bytes(cfg.table_bytes() + (1 << 20));
+            let fc = FabricConfig::paper(n)
+                .with_shared_bytes(cfg.table_bytes() + (1 << 20))
+                .with_engine(engine);
             let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));
             let makespan = report.results.iter().map(|r| r.cycles).max().unwrap_or(0);
             let secs = makespan as f64 / CORE_HZ as f64;
@@ -100,7 +127,12 @@ pub fn run_fig4(pe_counts: &[usize], scale_shift: u32) -> Vec<FigureRow> {
 /// Run the Figure 5 NAS IS sweep over `pe_counts`. `scale_shift` divides
 /// the iteration count (tests use fewer iterations).
 pub fn run_fig5(pe_counts: &[usize], scale_shift: u32) -> Vec<FigureRow> {
-    run_fig5_impl(pe_counts, scale_shift, None)
+    run_fig5_impl(EngineConfig::threads(), pe_counts, scale_shift, None)
+}
+
+/// [`run_fig5`] on an explicit execution engine.
+pub fn run_fig5_on(engine: EngineConfig, pe_counts: &[usize], scale_shift: u32) -> Vec<FigureRow> {
+    run_fig5_impl(engine, pe_counts, scale_shift, None)
 }
 
 /// [`run_fig5`] with an explicit NPB class instead of the scaled default.
@@ -109,10 +141,21 @@ pub fn run_fig5_class(
     scale_shift: u32,
     class: xbgas_apps::IsClass,
 ) -> Vec<FigureRow> {
-    run_fig5_impl(pe_counts, scale_shift, Some(class))
+    run_fig5_impl(EngineConfig::threads(), pe_counts, scale_shift, Some(class))
+}
+
+/// [`run_fig5_class`] on an explicit execution engine.
+pub fn run_fig5_class_on(
+    engine: EngineConfig,
+    pe_counts: &[usize],
+    scale_shift: u32,
+    class: xbgas_apps::IsClass,
+) -> Vec<FigureRow> {
+    run_fig5_impl(engine, pe_counts, scale_shift, Some(class))
 }
 
 fn run_fig5_impl(
+    engine: EngineConfig,
     pe_counts: &[usize],
     scale_shift: u32,
     class: Option<xbgas_apps::IsClass>,
@@ -128,7 +171,9 @@ fn run_fig5_impl(
             let (total_keys, max_key) = cfg.class.sizes();
             // Heap: histogram + mailbox (total keys) + slack.
             let heap = (max_key * 8 + total_keys * 4 + (1 << 22)).max(16 << 20);
-            let fc = FabricConfig::paper(n).with_shared_bytes(heap);
+            let fc = FabricConfig::paper(n)
+                .with_shared_bytes(heap)
+                .with_engine(engine);
             let report = Fabric::run(fc, move |pe| run_is(pe, &cfg));
             assert!(
                 report.results.iter().all(|r| r.verified),
@@ -201,7 +246,19 @@ impl ToJson for SweepPoint {
 
 /// Measure one broadcast call's simulated makespan.
 pub fn sweep_broadcast(algo: Algo, n_pes: usize, nelems: usize) -> SweepPoint {
-    let fc = FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20));
+    sweep_broadcast_on(EngineConfig::threads(), algo, n_pes, nelems)
+}
+
+/// [`sweep_broadcast`] on an explicit execution engine.
+pub fn sweep_broadcast_on(
+    engine: EngineConfig,
+    algo: Algo,
+    n_pes: usize,
+    nelems: usize,
+) -> SweepPoint {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
         let dest = pe.shared_malloc::<u64>(nelems.max(1));
         let src = vec![7u64; nelems];
@@ -234,13 +291,52 @@ pub fn sweep_broadcast_policy(
     n_pes: usize,
     nelems: usize,
 ) -> u64 {
-    let fc = FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20));
+    sweep_broadcast_policy_on(EngineConfig::threads(), policy, n_pes, nelems)
+}
+
+/// [`sweep_broadcast_policy`] on an explicit execution engine.
+pub fn sweep_broadcast_policy_on(
+    engine: EngineConfig,
+    policy: xbrtime::AlgorithmPolicy,
+    n_pes: usize,
+    nelems: usize,
+) -> u64 {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
         let dest = pe.shared_malloc::<u64>(nelems.max(1));
         let src = vec![7u64; nelems];
         pe.barrier();
         let t0 = pe.cycles();
         collectives::broadcast_policy(pe, &dest, &src, nelems, 1, 0, policy);
+        pe.barrier();
+        pe.cycles() - t0
+    });
+    report.results.iter().copied().max().unwrap_or(0)
+}
+
+/// Measure one warmed broadcast under an explicit algorithm policy *and*
+/// executor sync mode — the probe behind the large-`n` chain-cap
+/// calibration cells (`xbench_sweep --large`), where the question is
+/// precisely "ring or tree, given that the executor pipelines".
+pub fn sweep_broadcast_policy_sync_on(
+    engine: EngineConfig,
+    policy: xbrtime::AlgorithmPolicy,
+    sync: xbrtime::SyncMode,
+    n_pes: usize,
+    nelems: usize,
+) -> u64 {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
+    let report = Fabric::run(fc, move |pe| {
+        let dest = pe.shared_malloc::<u64>(nelems.max(1));
+        let src = vec![7u64; nelems];
+        collectives::broadcast_policy_sync(pe, &dest, &src, nelems, 1, 0, policy, sync);
+        pe.barrier();
+        let t0 = pe.cycles();
+        collectives::broadcast_policy_sync(pe, &dest, &src, nelems, 1, 0, policy, sync);
         pe.barrier();
         pe.cycles() - t0
     });
@@ -261,7 +357,19 @@ pub fn sweep_broadcast_policy(
 /// take the chain shape that segmented signaling unlocks for large
 /// payloads.
 pub fn sweep_broadcast_sync(sync: xbrtime::SyncMode, n_pes: usize, nelems: usize) -> u64 {
-    let fc = FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20));
+    sweep_broadcast_sync_on(EngineConfig::threads(), sync, n_pes, nelems)
+}
+
+/// [`sweep_broadcast_sync`] on an explicit execution engine.
+pub fn sweep_broadcast_sync_on(
+    engine: EngineConfig,
+    sync: xbrtime::SyncMode,
+    n_pes: usize,
+    nelems: usize,
+) -> u64 {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
         let dest = pe.shared_malloc::<u64>(nelems.max(1));
         let src = vec![7u64; nelems];
@@ -280,8 +388,19 @@ pub fn sweep_broadcast_sync(sync: xbrtime::SyncMode, n_pes: usize, nelems: usize
 /// executor [`xbrtime::SyncMode`], with the same warm-up discipline as
 /// [`sweep_broadcast_sync`].
 pub fn sweep_reduce_sync(sync: xbrtime::SyncMode, n_pes: usize, nelems: usize) -> u64 {
-    let fc =
-        FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 * 4 + (1 << 16)).max(1 << 20));
+    sweep_reduce_sync_on(EngineConfig::threads(), sync, n_pes, nelems)
+}
+
+/// [`sweep_reduce_sync`] on an explicit execution engine.
+pub fn sweep_reduce_sync_on(
+    engine: EngineConfig,
+    sync: xbrtime::SyncMode,
+    n_pes: usize,
+    nelems: usize,
+) -> u64 {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 * 4 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
         let src = pe.shared_malloc::<u64>(nelems.max(1));
         let data: Vec<u64> = (0..nelems as u64).collect();
@@ -321,6 +440,15 @@ pub struct SyncAblationRow {
 /// executor's point-to-point telemetry next to the makespan, for the
 /// `ablation` binary's sync-mode section.
 pub fn ablation_sync_modes(n_pes: usize, nelems: usize) -> Vec<SyncAblationRow> {
+    ablation_sync_modes_on(EngineConfig::threads(), n_pes, nelems)
+}
+
+/// [`ablation_sync_modes`] on an explicit execution engine.
+pub fn ablation_sync_modes_on(
+    engine: EngineConfig,
+    n_pes: usize,
+    nelems: usize,
+) -> Vec<SyncAblationRow> {
     use xbrtime::SyncMode;
     [
         SyncMode::Barrier,
@@ -330,8 +458,9 @@ pub fn ablation_sync_modes(n_pes: usize, nelems: usize) -> Vec<SyncAblationRow> 
     ]
     .into_iter()
     .map(|sync| {
-        let fc =
-            FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20));
+        let fc = FabricConfig::paper(n_pes)
+            .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
+            .with_engine(engine);
         let report = Fabric::run(fc, move |pe| {
             let dest = pe.shared_malloc::<u64>(nelems.max(1));
             let src = vec![7u64; nelems];
@@ -360,8 +489,19 @@ pub fn ablation_sync_modes(n_pes: usize, nelems: usize) -> Vec<SyncAblationRow> 
 
 /// Measure one sum-reduction call's simulated makespan.
 pub fn sweep_reduce(algo: Algo, n_pes: usize, nelems: usize) -> SweepPoint {
-    let fc =
-        FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    sweep_reduce_on(EngineConfig::threads(), algo, n_pes, nelems)
+}
+
+/// [`sweep_reduce`] on an explicit execution engine.
+pub fn sweep_reduce_on(
+    engine: EngineConfig,
+    algo: Algo,
+    n_pes: usize,
+    nelems: usize,
+) -> SweepPoint {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
         let src = pe.shared_malloc::<u64>(nelems.max(1));
         let data: Vec<u64> = (0..nelems as u64).collect();
@@ -395,9 +535,20 @@ pub fn sweep_reduce(algo: Algo, n_pes: usize, nelems: usize) -> SweepPoint {
 /// Measure one scatter (tree or linear) call's simulated makespan with
 /// uniform per-PE counts.
 pub fn sweep_scatter(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
+    sweep_scatter_on(EngineConfig::threads(), algo, n_pes, per_pe)
+}
+
+/// [`sweep_scatter`] on an explicit execution engine.
+pub fn sweep_scatter_on(
+    engine: EngineConfig,
+    algo: Algo,
+    n_pes: usize,
+    per_pe: usize,
+) -> SweepPoint {
     let nelems = per_pe * n_pes;
-    let fc =
-        FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
         let msgs = vec![per_pe; n_pes];
         let disp: Vec<usize> = (0..n_pes).map(|r| r * per_pe).collect();
@@ -429,9 +580,20 @@ pub fn sweep_scatter(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
 
 /// Measure one gather (tree or linear) call's simulated makespan.
 pub fn sweep_gather(algo: Algo, n_pes: usize, per_pe: usize) -> SweepPoint {
+    sweep_gather_on(EngineConfig::threads(), algo, n_pes, per_pe)
+}
+
+/// [`sweep_gather`] on an explicit execution engine.
+pub fn sweep_gather_on(
+    engine: EngineConfig,
+    algo: Algo,
+    n_pes: usize,
+    per_pe: usize,
+) -> SweepPoint {
     let nelems = per_pe * n_pes;
-    let fc =
-        FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
         let msgs = vec![per_pe; n_pes];
         let disp: Vec<usize> = (0..n_pes).map(|r| r * per_pe).collect();
@@ -474,10 +636,21 @@ pub fn collective_telemetry(n_pes: usize, nelems: usize) -> Vec<xbrtime::Collect
 /// merged per-PE event log — this is the run `ablation` prints a timeline
 /// for and `xbench_sweep --trace` exports as Perfetto JSON.
 pub fn collective_run(n_pes: usize, nelems: usize, traced: bool) -> RunReport<()> {
+    collective_run_on(EngineConfig::threads(), n_pes, nelems, traced)
+}
+
+/// [`collective_run`] on an explicit execution engine.
+pub fn collective_run_on(
+    engine: EngineConfig,
+    n_pes: usize,
+    nelems: usize,
+    traced: bool,
+) -> RunReport<()> {
     let per_pe = nelems.max(1);
     let total = per_pe * n_pes;
-    let mut fc =
-        FabricConfig::paper(n_pes).with_shared_bytes((total * 8 * 4 + (1 << 16)).max(1 << 20));
+    let mut fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((total * 8 * 4 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
     if traced {
         fc = fc.with_trace();
     }
@@ -540,6 +713,15 @@ fn collective_workload(pe: &Pe, n_pes: usize, per_pe: usize) {
 /// `report.collectives` the telemetry the trace's per-collective critical
 /// paths are checked against.
 pub fn run_fig4_traced(n_pes: usize, scale_shift: u32) -> RunReport<GupsResult> {
+    run_fig4_traced_on(EngineConfig::threads(), n_pes, scale_shift)
+}
+
+/// [`run_fig4_traced`] on an explicit execution engine.
+pub fn run_fig4_traced_on(
+    engine: EngineConfig,
+    n_pes: usize,
+    scale_shift: u32,
+) -> RunReport<GupsResult> {
     let mut cfg = GupsConfig::fig4(n_pes);
     cfg.updates_per_pe >>= scale_shift;
     // The collective episodes live in the verification tail (reduce +
@@ -547,12 +729,23 @@ pub fn run_fig4_traced(n_pes: usize, scale_shift: u32) -> RunReport<GupsResult> 
     cfg.verify = true;
     let fc = FabricConfig::paper(n_pes)
         .with_shared_bytes(cfg.table_bytes() + (1 << 20))
-        .with_trace();
+        .with_trace()
+        .with_engine(engine);
     Fabric::run(fc, move |pe| run_gups(pe, &cfg))
 }
 
 /// [`run_fig4_traced`] for the Figure-5 IS harness.
 pub fn run_fig5_traced(
+    n_pes: usize,
+    scale_shift: u32,
+    class: Option<xbgas_apps::IsClass>,
+) -> RunReport<IsResult> {
+    run_fig5_traced_on(EngineConfig::threads(), n_pes, scale_shift, class)
+}
+
+/// [`run_fig5_traced`] on an explicit execution engine.
+pub fn run_fig5_traced_on(
+    engine: EngineConfig,
     n_pes: usize,
     scale_shift: u32,
     class: Option<xbgas_apps::IsClass>,
@@ -566,7 +759,8 @@ pub fn run_fig5_traced(
     let heap = (max_key * 8 + total_keys * 4 + (1 << 22)).max(16 << 20);
     let fc = FabricConfig::paper(n_pes)
         .with_shared_bytes(heap)
-        .with_trace();
+        .with_trace()
+        .with_engine(engine);
     Fabric::run(fc, move |pe| run_is(pe, &cfg))
 }
 
@@ -574,9 +768,20 @@ pub fn run_fig5_traced(
 /// the representative run `xbench_sweep --trace` exports. The warm-up call
 /// shares the trace, so the exported timeline shows both episodes.
 pub fn traced_broadcast(sync: xbrtime::SyncMode, n_pes: usize, nelems: usize) -> RunReport<()> {
+    traced_broadcast_on(EngineConfig::threads(), sync, n_pes, nelems)
+}
+
+/// [`traced_broadcast`] on an explicit execution engine.
+pub fn traced_broadcast_on(
+    engine: EngineConfig,
+    sync: xbrtime::SyncMode,
+    n_pes: usize,
+    nelems: usize,
+) -> RunReport<()> {
     let fc = FabricConfig::paper(n_pes)
         .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
-        .with_trace();
+        .with_trace()
+        .with_engine(engine);
     Fabric::run(fc, move |pe| {
         let dest = pe.shared_malloc::<u64>(nelems.max(1));
         let src = vec![7u64; nelems];
@@ -616,7 +821,14 @@ pub fn export_trace(path: &str, trace: &xbrtime::Trace) {
 
 /// Ablation: simulated cycles for a bulk put at a given unroll threshold.
 pub fn ablation_unroll(threshold: usize, nelems: usize) -> u64 {
-    let mut fc = FabricConfig::paper(2).with_shared_bytes((nelems * 8).max(1 << 20));
+    ablation_unroll_on(EngineConfig::threads(), threshold, nelems)
+}
+
+/// [`ablation_unroll`] on an explicit execution engine.
+pub fn ablation_unroll_on(engine: EngineConfig, threshold: usize, nelems: usize) -> u64 {
+    let mut fc = FabricConfig::paper(2)
+        .with_shared_bytes((nelems * 8).max(1 << 20))
+        .with_engine(engine);
     fc.timing.unroll_threshold = threshold;
     let report = Fabric::run(fc, move |pe| {
         let dest = pe.shared_malloc::<u64>(nelems);
@@ -634,13 +846,24 @@ pub fn ablation_unroll(threshold: usize, nelems: usize) -> u64 {
 /// Ablation: hierarchical vs flat broadcast on a multi-node topology.
 /// Returns (hierarchical_cycles, flat_cycles).
 pub fn ablation_topology(n_pes: usize, pes_per_node: usize, nelems: usize) -> (u64, u64) {
+    ablation_topology_on(EngineConfig::threads(), n_pes, pes_per_node, nelems)
+}
+
+/// [`ablation_topology`] on an explicit execution engine.
+pub fn ablation_topology_on(
+    engine: EngineConfig,
+    n_pes: usize,
+    pes_per_node: usize,
+    nelems: usize,
+) -> (u64, u64) {
     use xbrtime::Topology;
     let cfg = FabricConfig::paper(n_pes)
         .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
         .with_topology(Topology {
             pes_per_node,
             intra_node_factor: 0.25,
-        });
+        })
+        .with_engine(engine);
     let run = |hier: bool| {
         let report = Fabric::run(cfg, move |pe| {
             let dest = pe.shared_malloc::<u64>(nelems.max(1));
@@ -664,6 +887,11 @@ pub fn ablation_topology(n_pes: usize, pes_per_node: usize, nelems: usize) -> (u
 /// vs a single-crossing remote atomic xor. Returns
 /// (getput_makespan, amo_makespan, getput_errors, amo_errors).
 pub fn ablation_gups_amo(n_pes: usize) -> (u64, u64, usize, usize) {
+    ablation_gups_amo_on(EngineConfig::threads(), n_pes)
+}
+
+/// [`ablation_gups_amo`] on an explicit execution engine.
+pub fn ablation_gups_amo_on(engine: EngineConfig, n_pes: usize) -> (u64, u64, usize, usize) {
     let run = |use_amo: bool| {
         let cfg = xbgas_apps::GupsConfig {
             log2_table_size: 16,
@@ -673,7 +901,9 @@ pub fn ablation_gups_amo(n_pes: usize) -> (u64, u64, usize, usize) {
             policy: xbrtime::AlgorithmPolicy::Binomial,
             sync: xbrtime::SyncMode::Barrier,
         };
-        let fc = FabricConfig::paper(n_pes).with_shared_bytes(cfg.table_bytes() + (1 << 20));
+        let fc = FabricConfig::paper(n_pes)
+            .with_shared_bytes(cfg.table_bytes() + (1 << 20))
+            .with_engine(engine);
         let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));
         let makespan = report.results.iter().map(|r| r.cycles).max().unwrap_or(0);
         let errors = report.results.iter().map(|r| r.errors).sum();
@@ -686,8 +916,20 @@ pub fn ablation_gups_amo(n_pes: usize) -> (u64, u64, usize, usize) {
 
 /// Ablation: simulated makespan of all-reduce under both strategies.
 pub fn ablation_allreduce(algo: AllReduceAlgo, n_pes: usize, nelems: usize) -> u64 {
-    let fc =
-        FabricConfig::paper(n_pes).with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20));
+    ablation_allreduce_on(EngineConfig::threads(), algo, n_pes, nelems)
+}
+
+/// [`ablation_allreduce`] on an explicit execution engine — doubling as
+/// the all-reduce probe of the large-`n` sweep cells.
+pub fn ablation_allreduce_on(
+    engine: EngineConfig,
+    algo: AllReduceAlgo,
+    n_pes: usize,
+    nelems: usize,
+) -> u64 {
+    let fc = FabricConfig::paper(n_pes)
+        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
         let src = pe.shared_malloc::<u64>(nelems.max(1));
         pe.heap_write(src.whole(), &vec![pe.rank() as u64; nelems]);

@@ -270,12 +270,32 @@ fn auto_select(kind: CollectiveKind, n_pes: usize, nbytes: usize) -> Algorithm {
 /// to the chain exactly when the resolved mode pipelines and the payload
 /// clears [`AUTO_PIPELINE_MIN_BYTES`].
 fn auto_select_broadcast_sync(n_pes: usize, nbytes: usize, resolved: SyncMode) -> Algorithm {
-    if resolved == SyncMode::Pipelined && n_pes > 2 && nbytes >= AUTO_PIPELINE_MIN_BYTES {
+    if resolved == SyncMode::Pipelined
+        && n_pes > 2
+        && n_pes <= AUTO_CHAIN_MAX_PES
+        && nbytes >= AUTO_PIPELINE_MIN_BYTES
+    {
         Algorithm::Ring
     } else {
         auto_select(CollectiveKind::Broadcast, n_pes, nbytes)
     }
 }
+
+/// Largest PE count at which `Auto` keeps the pipelined chain. Two
+/// models pull in opposite directions above this point. The depth model
+/// says the chain's linear term — `T + (n − 2) ·
+/// T/`[`MAX_PIPELINE_CHUNKS`] — passes the tree's `⌈log2 n⌉ · T`
+/// between 32 PEs (`4.75·T` vs `5·T`) and 64 (`8.75·T` vs `6·T`). The
+/// measured `xbench_sweep --large` chain-cap rows (`BENCH_sweep.json`,
+/// `large.chain_cap`) disagree: under the M/M/1 channel model the
+/// tree's doubling fan-out saturates the links and the chain stays
+/// ahead at 64 PEs (6.0M vs 9.2M cycles at 64 KiB) and 128 (3.9M vs
+/// 18.6M), while at 16 the tree wins (1.55M vs 1.76M). The cap sits at
+/// the edge of model agreement: through 32 PEs both say the chain is
+/// at worst near-par (measured 3.20M vs 3.76M), beyond it `Auto`
+/// prefers the tree's predictable log-depth over a 100+-hop failure
+/// domain that only one model endorses.
+const AUTO_CHAIN_MAX_PES: usize = 32;
 
 /// Broadcast under `policy`: dispatches to the binomial tree
 /// ([`broadcast::broadcast`]), [`baseline::broadcast_linear`], or
@@ -538,6 +558,31 @@ mod tests {
             auto_select_broadcast_sync(2, big, SyncMode::Pipelined),
             Algorithm::Linear
         );
+    }
+
+    #[test]
+    fn auto_broadcast_chain_caps_out_at_large_pe_counts() {
+        let big = 1 << 20;
+        // Up to the cap the chain's single-injection shape still wins.
+        assert_eq!(
+            auto_select_broadcast_sync(32, big, SyncMode::Pipelined),
+            Algorithm::Ring
+        );
+        // Past it the linear depth term `(n − 2) · T/8` overtakes the
+        // tree's `⌈log2 n⌉ · T` and Auto must fall back to the tree,
+        // however deep the payload.
+        for n in [64usize, 256, 1024, 4096] {
+            assert_eq!(
+                auto_select_broadcast_sync(n, big, SyncMode::Pipelined),
+                Algorithm::Binomial,
+                "n_pes = {n}"
+            );
+            assert_eq!(
+                auto_select_broadcast_sync(n, big, SyncMode::Auto.resolve(n, big)),
+                Algorithm::Binomial,
+                "n_pes = {n} (auto-resolved)"
+            );
+        }
     }
 
     #[test]

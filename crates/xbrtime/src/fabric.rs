@@ -16,6 +16,7 @@
 //! (the collectives in this crate do so after every tree stage, as the
 //! paper prescribes). See [`crate::heap::HeapData`] for the full contract.
 
+use crate::engine::{CoopSched, EngineConfig, EngineKind, Park, PeSchedState};
 use crate::heap::{FreeList, HeapData};
 use crate::timing::{Backoff, PeClock, TimingConfig};
 use crate::trace::{self, Trace, TraceConfig, TraceEvent, TraceKind, TracePlane};
@@ -186,6 +187,13 @@ pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(60);
 /// hang.
 const DEADLOCK_RECENT_EVENTS: usize = 8;
 
+/// Cooperative waits take this many yield-only backoff steps before
+/// parking: with several workers a peer may be one store away, and the
+/// brief spin dodges a park/unpark round-trip. With one worker no peer
+/// can progress concurrently, so the window always falls through to the
+/// park — deterministically.
+const COOP_PARK_AFTER: u32 = 4;
+
 /// Configuration for a fabric run.
 #[derive(Clone, Copy, Debug)]
 pub struct FabricConfig {
@@ -211,6 +219,10 @@ pub struct FabricConfig {
     /// one untaken branch per instrumented site — zero simulated-clock
     /// perturbation.
     pub trace: Option<TraceConfig>,
+    /// Execution engine: thread-per-PE (the default) or the cooperative
+    /// scheduler that multiplexes PEs over a small worker pool
+    /// ([`EngineConfig::coop`]).
+    pub engine: EngineConfig,
 }
 
 impl FabricConfig {
@@ -224,6 +236,7 @@ impl FabricConfig {
             faults: None,
             watchdog: Some(DEFAULT_WATCHDOG),
             trace: None,
+            engine: EngineConfig::threads(),
         }
     }
 
@@ -237,6 +250,7 @@ impl FabricConfig {
             faults: None,
             watchdog: Some(DEFAULT_WATCHDOG),
             trace: None,
+            engine: EngineConfig::threads(),
         }
     }
 
@@ -290,8 +304,17 @@ impl FabricConfig {
     }
 
     /// Enable the tracing plane with an explicit per-PE ring capacity.
+    ///
+    /// Large fabrics clamp the capacity at run start so total ring memory
+    /// stays bounded — see [`TraceConfig::scaled_for`].
     pub const fn with_trace_capacity(mut self, events_per_pe: usize) -> Self {
         self.trace = Some(TraceConfig { events_per_pe });
+        self
+    }
+
+    /// Builder-style execution-engine override (see [`EngineConfig`]).
+    pub const fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -581,6 +604,10 @@ pub struct PeProbe {
     /// (empty when the run was not traced) — what the PE was doing just
     /// before the hang.
     pub recent_events: Vec<TraceEvent>,
+    /// The cooperative scheduler's view of the PE (runnable vs parked vs
+    /// sleeping); `None` on the thread backend, where every PE owns an
+    /// OS thread and "blocked" is only visible through [`PeProbe::site`].
+    pub sched: Option<PeSchedState>,
 }
 
 /// Structured report produced when the progress watchdog fires: a
@@ -683,11 +710,16 @@ impl std::fmt::Display for DeadlockReport {
                     .collect();
                 format!(" pending[{}]", list.join(", "))
             };
+            let sched = match p.sched {
+                Some(s) => format!(" [sched {}]", s.name()),
+                None => String::new(),
+            };
             writeln!(
                 f,
-                "  PE {}: {} | collective {} stage {} | progress {} {}{}",
+                "  PE {}: {}{} | collective {} stage {} | progress {} {}{}",
                 p.rank,
                 site,
+                sched,
                 coll,
                 stage,
                 p.progress_ops,
@@ -781,6 +813,8 @@ struct Shared {
     watchdog: Option<Duration>,
     /// Per-PE trace rings; `None` when tracing is off.
     trace: Option<TracePlane>,
+    /// The cooperative scheduler; `None` on the thread backend.
+    coop: Option<CoopSched>,
 }
 
 impl Shared {
@@ -807,7 +841,15 @@ impl Shared {
             dropped: Mutex::new(Vec::new()),
             redelivery_armed: cfg.faults.is_some_and(|f| f.redelivers()),
             watchdog: cfg.watchdog,
-            trace: cfg.trace.map(|t| TracePlane::new(cfg.n_pes, t)),
+            // Ring capacity auto-scales with PE count so a 4096-PE traced
+            // run allocates tens of MiB, not gigabytes.
+            trace: cfg
+                .trace
+                .map(|t| TracePlane::new(cfg.n_pes, t.scaled_for(cfg.n_pes))),
+            coop: match cfg.engine.kind {
+                EngineKind::Coop => Some(CoopSched::new(cfg.n_pes, cfg.engine)),
+                EngineKind::Threads => None,
+            },
         }
     }
 
@@ -841,7 +883,22 @@ impl Shared {
             self.stats
                 .signals_redelivered
                 .fetch_add(1, Ordering::Relaxed);
+            // A redelivered signal is an external wake source: the waiter
+            // may be parked in the cooperative scheduler.
+            if let Some(c) = &self.coop {
+                c.unpark(d.pe);
+            }
         }
+    }
+
+    /// Earliest pending redelivery deadline, if any — what a wedged
+    /// cooperative fabric (everything parked, nothing runnable) must
+    /// wait for before declaring a structural deadlock.
+    fn earliest_redelivery(&self) -> Option<Instant> {
+        if !self.redelivery_armed {
+            return None;
+        }
+        self.dropped.lock().unwrap().iter().map(|d| d.due).min()
     }
 
     /// Build a whole-fabric probe: one row per PE from the progress plane
@@ -881,6 +938,7 @@ impl Shared {
                         .as_ref()
                         .map(|t| t.recent(rank, DEADLOCK_RECENT_EVENTS))
                         .unwrap_or_default(),
+                    sched: self.coop.as_ref().map(|c| c.state_of(rank)),
                 }
             })
             .collect();
@@ -1198,6 +1256,21 @@ impl<'f> Pe<'f> {
         Some(Duration::from_micros(us))
     }
 
+    /// Wall-clock sleep for the fault plane. On the cooperative backend
+    /// the PE deschedules first — a sleeping PE must not hold a worker
+    /// slot hostage — and rejoins the ready set afterwards; the
+    /// scheduler counts it as *sleeping* (self-waking), never as parked.
+    fn fault_sleep(&self, d: Duration) {
+        match &self.shared.coop {
+            Some(c) => {
+                c.deschedule(self.rank);
+                std::thread::sleep(d);
+                c.reschedule(self.rank);
+            }
+            None => std::thread::sleep(d),
+        }
+    }
+
     /// Fault hook at the head of every put/get (blocking or not).
     #[inline]
     fn fault_transfer(&self) {
@@ -1207,7 +1280,7 @@ impl<'f> Pe<'f> {
                 .stats
                 .transfer_delays
                 .fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(d);
+            self.fault_sleep(d);
         }
     }
 
@@ -1218,7 +1291,7 @@ impl<'f> Pe<'f> {
         let Some(f) = self.faults else { return };
         if let Some(d) = self.fault_roll(f.stall_permille, f.max_stall_us) {
             self.shared.stats.stalls.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(d);
+            self.fault_sleep(d);
         }
     }
 
@@ -1330,7 +1403,73 @@ impl<'f> Pe<'f> {
             }
         }
         self.shared.poisoned.store(true, Ordering::Release);
+        // Parked peers cannot observe the poison flag until they run
+        // again; hand every one of them a slot so they unwind promptly.
+        if let Some(c) = &self.shared.coop {
+            c.unpark_all(self.rank);
+        }
         panic!("{msg}");
+    }
+
+    /// One step of a blocked fabric wait (barrier, signal, executor
+    /// drain), after the caller has re-checked its condition.
+    ///
+    /// Thread backend: one [`Backoff`] ladder step, tripping the
+    /// watchdog on deadline expiry. Cooperative backend: a brief
+    /// yield-only backoff window (a peer on another worker may be one
+    /// store away), then park — the worker slot goes to a runnable PE
+    /// and this PE wakes when a peer unparks it. Parking may return
+    /// spuriously (consumed unpark token, poison wake); the caller's
+    /// loop re-checks its condition either way.
+    /// The backoff flavour for this backend's wait loops: cooperative
+    /// contexts must never kernel-sleep (see [`Backoff::cooperative`]).
+    fn wait_backoff(&self) -> Backoff {
+        if self.shared.coop.is_some() {
+            Backoff::cooperative()
+        } else {
+            Backoff::new()
+        }
+    }
+
+    fn wait_step(&self, backoff: &mut Backoff, site: WaitSite) {
+        let Some(coop) = self.shared.coop.as_ref() else {
+            if !backoff.wait(self.shared.watchdog) {
+                self.watchdog_trip(site, self.shared.watchdog.unwrap());
+            }
+            return;
+        };
+        if backoff.steps() < COOP_PARK_AFTER {
+            backoff.wait(None);
+            return;
+        }
+        match coop.park(self.rank, self.shared.watchdog) {
+            Park::Granted => {}
+            Park::TimedOut => {
+                self.watchdog_trip(site, self.shared.watchdog.unwrap_or(DEFAULT_WATCHDOG))
+            }
+            Park::Wedged => self.wedged_step(site),
+        }
+    }
+
+    /// The cooperative scheduler refused to park this PE: every other PE
+    /// is parked or finished, nothing is runnable, nothing is sleeping.
+    /// Only a pending wall-clock signal redelivery can revive the run —
+    /// wait for the earliest one and pump it; with none pending this is
+    /// a structural deadlock, reported immediately rather than after the
+    /// full watchdog window.
+    fn wedged_step(&self, site: WaitSite) {
+        if let Some(due) = self.shared.earliest_redelivery() {
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            self.shared.redeliver_due();
+        } else if let Some(t) = self.shared.watchdog {
+            self.watchdog_trip(site, t);
+        } else {
+            // Watchdog disabled: preserve the spin-forever contract.
+            std::thread::sleep(Duration::from_micros(100));
+        }
     }
 
     /// This PE's rank (`xbrtime_mype`).
@@ -2219,13 +2358,18 @@ impl<'f> Pe<'f> {
                     .stats
                     .signal_delays
                     .fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(d);
+                self.fault_sleep(d);
             }
         }
         // `.max(1)`: zero means "not yet posted", so a signal posted at
         // simulated time 0 must still read as present.
         self.amo_slot(sig, pe)
             .fetch_max(arrival.max(1), Ordering::AcqRel);
+        // The waiter may be parked in the cooperative scheduler; make it
+        // runnable (or latch its token — see `CoopSched::unpark`).
+        if let Some(c) = &self.shared.coop {
+            c.unpark(pe);
+        }
         self.trace_emit(t0, TraceKind::SignalPost, Some(pe), 8, sig.off as u64);
     }
 
@@ -2244,7 +2388,7 @@ impl<'f> Pe<'f> {
         let slot = self.amo_slot(sig, self.rank);
         let site = WaitSite::Signal { off: sig.off };
         let mut waited = false;
-        let mut backoff = Backoff::new();
+        let mut backoff = self.wait_backoff();
         loop {
             let stamp = slot.swap(0, Ordering::AcqRel);
             if stamp != 0 {
@@ -2284,9 +2428,7 @@ impl<'f> Pe<'f> {
                 self.progress_site(site);
             }
             self.shared.redeliver_due();
-            if !backoff.wait(self.shared.watchdog) {
-                self.watchdog_trip(site, self.shared.watchdog.unwrap());
-            }
+            self.wait_step(&mut backoff, site);
         }
     }
 
@@ -2365,9 +2507,16 @@ impl<'f> Pe<'f> {
             b.count.store(0, Ordering::Release);
             b.max_cycles[(gen + 1) & 1].store(0, Ordering::Release);
             b.generation.store(gen.wrapping_add(1), Ordering::Release);
+            // Release wave: every waiter parked in the cooperative
+            // scheduler becomes runnable (PEs that checked the
+            // generation but have not parked yet get their token
+            // latched instead — no release is ever lost).
+            if let Some(c) = &self.shared.coop {
+                c.unpark_all(self.rank);
+            }
         } else {
             self.progress_site(WaitSite::Barrier);
-            let mut backoff = Backoff::new();
+            let mut backoff = self.wait_backoff();
             while b.generation.load(Ordering::Acquire) == gen {
                 if self.shared.poisoned.load(Ordering::Relaxed) {
                     panic!(
@@ -2376,9 +2525,7 @@ impl<'f> Pe<'f> {
                     );
                 }
                 self.shared.redeliver_due();
-                if !backoff.wait(self.shared.watchdog) {
-                    self.watchdog_trip(WaitSite::Barrier, self.shared.watchdog.unwrap());
-                }
+                self.wait_step(&mut backoff, WaitSite::Barrier);
             }
             self.progress_site(WaitSite::Running);
             sleeps = backoff.sleeps();
@@ -2501,6 +2648,12 @@ pub struct RunReport<R> {
     /// The merged event log when the run was traced
     /// ([`FabricConfig::with_trace`]); `None` otherwise.
     pub trace: Option<Trace>,
+    /// The cooperative scheduler's grant sequence (PE ranks in the order
+    /// they were granted worker slots), capped at 1 Mi entries; empty on
+    /// the thread backend. With one worker and a fixed seed this is the
+    /// complete, deterministic schedule of the run — the golden-seed
+    /// determinism test pins it down.
+    pub sched_log: Vec<u32>,
 }
 
 impl<R> RunReport<R> {
@@ -2528,7 +2681,27 @@ impl Drop for PoisonGuard<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             self.0.poisoned.store(true, Ordering::Relaxed);
+            // Parked peers can only see the poison flag once they run:
+            // grant everyone a slot. Runs after the CoopFinishGuard has
+            // already freed this PE's own slot (guard declaration order),
+            // so at least one peer is granted immediately.
+            if let Some(c) = &self.0.coop {
+                c.unpark_all(usize::MAX);
+            }
         }
+    }
+}
+
+/// Deregisters a cooperative PE on the way out — normal return *or*
+/// unwind — so its worker slot is handed to a successor either way.
+struct CoopFinishGuard<'a> {
+    sched: &'a CoopSched,
+    rank: usize,
+}
+
+impl Drop for CoopFinishGuard<'_> {
+    fn drop(&mut self) {
+        self.sched.finish(self.rank);
     }
 }
 
@@ -2597,20 +2770,55 @@ impl Fabric {
         let start = Instant::now();
         type Panics = Vec<(usize, Box<dyn std::any::Any + Send>)>;
         let per_pe: Result<Vec<(R, u64)>, Panics> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..config.n_pes)
-                .map(|rank| {
-                    let shared = &shared;
-                    let body = &body;
-                    s.spawn(move || {
-                        let _guard = PoisonGuard(shared);
-                        let pe =
-                            Pe::new(rank, shared, config.timing, config.topology, config.faults);
-                        let r = body(&pe);
-                        pe.progress_site(WaitSite::Finished);
-                        (r, pe.clock.cycles())
-                    })
-                })
-                .collect();
+            let mut handles = Vec::with_capacity(config.n_pes);
+            for rank in 0..config.n_pes {
+                let shared = &shared;
+                let body = &body;
+                let run_pe = move || {
+                    let _guard = PoisonGuard(shared);
+                    // Cooperative PEs hold their first slot before any
+                    // fabric work, and free it on return or unwind (the
+                    // finish guard drops before the poison guard).
+                    let _finish = shared.coop.as_ref().map(|c| {
+                        c.register(rank);
+                        CoopFinishGuard { sched: c, rank }
+                    });
+                    let pe = Pe::new(rank, shared, config.timing, config.topology, config.faults);
+                    let r = body(&pe);
+                    pe.progress_site(WaitSite::Finished);
+                    (r, pe.clock.cycles())
+                };
+                match &shared.coop {
+                    None => handles.push(s.spawn(run_pe)),
+                    Some(coop) => {
+                        // Thousands of cooperative PEs: small stacks keep
+                        // the address-space footprint modest, and a spawn
+                        // failure aborts the gated startup instead of
+                        // wedging already-spawned PEs.
+                        let mut builder = std::thread::Builder::new().name(format!("pe-{rank}"));
+                        if config.engine.stack_bytes > 0 {
+                            builder = builder.stack_size(config.engine.stack_bytes);
+                        }
+                        match builder.spawn_scoped(s, run_pe) {
+                            Ok(h) => handles.push(h),
+                            Err(e) => {
+                                coop.abort();
+                                shared.poisoned.store(true, Ordering::Release);
+                                for h in handles {
+                                    let _ = h.join();
+                                }
+                                return Err(vec![(
+                                    rank,
+                                    Box::new(format!(
+                                        "failed to spawn cooperative PE thread {rank}: {e}"
+                                    ))
+                                        as Box<dyn std::any::Any + Send>,
+                                )]);
+                            }
+                        }
+                    }
+                }
+            }
             // Join every PE before deciding the outcome, so a deadlock
             // report filed by a later rank is not missed and no thread
             // outlives the scope borrowing `shared`.
@@ -2661,6 +2869,11 @@ impl Fabric {
             // Merged after every PE thread has joined, so no ring is
             // concurrently written.
             trace: shared.trace.as_ref().map(|t| t.merge()),
+            sched_log: shared
+                .coop
+                .as_ref()
+                .map(|c| c.take_log())
+                .unwrap_or_default(),
         })
     }
 }

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod collectives;
+pub mod engine;
 pub mod fabric;
 pub mod heap;
 pub mod shmem;
@@ -52,6 +53,7 @@ pub mod types;
 
 pub use collectives::policy::{Algorithm, AlgorithmPolicy, SyncMode};
 pub use collectives::schedule::{CommSchedule, OpKind, Stage, TransferOp};
+pub use engine::{EngineConfig, EngineKind, PeSchedState};
 pub use fabric::{
     ceil_log2, CollectiveKind, CollectiveRecord, CollectiveSample, Context, DeadlockReport, Fabric,
     FabricConfig, FabricStats, FaultConfig, NbHandle, Pe, PeProbe, RunError, RunReport, SymmAlloc,

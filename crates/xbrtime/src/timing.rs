@@ -231,6 +231,12 @@ pub(crate) struct Backoff {
     /// Watchdog deadline, computed lazily on the first sleeping step so
     /// loops that never block pay nothing for the clock read.
     deadline: Option<Instant>,
+    /// Cooperative mode: the exponential-sleep phase yields instead of
+    /// calling `thread::sleep`. A cooperative backend multiplexes many
+    /// PEs over few workers, and a worker stuck in a kernel sleep stalls
+    /// every PE mapped to it — so a cooperative context may spin and
+    /// yield, but must never block the worker in the kernel.
+    coop: bool,
 }
 
 const BACKOFF_SPIN_STEPS: u32 = 64;
@@ -258,12 +264,31 @@ impl Backoff {
             spins: 0,
             sleeps: 0,
             deadline: None,
+            coop: false,
+        }
+    }
+
+    /// A backoff for cooperative scheduler contexts: identical ladder,
+    /// but the sleep phase yields (see the `coop` field). Used by the
+    /// fabric's wait loops on the coop backend for the brief pre-park
+    /// spin window.
+    pub(crate) fn cooperative() -> Self {
+        Backoff {
+            spins: 0,
+            sleeps: 0,
+            deadline: None,
+            coop: true,
         }
     }
 
     /// Number of sleeping steps taken so far.
     pub(crate) fn sleeps(&self) -> u64 {
         self.sleeps
+    }
+
+    /// Number of steps taken so far (all phases).
+    pub(crate) fn steps(&self) -> u32 {
+        self.spins
     }
 
     /// Take one backoff step. Returns `false` when `timeout` (counted
@@ -288,6 +313,12 @@ impl Backoff {
             if Instant::now() >= deadline {
                 return false;
             }
+        }
+        if self.coop {
+            // Never kernel-sleep on a multiplexed worker: yield so a
+            // sibling PE (or the peer being waited on) can run instead.
+            std::thread::yield_now();
+            return true;
         }
         std::thread::sleep(backoff_sleep(self.spins - BACKOFF_YIELD_STEPS));
         self.sleeps = self.sleeps.saturating_add(1);
@@ -371,6 +402,7 @@ mod tests {
             spins: u32::MAX - 2,
             sleeps: 0,
             deadline: None,
+            coop: false,
         };
         // A handful of steps at the saturation point: each must stay in the
         // sleeping phase (bounded by the cap) rather than wrap back into
@@ -380,6 +412,29 @@ mod tests {
         }
         assert_eq!(b.spins, u32::MAX);
         assert_eq!(b.sleeps(), 4);
+    }
+
+    #[test]
+    fn cooperative_backoff_never_sleeps() {
+        // Drive a cooperative backoff deep into what would be the
+        // exponential-sleep phase: it must yield instead, leaving the
+        // sleep counter at zero and finishing far faster than even one
+        // ladder of real sleeps would take.
+        let mut b = Backoff::cooperative();
+        for _ in 0..(BACKOFF_YIELD_STEPS + 500) {
+            assert!(b.wait(None));
+        }
+        assert_eq!(b.sleeps(), 0, "cooperative backoff must never sleep");
+        assert!(b.steps() > BACKOFF_YIELD_STEPS);
+
+        // The watchdog deadline still applies in cooperative mode.
+        let mut b = Backoff {
+            spins: BACKOFF_YIELD_STEPS,
+            sleeps: 0,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            coop: true,
+        };
+        assert!(!b.wait(Some(Duration::from_millis(1))));
     }
 
     #[test]

@@ -45,6 +45,31 @@ impl Default for TraceConfig {
     }
 }
 
+impl TraceConfig {
+    /// Whole-fabric event budget the per-PE ring capacity auto-scales
+    /// against: 1 Mi events ≈ 40 MiB of rings regardless of PE count.
+    pub const TOTAL_EVENT_BUDGET: usize = 1 << 20;
+
+    /// Auto-scaling floor: even a 4096-PE run keeps at least this many
+    /// events per PE, enough for a watchdog probe's recent-event tail
+    /// and a few collective episodes.
+    pub const MIN_EVENTS_PER_PE: usize = 256;
+
+    /// Clamp the per-PE ring capacity so an `n_pes`-PE run stays inside
+    /// [`TraceConfig::TOTAL_EVENT_BUDGET`] (but never below
+    /// [`TraceConfig::MIN_EVENTS_PER_PE`]). The default 64 Ki-event ring
+    /// is untouched up to 16 PEs — paper-scale runs keep full fidelity —
+    /// while a 4096-PE cooperative run drops to 256 events/PE (~40 MiB
+    /// of rings total) instead of allocating gigabytes. Applied by the
+    /// fabric at run start; an explicit smaller capacity is kept as-is.
+    pub fn scaled_for(self, n_pes: usize) -> TraceConfig {
+        let cap = (Self::TOTAL_EVENT_BUDGET / n_pes.max(1)).max(Self::MIN_EVENTS_PER_PE);
+        TraceConfig {
+            events_per_pe: self.events_per_pe.min(cap),
+        }
+    }
+}
+
 /// What a [`TraceEvent`] records.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
@@ -867,6 +892,23 @@ mod tests {
             bytes: 64,
             aux,
         }
+    }
+
+    #[test]
+    fn ring_capacity_auto_scales_with_pe_count() {
+        let dflt = TraceConfig::default();
+        // Paper-scale runs keep the full default ring.
+        assert_eq!(dflt.scaled_for(1).events_per_pe, 65_536);
+        assert_eq!(dflt.scaled_for(16).events_per_pe, 65_536);
+        // Past the budget the per-PE capacity shrinks proportionally…
+        assert_eq!(dflt.scaled_for(64).events_per_pe, 16_384);
+        assert_eq!(dflt.scaled_for(1024).events_per_pe, 1024);
+        // …down to the floor, never below it.
+        assert_eq!(dflt.scaled_for(4096).events_per_pe, 256);
+        assert_eq!(dflt.scaled_for(1 << 20).events_per_pe, 256);
+        // An explicit smaller capacity is respected as-is.
+        let small = TraceConfig { events_per_pe: 64 };
+        assert_eq!(small.scaled_for(4096).events_per_pe, 64);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Golden-seed determinism of the cooperative scheduler.
+//!
+//! With one worker slot exactly one PE runs at a time and every grant is
+//! drawn from the seeded scheduler RNG, so a (seed, workload) pair fully
+//! determines the run: the grant sequence (`RunReport::sched_log`), the
+//! per-PE trace event order, the result buffers and every structural
+//! counter must all replay identically — and a different seed must
+//! produce a visibly different schedule.
+//!
+//! Absolute cycle *stamps* are deliberately excluded: the TLB/cache
+//! models are keyed by host virtual addresses (real data layout drives
+//! hit rates — see `timing.rs`), so allocator placement adds a few
+//! hundred cycles of run-to-run noise that no scheduler can remove.
+//! The schedule-visible signal is which events happen and in what
+//! per-PE order, not where the allocator parked a source buffer.
+
+use xbrtime::collectives::{self, AllReduceAlgo};
+use xbrtime::{EngineConfig, Fabric, FabricConfig, ReduceOp, RunReport, SyncMode, TraceEvent};
+
+/// A mixed workload exercising every park/unpark path: signaled and
+/// pipelined executors (signal waits), barriers, and an all-reduce.
+fn run_workload(seed: u64) -> RunReport<Vec<u64>> {
+    let cfg = FabricConfig::paper(6)
+        .with_shared_bytes(1 << 20)
+        .with_trace()
+        .with_engine(EngineConfig::coop().with_workers(1).with_seed(seed));
+    Fabric::run(cfg, |pe| {
+        let me = pe.rank() as u64;
+
+        let bcast = pe.shared_malloc::<u64>(32);
+        let src: Vec<u64> = (0..32).map(|i| i * 3 + 1).collect();
+        collectives::broadcast_sync(pe, &bcast, &src, 32, 1, 0, SyncMode::Signaled);
+
+        let rsrc = pe.shared_malloc::<u64>(16);
+        pe.heap_write(rsrc.whole(), &[me + 1; 16]);
+        pe.barrier();
+        let mut red = vec![0u64; 16];
+        collectives::reduce_with_sync(
+            pe,
+            &mut red,
+            &rsrc,
+            16,
+            1,
+            0,
+            u64::wrapping_add,
+            SyncMode::Pipelined,
+        );
+
+        let asrc = pe.shared_malloc::<u64>(8);
+        pe.heap_write(asrc.whole(), &[me * 7 + 1; 8]);
+        pe.barrier();
+        let mut all = vec![0u64; 8];
+        collectives::reduce_all_sync(
+            pe,
+            &mut all,
+            &asrc,
+            8,
+            ReduceOp::Sum,
+            AllReduceAlgo::RecursiveDoubling,
+            SyncMode::Signaled,
+        );
+        pe.barrier();
+
+        let mut out = pe.heap_read_vec::<u64>(bcast.whole(), 32);
+        out.extend(red);
+        out.extend(all);
+        out
+    })
+}
+
+/// The merged trace with cycle stamps masked: `TracePlane::merge`
+/// concatenates the per-PE rings in rank order, so comparing the masked
+/// vector asserts each PE emitted the same events in the same order.
+fn masked_events(r: &RunReport<Vec<u64>>) -> Vec<TraceEvent> {
+    r.trace
+        .as_ref()
+        .expect("run was traced")
+        .events
+        .iter()
+        .map(|e| {
+            let mut e = *e;
+            e.cycle_start = 0;
+            e.cycle_end = 0;
+            e
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_replays_identical_schedule_and_trace() {
+    let a = run_workload(0xDEC0DE);
+    let b = run_workload(0xDEC0DE);
+
+    assert!(
+        !a.sched_log.is_empty(),
+        "cooperative run must record scheduling decisions"
+    );
+    assert_eq!(
+        a.sched_log, b.sched_log,
+        "same seed must make identical scheduling decisions"
+    );
+    assert_eq!(
+        masked_events(&a),
+        masked_events(&b),
+        "same seed must produce the identical per-PE trace event order"
+    );
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn different_seed_changes_the_schedule() {
+    let base = run_workload(1);
+    // A single alternate seed could in principle collide on a short
+    // schedule; across several the grant order must move at least once.
+    let moved = (2u64..8).any(|s| run_workload(s).sched_log != base.sched_log);
+    assert!(
+        moved,
+        "the grant sequence never varied across seeds 2..8 — the seed is dead"
+    );
+    // Whatever the schedule, the data plane is schedule-invariant.
+    let other = run_workload(2);
+    assert_eq!(base.results, other.results);
+}
