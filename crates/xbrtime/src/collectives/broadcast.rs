@@ -7,8 +7,9 @@
 //! A barrier closes every stage (paper: *"While not shown in Algorithm 1, a
 //! barrier operation takes place at the end of each loop iteration"*).
 
-use crate::collectives::policy::SyncMode;
-use crate::collectives::schedule::{self, broadcast_binomial};
+use crate::collectives::plan::{self, PlanKey};
+use crate::collectives::policy::{Algorithm, SyncMode};
+use crate::collectives::schedule::broadcast_binomial;
 use crate::fabric::{CollectiveKind, Pe, SymmAlloc};
 use crate::types::XbrType;
 
@@ -105,9 +106,32 @@ pub(crate) fn broadcast_kind_sync<T: XbrType>(
     if pe.rank() == root {
         pe.heap_write_strided(dest.whole(), src, nelems, stride);
     }
-    let mut sched = broadcast_binomial(pe.n_pes(), root, nelems, stride);
-    sched.kind = kind;
-    schedule::execute_sync(pe, &sched, dest.whole(), &[], &mut [], None, sync);
+    let n_pes = pe.n_pes();
+    let key = PlanKey::rooted(
+        kind,
+        Algorithm::Binomial,
+        sync,
+        n_pes,
+        root,
+        nelems,
+        stride,
+        std::mem::size_of::<T>(),
+        plan::tag::BROADCAST_BINOMIAL,
+    );
+    plan::run_schedule(
+        pe,
+        key,
+        || {
+            let mut sched = broadcast_binomial(n_pes, root, nelems, stride);
+            sched.kind = kind;
+            sched
+        },
+        dest.whole(),
+        &[],
+        &mut [],
+        None,
+        sync,
+    );
 }
 
 #[cfg(test)]

@@ -18,10 +18,11 @@
 //!   broadcast/reduce reuse the tree algorithms over team ranks.
 
 use crate::collectives::broadcast::broadcast_kind_sync;
-use crate::collectives::policy::SyncMode;
+use crate::collectives::plan::{self, PlanKey};
+use crate::collectives::policy::{Algorithm, SyncMode};
 use crate::collectives::reduce::reduce_with_kind_sync;
 use crate::collectives::schedule::{
-    self, binomial_halving_stages, CommSchedule, OpKind, Stage, TransferOp,
+    binomial_halving_stages, CommSchedule, OpKind, Stage, TransferOp,
 };
 use crate::collectives::vrank::logical_rank;
 use crate::fabric::{ceil_log2, CollectiveKind, Pe, SymmAlloc};
@@ -211,8 +212,27 @@ pub fn reduce_all_with_sync<T: XbrType>(
                 pe.get_symm(work.whole(), src.whole(), nelems, 1, pe.rank());
             }
             pe.barrier();
-            let sched = allreduce_recursive_doubling(n_pes, nelems);
-            schedule::execute_sync(pe, &sched, work.whole(), &[], &mut [], Some(&f), sync);
+            let key = PlanKey::rooted(
+                kind,
+                Algorithm::Binomial,
+                sync,
+                n_pes,
+                0,
+                nelems,
+                1,
+                std::mem::size_of::<T>(),
+                plan::tag::ALLREDUCE_RD,
+            );
+            plan::run_schedule(
+                pe,
+                key,
+                || allreduce_recursive_doubling(n_pes, nelems),
+                work.whole(),
+                &[],
+                &mut [],
+                Some(&f),
+                sync,
+            );
             // Non-power-of-two tails: ranks ≥ 2^⌊log2 n⌋ may have missed
             // partners in some stages; the butterfly is only exact when n
             // is a power of two, so synchronise through rank 0.
@@ -249,8 +269,27 @@ pub fn all_gather<T: XbrType>(pe: &Pe, dest: &mut [T], src: &[T], per_pe: usize)
     // Everyone publishes its block at its own slot on every PE — the
     // one-sided analogue of an all-gather: n-1 remote puts per PE, all
     // proceeding concurrently.
-    let sched = all_gather_sched(n_pes, per_pe);
-    schedule::execute(pe, &sched, board.whole(), src, &mut [], None);
+    let key = PlanKey::rooted(
+        CollectiveKind::AllGather,
+        Algorithm::Binomial,
+        SyncMode::Barrier,
+        n_pes,
+        0,
+        per_pe,
+        1,
+        std::mem::size_of::<T>(),
+        plan::tag::ALL_GATHER,
+    );
+    plan::run_schedule(
+        pe,
+        key,
+        || all_gather_sched(n_pes, per_pe),
+        board.whole(),
+        src,
+        &mut [],
+        None,
+        SyncMode::Barrier,
+    );
     if total > 0 {
         pe.heap_read_strided(board.whole(), &mut dest[..total], total, 1);
     }
@@ -268,8 +307,27 @@ pub fn all_to_all<T: XbrType>(pe: &Pe, dest: &mut [T], src: &[T], per_pe: usize)
     assert!(dest.len() >= total, "dest shorter than n_pes * per_pe");
 
     let board = pe.shared_malloc::<T>(total.max(1));
-    let sched = all_to_all_sched(n_pes, per_pe);
-    schedule::execute(pe, &sched, board.whole(), src, &mut [], None);
+    let key = PlanKey::rooted(
+        CollectiveKind::AllToAll,
+        Algorithm::Binomial,
+        SyncMode::Barrier,
+        n_pes,
+        0,
+        per_pe,
+        1,
+        std::mem::size_of::<T>(),
+        plan::tag::ALL_TO_ALL,
+    );
+    plan::run_schedule(
+        pe,
+        key,
+        || all_to_all_sched(n_pes, per_pe),
+        board.whole(),
+        src,
+        &mut [],
+        None,
+        SyncMode::Barrier,
+    );
     if total > 0 {
         pe.heap_read_strided(board.whole(), &mut dest[..total], total, 1);
     }
@@ -440,9 +498,33 @@ impl Team {
         if self.team_rank(pe.rank()) == Some(team_root) {
             pe.heap_write_strided(dest.whole(), src, nelems, 1);
         }
-        let mut sched = self.broadcast_schedule(pe.n_pes(), nelems, team_root);
-        sched.kind = kind;
-        schedule::execute_sync(pe, &sched, dest.whole(), &[], &mut [], None, sync);
+        let n_pes = pe.n_pes();
+        let mut key = PlanKey::rooted(
+            kind,
+            Algorithm::Binomial,
+            sync,
+            n_pes,
+            team_root,
+            nelems,
+            1,
+            std::mem::size_of::<T>(),
+            plan::tag::TEAM_BROADCAST,
+        );
+        key.shape.extend(self.members.iter().map(|&m| m as u64));
+        plan::run_schedule(
+            pe,
+            key,
+            || {
+                let mut sched = self.broadcast_schedule(n_pes, nelems, team_root);
+                sched.kind = kind;
+                sched
+            },
+            dest.whole(),
+            &[],
+            &mut [],
+            None,
+            sync,
+        );
     }
 
     /// Team-scoped all-reduce (reduce-to-team-root-then-broadcast). Every
@@ -475,8 +557,29 @@ impl Team {
         }
         pe.barrier();
         // Tree-reduce over team ranks toward team rank 0.
-        let sched = self.reduce_schedule(pe.n_pes(), nelems);
-        schedule::execute_sync(pe, &sched, work.whole(), &[], &mut [], Some(&f), sync);
+        let n_pes = pe.n_pes();
+        let mut key = PlanKey::rooted(
+            CollectiveKind::AllReduce,
+            Algorithm::Binomial,
+            sync,
+            n_pes,
+            0,
+            nelems,
+            1,
+            std::mem::size_of::<T>(),
+            plan::tag::TEAM_REDUCE,
+        );
+        key.shape.extend(self.members.iter().map(|&m| m as u64));
+        plan::run_schedule(
+            pe,
+            key,
+            || self.reduce_schedule(n_pes, nelems),
+            work.whole(),
+            &[],
+            &mut [],
+            Some(&f),
+            sync,
+        );
         // Team-rank 0 broadcasts the result back through the team.
         let payload: Vec<T> = if my_team_rank == Some(0) {
             pe.heap_read_vec(work.whole(), nelems)

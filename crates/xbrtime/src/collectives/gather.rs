@@ -6,11 +6,12 @@
 //! toward the root, and the root finally reorders the staging buffer back
 //! into *logical*-rank order through `pe_disp`.
 
+use crate::collectives::plan::{self, PlanKey};
 use crate::collectives::policy::{Algorithm, SyncMode};
 use crate::collectives::scatter::adjusted_displacements;
-use crate::collectives::schedule::{self, gather_binomial, gather_linear_sched};
+use crate::collectives::schedule::{gather_binomial, gather_linear_sched};
 use crate::collectives::vrank::virtual_rank;
-use crate::fabric::Pe;
+use crate::fabric::{CollectiveKind, Pe};
 use crate::types::XbrType;
 
 /// Gather `pe_msgs[r]` elements from every PE `r`'s `src` to the root:
@@ -121,11 +122,35 @@ pub(crate) fn gather_impl_sync<T: XbrType>(
         pe.barrier();
     }
 
-    let sched = match algo {
-        Algorithm::Binomial => gather_binomial(n_pes, root, &adj_disp),
-        Algorithm::Linear | Algorithm::Ring => gather_linear_sched(n_pes, root, &adj_disp),
+    let (tag, key_algo) = match algo {
+        Algorithm::Binomial => (plan::tag::GATHER_BINOMIAL, Algorithm::Binomial),
+        Algorithm::Linear | Algorithm::Ring => (plan::tag::GATHER_LINEAR, Algorithm::Linear),
     };
-    schedule::execute_sync(pe, &sched, s_buff.whole(), &[], &mut [], None, sync);
+    let mut key = PlanKey::rooted(
+        CollectiveKind::Gather,
+        key_algo,
+        sync,
+        n_pes,
+        root,
+        nelems,
+        1,
+        std::mem::size_of::<T>(),
+        tag,
+    );
+    key.shape.extend(adj_disp.iter().map(|&v| v as u64));
+    plan::run_schedule(
+        pe,
+        key,
+        || match algo {
+            Algorithm::Binomial => gather_binomial(n_pes, root, &adj_disp),
+            Algorithm::Linear | Algorithm::Ring => gather_linear_sched(n_pes, root, &adj_disp),
+        },
+        s_buff.whole(),
+        &[],
+        &mut [],
+        None,
+        sync,
+    );
 
     // Root: reorder from virtual-rank staging order back to logical order.
     if vir_rank == 0 && nelems > 0 {

@@ -25,6 +25,7 @@ pub mod explore;
 pub mod extended;
 pub mod gather;
 pub mod hierarchical;
+pub mod plan;
 pub mod policy;
 pub mod reduce;
 pub mod scatter;
@@ -47,6 +48,11 @@ pub use extended::{
 };
 pub use gather::gather;
 pub use hierarchical::{broadcast_hier, broadcast_hier_sync, reduce_hier, reduce_hier_sync};
+pub use plan::{
+    allreduce_fused, execute_plan, ixallreduce, ixbroadcast, ixreduce, lower,
+    plan_create_allreduce, plan_create_broadcast, CollHandle, PersistentAllReduce,
+    PersistentBroadcast, Plan, PlanCache, PlanCacheStats, PlanKey, PlanStep,
+};
 pub use policy::{
     broadcast_policy, broadcast_policy_sync, gather_policy, gather_policy_sync, pipeline_chunks,
     reduce_policy, reduce_policy_sync, scatter_policy, scatter_policy_sync, Algorithm,

@@ -8,8 +8,9 @@
 //! partners read it one-sidedly — while `dest` matters only on the root and
 //! may be private.
 
-use crate::collectives::policy::SyncMode;
-use crate::collectives::schedule::{self, reduce_binomial};
+use crate::collectives::plan::{self, PlanKey};
+use crate::collectives::policy::{Algorithm, SyncMode};
+use crate::collectives::schedule::reduce_binomial;
 use crate::collectives::vrank::virtual_rank;
 use crate::fabric::{CollectiveKind, Pe, SymmAlloc};
 use crate::types::{ReduceOp, XbrBitwise, XbrNumeric, XbrType};
@@ -131,9 +132,31 @@ pub(crate) fn reduce_with_kind_sync<T: XbrType>(
         pe.barrier();
     }
 
-    let mut sched = reduce_binomial(n_pes, root, nelems, stride);
-    sched.kind = kind;
-    schedule::execute_sync(pe, &sched, s_buff.whole(), &[], &mut [], Some(&f), sync);
+    let key = PlanKey::rooted(
+        kind,
+        Algorithm::Binomial,
+        sync,
+        n_pes,
+        root,
+        nelems,
+        stride,
+        std::mem::size_of::<T>(),
+        plan::tag::REDUCE_BINOMIAL,
+    );
+    plan::run_schedule(
+        pe,
+        key,
+        || {
+            let mut sched = reduce_binomial(n_pes, root, nelems, stride);
+            sched.kind = kind;
+            sched
+        },
+        s_buff.whole(),
+        &[],
+        &mut [],
+        Some(&f),
+        sync,
+    );
 
     if vir_rank == 0 && nelems > 0 {
         pe.heap_read_strided(s_buff.whole(), dest, nelems, stride);

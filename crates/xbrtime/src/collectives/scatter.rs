@@ -13,10 +13,11 @@
 //! is sufficient at each stage". An adjusted-displacement array keeps the
 //! indexing straight.
 
+use crate::collectives::plan::{self, PlanKey};
 use crate::collectives::policy::{Algorithm, SyncMode};
-use crate::collectives::schedule::{self, scatter_binomial, scatter_linear_sched};
+use crate::collectives::schedule::{scatter_binomial, scatter_linear_sched};
 use crate::collectives::vrank::{logical_rank, virtual_rank};
-use crate::fabric::Pe;
+use crate::fabric::{CollectiveKind, Pe};
 use crate::types::XbrType;
 
 /// Prefix displacements in *virtual-rank* order: `adj_disp[v]` is where
@@ -163,11 +164,35 @@ pub(crate) fn scatter_impl_sync<T: XbrType>(
         pe.barrier();
     }
 
-    let sched = match algo {
-        Algorithm::Binomial => scatter_binomial(n_pes, root, &adj_disp),
-        Algorithm::Linear | Algorithm::Ring => scatter_linear_sched(n_pes, root, &adj_disp),
+    let (tag, key_algo) = match algo {
+        Algorithm::Binomial => (plan::tag::SCATTER_BINOMIAL, Algorithm::Binomial),
+        Algorithm::Linear | Algorithm::Ring => (plan::tag::SCATTER_LINEAR, Algorithm::Linear),
     };
-    schedule::execute_sync(pe, &sched, s_buff.whole(), &[], &mut [], None, sync);
+    let mut key = PlanKey::rooted(
+        CollectiveKind::Scatter,
+        key_algo,
+        sync,
+        n_pes,
+        root,
+        nelems,
+        1,
+        std::mem::size_of::<T>(),
+        tag,
+    );
+    key.shape.extend(adj_disp.iter().map(|&v| v as u64));
+    plan::run_schedule(
+        pe,
+        key,
+        || match algo {
+            Algorithm::Binomial => scatter_binomial(n_pes, root, &adj_disp),
+            Algorithm::Linear | Algorithm::Ring => scatter_linear_sched(n_pes, root, &adj_disp),
+        },
+        s_buff.whole(),
+        &[],
+        &mut [],
+        None,
+        sync,
+    );
 
     // Relocate this PE's assigned values from the staging buffer to dest.
     if my_count > 0 {

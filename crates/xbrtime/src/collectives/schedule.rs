@@ -346,7 +346,9 @@ pub fn execute_sync<T: XbrType>(
 
     // One landing buffer reused across every fold stage — the same buffer
     // reuse (and therefore the same cache behaviour) as the hand-written
-    // algorithm loops this executor replaced.
+    // algorithm loops this executor replaced. The vector itself is
+    // recycled across episodes through the PE's scratch pool, so steady
+    // state collective issue allocates nothing.
     let landing_len = sched
         .stages
         .iter()
@@ -355,7 +357,8 @@ pub fn execute_sync<T: XbrType>(
         .map(|op| op.span().max(1))
         .max()
         .unwrap_or(0);
-    let mut landing: Vec<T> = vec![T::default(); landing_len];
+    let mut landing: Vec<T> = pe.scratch_take();
+    landing.resize(landing_len, T::default());
 
     let apply_fold = |pe: &Pe, op: &TransferOp, landing: &[T], local_dst: &mut [T]| {
         let t_rd = pe.trace_start();
@@ -488,6 +491,7 @@ pub fn execute_sync<T: XbrType>(
         pe.progress_collective(None);
         sample.cycles = pe.cycles() - t0;
         pe.note_collective(sched.kind, sample);
+        pe.scratch_put(landing);
         return;
     }
 
@@ -539,7 +543,9 @@ pub fn execute_sync<T: XbrType>(
         start: usize,
         end: usize,
     }
-    let mut pending: Vec<Pending> = Vec::new();
+    // Recycled through the scratch pool like `landing` — zero
+    // steady-state allocations per episode.
+    let mut pending: Vec<Pending> = pe.scratch_take();
     let consume_overlapping =
         |pending: &mut Vec<Pending>, sample: &mut CollectiveSample, start: usize, end: usize| {
             let mut i = 0;
@@ -886,6 +892,8 @@ pub fn execute_sync<T: XbrType>(
     pe.progress_collective(None);
     sample.cycles = pe.cycles() - t0;
     pe.note_collective(sched.kind, sample);
+    pe.scratch_put(landing);
+    pe.scratch_put(pending);
 }
 
 // ---------------------------------------------------------------------------

@@ -1499,10 +1499,12 @@ impl CollectiveSpec {
                 }
             }
             CollectiveSpec::AllReduce { nelems } => {
-                assert!(
-                    n_pes.is_power_of_two(),
-                    "the butterfly reference is exact only for power-of-two n_pes"
-                );
+                // Shape-independent reference: every PE's window must end
+                // as the multiset union of *all* PEs' initial windows.
+                // Exact for any allreduce composition — butterfly,
+                // reduce-then-broadcast, fused — at any world size
+                // (folds normalise to sorted multisets, so combine order
+                // never matters).
                 for row in sym.iter_mut() {
                     for (pos, slot) in row.iter_mut().enumerate().take(*nelems) {
                         let mut v: Val = (0..n_pes).map(|p| atom(Space::Sym, p, pos)).collect();

@@ -223,6 +223,13 @@ pub struct FabricConfig {
     /// scheduler that multiplexes PEs over a small worker pool
     /// ([`EngineConfig::coop`]).
     pub engine: EngineConfig,
+    /// Compiled-plan cache: when `true` (the default) collective wrappers
+    /// lower each distinct schedule shape once into a flat per-PE plan
+    /// and reissue it from the cache
+    /// ([`PlanCache`](crate::collectives::PlanCache)); `false` forces the
+    /// interpretive executor on every call (the A/B baseline for
+    /// `xbench_issue`).
+    pub plan_cache: bool,
 }
 
 impl FabricConfig {
@@ -237,6 +244,7 @@ impl FabricConfig {
             watchdog: Some(DEFAULT_WATCHDOG),
             trace: None,
             engine: EngineConfig::threads(),
+            plan_cache: true,
         }
     }
 
@@ -251,6 +259,7 @@ impl FabricConfig {
             watchdog: Some(DEFAULT_WATCHDOG),
             trace: None,
             engine: EngineConfig::threads(),
+            plan_cache: true,
         }
     }
 
@@ -315,6 +324,12 @@ impl FabricConfig {
     /// Builder-style execution-engine override (see [`EngineConfig`]).
     pub const fn with_engine(mut self, engine: EngineConfig) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Enable or disable the compiled-plan cache (enabled by default).
+    pub const fn with_plan_cache(mut self, on: bool) -> Self {
+        self.plan_cache = on;
         self
     }
 }
@@ -491,6 +506,8 @@ struct CollAtomic {
     signals: AtomicU64,
     waits: AtomicU64,
     wait_cycles: AtomicU64,
+    algo_mask: AtomicU64,
+    sync_mask: AtomicU64,
 }
 
 /// Aggregated telemetry for one collective kind over a whole fabric run.
@@ -522,6 +539,13 @@ pub struct CollectiveRecord {
     pub waits: u64,
     /// Simulated cycles stalled inside signal waits, summed over PEs.
     pub wait_cycles: u64,
+    /// Bitmask of algorithms that actually ran for this kind (bit 0 =
+    /// binomial, bit 1 = linear, bit 2 = ring) — the *resolved* policy
+    /// choice, recorded at plan-build/issue time.
+    pub algo_mask: u64,
+    /// Bitmask of sync disciplines that actually ran (bit 0 = barrier,
+    /// bit 1 = signaled, bit 2 = pipelined) after `Auto` resolution.
+    pub sync_mask: u64,
 }
 
 impl CollectiveRecord {
@@ -535,6 +559,27 @@ impl CollectiveRecord {
             return 1.0;
         }
         1.0 - (self.wait_cycles as f64 / self.cycles as f64).min(1.0)
+    }
+
+    /// Human-readable names of the algorithms recorded in `algo_mask`.
+    pub fn algorithms(&self) -> Vec<&'static str> {
+        ["binomial", "linear", "ring"]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.algo_mask & (1 << i) != 0)
+            .map(|(_, s)| *s)
+            .collect()
+    }
+
+    /// Human-readable names of the sync disciplines recorded in
+    /// `sync_mask`.
+    pub fn sync_modes(&self) -> Vec<&'static str> {
+        ["barrier", "signaled", "pipelined"]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.sync_mask & (1 << i) != 0)
+            .map(|(_, s)| *s)
+            .collect()
     }
 }
 
@@ -815,6 +860,9 @@ struct Shared {
     trace: Option<TracePlane>,
     /// The cooperative scheduler; `None` on the thread backend.
     coop: Option<CoopSched>,
+    /// Compiled-plan memo shared by every PE; `None` disables the plan
+    /// path ([`FabricConfig::with_plan_cache`]).
+    plan_cache: Option<crate::collectives::PlanCache>,
 }
 
 impl Shared {
@@ -850,6 +898,7 @@ impl Shared {
                 EngineKind::Coop => Some(CoopSched::new(cfg.n_pes, cfg.engine)),
                 EngineKind::Threads => None,
             },
+            plan_cache: cfg.plan_cache.then(crate::collectives::PlanCache::new),
         }
     }
 
@@ -971,6 +1020,8 @@ impl Shared {
                     signals: a.signals.load(Ordering::Relaxed),
                     waits: a.waits.load(Ordering::Relaxed),
                     wait_cycles: a.wait_cycles.load(Ordering::Relaxed),
+                    algo_mask: a.algo_mask.load(Ordering::Relaxed),
+                    sync_mask: a.sync_mask.load(Ordering::Relaxed),
                 })
             })
             .collect()
@@ -1177,6 +1228,16 @@ pub struct Pe<'f> {
     /// collective calls, which every PE makes in the same order, so the
     /// counter agrees across PEs and groups one episode's events.
     trace_episode: Cell<u16>,
+    /// Reusable scratch buffers (landing vectors of any element type),
+    /// recycled across collective episodes so the executor hot path
+    /// allocates only on first use per type.
+    scratch: RefCell<Vec<Box<dyn std::any::Any>>>,
+    /// Next free plan-relative signal-slot window for nonblocking
+    /// collectives; blocking plan episodes run above this floor.
+    nb_slot_base: Cell<usize>,
+    /// Outstanding nonblocking collective episodes (resets the slot
+    /// cursor when it drains to zero).
+    nb_inflight: Cell<usize>,
 }
 
 fn check_src<T>(src: &[T], nelems: usize, stride: usize) {
@@ -1218,6 +1279,77 @@ impl<'f> Pe<'f> {
             fault_rng: std::cell::Cell::new(seed),
             tctx: Cell::new((0, 0)),
             trace_episode: Cell::new(0),
+            scratch: RefCell::new(Vec::new()),
+            nb_slot_base: Cell::new(0),
+            nb_inflight: Cell::new(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compiled-plan support: scratch recycling, slot-window reservation
+    // for overlapping nonblocking episodes, and cache/telemetry access.
+    // ------------------------------------------------------------------
+
+    /// Take a recycled scratch vector of element type `T` (empty, but
+    /// with whatever capacity earlier episodes grew it to), or a fresh
+    /// empty one. Return it with [`Pe::scratch_put`] when done.
+    pub(crate) fn scratch_take<T: 'static>(&self) -> Vec<T> {
+        let mut pool = self.scratch.borrow_mut();
+        for i in 0..pool.len() {
+            if pool[i].is::<Vec<T>>() {
+                let boxed = pool.swap_remove(i);
+                let mut v = *boxed.downcast::<Vec<T>>().expect("checked via Any::is");
+                v.clear();
+                return v;
+            }
+        }
+        Vec::new()
+    }
+
+    /// Recycle a scratch vector for later [`Pe::scratch_take`] calls.
+    pub(crate) fn scratch_put<T: 'static>(&self, mut v: Vec<T>) {
+        v.clear();
+        self.scratch.borrow_mut().push(Box::new(v));
+    }
+
+    /// The compiled-plan cache, when the fabric was configured with one.
+    pub(crate) fn plan_cache(&self) -> Option<&crate::collectives::PlanCache> {
+        self.shared.plan_cache.as_ref()
+    }
+
+    /// Record the resolved algorithm/sync choice for a collective kind
+    /// (bits defined on [`CollectiveRecord::algo_mask`]).
+    pub(crate) fn note_choice(&self, kind: CollectiveKind, algo_bit: u64, sync_bit: u64) {
+        let a = &self.shared.coll[kind.index()];
+        a.algo_mask.fetch_or(algo_bit, Ordering::Relaxed);
+        a.sync_mask.fetch_or(sync_bit, Ordering::Relaxed);
+    }
+
+    /// Current floor of the nonblocking slot window: blocking plan
+    /// episodes rebase their signal slots here so they never collide
+    /// with in-flight nonblocking collectives.
+    pub(crate) fn nb_slot_floor(&self) -> usize {
+        self.nb_slot_base.get()
+    }
+
+    /// Reserve a window of `n_slots` signal-table slots for a nonblocking
+    /// episode; returns the window base. Released (LIFO-agnostic — the
+    /// cursor rewinds only when *all* episodes drain) via
+    /// [`Pe::nb_slot_release`].
+    pub(crate) fn nb_slot_reserve(&self, n_slots: usize) -> usize {
+        let base = self.nb_slot_base.get();
+        self.nb_slot_base.set(base + n_slots);
+        self.nb_inflight.set(self.nb_inflight.get() + 1);
+        base
+    }
+
+    /// Mark one nonblocking episode complete; when none remain in flight
+    /// the slot cursor rewinds to zero.
+    pub(crate) fn nb_slot_release(&self) {
+        let left = self.nb_inflight.get() - 1;
+        self.nb_inflight.set(left);
+        if left == 0 {
+            self.nb_slot_base.set(0);
         }
     }
 
@@ -2282,6 +2414,15 @@ impl<'f> Pe<'f> {
         cached.as_ref().unwrap().whole()
     }
 
+    /// Current signal-table capacity in slots (0 before the first
+    /// [`Pe::signal_table`] call). Lets the nonblocking issue path refuse
+    /// an overlap window that would force growth — growth frees the old
+    /// table and barriers, both fatal while earlier episodes' completion
+    /// signals are live.
+    pub(crate) fn signal_table_cap(&self) -> usize {
+        self.signal_table.borrow().as_ref().map_or(0, |t| t.len())
+    }
+
     /// Post a completion signal into the symmetric slot `sig` on PE `pe`.
     ///
     /// The flag models a small control word riding the **tail of the
@@ -2430,6 +2571,14 @@ impl<'f> Pe<'f> {
             self.shared.redeliver_due();
             self.wait_step(&mut backoff, site);
         }
+    }
+
+    /// Non-consuming probe of a **local** signal slot: `true` when a post
+    /// has arrived. Unlike [`Pe::signal_wait`] this never blocks, resets
+    /// nothing and does not advance the simulated clock — it is the
+    /// polling half of `CollHandle::test`.
+    pub fn signal_peek(&self, sig: SymmRef<u64>) -> bool {
+        self.amo_slot(sig, self.rank).load(Ordering::Acquire) != 0
     }
 
     /// Heap-to-heap put followed by a completion signal into `sig` on the
@@ -2654,6 +2803,10 @@ pub struct RunReport<R> {
     /// complete, deterministic schedule of the run — the golden-seed
     /// determinism test pins it down.
     pub sched_log: Vec<u32>,
+    /// Compiled-plan cache telemetry (hits, misses, resident plans and
+    /// bytes); `None` when the cache was disabled
+    /// ([`FabricConfig::with_plan_cache`]).
+    pub plan_cache: Option<crate::collectives::PlanCacheStats>,
 }
 
 impl<R> RunReport<R> {
@@ -2874,6 +3027,7 @@ impl Fabric {
                 .as_ref()
                 .map(|c| c.take_log())
                 .unwrap_or_default(),
+            plan_cache: shared.plan_cache.as_ref().map(|c| c.stats()),
         })
     }
 }

@@ -24,8 +24,8 @@
 //!   OpenSHMEM model does not support a non-default stride size".
 
 use crate::collectives::extended::Team;
-use crate::collectives::{AlgorithmPolicy, SyncMode};
-use crate::fabric::{Pe, SymmAlloc};
+use crate::collectives::{AlgorithmPolicy, CollHandle, SyncMode};
+use crate::fabric::{Pe, SymmAlloc, SymmRef};
 use crate::types::{XbrNumeric, XbrType};
 
 /// An OpenSHMEM active set: `PE_start`, `logPE_stride`, `PE_size`.
@@ -263,6 +263,73 @@ fn shmem_broadcast_sync<T: XbrType>(
         pe.heap_write(dest.whole(), &saved);
     }
     pe.barrier();
+}
+
+/// In-flight nonblocking SHMEM broadcast returned by [`broadcast64_nbi`].
+///
+/// The root's `dest` doubles as the communication buffer while the episode
+/// is in flight, so OpenSHMEM's root-exclusion quirk cannot hold mid-air;
+/// it is restored at [`wait`](BcastNbiHandle::wait) time instead.
+#[must_use = "a nonblocking SHMEM broadcast must be completed with wait()"]
+pub struct BcastNbiHandle<T: XbrType> {
+    inner: CollHandle<T>,
+    dest: SymmRef<T>,
+    saved: Vec<T>,
+}
+
+impl<T: XbrType> BcastNbiHandle<T> {
+    /// Nonblocking poll: has the in-flight portion completed?
+    pub fn test(&self, pe: &Pe) -> bool {
+        self.inner.test(pe)
+    }
+
+    /// Complete the broadcast, then restore the root's `dest` to honour
+    /// the OpenSHMEM root-exclusion rule (safe here: the plan's own
+    /// completion barrier has quiesced every peer's reads of the root
+    /// buffer by the time `wait` returns control).
+    pub fn wait(self, pe: &Pe) {
+        self.inner.wait(pe);
+        if !self.saved.is_empty() {
+            pe.heap_write(self.dest, &self.saved);
+        }
+        pe.barrier();
+    }
+}
+
+/// `shmem_broadcast64_nbi`-style nonblocking broadcast over the **world**
+/// active set: issues immediately and returns a handle to overlap with
+/// local work; complete with [`BcastNbiHandle::wait`].
+///
+/// # Panics
+/// Panics if `active` is not the full world (nonblocking issue is keyed
+/// on world-spanning compiled plans) or on a non-64-bit element type.
+pub fn broadcast64_nbi<T: XbrType>(
+    pe: &Pe,
+    dest: &SymmAlloc<T>,
+    src: &[T],
+    nelems: usize,
+    pe_root: usize,
+    active: &ActiveSet,
+) -> BcastNbiHandle<T> {
+    assert_elem_size::<T>(64, "shmem_broadcast64_nbi");
+    assert!(
+        active.is_world(pe.n_pes()),
+        "shmem_broadcast64_nbi requires the world active set"
+    );
+    assert!(pe_root < pe.n_pes(), "pe_root outside the active set");
+    let root_is_me = pe.rank() == pe_root;
+    let span = nelems.min(dest.len());
+    let saved: Vec<T> = if root_is_me && span > 0 {
+        pe.heap_read_vec(dest.whole(), span)
+    } else {
+        Vec::new()
+    };
+    let inner = crate::collectives::ixbroadcast(pe, dest, src, nelems, pe_root, SyncMode::Auto);
+    BcastNbiHandle {
+        inner,
+        dest: dest.whole(),
+        saved,
+    }
 }
 
 /// `shmem_TYPE_sum_to_all`-style reduction: the combined result lands in
@@ -544,6 +611,26 @@ mod tests {
         assert_eq!(report.results[2], vec![40, 42]);
         // Non-members' dests untouched.
         assert_eq!(report.results[1], vec![0, 0]);
+    }
+
+    #[test]
+    fn nbi_broadcast_overlaps_and_keeps_root_exclusion() {
+        let report = Fabric::run(FabricConfig::new(4), |pe| {
+            let dest = pe.shared_malloc::<u64>(2);
+            pe.heap_write(dest.whole(), &[111, 222]); // sentinel
+            pe.barrier();
+            let h = broadcast64_nbi(pe, &dest, &[5, 6], 2, 1, &ActiveSet::world(4));
+            // Overlap window: local work while the broadcast is in flight.
+            let local: u64 = (0..32u64).sum();
+            h.wait(pe);
+            pe.barrier();
+            (pe.heap_read_vec::<u64>(dest.whole(), 2), local)
+        });
+        // Root keeps its sentinel — the quirk survives the nonblocking path.
+        assert_eq!(report.results[1].0, vec![111, 222]);
+        for rank in [0usize, 2, 3] {
+            assert_eq!(report.results[rank].0, vec![5, 6], "rank {rank}");
+        }
     }
 
     #[test]

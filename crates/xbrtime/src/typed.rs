@@ -17,7 +17,7 @@
 //! compile time.
 
 use crate::collectives;
-use crate::collectives::{AlgorithmPolicy, SyncMode};
+use crate::collectives::{AlgorithmPolicy, CollHandle, SyncMode};
 use crate::fabric::{NbHandle, Pe, SymmAlloc, SymmRef};
 use crate::types::ReduceOp;
 
@@ -86,6 +86,37 @@ macro_rules! typed_common {
             root: usize,
         ) {
             collectives::broadcast(pe, dest, src, nelems, stride, root);
+        }
+
+        /// Nonblocking broadcast: issue now, overlap with local work,
+        /// complete with [`CollHandle::wait`]
+        /// (`xbrtime_TYPENAME_ibroadcast`).
+        pub fn ibroadcast(
+            pe: &Pe,
+            dest: &SymmAlloc<$t>,
+            src: &[$t],
+            nelems: usize,
+            root: usize,
+        ) -> CollHandle<$t> {
+            collectives::ixbroadcast(pe, dest, src, nelems, root, SyncMode::Auto)
+        }
+
+        /// Nonblocking sum-reduction toward `root`; complete with
+        /// [`CollHandle::wait_into`] (`xbrtime_TYPENAME_ireduce_sum`).
+        pub fn ireduce_sum(
+            pe: &Pe,
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+            root: usize,
+        ) -> CollHandle<$t> {
+            collectives::ixreduce(pe, src, nelems, root, |a: $t, b: $t| a + b, SyncMode::Auto)
+        }
+
+        /// Nonblocking sum-allreduce over one fused schedule; complete
+        /// with [`CollHandle::wait_into`]
+        /// (`xbrtime_TYPENAME_iallreduce_sum`).
+        pub fn iallreduce_sum(pe: &Pe, src: &SymmAlloc<$t>, nelems: usize) -> CollHandle<$t> {
+            collectives::ixallreduce(pe, src, nelems, |a: $t, b: $t| a + b, SyncMode::Auto)
         }
 
         /// `xbrtime_TYPENAME_scatter(dest, src, pe_msgs, pe_disp, nelems, root)`.
