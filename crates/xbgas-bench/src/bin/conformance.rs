@@ -27,7 +27,8 @@ use std::process::exit;
 
 use xbrtime::collectives::explore::{explore_exhaustive, run_mutation_harness, ExploreConfig};
 use xbrtime::collectives::extended::{
-    all_gather_sched, all_to_all_sched, allreduce_recursive_doubling,
+    all_gather_doubling_sched, all_gather_sched, all_to_all_sched, allreduce_rabenseifner,
+    allreduce_recursive_doubling, allreduce_ring,
 };
 use xbrtime::collectives::hierarchical::{broadcast_hier_sched, reduce_hier_sched};
 use xbrtime::collectives::scatter::adjusted_displacements;
@@ -150,16 +151,29 @@ fn cases(n: usize) -> Vec<Case> {
             CollectiveSpec::AllToAll { per_pe: 1 },
         ),
         case(
+            format!("all_gather/rec-doubling n={n}"),
+            all_gather_doubling_sched(n, 1),
+            CollectiveSpec::AllGather { per_pe: 1 },
+        ),
+        // The allreduce generators fold their non-power-of-two tails
+        // internally, so every one is held to the dense reference at
+        // every n — no Unchecked escape hatch.
+        case(
             format!("allreduce/rec-doubling n={n}"),
             allreduce_recursive_doubling(n, 2),
-            if n.is_power_of_two() {
-                CollectiveSpec::AllReduce { nelems: 2 }
-            } else {
-                // The ragged butterfly is exact only after the flat
-                // tail-exchange the entry point adds; model the schedule's
-                // dependency structure alone.
-                CollectiveSpec::Unchecked
-            },
+            CollectiveSpec::AllReduce { nelems: 2 },
+        ),
+        case(
+            format!("allreduce/rabenseifner n={n}"),
+            // nelems below the power-of-two PE count leaves some ranks
+            // owning an empty reduce-scatter range — the hardest split.
+            allreduce_rabenseifner(n, 3),
+            CollectiveSpec::AllReduce { nelems: 3 },
+        ),
+        case(
+            format!("allreduce/ring n={n}"),
+            allreduce_ring(n, n + 1),
+            CollectiveSpec::AllReduce { nelems: n + 1 },
         ),
     ];
     if n >= 3 {

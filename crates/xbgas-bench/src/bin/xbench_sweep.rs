@@ -29,11 +29,11 @@ use std::time::Duration;
 use xbgas_bench::json::{to_string_pretty, Json, ToJson};
 use xbgas_bench::{
     ablation_allreduce_on, backend_arg, export_trace, issue_rate, plan_cache_arg,
-    sweep_broadcast_on, sweep_broadcast_policy_on, sweep_broadcast_policy_sync_on,
-    sweep_broadcast_sync_on, sweep_gather_on, sweep_reduce_on, sweep_reduce_sync_on,
-    sweep_scatter_on, trace_arg, traced_broadcast_on, Algo, SweepPoint,
+    sweep_all_gather_on, sweep_allreduce_on, sweep_broadcast_on, sweep_broadcast_policy_on,
+    sweep_broadcast_policy_sync_on, sweep_broadcast_sync_on, sweep_gather_on, sweep_reduce_on,
+    sweep_reduce_sync_on, sweep_scatter_on, trace_arg, traced_broadcast_on, Algo, SweepPoint,
 };
-use xbrtime::collectives::{self, AllReduceAlgo};
+use xbrtime::collectives::{self, AllGatherAlgo, AllReduceAlgo};
 use xbrtime::{AlgorithmPolicy, EngineConfig, Fabric, FabricConfig, ReduceOp, RunError, SyncMode};
 
 /// `Auto` vs always-binomial on one sweep cell.
@@ -143,6 +143,191 @@ impl ToJson for SyncCell {
             ("winner", Json::Str(self.winner().into())),
             ("auto_tracks_winner", self.auto_tracks_winner().to_json()),
             ("auto_beats_always_barrier", self.auto_ok().to_json()),
+        ])
+    }
+}
+
+/// One allreduce-family cell: every member of the algorithm family on
+/// the same PE count and payload, under `SyncMode::Auto`. The measured
+/// evidence behind `policy::auto_select_allreduce`'s crossovers, and the
+/// CI gate that `AllReduceAlgo::Auto` never loses to the historical
+/// always-reduce-then-broadcast default.
+struct AllReduceCell {
+    n_pes: usize,
+    nelems: usize,
+    reduce_bcast_cycles: u64,
+    rec_doubling_cycles: u64,
+    rabenseifner_cycles: u64,
+    ring_cycles: u64,
+    auto_cycles: u64,
+}
+
+impl AllReduceCell {
+    fn measure(engine: EngineConfig, n_pes: usize, nelems: usize) -> AllReduceCell {
+        eprintln!("allreduce family: n_pes={n_pes} nelems={nelems}");
+        // Min-of-three per arm: the same discipline the issue-rate cells
+        // use, because the M/M/1 queue-occupancy term jitters repeated
+        // runs by a few percent — enough to fake a crossover.
+        let run = |algo| {
+            (0..3)
+                .map(|_| sweep_allreduce_on(engine, algo, SyncMode::Auto, n_pes, nelems))
+                .min()
+                .expect("three samples")
+        };
+        AllReduceCell {
+            n_pes,
+            nelems,
+            reduce_bcast_cycles: run(AllReduceAlgo::ReduceThenBroadcast),
+            rec_doubling_cycles: run(AllReduceAlgo::RecursiveDoubling),
+            rabenseifner_cycles: run(AllReduceAlgo::Rabenseifner),
+            ring_cycles: run(AllReduceAlgo::Ring),
+            auto_cycles: run(AllReduceAlgo::Auto),
+        }
+    }
+
+    fn best_fixed(&self) -> u64 {
+        self.reduce_bcast_cycles
+            .min(self.rec_doubling_cycles)
+            .min(self.rabenseifner_cycles)
+            .min(self.ring_cycles)
+    }
+
+    fn winner(&self) -> &'static str {
+        let best = self.best_fixed();
+        if best == self.rec_doubling_cycles {
+            "recursive-doubling"
+        } else if best == self.rabenseifner_cycles {
+            "rabenseifner"
+        } else if best == self.ring_cycles {
+            "ring"
+        } else {
+            "reduce+bcast"
+        }
+    }
+
+    /// What `AllReduceAlgo::Auto` resolves to on this cell — a pure
+    /// function of (n_pes, payload bytes), so no extra measurement.
+    fn auto_pick(&self) -> AllReduceAlgo {
+        AllReduceAlgo::Auto.resolve(self.n_pes, self.nelems * 8)
+    }
+
+    fn cycles_of(&self, algo: AllReduceAlgo) -> u64 {
+        match algo {
+            AllReduceAlgo::ReduceThenBroadcast => self.reduce_bcast_cycles,
+            AllReduceAlgo::RecursiveDoubling => self.rec_doubling_cycles,
+            AllReduceAlgo::Rabenseifner => self.rabenseifner_cycles,
+            AllReduceAlgo::Ring => self.ring_cycles,
+            AllReduceAlgo::Auto => self.auto_cycles,
+        }
+    }
+
+    /// The CI gate: `Auto` must never lose to always-reduce-then-broadcast
+    /// beyond measurement noise.
+    fn auto_beats_reduce_bcast(&self) -> bool {
+        (self.auto_cycles as f64) <= self.reduce_bcast_cycles as f64 * SYNC_TOLERANCE
+    }
+
+    /// `Auto` also has to select a family member that tracks the best
+    /// one per cell. Judged on the resolved arm's own measurement (the
+    /// resolution is deterministic), so the check compares algorithms,
+    /// not two noisy runs of the same schedule.
+    fn auto_tracks_winner(&self) -> bool {
+        (self.cycles_of(self.auto_pick()) as f64) <= self.best_fixed() as f64 * SYNC_TOLERANCE
+    }
+}
+
+impl ToJson for AllReduceCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_pes", self.n_pes.to_json()),
+            ("nelems", self.nelems.to_json()),
+            ("reduce_bcast_cycles", self.reduce_bcast_cycles.to_json()),
+            ("rec_doubling_cycles", self.rec_doubling_cycles.to_json()),
+            ("rabenseifner_cycles", self.rabenseifner_cycles.to_json()),
+            ("ring_cycles", self.ring_cycles.to_json()),
+            ("auto_cycles", self.auto_cycles.to_json()),
+            ("winner", Json::Str(self.winner().into())),
+            (
+                "auto_resolves_to",
+                Json::Str(self.auto_pick().name().into()),
+            ),
+            ("auto_tracks_winner", self.auto_tracks_winner().to_json()),
+            (
+                "auto_beats_reduce_bcast",
+                self.auto_beats_reduce_bcast().to_json(),
+            ),
+        ])
+    }
+}
+
+/// One allgather cell: the one-stage n² fan against the log-stage
+/// dissemination schedule, plus `AllGatherAlgo::Auto` — the evidence
+/// behind `policy::auto_select_all_gather`'s PE-count crossover.
+struct AllGatherCell {
+    n_pes: usize,
+    per_pe: usize,
+    fan_cycles: u64,
+    doubling_cycles: u64,
+    auto_cycles: u64,
+}
+
+impl AllGatherCell {
+    fn measure(engine: EngineConfig, n_pes: usize, per_pe: usize) -> AllGatherCell {
+        eprintln!("allgather: n_pes={n_pes} per_pe={per_pe}");
+        // Min-of-three per arm, as in [`AllReduceCell::measure`].
+        let run = |algo| {
+            (0..3)
+                .map(|_| sweep_all_gather_on(engine, algo, SyncMode::Auto, n_pes, per_pe))
+                .min()
+                .expect("three samples")
+        };
+        AllGatherCell {
+            n_pes,
+            per_pe,
+            fan_cycles: run(AllGatherAlgo::Fan),
+            doubling_cycles: run(AllGatherAlgo::RecursiveDoubling),
+            auto_cycles: run(AllGatherAlgo::Auto),
+        }
+    }
+
+    fn winner(&self) -> &'static str {
+        if self.doubling_cycles < self.fan_cycles {
+            "recursive-doubling"
+        } else {
+            "fan"
+        }
+    }
+
+    /// What `AllGatherAlgo::Auto` resolves to on this cell (pure
+    /// function of the cell shape, as in [`AllReduceCell::auto_pick`]).
+    fn auto_pick(&self) -> AllGatherAlgo {
+        AllGatherAlgo::Auto.resolve(self.n_pes, self.per_pe * 8)
+    }
+
+    fn auto_tracks_winner(&self) -> bool {
+        let picked = match self.auto_pick() {
+            AllGatherAlgo::Fan => self.fan_cycles,
+            _ => self.doubling_cycles,
+        };
+        let best = self.fan_cycles.min(self.doubling_cycles);
+        (picked as f64) <= best as f64 * SYNC_TOLERANCE
+    }
+}
+
+impl ToJson for AllGatherCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_pes", self.n_pes.to_json()),
+            ("per_pe", self.per_pe.to_json()),
+            ("fan_cycles", self.fan_cycles.to_json()),
+            ("doubling_cycles", self.doubling_cycles.to_json()),
+            ("auto_cycles", self.auto_cycles.to_json()),
+            ("winner", Json::Str(self.winner().into())),
+            (
+                "auto_resolves_to",
+                Json::Str(self.auto_pick().name().into()),
+            ),
+            ("auto_tracks_winner", self.auto_tracks_winner().to_json()),
         ])
     }
 }
@@ -489,28 +674,69 @@ fn main() {
         }
     }
 
+    // Allreduce-family cells. The head of the list doubles as the smoke
+    // gate: `AllReduceAlgo::Auto` must never lose to the historical
+    // always-reduce-then-broadcast strategy, at small payloads where the
+    // butterfly's latency advantage carries it and at 64 KiB+ where the
+    // segmented algorithms' bandwidth advantage must kick in.
+    let gate_plan: &[(usize, usize)] = &[(4, 256), (8, 1024), (4, 8192), (8, 8192)];
+    let mut allreduce_cells: Vec<AllReduceCell> = gate_plan
+        .iter()
+        .map(|&(n, sz)| AllReduceCell::measure(engine, n, sz))
+        .collect();
+
     if smoke {
         let losses: Vec<&SyncCell> = sync_cells.iter().filter(|c| !c.auto_ok()).collect();
-        if losses.is_empty() {
+        let ar_losses: Vec<&AllReduceCell> = allreduce_cells
+            .iter()
+            .filter(|c| !c.auto_beats_reduce_bcast())
+            .collect();
+        if losses.is_empty() && ar_losses.is_empty() {
             println!(
-                "\nsmoke OK: SyncMode::Auto within {:.0}% of always-barrier on all {} cells",
+                "\nsmoke OK: SyncMode::Auto within {:.0}% of always-barrier on all {} cells; \
+                 AllReduceAlgo::Auto within {:.0}% of reduce+bcast on all {} cells",
                 (SYNC_TOLERANCE - 1.0) * 100.0,
-                sync_cells.len()
+                sync_cells.len(),
+                (SYNC_TOLERANCE - 1.0) * 100.0,
+                allreduce_cells.len()
             );
             return;
         }
-        eprintln!(
-            "\nsmoke FAILED: SyncMode::Auto loses to always-barrier on {} cell(s):",
-            losses.len()
-        );
+        eprintln!("\nsmoke FAILED:");
         for c in losses {
             eprintln!(
-                "  {} n_pes={} nelems={}: auto {} vs barrier {}",
+                "  SyncMode::Auto loses: {} n_pes={} nelems={}: auto {} vs barrier {}",
                 c.collective, c.n_pes, c.nelems, c.auto_cycles, c.barrier_cycles
+            );
+        }
+        for c in ar_losses {
+            eprintln!(
+                "  AllReduceAlgo::Auto loses: n_pes={} nelems={}: auto {} vs reduce+bcast {}",
+                c.n_pes, c.nelems, c.auto_cycles, c.reduce_bcast_cycles
             );
         }
         std::process::exit(1);
     }
+
+    // The full family sweep: payload × PE-count crossover evidence for
+    // `policy::auto_select_allreduce` / `auto_select_all_gather`.
+    for &n in &pe_counts {
+        for &sz in &[16usize, 1024, 8192, 65536] {
+            if !gate_plan.contains(&(n, sz)) {
+                allreduce_cells.push(AllReduceCell::measure(engine, n, sz));
+            }
+        }
+    }
+    let all_gather_cells: Vec<AllGatherCell> = [4usize, 8, 16, 64]
+        .iter()
+        .flat_map(|&n| {
+            [16usize, 1024]
+                .iter()
+                .map(move |&per| (n, per))
+                .collect::<Vec<_>>()
+        })
+        .map(|(n, per)| AllGatherCell::measure(engine, n, per))
+        .collect();
 
     let mut points = Vec::new();
     for &n in &pe_counts {
@@ -617,6 +843,31 @@ fn main() {
             sync_cells
                 .iter()
                 .any(|c| c.signaled_cycles.min(c.pipelined_cycles) < c.barrier_cycles)
+                .to_json(),
+        ),
+        ("allreduce_family_points", allreduce_cells.to_json()),
+        (
+            "allreduce_auto_never_loses_to_reduce_bcast",
+            allreduce_cells
+                .iter()
+                .all(|c| c.auto_beats_reduce_bcast())
+                .to_json(),
+        ),
+        (
+            "allreduce_segmented_wins_at_64kib",
+            allreduce_cells
+                .iter()
+                .filter(|c| c.nelems * 8 >= 64 * 1024)
+                .all(|c| c.rabenseifner_cycles.min(c.ring_cycles) < c.reduce_bcast_cycles)
+                .to_json(),
+        ),
+        ("all_gather_points", all_gather_cells.to_json()),
+        (
+            "allgather_doubling_wins_at_64_pes",
+            all_gather_cells
+                .iter()
+                .filter(|c| c.n_pes >= 64)
+                .all(|c| c.doubling_cycles < c.fan_cycles)
                 .to_json(),
         ),
         (
@@ -738,6 +989,52 @@ fn main() {
                 if t <= l { "binomial" } else { "linear" }
             );
         }
+    }
+
+    println!("\n# All-reduce family: simulated cycles per warmed call (SyncMode::Auto)");
+    println!(
+        "{:>5} {:>9} {:>13} {:>13} {:>13} {:>13} {:>13}  winner",
+        "PEs", "elems", "reduce+bcast", "rec-doubling", "rabenseifner", "ring", "auto"
+    );
+    for c in &allreduce_cells {
+        println!(
+            "{:>5} {:>9} {:>13} {:>13} {:>13} {:>13} {:>13}  {}{}",
+            c.n_pes,
+            c.nelems,
+            c.reduce_bcast_cycles,
+            c.rec_doubling_cycles,
+            c.rabenseifner_cycles,
+            c.ring_cycles,
+            c.auto_cycles,
+            c.winner(),
+            if c.auto_tracks_winner() {
+                ""
+            } else {
+                "  [AUTO OFF-WINNER]"
+            }
+        );
+    }
+
+    println!("\n# All-gather: one-stage n2 fan vs log-stage dissemination");
+    println!(
+        "{:>5} {:>9} {:>13} {:>13} {:>13}  winner",
+        "PEs", "elems/PE", "fan", "doubling", "auto"
+    );
+    for c in &all_gather_cells {
+        println!(
+            "{:>5} {:>9} {:>13} {:>13} {:>13}  {}{}",
+            c.n_pes,
+            c.per_pe,
+            c.fan_cycles,
+            c.doubling_cycles,
+            c.auto_cycles,
+            c.winner(),
+            if c.auto_tracks_winner() {
+                ""
+            } else {
+                "  [AUTO OFF-WINNER]"
+            }
+        );
     }
 
     println!("\n# Plan cache: nonblocking issue rate, cold vs warm (host wall-clock)");

@@ -24,7 +24,7 @@ pub mod json;
 use json::{Json, ToJson};
 use std::sync::atomic::{AtomicBool, Ordering};
 use xbgas_apps::{run_gups, run_is, GupsConfig, GupsResult, IsConfig, IsResult};
-use xbrtime::collectives::{self, AllReduceAlgo};
+use xbrtime::collectives::{self, AllGatherAlgo, AllReduceAlgo};
 use xbrtime::{EngineConfig, Fabric, FabricConfig, Pe, ReduceOp, RunReport};
 
 /// `--backend {threads,coop}` argument shared by the harness binaries:
@@ -1110,6 +1110,63 @@ pub fn ablation_allreduce_on(
         let mut dest = vec![0u64; nelems.max(1)];
         let t0 = pe.cycles();
         collectives::reduce_all(pe, &mut dest, &src, nelems, ReduceOp::Sum, algo);
+        pe.barrier();
+        pe.cycles() - t0
+    });
+    report.results.iter().copied().max().unwrap_or(0)
+}
+
+/// Measure one **warmed** all-reduce call's simulated makespan under an
+/// explicit family member and sync mode — the probe behind the
+/// algorithm-selection crossover cells in `xbench_sweep`. The untimed
+/// first call pays plan compilation and the one-time signal-table growth
+/// identically in every arm.
+pub fn sweep_allreduce_on(
+    engine: EngineConfig,
+    algo: AllReduceAlgo,
+    sync: xbrtime::SyncMode,
+    n_pes: usize,
+    nelems: usize,
+) -> u64 {
+    let fc = paper_config(n_pes)
+        .with_shared_bytes((nelems * 8 * 2 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
+    let report = Fabric::run(fc, move |pe| {
+        let src = pe.shared_malloc::<u64>(nelems.max(1));
+        pe.heap_write(src.whole(), &vec![pe.rank() as u64 + 1; nelems]);
+        pe.barrier();
+        let mut dest = vec![0u64; nelems.max(1)];
+        collectives::reduce_all_sync(pe, &mut dest, &src, nelems, ReduceOp::Sum, algo, sync);
+        pe.barrier();
+        let t0 = pe.cycles();
+        collectives::reduce_all_sync(pe, &mut dest, &src, nelems, ReduceOp::Sum, algo, sync);
+        pe.barrier();
+        pe.cycles() - t0
+    });
+    report.results.iter().copied().max().unwrap_or(0)
+}
+
+/// Measure one warmed all-gather call's simulated makespan under an
+/// explicit algorithm — the probe behind the fan-vs-dissemination
+/// crossover cells in `xbench_sweep`.
+pub fn sweep_all_gather_on(
+    engine: EngineConfig,
+    algo: AllGatherAlgo,
+    sync: xbrtime::SyncMode,
+    n_pes: usize,
+    per_pe: usize,
+) -> u64 {
+    let fc = paper_config(n_pes)
+        .with_shared_bytes((per_pe * n_pes * 8 * 2 + (1 << 16)).max(1 << 20))
+        .with_engine(engine);
+    let report = Fabric::run(fc, move |pe| {
+        let me = pe.rank() as u64;
+        let src: Vec<u64> = (0..per_pe as u64).map(|i| me * 100 + i).collect();
+        let mut dest = vec![0u64; per_pe * n_pes];
+        collectives::all_gather_algo_sync(pe, &mut dest, &src, per_pe, algo, sync);
+        pe.barrier();
+        let t0 = pe.cycles();
+        collectives::all_gather_algo_sync(pe, &mut dest, &src, per_pe, algo, sync);
         pe.barrier();
         pe.cycles() - t0
     });

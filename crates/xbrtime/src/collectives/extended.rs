@@ -7,57 +7,281 @@
 //! "integration of collective functionality between a subset of PEs".
 //! This module implements them:
 //!
-//! * [`reduce_all`] — reduction whose result lands on every PE. Two
-//!   strategies: the paper's own composition ("must instead be accomplished
-//!   through the use of a broadcast operation following the original call")
-//!   and a direct recursive-doubling exchange (ablation bench material);
+//! * [`reduce_all`] — reduction whose result lands on every PE. Four
+//!   strategies ([`AllReduceAlgo`]): the paper's own composition ("must
+//!   instead be accomplished through the use of a broadcast operation
+//!   following the original call"), a direct recursive-doubling exchange,
+//!   Rabenseifner's recursive-halving reduce-scatter + recursive-doubling
+//!   allgather, and a bandwidth-optimal ring — all exact for any `n`,
+//!   with the non-power-of-two tail folded inside the generators;
 //! * [`all_gather`] — OpenSHMEM `fcollect` (equal counts, every PE receives
-//!   the concatenation);
+//!   the concatenation); single-stage fan or log-stage dissemination
+//!   ([`AllGatherAlgo`]);
 //! * [`all_to_all`] — personalized all-to-all via pairwise exchange;
 //! * [`Team`] — a subset of PEs with translated ranks; team-scoped
 //!   broadcast/reduce reuse the tree algorithms over team ranks.
 
 use crate::collectives::broadcast::broadcast_kind_sync;
 use crate::collectives::plan::{self, PlanKey};
-use crate::collectives::policy::{Algorithm, SyncMode};
+use crate::collectives::policy::{self, Algorithm, SyncMode};
 use crate::collectives::reduce::reduce_with_kind_sync;
 use crate::collectives::schedule::{
-    binomial_halving_stages, CommSchedule, OpKind, Stage, TransferOp,
+    balanced_partition, binomial_halving_stages, CommSchedule, OpKind, Stage, TransferOp,
 };
 use crate::collectives::vrank::logical_rank;
-use crate::fabric::{ceil_log2, CollectiveKind, Pe, SymmAlloc};
+use crate::fabric::{ceil_log2, CollectiveKind, CollectiveSample, Pe, SymmAlloc};
 use crate::types::{ReduceOp, XbrNumeric, XbrType};
 
-/// Recursive-doubling all-reduce schedule: `⌈log2 n⌉` butterfly stages of
-/// symmetric pairwise folds. Only exact for power-of-two `n`; the
-/// executor's caller handles the tail (see [`reduce_all_with`]). Each
-/// stage defers its folds past a mid-stage barrier because both partners
-/// read each other's buffer before either may overwrite its own.
+/// Largest power of two at or below `n` (`n ≥ 1`).
+fn floor_pof2(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1usize << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// Fold-in stage for non-power-of-two all-reduce tails: each *extra* rank
+/// `pof2 + i`'s full vector is folded into core partner `i`'s buffer. The
+/// read is one-directional (extras are never read by anyone else in this
+/// stage), so an ordinary stage suffices — the reader's later READY posts
+/// follow its fold in program order.
+fn tail_fold_in(n_pes: usize, pof2: usize, nelems: usize) -> Stage {
+    Stage::new(
+        (0..n_pes - pof2)
+            .map(|i| TransferOp {
+                src_pe: pof2 + i,
+                dst_pe: i,
+                src_at: 0,
+                dst_at: 0,
+                nelems,
+                stride: 1,
+                kind: OpKind::GetFold,
+            })
+            .collect(),
+    )
+}
+
+/// Fold-out stage: core partners push the finished vector back to the
+/// extras. Issuer `i` is the same PE that read the extra's buffer in the
+/// fold-in stage, so program order alone keeps the two from racing.
+fn tail_fold_out(n_pes: usize, pof2: usize, nelems: usize) -> Stage {
+    Stage::new(
+        (0..n_pes - pof2)
+            .map(|i| TransferOp {
+                src_pe: i,
+                dst_pe: pof2 + i,
+                src_at: 0,
+                dst_at: 0,
+                nelems,
+                stride: 1,
+                kind: OpKind::Put,
+            })
+            .collect(),
+    )
+}
+
+/// Recursive-doubling all-reduce schedule, exact for **any** `n`: ranks at
+/// or above the largest power of two `pof2 ≤ n` first fold their vectors
+/// into partners `rank − pof2` (fold-in stage), the `pof2` core ranks run
+/// the classic `log2(pof2)` butterfly of symmetric pairwise folds, and a
+/// final fold-out stage puts the finished vector back on the extras.
+/// Power-of-two worlds get the pure butterfly with no tail stages. Because
+/// the tail lives inside the generator, invoking the schedule directly
+/// (plan cache, nonblocking path, conformance oracle) can never disagree
+/// with the [`reduce_all_with`] entry point. Butterfly stages defer their
+/// folds past the read acknowledgements because both partners read each
+/// other's buffer before either may overwrite its own.
 pub fn allreduce_recursive_doubling(n_pes: usize, nelems: usize) -> CommSchedule {
     if n_pes <= 1 || nelems == 0 {
         return CommSchedule::empty(n_pes, CollectiveKind::AllReduce);
     }
+    let pof2 = floor_pof2(n_pes);
     let mut stages = Vec::new();
-    for i in 0..ceil_log2(n_pes) {
+    if pof2 < n_pes {
+        stages.push(tail_fold_in(n_pes, pof2, nelems));
+    }
+    for i in 0..ceil_log2(pof2) {
         let mut ops = Vec::new();
-        for me in 0..n_pes {
-            let partner = me ^ (1 << i);
-            if partner < n_pes {
-                ops.push(TransferOp {
-                    src_pe: partner,
-                    dst_pe: me,
-                    src_at: 0,
-                    dst_at: 0,
-                    nelems,
-                    stride: 1,
-                    kind: OpKind::GetFold,
-                });
-            }
+        for me in 0..pof2 {
+            ops.push(TransferOp {
+                src_pe: me ^ (1 << i),
+                dst_pe: me,
+                src_at: 0,
+                dst_at: 0,
+                nelems,
+                stride: 1,
+                kind: OpKind::GetFold,
+            });
         }
         stages.push(Stage {
             ops,
             deferred_fold: true,
         });
+    }
+    if pof2 < n_pes {
+        stages.push(tail_fold_out(n_pes, pof2, nelems));
+    }
+    CommSchedule {
+        n_pes,
+        kind: CollectiveKind::AllReduce,
+        stages,
+    }
+}
+
+/// Rabenseifner all-reduce schedule, exact for any `n`: after the
+/// non-power-of-two fold-in, the `pof2` core ranks run a recursive-halving
+/// reduce-scatter (each stage halves the element range a rank is
+/// responsible for and folds the partner's copy of the kept half), then a
+/// recursive-doubling allgather replays the splits in reverse, each rank
+/// putting its finished range into its stage partner. Per-PE fold traffic
+/// is `~2·nelems·(pof2−1)/pof2` elements instead of the butterfly's
+/// `nelems·log2(pof2)` — the win at large payloads. Reduce-scatter stages
+/// defer folds (mutual reads); allgather stages are plain puts into
+/// disjoint, write-once ranges.
+pub fn allreduce_rabenseifner(n_pes: usize, nelems: usize) -> CommSchedule {
+    if n_pes <= 1 || nelems == 0 {
+        return CommSchedule::empty(n_pes, CollectiveKind::AllReduce);
+    }
+    let pof2 = floor_pof2(n_pes);
+    let mut stages = Vec::new();
+    if pof2 < n_pes {
+        stages.push(tail_fold_in(n_pes, pof2, nelems));
+    }
+    // Element range each core rank is still responsible for; refined by
+    // every halving step. Empty ranges park at the split boundary, so the
+    // reverse-merge below unions back to the parent range exactly.
+    let mut range: Vec<(usize, usize)> = vec![(0, nelems); pof2];
+    let split_masks: Vec<usize> =
+        std::iter::successors(Some(pof2 >> 1), |&m| (m > 1).then_some(m >> 1)).collect();
+    for &mask in &split_masks {
+        let mut ops = Vec::new();
+        for (me, &(lo, hi)) in range.iter().enumerate() {
+            let mid = lo + (hi - lo) / 2;
+            // The half I keep is the half I pull from my partner and fold.
+            let (keep_lo, keep_hi) = if me & mask == 0 { (lo, mid) } else { (mid, hi) };
+            if keep_hi > keep_lo {
+                ops.push(TransferOp {
+                    src_pe: me ^ mask,
+                    dst_pe: me,
+                    src_at: keep_lo,
+                    dst_at: keep_lo,
+                    nelems: keep_hi - keep_lo,
+                    stride: 1,
+                    kind: OpKind::GetFold,
+                });
+            }
+        }
+        for (me, r) in range.iter_mut().enumerate() {
+            let (lo, hi) = *r;
+            let mid = lo + (hi - lo) / 2;
+            *r = if me & mask == 0 { (lo, mid) } else { (mid, hi) };
+        }
+        if !ops.is_empty() {
+            stages.push(Stage {
+                ops,
+                deferred_fold: true,
+            });
+        }
+    }
+    // Allgather phase: replay the splits in reverse. At level `mask` the
+    // writer of a range is the same partner that read it at the matching
+    // split, so program order covers write-after-read, and every element
+    // of a rank's buffer is remotely written at most once across levels.
+    for &mask in split_masks.iter().rev() {
+        let mut ops = Vec::new();
+        for (me, &(lo, hi)) in range.iter().enumerate() {
+            if hi > lo {
+                ops.push(TransferOp {
+                    src_pe: me,
+                    dst_pe: me ^ mask,
+                    src_at: lo,
+                    dst_at: lo,
+                    nelems: hi - lo,
+                    stride: 1,
+                    kind: OpKind::Put,
+                });
+            }
+        }
+        for me in 0..pof2 {
+            let (lo, hi) = range[me];
+            let (plo, phi) = range[me ^ mask];
+            range[me] = (lo.min(plo), hi.max(phi));
+        }
+        if !ops.is_empty() {
+            stages.push(Stage::new(ops));
+        }
+    }
+    debug_assert!(range.iter().all(|&r| r == (0, nelems)));
+    if pof2 < n_pes {
+        stages.push(tail_fold_out(n_pes, pof2, nelems));
+    }
+    CommSchedule {
+        n_pes,
+        kind: CollectiveKind::AllReduce,
+        stages,
+    }
+}
+
+/// Ring all-reduce schedule, exact for any `n`: the vector is cut into `n`
+/// balanced segments ([`balanced_partition`]); `n−1` reduce-scatter stages
+/// each fold the predecessor's running segment into the local copy, then
+/// `n−1` allgather stages each put the freshest finished segment to the
+/// successor. Per-PE traffic is `~2·nelems·(n−1)/n` elements in
+/// `nelems/n`-sized messages — bandwidth-optimal, and the put-based
+/// allgather half rides the `Pipelined` chunked path. Reduce-scatter
+/// stages defer their folds: the read acknowledgements are what
+/// transitively order a later allgather put into a segment after the last
+/// reduce-scatter read of it (ring dependencies alone only flow one way).
+pub fn allreduce_ring(n_pes: usize, nelems: usize) -> CommSchedule {
+    if n_pes <= 1 || nelems == 0 {
+        return CommSchedule::empty(n_pes, CollectiveKind::AllReduce);
+    }
+    let seg = balanced_partition(nelems, n_pes);
+    let mut stages = Vec::new();
+    // Reduce-scatter: at step s, PE `me` pulls segment `me − 1 − s` (the
+    // one its predecessor just finished folding) and folds it locally.
+    for s in 0..n_pes - 1 {
+        let mut ops = Vec::new();
+        for me in 0..n_pes {
+            let (off, len) = seg[(me + 2 * n_pes - 1 - s) % n_pes];
+            if len > 0 {
+                ops.push(TransferOp {
+                    src_pe: (me + n_pes - 1) % n_pes,
+                    dst_pe: me,
+                    src_at: off,
+                    dst_at: off,
+                    nelems: len,
+                    stride: 1,
+                    kind: OpKind::GetFold,
+                });
+            }
+        }
+        if !ops.is_empty() {
+            stages.push(Stage {
+                ops,
+                deferred_fold: true,
+            });
+        }
+    }
+    // Allgather: after the scatter phase PE `me` owns the complete fold of
+    // segment `me + 1`; step s forwards segment `me + 1 − s` downstream.
+    for s in 0..n_pes - 1 {
+        let mut ops = Vec::new();
+        for me in 0..n_pes {
+            let (off, len) = seg[(me + 1 + n_pes - s) % n_pes];
+            if len > 0 {
+                ops.push(TransferOp {
+                    src_pe: me,
+                    dst_pe: (me + 1) % n_pes,
+                    src_at: off,
+                    dst_at: off,
+                    nelems: len,
+                    stride: 1,
+                    kind: OpKind::Put,
+                });
+            }
+        }
+        if !ops.is_empty() {
+            stages.push(Stage::new(ops));
+        }
     }
     CommSchedule {
         n_pes,
@@ -92,6 +316,80 @@ pub fn all_gather_sched(n_pes: usize, per_pe: usize) -> CommSchedule {
     }
 }
 
+/// Recursive-doubling (dissemination) all-gather schedule, exact for any
+/// `n`: stage 0 publishes every PE's private block into its own slot of
+/// the board, then `⌈log2 n⌉` stages each pull an exponentially growing
+/// window of blocks from the PE `2^k` ranks upstream — `O(log n)` stages
+/// and `2n·per_pe` total elements versus the fan's single stage of `n²`
+/// ops. Every board slot is written exactly once (stage 0 locally, later
+/// stages by local gets), and a stage's READY post follows the poster's
+/// own gets in program order, so plain stages suffice.
+pub fn all_gather_doubling_sched(n_pes: usize, per_pe: usize) -> CommSchedule {
+    let mut stages = Vec::new();
+    if per_pe > 0 && n_pes > 1 {
+        stages.push(Stage::new(
+            (0..n_pes)
+                .map(|me| TransferOp {
+                    src_pe: me,
+                    dst_pe: me,
+                    src_at: 0,
+                    dst_at: me * per_pe,
+                    nelems: per_pe,
+                    stride: 1,
+                    kind: OpKind::PutFrom,
+                })
+                .collect(),
+        ));
+        // After k stages each PE holds the cyclic window of `have`
+        // blocks ending at its own rank; it extends the window by pulling
+        // the `cnt` blocks ending at rank `me − have` from that PE.
+        let mut have = 1usize;
+        while have < n_pes {
+            let cnt = have.min(n_pes - have);
+            let mut ops = Vec::new();
+            for me in 0..n_pes {
+                let src = (me + n_pes - have) % n_pes;
+                let first = (src + 1 + n_pes - cnt) % n_pes;
+                let mut pull = |b0: usize, nb: usize| {
+                    ops.push(TransferOp {
+                        src_pe: src,
+                        dst_pe: me,
+                        src_at: b0 * per_pe,
+                        dst_at: b0 * per_pe,
+                        nelems: nb * per_pe,
+                        stride: 1,
+                        kind: OpKind::Get,
+                    });
+                };
+                if first <= src {
+                    pull(first, cnt);
+                } else {
+                    // Window wraps rank 0: two contiguous gets.
+                    pull(first, n_pes - first);
+                    pull(0, src + 1);
+                }
+            }
+            stages.push(Stage::new(ops));
+            have += cnt;
+        }
+    } else if per_pe > 0 && n_pes == 1 {
+        stages.push(Stage::new(vec![TransferOp {
+            src_pe: 0,
+            dst_pe: 0,
+            src_at: 0,
+            dst_at: 0,
+            nelems: per_pe,
+            stride: 1,
+            kind: OpKind::PutFrom,
+        }]));
+    }
+    CommSchedule {
+        n_pes,
+        kind: CollectiveKind::AllGather,
+        stages,
+    }
+}
+
 /// Personalized all-to-all schedule: one stage of pairwise-exchange puts,
 /// each PE targeting `(rank + s) mod n` at hop `s` to spread traffic.
 pub fn all_to_all_sched(n_pes: usize, per_pe: usize) -> CommSchedule {
@@ -120,14 +418,106 @@ pub fn all_to_all_sched(n_pes: usize, per_pe: usize) -> CommSchedule {
 }
 
 /// Strategy for [`reduce_all`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum AllReduceAlgo {
     /// Tree reduction to rank 0 followed by a tree broadcast — the
     /// composition the paper prescribes for its initial library.
     ReduceThenBroadcast,
-    /// Direct recursive-doubling butterfly: `⌈log2 N⌉` exchange stages,
-    /// no root bottleneck.
+    /// Direct recursive-doubling butterfly over full vectors: `⌈log2 N⌉`
+    /// exchange stages, no root bottleneck; best at small payloads.
     RecursiveDoubling,
+    /// Recursive-halving reduce-scatter + recursive-doubling allgather
+    /// ([`allreduce_rabenseifner`]): log stages but only `~2/n` of the
+    /// vector folded per PE — wins at medium/large payloads.
+    Rabenseifner,
+    /// Ring reduce-scatter + ring allgather ([`allreduce_ring`]):
+    /// bandwidth-optimal `nelems/n` segments; the put half rides the
+    /// `Pipelined` chunked path. Wins at large payloads, modest `n`.
+    Ring,
+    /// Pick per call from `(n_pes, payload bytes)` using crossovers
+    /// calibrated from `xbench_sweep`
+    /// ([`policy::auto_select_allreduce`]).
+    #[default]
+    Auto,
+}
+
+impl AllReduceAlgo {
+    /// Stable lowercase label for reports and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllReduceAlgo::ReduceThenBroadcast => "reduce+bcast",
+            AllReduceAlgo::RecursiveDoubling => "recursive-doubling",
+            AllReduceAlgo::Rabenseifner => "rabenseifner",
+            AllReduceAlgo::Ring => "ring",
+            AllReduceAlgo::Auto => "auto",
+        }
+    }
+
+    /// Resolve `Auto` for one call; concrete strategies pass through.
+    pub fn resolve(self, n_pes: usize, nbytes: usize) -> AllReduceAlgo {
+        match self {
+            AllReduceAlgo::Auto => policy::auto_select_allreduce(n_pes, nbytes),
+            other => other,
+        }
+    }
+
+    /// The direct schedule strategies (everything but the two-collective
+    /// `ReduceThenBroadcast` composition), for test/bench matrices.
+    pub const DIRECT: [AllReduceAlgo; 3] = [
+        AllReduceAlgo::RecursiveDoubling,
+        AllReduceAlgo::Rabenseifner,
+        AllReduceAlgo::Ring,
+    ];
+}
+
+/// The schedule generator behind a resolved *direct* [`AllReduceAlgo`].
+///
+/// # Panics
+/// Panics on [`AllReduceAlgo::ReduceThenBroadcast`] (a composition of two
+/// collectives, not one schedule — see [`plan::allreduce_fused`] for its
+/// fused form) and on unresolved [`AllReduceAlgo::Auto`].
+pub fn allreduce_schedule(algo: AllReduceAlgo, n_pes: usize, nelems: usize) -> CommSchedule {
+    match algo {
+        AllReduceAlgo::RecursiveDoubling => allreduce_recursive_doubling(n_pes, nelems),
+        AllReduceAlgo::Rabenseifner => allreduce_rabenseifner(n_pes, nelems),
+        AllReduceAlgo::Ring => allreduce_ring(n_pes, nelems),
+        other => panic!("no direct schedule generator for {other:?}"),
+    }
+}
+
+/// Strategy for [`all_gather`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AllGatherAlgo {
+    /// Single-stage put fan ([`all_gather_sched`]): every PE publishes its
+    /// block on every PE — `n²` ops but only one stage of latency; wins at
+    /// small `n`.
+    Fan,
+    /// Log-stage dissemination ([`all_gather_doubling_sched`]): `⌈log2 n⌉`
+    /// doubling stages of `O(n)` total ops; wins at large `n`.
+    RecursiveDoubling,
+    /// Pick per call from `(n_pes, block bytes)`
+    /// ([`policy::auto_select_all_gather`]).
+    #[default]
+    Auto,
+}
+
+impl AllGatherAlgo {
+    /// Stable lowercase label for reports and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllGatherAlgo::Fan => "fan",
+            AllGatherAlgo::RecursiveDoubling => "recursive-doubling",
+            AllGatherAlgo::Auto => "auto",
+        }
+    }
+
+    /// Resolve `Auto` for one call; concrete strategies pass through.
+    pub fn resolve(self, n_pes: usize, nbytes: usize) -> AllGatherAlgo {
+        match self {
+            AllGatherAlgo::Auto => policy::auto_select_all_gather(n_pes, nbytes),
+            other => other,
+        }
+    }
 }
 
 /// All-reduce: every PE receives the elementwise combination of all
@@ -172,10 +562,11 @@ pub fn reduce_all_with<T: XbrType>(
     reduce_all_with_sync(pe, dest, src, nelems, f, algo, SyncMode::Barrier);
 }
 
-/// [`reduce_all_with`] under an explicit [`SyncMode`]. The sync mode
-/// covers every internal phase, including the non-power-of-two tail
-/// (reduce-to-0 + broadcast through rank 0) of the recursive-doubling
-/// strategy.
+/// [`reduce_all_with`] under an explicit [`SyncMode`]. `Auto` algorithm
+/// selection resolves here from `(n_pes, payload bytes)`. The direct
+/// strategies run as one compiled schedule — the non-power-of-two tail is
+/// folded inside the generators, so there is no caller-side pre/post
+/// reduce-through-rank-0 step.
 pub fn reduce_all_with_sync<T: XbrType>(
     pe: &Pe,
     dest: &mut [T],
@@ -188,111 +579,136 @@ pub fn reduce_all_with_sync<T: XbrType>(
     assert!(dest.len() >= nelems, "dest too small for all-reduce result");
     let n_pes = pe.n_pes();
     let kind = CollectiveKind::AllReduce;
-    match algo {
-        AllReduceAlgo::ReduceThenBroadcast => {
-            reduce_with_kind_sync(pe, dest, src, nelems, 1, 0, kind, f, sync);
-            let bcast = pe.shared_malloc::<T>(nelems.max(1));
-            // Rank 0 holds the result; broadcast it to everyone.
-            let payload: Vec<T> = if pe.rank() == 0 {
-                dest[..nelems].to_vec()
-            } else {
-                vec![T::default(); nelems]
-            };
-            broadcast_kind_sync(pe, &bcast, &payload, nelems, 1, 0, kind, sync);
-            pe.barrier();
-            if nelems > 0 {
-                pe.heap_read_strided(bcast.whole(), &mut dest[..nelems], nelems, 1);
-            }
-            pe.barrier();
-            pe.shared_free(bcast);
-        }
-        AllReduceAlgo::RecursiveDoubling => {
-            let work = pe.shared_malloc::<T>(nelems.max(1));
-            if nelems > 0 {
-                pe.get_symm(work.whole(), src.whole(), nelems, 1, pe.rank());
-            }
-            pe.barrier();
-            let key = PlanKey::rooted(
-                kind,
-                Algorithm::Binomial,
-                sync,
-                n_pes,
-                0,
-                nelems,
-                1,
-                std::mem::size_of::<T>(),
-                plan::tag::ALLREDUCE_RD,
-            );
-            plan::run_schedule(
-                pe,
-                key,
-                || allreduce_recursive_doubling(n_pes, nelems),
-                work.whole(),
-                &[],
-                &mut [],
-                Some(&f),
-                sync,
-            );
-            // Non-power-of-two tails: ranks ≥ 2^⌊log2 n⌋ may have missed
-            // partners in some stages; the butterfly is only exact when n
-            // is a power of two, so synchronise through rank 0.
-            if nelems > 0 && n_pes > 1 && !n_pes.is_power_of_two() {
-                let mut full = vec![T::default(); nelems];
-                reduce_with_kind_sync(pe, &mut full, src, nelems, 1, 0, kind, f, sync);
-                let payload = if pe.rank() == 0 {
-                    full
-                } else {
-                    vec![T::default(); nelems]
-                };
-                broadcast_kind_sync(pe, &work, &payload, nelems, 1, 0, kind, sync);
-                pe.barrier();
-            }
-            if nelems > 0 {
-                pe.heap_read_strided(work.whole(), &mut dest[..nelems], nelems, 1);
-            }
-            pe.barrier();
-            pe.shared_free(work);
-        }
+    if nelems == 0 {
+        // Fully inert: no staging board, no barriers, telemetry only.
+        pe.note_collective(
+            kind,
+            CollectiveSample {
+                stages: 1,
+                ..Default::default()
+            },
+        );
+        return;
     }
+    let algo = algo.resolve(n_pes, nelems * std::mem::size_of::<T>());
+    if algo == AllReduceAlgo::ReduceThenBroadcast {
+        reduce_with_kind_sync(pe, dest, src, nelems, 1, 0, kind, f, sync);
+        let bcast = pe.shared_malloc::<T>(nelems);
+        // Rank 0 holds the result; broadcast it to everyone.
+        let payload: Vec<T> = if pe.rank() == 0 {
+            dest[..nelems].to_vec()
+        } else {
+            vec![T::default(); nelems]
+        };
+        broadcast_kind_sync(pe, &bcast, &payload, nelems, 1, 0, kind, sync);
+        pe.barrier();
+        pe.heap_read_strided(bcast.whole(), &mut dest[..nelems], nelems, 1);
+        pe.barrier();
+        pe.shared_free(bcast);
+        return;
+    }
+    let (tag, shape) = plan::allreduce_plan_id(algo);
+    let work = pe.shared_malloc::<T>(nelems);
+    pe.get_symm(work.whole(), src.whole(), nelems, 1, pe.rank());
+    pe.barrier();
+    let key = PlanKey::rooted(
+        kind,
+        shape,
+        sync,
+        n_pes,
+        0,
+        nelems,
+        1,
+        std::mem::size_of::<T>(),
+        tag,
+    );
+    plan::run_schedule(
+        pe,
+        key,
+        || allreduce_schedule(algo, n_pes, nelems),
+        work.whole(),
+        &[],
+        &mut [],
+        Some(&f),
+        sync,
+    );
+    pe.heap_read_strided(work.whole(), &mut dest[..nelems], nelems, 1);
+    pe.barrier();
+    pe.shared_free(work);
 }
 
 /// All-gather (OpenSHMEM `fcollect`): every PE contributes `per_pe`
 /// elements from `src`; every PE's `dest` receives the rank-ordered
-/// concatenation (`n_pes * per_pe` elements).
+/// concatenation (`n_pes * per_pe` elements). Auto algorithm and sync.
 pub fn all_gather<T: XbrType>(pe: &Pe, dest: &mut [T], src: &[T], per_pe: usize) {
+    all_gather_algo_sync(pe, dest, src, per_pe, AllGatherAlgo::Auto, SyncMode::Auto);
+}
+
+/// [`all_gather`] under an explicit [`SyncMode`].
+pub fn all_gather_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    per_pe: usize,
+    sync: SyncMode,
+) {
+    all_gather_algo_sync(pe, dest, src, per_pe, AllGatherAlgo::Auto, sync);
+}
+
+/// [`all_gather`] with explicit strategy and sync mode. Zero-length
+/// gathers are fully inert: telemetry only — no staging board, no
+/// barriers, no trace events.
+pub fn all_gather_algo_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    per_pe: usize,
+    algo: AllGatherAlgo,
+    sync: SyncMode,
+) {
     let n_pes = pe.n_pes();
     let total = per_pe * n_pes;
     assert!(src.len() >= per_pe, "src shorter than per_pe");
     assert!(dest.len() >= total, "dest shorter than n_pes * per_pe");
-
-    let board = pe.shared_malloc::<T>(total.max(1));
-    // Everyone publishes its block at its own slot on every PE — the
-    // one-sided analogue of an all-gather: n-1 remote puts per PE, all
-    // proceeding concurrently.
+    if total == 0 {
+        pe.note_collective(
+            CollectiveKind::AllGather,
+            CollectiveSample {
+                stages: 1,
+                ..Default::default()
+            },
+        );
+        return;
+    }
+    let algo = algo.resolve(n_pes, per_pe * std::mem::size_of::<T>());
+    let (tag, build): (u64, fn(usize, usize) -> CommSchedule) = match algo {
+        AllGatherAlgo::Fan => (plan::tag::ALL_GATHER, all_gather_sched),
+        AllGatherAlgo::RecursiveDoubling => (plan::tag::ALL_GATHER_RD, all_gather_doubling_sched),
+        AllGatherAlgo::Auto => unreachable!("resolved above"),
+    };
+    let board = pe.shared_malloc::<T>(total);
     let key = PlanKey::rooted(
         CollectiveKind::AllGather,
         Algorithm::Binomial,
-        SyncMode::Barrier,
+        sync,
         n_pes,
         0,
         per_pe,
         1,
         std::mem::size_of::<T>(),
-        plan::tag::ALL_GATHER,
+        tag,
     );
     plan::run_schedule(
         pe,
         key,
-        || all_gather_sched(n_pes, per_pe),
+        || build(n_pes, per_pe),
         board.whole(),
         src,
         &mut [],
         None,
-        SyncMode::Barrier,
+        sync,
     );
-    if total > 0 {
-        pe.heap_read_strided(board.whole(), &mut dest[..total], total, 1);
-    }
+    pe.heap_read_strided(board.whole(), &mut dest[..total], total, 1);
     pe.barrier();
     pe.shared_free(board);
 }
@@ -301,16 +717,37 @@ pub fn all_gather<T: XbrType>(pe: &Pe, dest: &mut [T], src: &[T], per_pe: usize)
 /// `d`'s `dest[s*per_pe..]`. Pairwise-exchange schedule: stage `s` pairs
 /// each PE with `(rank + s) mod n`, spreading traffic evenly.
 pub fn all_to_all<T: XbrType>(pe: &Pe, dest: &mut [T], src: &[T], per_pe: usize) {
+    all_to_all_sync(pe, dest, src, per_pe, SyncMode::Barrier);
+}
+
+/// [`all_to_all`] under an explicit [`SyncMode`]. Zero-length exchanges
+/// are fully inert (telemetry only).
+pub fn all_to_all_sync<T: XbrType>(
+    pe: &Pe,
+    dest: &mut [T],
+    src: &[T],
+    per_pe: usize,
+    sync: SyncMode,
+) {
     let n_pes = pe.n_pes();
     let total = per_pe * n_pes;
     assert!(src.len() >= total, "src shorter than n_pes * per_pe");
     assert!(dest.len() >= total, "dest shorter than n_pes * per_pe");
-
-    let board = pe.shared_malloc::<T>(total.max(1));
+    if total == 0 {
+        pe.note_collective(
+            CollectiveKind::AllToAll,
+            CollectiveSample {
+                stages: 1,
+                ..Default::default()
+            },
+        );
+        return;
+    }
+    let board = pe.shared_malloc::<T>(total);
     let key = PlanKey::rooted(
         CollectiveKind::AllToAll,
         Algorithm::Binomial,
-        SyncMode::Barrier,
+        sync,
         n_pes,
         0,
         per_pe,
@@ -326,11 +763,9 @@ pub fn all_to_all<T: XbrType>(pe: &Pe, dest: &mut [T], src: &[T], per_pe: usize)
         src,
         &mut [],
         None,
-        SyncMode::Barrier,
+        sync,
     );
-    if total > 0 {
-        pe.heap_read_strided(board.whole(), &mut dest[..total], total, 1);
-    }
+    pe.heap_read_strided(board.whole(), &mut dest[..total], total, 1);
     pe.barrier();
     pe.shared_free(board);
 }
@@ -610,11 +1045,14 @@ mod tests {
     use crate::fabric::{Fabric, FabricConfig};
 
     #[test]
-    fn reduce_all_both_algorithms_agree() {
+    fn reduce_all_all_algorithms_agree() {
         for n in 1..=8 {
             for algo in [
                 AllReduceAlgo::ReduceThenBroadcast,
                 AllReduceAlgo::RecursiveDoubling,
+                AllReduceAlgo::Rabenseifner,
+                AllReduceAlgo::Ring,
+                AllReduceAlgo::Auto,
             ] {
                 let report = Fabric::run(FabricConfig::new(n), |pe| {
                     let src = pe.shared_malloc::<u64>(3);
@@ -797,44 +1235,110 @@ mod tests {
         }
     }
 
-    /// `reduce_all_with`'s non-power-of-two tail (reduce-to-0 + broadcast
-    /// through rank 0 after the butterfly) across every sync mode.
+    /// Non-power-of-two worlds across every direct strategy and sync
+    /// mode: the fold-in/fold-out tail stages live *inside* the
+    /// generators, so the schedules themselves must be exact.
     #[test]
     fn reduce_all_non_power_of_two_tail_all_sync_modes() {
         use std::time::Duration;
         for n in [3usize, 5, 6, 7] {
-            for sync in SyncMode::CONCRETE {
-                let cfg = FabricConfig::new(n).with_watchdog(Duration::from_secs(5));
-                let report = Fabric::run(cfg, move |pe| {
-                    let src = pe.shared_malloc::<u64>(3);
-                    pe.heap_write(src.whole(), &[pe.rank() as u64, 1, pe.rank() as u64 * 2]);
+            for algo in AllReduceAlgo::DIRECT {
+                for sync in SyncMode::CONCRETE {
+                    let cfg = FabricConfig::new(n).with_watchdog(Duration::from_secs(5));
+                    let report = Fabric::run(cfg, move |pe| {
+                        let src = pe.shared_malloc::<u64>(3);
+                        pe.heap_write(src.whole(), &[pe.rank() as u64, 1, pe.rank() as u64 * 2]);
+                        pe.barrier();
+                        let mut d = [0u64; 3];
+                        reduce_all_with_sync(
+                            pe,
+                            &mut d,
+                            &src,
+                            3,
+                            |a, b| a.wrapping_add(b),
+                            algo,
+                            sync,
+                        );
+                        pe.barrier();
+                        d
+                    });
+                    let n64 = n as u64;
+                    let expect = [
+                        (0..n64).sum::<u64>(),
+                        n64,
+                        (0..n64).map(|r| r * 2).sum::<u64>(),
+                    ];
+                    for (rank, got) in report.results.iter().enumerate() {
+                        assert_eq!(
+                            got, &expect,
+                            "n={n} algo={algo:?} sync={sync:?} rank={rank}"
+                        );
+                    }
+                    assert_eq!(
+                        report.stats.signals, report.stats.signal_waits,
+                        "n={n} algo={algo:?} sync={sync:?}: stranded signal slots"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The fold-happens-somewhere check for large segmented payloads:
+    /// ring and Rabenseifner partition the vector, so run enough elements
+    /// that every PE owns a non-trivial segment and the balanced
+    /// partition has a remainder.
+    #[test]
+    fn segmented_allreduce_algorithms_large_uneven_vector() {
+        for n in [4usize, 5, 7] {
+            let nelems = 4 * n + 3; // not divisible by n
+            for algo in [AllReduceAlgo::Rabenseifner, AllReduceAlgo::Ring] {
+                let report = Fabric::run(FabricConfig::new(n), move |pe| {
+                    let src = pe.shared_malloc::<u64>(nelems);
+                    let mine: Vec<u64> = (0..nelems)
+                        .map(|i| (pe.rank() as u64 + 1) * 1000 + i as u64)
+                        .collect();
+                    pe.heap_write(src.whole(), &mine);
                     pe.barrier();
-                    let mut d = [0u64; 3];
+                    let mut d = vec![0u64; nelems];
                     reduce_all_with_sync(
                         pe,
                         &mut d,
                         &src,
-                        3,
+                        nelems,
                         |a, b| a.wrapping_add(b),
-                        AllReduceAlgo::RecursiveDoubling,
-                        sync,
+                        algo,
+                        SyncMode::Auto,
                     );
                     pe.barrier();
                     d
                 });
-                let n64 = n as u64;
-                let expect = [
-                    (0..n64).sum::<u64>(),
-                    n64,
-                    (0..n64).map(|r| r * 2).sum::<u64>(),
-                ];
+                let expect: Vec<u64> = (0..nelems)
+                    .map(|i| (1..=n as u64).map(|r| r * 1000 + i as u64).sum())
+                    .collect();
                 for (rank, got) in report.results.iter().enumerate() {
-                    assert_eq!(got, &expect, "n={n} sync={sync:?} rank={rank}");
+                    assert_eq!(got, &expect, "n={n} algo={algo:?} rank={rank}");
                 }
-                assert_eq!(
-                    report.stats.signals, report.stats.signal_waits,
-                    "n={n} sync={sync:?}: stranded signal slots"
-                );
+            }
+        }
+    }
+
+    /// `all_gather` strategies agree with the rank-ordered concatenation
+    /// for every n, including the wrapped-window dissemination cases.
+    #[test]
+    fn all_gather_doubling_matches_fan() {
+        for n in 1..=9 {
+            for algo in [AllGatherAlgo::Fan, AllGatherAlgo::RecursiveDoubling] {
+                let report = Fabric::run(FabricConfig::new(n), move |pe| {
+                    let src = [pe.rank() as u32 * 10, pe.rank() as u32 * 10 + 1];
+                    let mut dest = vec![0u32; n * 2];
+                    all_gather_algo_sync(pe, &mut dest, &src, 2, algo, SyncMode::Auto);
+                    pe.barrier();
+                    dest
+                });
+                let expect: Vec<u32> = (0..n as u32).flat_map(|r| [r * 10, r * 10 + 1]).collect();
+                for got in &report.results {
+                    assert_eq!(got, &expect, "n={n} algo={algo:?}");
+                }
             }
         }
     }

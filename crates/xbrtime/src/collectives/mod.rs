@@ -43,13 +43,15 @@ pub use explore::{
     MutationReport, RandomPriority, RoundRobin, Scheduler,
 };
 pub use extended::{
-    all_gather, all_to_all, reduce_all, reduce_all_sync, reduce_all_with, reduce_all_with_sync,
-    AllReduceAlgo, Team,
+    all_gather, all_gather_algo_sync, all_gather_doubling_sched, all_gather_sync, all_to_all,
+    all_to_all_sync, allreduce_rabenseifner, allreduce_recursive_doubling, allreduce_ring,
+    allreduce_schedule, reduce_all, reduce_all_sync, reduce_all_with, reduce_all_with_sync,
+    AllGatherAlgo, AllReduceAlgo, Team,
 };
 pub use gather::gather;
 pub use hierarchical::{broadcast_hier, broadcast_hier_sync, reduce_hier, reduce_hier_sync};
 pub use plan::{
-    allreduce_fused, execute_plan, ixallreduce, ixbroadcast, ixreduce, lower,
+    allreduce_fused, execute_plan, ixallreduce, ixallreduce_algo, ixbroadcast, ixreduce, lower,
     plan_create_allreduce, plan_create_broadcast, CollHandle, PersistentAllReduce,
     PersistentBroadcast, Plan, PlanCache, PlanCacheStats, PlanKey, PlanStep,
 };

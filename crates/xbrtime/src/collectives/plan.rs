@@ -1212,6 +1212,27 @@ pub mod tag {
     pub const TEAM_REDUCE: u64 = 13;
     /// Fused reduce-then-broadcast allreduce ([`super::allreduce_fused`]).
     pub const ALLREDUCE_FUSED: u64 = 14;
+    /// `allreduce_rabenseifner`.
+    pub const ALLREDUCE_RABENSEIFNER: u64 = 15;
+    /// `allreduce_ring`.
+    pub const ALLREDUCE_RING: u64 = 16;
+    /// `all_gather_doubling_sched`.
+    pub const ALL_GATHER_RD: u64 = 17;
+}
+
+/// `(shape tag, key algorithm)` pair identifying one member of the
+/// all-reduce family in a [`PlanKey`]. The tag is what disambiguates
+/// plans; the algorithm additionally feeds the per-collective
+/// algorithm-mask telemetry (ring shapes report as `Ring`).
+pub fn allreduce_plan_id(algo: crate::collectives::extended::AllReduceAlgo) -> (u64, Algorithm) {
+    use crate::collectives::extended::AllReduceAlgo;
+    match algo {
+        AllReduceAlgo::ReduceThenBroadcast => (tag::ALLREDUCE_FUSED, Algorithm::Binomial),
+        AllReduceAlgo::RecursiveDoubling => (tag::ALLREDUCE_RD, Algorithm::Binomial),
+        AllReduceAlgo::Rabenseifner => (tag::ALLREDUCE_RABENSEIFNER, Algorithm::Binomial),
+        AllReduceAlgo::Ring => (tag::ALLREDUCE_RING, Algorithm::Ring),
+        AllReduceAlgo::Auto => panic!("resolve AllReduceAlgo::Auto before keying a plan"),
+    }
 }
 
 /// Everything that determines a lowered plan byte-for-byte: collective,
@@ -1477,8 +1498,18 @@ enum Readout {
 /// above the outstanding slot window); see
 /// [`Pe::signal_table`](crate::fabric::Pe) for pre-sizing when many
 /// episodes overlap.
+///
+/// Dropping a live handle completes the episode exactly as
+/// [`CollHandle::wait`] would — drain, closing barriers, slot-window
+/// release — minus the local read-out. An abandoned episode must not
+/// strand its in-flight signal slots or the episode cursor: those are
+/// what every *later* issue's slot window is rebased on, so a leak here
+/// poisons the fabric for all subsequent nonblocking collectives. Like
+/// `wait`, the drop is collective: every PE must retire the episode at
+/// the same point in issue order.
 #[must_use = "an issued collective must be waited on"]
-pub struct CollHandle<T: XbrType> {
+pub struct CollHandle<'a, T: XbrType> {
+    pe: &'a Pe<'a>,
     plan: Arc<Plan>,
     buf: SymmRef<T>,
     base: usize,
@@ -1506,18 +1537,19 @@ fn plan_for(
 }
 
 /// Issue `plan`'s pre-drain steps and return the handle bookkeeping.
-fn issue_plan<T: XbrType>(
-    pe: &Pe,
+fn issue_plan<'a, T: XbrType>(
+    pe: &'a Pe,
     plan: Arc<Plan>,
     buf: SymmRef<T>,
     local_src: &[T],
     fold: Option<&dyn Fn(T, T) -> T>,
-) -> CollHandle<T> {
+) -> CollHandle<'a, T> {
     let prog = &plan.per_pe[pe.rank()];
     let t0 = pe.cycles();
     if plan.empty {
         pe.note_collective(plan.kind, prog.sample.sample(0, 0));
         return CollHandle {
+            pe,
             plan,
             buf,
             base: 0,
@@ -1577,6 +1609,7 @@ fn issue_plan<T: XbrType>(
     );
     pe.scratch_put(landing);
     CollHandle {
+        pe,
         plan,
         buf,
         base,
@@ -1590,7 +1623,7 @@ fn issue_plan<T: XbrType>(
     }
 }
 
-impl<T: XbrType> CollHandle<T> {
+impl<T: XbrType> CollHandle<'_, T> {
     /// `true` when every drain signal this PE still owes has already
     /// arrived — [`CollHandle::wait`] will not stall on a signal (it may
     /// still synchronise at the collective's closing barrier). Does not
@@ -1612,8 +1645,11 @@ impl<T: XbrType> CollHandle<T> {
 
     /// Drain the episode (collective: every PE must call in issue order)
     /// and release its slot window. Epilogue copies (reduce/allreduce
-    /// read-out) land in `dest`.
-    fn finish(mut self, pe: &Pe, dest: &mut [T]) {
+    /// read-out) land in `dest` when present; `None` runs the same
+    /// barriers but skips the local copy, so a dropping PE stays in step
+    /// with peers that `wait_into`. Idempotent: the post-drop no-op run
+    /// sees `done`, an empty readout and no staging.
+    fn finish(&mut self, pe: &Pe, mut dest: Option<&mut [T]>) {
         if !self.done {
             let prog = &self.plan.per_pe[pe.rank()];
             let table =
@@ -1640,47 +1676,66 @@ impl<T: XbrType> CollHandle<T> {
             pe.nb_slot_release();
             self.done = true;
         }
+        let staging = self.staging.take();
         match self.readout {
             Readout::None => {}
             Readout::Root { root, nelems } => {
-                let staging = self.staging.expect("rooted readout requires staging");
+                let staging = staging.as_ref().expect("rooted readout requires staging");
                 if pe.rank() == root && nelems > 0 {
-                    pe.heap_read_strided(staging.whole(), &mut dest[..nelems], nelems, 1);
+                    if let Some(dest) = dest.as_deref_mut() {
+                        pe.heap_read_strided(staging.whole(), &mut dest[..nelems], nelems, 1);
+                    }
                 }
                 if nelems > 0 {
                     pe.barrier();
                 }
             }
             Readout::All { nelems } => {
-                let staging = self.staging.expect("all readout requires staging");
+                let staging = staging.as_ref().expect("all readout requires staging");
                 if nelems > 0 {
-                    pe.heap_read_strided(staging.whole(), &mut dest[..nelems], nelems, 1);
+                    if let Some(dest) = dest {
+                        pe.heap_read_strided(staging.whole(), &mut dest[..nelems], nelems, 1);
+                    }
                     pe.barrier();
                 }
             }
         }
+        self.readout = Readout::None;
         if self.owns_staging {
-            if let Some(s) = self.staging {
+            if let Some(s) = staging {
                 pe.shared_free(s);
             }
+            self.owns_staging = false;
         }
     }
 
     /// Complete a collective with no local read-out ([`ixbroadcast`] and
     /// persistent broadcasts: the result is already in the symmetric
     /// destination).
-    pub fn wait(self, pe: &Pe) {
+    pub fn wait(mut self, pe: &Pe) {
         debug_assert!(
             matches!(self.readout, Readout::None),
             "this handle produces output; use wait_into"
         );
-        self.finish(pe, &mut []);
+        self.finish(pe, None);
     }
 
     /// Complete a collective whose result is copied into `dest`
     /// ([`ixreduce`] at the root, [`ixallreduce`] everywhere).
-    pub fn wait_into(self, pe: &Pe, dest: &mut [T]) {
-        self.finish(pe, dest);
+    pub fn wait_into(mut self, pe: &Pe, dest: &mut [T]) {
+        self.finish(pe, Some(dest));
+    }
+}
+
+impl<T: XbrType> Drop for CollHandle<'_, T> {
+    fn drop(&mut self) {
+        // A panicking PE cannot be asked to run collective barriers; the
+        // watchdog/deadlock reporter owns that failure path.
+        if std::thread::panicking() {
+            return;
+        }
+        let pe = self.pe;
+        self.finish(pe, None);
     }
 }
 
@@ -1689,14 +1744,14 @@ impl<T: XbrType> CollHandle<T> {
 /// [`CollHandle::wait`]. Under the signaled/pipelined disciplines,
 /// non-root PEs return immediately after issuing their forwarding work
 /// and absorb the incoming transfer at `wait` — the overlap window.
-pub fn ixbroadcast<T: XbrType>(
-    pe: &Pe,
+pub fn ixbroadcast<'a, T: XbrType>(
+    pe: &'a Pe,
     dest: &SymmAlloc<T>,
     src: &[T],
     nelems: usize,
     root: usize,
     sync: SyncMode,
-) -> CollHandle<T> {
+) -> CollHandle<'a, T> {
     let n_pes = pe.n_pes();
     assert!(root < n_pes, "root {root} out of range");
     if pe.rank() == root {
@@ -1722,14 +1777,14 @@ pub fn ixbroadcast<T: XbrType>(
 /// Nonblocking reduction of every PE's symmetric `src` window toward
 /// `root`. Complete with [`CollHandle::wait_into`]; the root's `dest`
 /// receives the folded `nelems` elements.
-pub fn ixreduce<T: XbrType>(
-    pe: &Pe,
+pub fn ixreduce<'a, T: XbrType>(
+    pe: &'a Pe,
     src: &SymmAlloc<T>,
     nelems: usize,
     root: usize,
     f: impl Fn(T, T) -> T + Copy,
     sync: SyncMode,
-) -> CollHandle<T> {
+) -> CollHandle<'a, T> {
     let n_pes = pe.n_pes();
     assert!(root < n_pes, "root {root} out of range");
     let staging = pe.shared_malloc::<T>(nelems.max(1));
@@ -1756,17 +1811,39 @@ pub fn ixreduce<T: XbrType>(
     h
 }
 
-/// Nonblocking allreduce over one fused reduce+broadcast schedule
-/// ([`allreduce_fused`]). Complete with [`CollHandle::wait_into`]; every
-/// PE's `dest` receives the folded `nelems` elements.
-pub fn ixallreduce<T: XbrType>(
-    pe: &Pe,
+/// Nonblocking allreduce. Complete with [`CollHandle::wait_into`]; every
+/// PE's `dest` receives the folded `nelems` elements. The strategy is
+/// chosen per shape by
+/// [`AllReduceAlgo::Auto`](crate::collectives::extended::AllReduceAlgo)
+/// — the same calibrated family as the blocking [`reduce_all`] path, so
+/// warm plans are shared between the two.
+pub fn ixallreduce<'a, T: XbrType>(
+    pe: &'a Pe,
     src: &SymmAlloc<T>,
     nelems: usize,
     f: impl Fn(T, T) -> T + Copy,
     sync: SyncMode,
-) -> CollHandle<T> {
+) -> CollHandle<'a, T> {
+    use crate::collectives::extended::AllReduceAlgo;
+    ixallreduce_algo(pe, src, nelems, f, AllReduceAlgo::Auto, sync)
+}
+
+/// [`ixallreduce`] with an explicit [`AllReduceAlgo`]: every member of
+/// the family — the fused reduce-then-broadcast schedule
+/// ([`allreduce_fused`]), recursive doubling, Rabenseifner and ring —
+/// lowers through the plan cache and issues nonblocking.
+pub fn ixallreduce_algo<'a, T: XbrType>(
+    pe: &'a Pe,
+    src: &SymmAlloc<T>,
+    nelems: usize,
+    f: impl Fn(T, T) -> T + Copy,
+    algo: crate::collectives::extended::AllReduceAlgo,
+    sync: SyncMode,
+) -> CollHandle<'a, T> {
+    use crate::collectives::extended::{allreduce_schedule, AllReduceAlgo};
     let n_pes = pe.n_pes();
+    let algo = algo.resolve(n_pes, nelems * std::mem::size_of::<T>());
+    let (tag, key_algo) = allreduce_plan_id(algo);
     let staging = pe.shared_malloc::<T>(nelems.max(1));
     if nelems > 0 {
         pe.get_symm(staging.whole(), src.whole(), nelems, 1, pe.rank());
@@ -1774,16 +1851,19 @@ pub fn ixallreduce<T: XbrType>(
     }
     let key = PlanKey::rooted(
         CollectiveKind::AllReduce,
-        Algorithm::Binomial,
+        key_algo,
         sync,
         n_pes,
         0,
         nelems,
         1,
         std::mem::size_of::<T>(),
-        tag::ALLREDUCE_FUSED,
+        tag,
     );
-    let plan = plan_for(pe, &key, sync, || allreduce_fused(n_pes, nelems));
+    let plan = plan_for(pe, &key, sync, || match algo {
+        AllReduceAlgo::ReduceThenBroadcast => allreduce_fused(n_pes, nelems),
+        direct => allreduce_schedule(direct, n_pes, nelems),
+    });
     let mut h = issue_plan(pe, plan, staging.whole(), &[], Some(&f));
     h.staging = Some(staging);
     h.owns_staging = true;
@@ -1837,7 +1917,7 @@ pub fn plan_create_broadcast<T: XbrType>(
 
 impl<T: XbrType> PersistentBroadcast<T> {
     /// Issue one episode (collective call; `src` is read on the root).
-    pub fn start(&self, pe: &Pe, src: &[T]) -> CollHandle<T> {
+    pub fn start<'a>(&self, pe: &'a Pe, src: &[T]) -> CollHandle<'a, T> {
         if pe.rank() == self.root {
             pe.heap_write_strided(self.dest.whole(), src, self.nelems, 1);
         }
@@ -1887,7 +1967,7 @@ pub fn plan_create_allreduce<T: XbrType>(
 
 impl<T: XbrType> PersistentAllReduce<T> {
     /// Issue one episode over the bound `src` window (collective call).
-    pub fn start(&self, pe: &Pe, f: impl Fn(T, T) -> T + Copy) -> CollHandle<T> {
+    pub fn start<'a>(&self, pe: &'a Pe, f: impl Fn(T, T) -> T + Copy) -> CollHandle<'a, T> {
         if self.nelems > 0 {
             pe.get_symm(
                 self.staging.whole(),

@@ -297,6 +297,82 @@ fn auto_select_broadcast_sync(n_pes: usize, nbytes: usize, resolved: SyncMode) -
 /// domain that only one model endorses.
 const AUTO_CHAIN_MAX_PES: usize = 32;
 
+/// Payload (bytes) from which `Auto` all-reduce abandons the full-vector
+/// butterfly for a reduce-scatter-composed shape: below this the extra
+/// stages cost more than the saved fold traffic. Calibrated from the
+/// `xbench_sweep` allreduce grid: recursive doubling wins every 128-byte
+/// cell, Rabenseifner already leads at 2 KiB (2792 vs 2985 cycles at
+/// 4 PEs) — and at `n = 2`, where the two shapes coincide stage-for-stage
+/// at small payloads, the halved fold traffic still wins from 8 KiB
+/// (6839 vs 7873), so there is deliberately no small-`n` escape hatch.
+pub(crate) const AUTO_ALLREDUCE_SEGMENT_MIN_BYTES: usize = 2 * 1024;
+
+/// Payload (bytes) from which the ring's bandwidth-optimal `nelems/n`
+/// segments beat Rabenseifner's halving splits (`xbench_sweep`: ring
+/// leads the 64 KiB cells — 133610 vs 147566 cycles at 8 PEs — while
+/// Rabenseifner still leads at 8 KiB).
+pub(crate) const AUTO_ALLREDUCE_RING_MIN_BYTES: usize = 64 * 1024;
+
+/// Largest PE count at which `Auto` all-reduce keeps the ring: its
+/// `2·(n − 1)` stage depth grows linearly while Rabenseifner stays
+/// logarithmic, the same depth-versus-injection trade as
+/// [`AUTO_CHAIN_MAX_PES`].
+pub(crate) const AUTO_ALLREDUCE_RING_MAX_PES: usize = 32;
+
+/// Joint algorithm selection for all-reduce under
+/// [`AllReduceAlgo::Auto`](crate::collectives::extended::AllReduceAlgo):
+/// recursive doubling at small payloads (latency-bound, fewest stages
+/// that still avoid the reduce-then-broadcast root bottleneck), ring at
+/// large payloads and modest PE counts (bandwidth-optimal segments,
+/// chunk-pipelinable puts), Rabenseifner everywhere else (log depth with
+/// `~2/n` fold traffic). Crossovers calibrated from the `xbench_sweep`
+/// allreduce grid (`allreduce_family_points` in `BENCH_sweep.json`).
+pub fn auto_select_allreduce(
+    n_pes: usize,
+    nbytes: usize,
+) -> crate::collectives::extended::AllReduceAlgo {
+    use crate::collectives::extended::AllReduceAlgo;
+    if nbytes < AUTO_ALLREDUCE_SEGMENT_MIN_BYTES {
+        AllReduceAlgo::RecursiveDoubling
+    } else if nbytes >= AUTO_ALLREDUCE_RING_MIN_BYTES && n_pes <= AUTO_ALLREDUCE_RING_MAX_PES {
+        AllReduceAlgo::Ring
+    } else {
+        AllReduceAlgo::Rabenseifner
+    }
+}
+
+/// Smallest PE count at which `Auto` all-gather switches from the
+/// single-stage n² put fan to log-stage dissemination: the fan's one
+/// stage is unbeatable on latency until its `n²` op count saturates the
+/// fabric (`xbench_sweep` allgather rows: dissemination leads from 8 PEs
+/// at every block size — 2120 vs 4093 cycles at 128-byte blocks —
+/// decisively at ≥64).
+pub(crate) const AUTO_ALLGATHER_DOUBLING_MIN_PES: usize = 8;
+
+/// Per-PE block size (bytes) from which dissemination also wins *below*
+/// the PE-count crossover: big blocks make the exchange bandwidth-bound,
+/// and the fan pushes each contribution over `n − 1` separate wires
+/// while dissemination forwards doubling aggregates (`xbench_sweep`:
+/// 22043 vs 26302 cycles at 4 PEs × 8 KiB blocks).
+pub(crate) const AUTO_ALLGATHER_DOUBLING_MIN_BYTES: usize = 8 * 1024;
+
+/// Joint algorithm selection for all-gather under
+/// [`AllGatherAlgo::Auto`](crate::collectives::extended::AllGatherAlgo).
+/// PE count dominates the trade (op count scales n² vs n·log n); block
+/// size decides the low-PE-count cells, where only bandwidth-bound
+/// payloads make the extra dissemination stages pay.
+pub fn auto_select_all_gather(
+    n_pes: usize,
+    nbytes: usize,
+) -> crate::collectives::extended::AllGatherAlgo {
+    use crate::collectives::extended::AllGatherAlgo;
+    if n_pes >= AUTO_ALLGATHER_DOUBLING_MIN_PES || nbytes >= AUTO_ALLGATHER_DOUBLING_MIN_BYTES {
+        AllGatherAlgo::RecursiveDoubling
+    } else {
+        AllGatherAlgo::Fan
+    }
+}
+
 /// Broadcast under `policy`: dispatches to the binomial tree
 /// ([`broadcast::broadcast`]), [`baseline::broadcast_linear`], or
 /// [`baseline::broadcast_ring`]. Same contract as the tree version.
@@ -482,6 +558,53 @@ pub fn gather_policy_sync<T: XbrType>(
 mod tests {
     use super::*;
     use crate::fabric::{Fabric, FabricConfig};
+
+    /// The measured `xbench_sweep` crossover cells the allreduce
+    /// selector is calibrated against — each row a (n_pes, nbytes) cell
+    /// and its winning family member.
+    #[test]
+    fn auto_allreduce_tracks_measured_crossovers() {
+        use crate::collectives::extended::AllReduceAlgo as A;
+        for (n, nbytes, want) in [
+            (2usize, 128usize, A::RecursiveDoubling),
+            (8, 128, A::RecursiveDoubling),
+            (4, 2 * 1024, A::Rabenseifner),
+            (2, 8 * 1024, A::Rabenseifner),
+            (8, 8 * 1024, A::Rabenseifner),
+            (4, 64 * 1024, A::Ring),
+            (32, 64 * 1024, A::Ring),
+            // Past the ring's stage-depth cap, bandwidth cells fall back
+            // to the logarithmic shape.
+            (64, 64 * 1024, A::Rabenseifner),
+            (256, 512 * 1024, A::Rabenseifner),
+        ] {
+            assert_eq!(
+                auto_select_allreduce(n, nbytes),
+                want,
+                "n={n} nbytes={nbytes}"
+            );
+        }
+    }
+
+    /// Same for the all-gather fan/dissemination crossover.
+    #[test]
+    fn auto_all_gather_tracks_measured_crossovers() {
+        use crate::collectives::extended::AllGatherAlgo as G;
+        for (n, nbytes, want) in [
+            (2usize, 128usize, G::Fan),
+            (4, 128, G::Fan),
+            (4, 8 * 1024, G::RecursiveDoubling),
+            (8, 128, G::RecursiveDoubling),
+            (16, 128, G::RecursiveDoubling),
+            (64, 8 * 1024, G::RecursiveDoubling),
+        ] {
+            assert_eq!(
+                auto_select_all_gather(n, nbytes),
+                want,
+                "n={n} nbytes={nbytes}"
+            );
+        }
+    }
 
     #[test]
     fn fixed_policies_are_constant() {

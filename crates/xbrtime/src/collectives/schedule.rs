@@ -900,6 +900,21 @@ pub fn execute_sync<T: XbrType>(
 // Shared stage builders: the paper's binomial trees as pure functions.
 // ---------------------------------------------------------------------------
 
+/// Split `nelems` elements into `parts` balanced contiguous segments:
+/// segment `j` is `(offset, len)` with the `nelems % parts` leftover
+/// elements spread over the first segments. Every PE of a collective
+/// computes this from the schedule shape alone, so reduce-scatter owners
+/// and allgather forwarders always agree on the segmentation. Segments
+/// may be empty when `nelems < parts`.
+pub fn balanced_partition(nelems: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0, "cannot partition into zero segments");
+    let base = nelems / parts;
+    let rem = nelems % parts;
+    (0..parts)
+        .map(|j| (j * base + j.min(rem), base + usize::from(j < rem)))
+        .collect()
+}
+
 /// Top-down binomial stages (recursive halving — Algorithms 1 and 3):
 /// stage `i` runs from `⌈log2 n⌉ − 1` down to 0 and each holder pushes to
 /// the partner `2^i` virtual ranks away. `edge(stage_ops, vir_holder,
@@ -1248,6 +1263,26 @@ mod tests {
 
     fn uniform_disp(n_pes: usize, per: usize, root: usize) -> Vec<usize> {
         adjusted_displacements(&vec![per; n_pes], root, n_pes)
+    }
+
+    #[test]
+    fn balanced_partition_tiles_exactly() {
+        for nelems in 0..40usize {
+            for parts in 1..9usize {
+                let segs = balanced_partition(nelems, parts);
+                assert_eq!(segs.len(), parts);
+                let mut at = 0usize;
+                for &(off, len) in &segs {
+                    assert_eq!(off, at, "nelems={nelems} parts={parts}");
+                    at += len;
+                }
+                assert_eq!(at, nelems, "nelems={nelems} parts={parts}");
+                // Balanced: lengths differ by at most one element.
+                let lens: Vec<usize> = segs.iter().map(|s| s.1).collect();
+                let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(hi - lo <= 1);
+            }
+        }
     }
 
     #[test]

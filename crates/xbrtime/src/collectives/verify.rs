@@ -1342,9 +1342,10 @@ pub enum CollectiveSpec {
         /// Adjusted displacement table, `n_pes + 1` entries.
         adj_disp: Vec<usize>,
     },
-    /// Every PE's window holds the fold of all PEs' initial windows
-    /// (recursive-doubling butterfly; exact only for power-of-two
-    /// `n_pes`, which the reference asserts).
+    /// Every PE's window holds the fold of all PEs' initial windows.
+    /// The reference is the dense multiset union, exact for any `n_pes`
+    /// — the generators (recursive doubling, Rabenseifner, ring) fold
+    /// their non-power-of-two tails internally.
     AllReduce {
         /// Elements reduced.
         nelems: usize,

@@ -271,13 +271,13 @@ fn shmem_broadcast_sync<T: XbrType>(
 /// is in flight, so OpenSHMEM's root-exclusion quirk cannot hold mid-air;
 /// it is restored at [`wait`](BcastNbiHandle::wait) time instead.
 #[must_use = "a nonblocking SHMEM broadcast must be completed with wait()"]
-pub struct BcastNbiHandle<T: XbrType> {
-    inner: CollHandle<T>,
+pub struct BcastNbiHandle<'a, T: XbrType> {
+    inner: CollHandle<'a, T>,
     dest: SymmRef<T>,
     saved: Vec<T>,
 }
 
-impl<T: XbrType> BcastNbiHandle<T> {
+impl<T: XbrType> BcastNbiHandle<'_, T> {
     /// Nonblocking poll: has the in-flight portion completed?
     pub fn test(&self, pe: &Pe) -> bool {
         self.inner.test(pe)
@@ -303,14 +303,14 @@ impl<T: XbrType> BcastNbiHandle<T> {
 /// # Panics
 /// Panics if `active` is not the full world (nonblocking issue is keyed
 /// on world-spanning compiled plans) or on a non-64-bit element type.
-pub fn broadcast64_nbi<T: XbrType>(
-    pe: &Pe,
+pub fn broadcast64_nbi<'a, T: XbrType>(
+    pe: &'a Pe,
     dest: &SymmAlloc<T>,
     src: &[T],
     nelems: usize,
     pe_root: usize,
     active: &ActiveSet,
-) -> BcastNbiHandle<T> {
+) -> BcastNbiHandle<'a, T> {
     assert_elem_size::<T>(64, "shmem_broadcast64_nbi");
     assert!(
         active.is_world(pe.n_pes()),

@@ -91,31 +91,35 @@ macro_rules! typed_common {
         /// Nonblocking broadcast: issue now, overlap with local work,
         /// complete with [`CollHandle::wait`]
         /// (`xbrtime_TYPENAME_ibroadcast`).
-        pub fn ibroadcast(
-            pe: &Pe,
+        pub fn ibroadcast<'a>(
+            pe: &'a Pe,
             dest: &SymmAlloc<$t>,
             src: &[$t],
             nelems: usize,
             root: usize,
-        ) -> CollHandle<$t> {
+        ) -> CollHandle<'a, $t> {
             collectives::ixbroadcast(pe, dest, src, nelems, root, SyncMode::Auto)
         }
 
         /// Nonblocking sum-reduction toward `root`; complete with
         /// [`CollHandle::wait_into`] (`xbrtime_TYPENAME_ireduce_sum`).
-        pub fn ireduce_sum(
-            pe: &Pe,
+        pub fn ireduce_sum<'a>(
+            pe: &'a Pe,
             src: &SymmAlloc<$t>,
             nelems: usize,
             root: usize,
-        ) -> CollHandle<$t> {
+        ) -> CollHandle<'a, $t> {
             collectives::ixreduce(pe, src, nelems, root, |a: $t, b: $t| a + b, SyncMode::Auto)
         }
 
         /// Nonblocking sum-allreduce over one fused schedule; complete
         /// with [`CollHandle::wait_into`]
         /// (`xbrtime_TYPENAME_iallreduce_sum`).
-        pub fn iallreduce_sum(pe: &Pe, src: &SymmAlloc<$t>, nelems: usize) -> CollHandle<$t> {
+        pub fn iallreduce_sum<'a>(
+            pe: &'a Pe,
+            src: &SymmAlloc<$t>,
+            nelems: usize,
+        ) -> CollHandle<'a, $t> {
             collectives::ixallreduce(pe, src, nelems, |a: $t, b: $t| a + b, SyncMode::Auto)
         }
 

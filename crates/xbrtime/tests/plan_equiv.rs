@@ -21,7 +21,7 @@ use proptest::prelude::*;
 use xbrtime::collectives::plan::{PlanCache, PlanKey};
 use xbrtime::collectives::policy::Algorithm;
 use xbrtime::collectives::schedule::broadcast_binomial;
-use xbrtime::collectives::{self, AllReduceAlgo};
+use xbrtime::collectives::{self, AllGatherAlgo, AllReduceAlgo};
 use xbrtime::{
     AlgorithmPolicy, CollectiveKind, CollectiveRecord, EngineConfig, Fabric, FabricConfig,
     ReduceOp, SyncMode,
@@ -144,11 +144,13 @@ fn run_one(
                 pe.heap_write(src.whole(), &vals);
                 pe.barrier();
                 let mut dest = vec![0u64; nelems];
+                // Map the shared policy axis onto the allreduce family so
+                // every generator gets plan-vs-interpretive coverage.
                 let strat = match algo {
-                    AlgorithmPolicy::Auto | AlgorithmPolicy::Binomial => {
-                        AllReduceAlgo::RecursiveDoubling
-                    }
-                    _ => AllReduceAlgo::ReduceThenBroadcast,
+                    AlgorithmPolicy::Auto => AllReduceAlgo::Auto,
+                    AlgorithmPolicy::Binomial => AllReduceAlgo::RecursiveDoubling,
+                    AlgorithmPolicy::Linear => AllReduceAlgo::Rabenseifner,
+                    AlgorithmPolicy::Ring => AllReduceAlgo::Ring,
                 };
                 collectives::reduce_all_sync(
                     pe,
@@ -166,7 +168,12 @@ fn run_one(
                 let per = msgs[0];
                 let src: Vec<u64> = (0..per as u64).map(|i| me * 100 + i).collect();
                 let mut dest = vec![0u64; per * n];
-                collectives::all_gather(pe, &mut dest, &src, per);
+                let strat = match algo {
+                    AlgorithmPolicy::Auto => AllGatherAlgo::Auto,
+                    AlgorithmPolicy::Ring => AllGatherAlgo::RecursiveDoubling,
+                    _ => AllGatherAlgo::Fan,
+                };
+                collectives::all_gather_algo_sync(pe, &mut dest, &src, per, strat, sync);
                 pe.barrier();
                 dest
             }
@@ -174,7 +181,7 @@ fn run_one(
                 let per = msgs[0];
                 let src: Vec<u64> = (0..(per * n) as u64).map(|i| me * 1000 + i).collect();
                 let mut dest = vec![0u64; per * n];
-                collectives::all_to_all(pe, &mut dest, &src, per);
+                collectives::all_to_all_sync(pe, &mut dest, &src, per, sync);
                 pe.barrier();
                 dest
             }
@@ -255,10 +262,20 @@ fn compiled_plans_match_interpretive_coop_backend() {
     }
 }
 
-/// Explicit algorithm shapes (binomial/linear/ring) through the plan path.
+/// Explicit algorithm shapes (binomial/linear/ring) through the plan
+/// path. For AllReduce/AllGather the policy axis maps onto the extended
+/// family (recursive doubling / Rabenseifner / ring, fan / dissemination
+/// — see `run_one`), so every new generator gets a pinned row here.
 #[test]
 fn compiled_plans_match_every_algorithm() {
-    for kind in [Kind::Broadcast, Kind::Reduce, Kind::Scatter, Kind::Gather] {
+    for kind in [
+        Kind::Broadcast,
+        Kind::Reduce,
+        Kind::Scatter,
+        Kind::Gather,
+        Kind::AllReduce,
+        Kind::AllGather,
+    ] {
         for algo in [
             AlgorithmPolicy::Binomial,
             AlgorithmPolicy::Linear,
@@ -273,6 +290,29 @@ fn compiled_plans_match_every_algorithm() {
                 17,
                 2,
             );
+        }
+    }
+}
+
+/// The non-power-of-two segmented generators under signaled/pipelined
+/// sync, plan-on vs plan-off, both backends.
+#[test]
+fn compiled_plans_match_allreduce_family_non_pow2() {
+    for engine in [EngineConfig::threads(), EngineConfig::coop().with_seed(3)] {
+        for algo in [AlgorithmPolicy::Linear, AlgorithmPolicy::Ring] {
+            for sync in [SyncMode::Signaled, SyncMode::Pipelined] {
+                for n in [3usize, 7] {
+                    assert_plan_matches_interpretive(
+                        engine.clone(),
+                        Kind::AllReduce,
+                        algo,
+                        sync,
+                        n,
+                        41,
+                        0,
+                    );
+                }
+            }
         }
     }
 }
@@ -399,6 +439,57 @@ fn two_collectives_overlap_in_flight() {
             // allreduce of me+i over me in 0..8: sum_me(me) + 8*i = 28 + 8i.
             let expect_sum: Vec<u64> = (0..8u64).map(|i| n * (n - 1) / 2 + n * i).collect();
             assert_eq!(sum, &expect_sum, "{sync:?} rank {rank} allreduce");
+        }
+    }
+}
+
+/// Regression: dropping a live `CollHandle` without `wait()` must drain
+/// its in-flight steps and release its signal-slot window and episode
+/// cursor. Before the `Drop` impl, the leaked reservation strided the
+/// nonblocking cursor forward permanently, and ~16 further episodes
+/// tripped the `OVERLAP_HEADROOM` slot-table assert.
+#[test]
+fn dropped_handle_releases_slots_and_cursor() {
+    for sync in [SyncMode::Signaled, SyncMode::Pipelined] {
+        let report = Fabric::run(FabricConfig::new(6), move |pe| {
+            let me = pe.rank() as u64;
+            let src = pe.shared_malloc::<u64>(8);
+            let vals: Vec<u64> = (0..8).map(|i| me * 7 + i).collect();
+            pe.heap_write(src.whole(), &vals);
+            pe.barrier();
+
+            // Two live collectives, abandoned on every PE. The broadcast
+            // goes first so its shape sizes the slot table: a leaked
+            // reservation would then consume exactly its own headroom
+            // window across the same-shaped episodes below. The allreduce
+            // additionally abandons a pending all-readout.
+            let dest = pe.shared_malloc::<u64>(4);
+            let h = collectives::ixbroadcast(pe, &dest, &[9u64, 9, 9, 9], 4, 0, sync);
+            drop(h);
+            let h = collectives::ixallreduce(pe, &src, 8, |a, b| a.wrapping_add(b), sync);
+            drop(h);
+            pe.barrier();
+
+            // The cursor and slot table must be fully recycled: twice
+            // OVERLAP_HEADROOM more same-shaped episodes, all correct.
+            // With the reservations stranded, the striding cursor would
+            // overrun the table sized at the first issue (the table
+            // rounds its capacity to a power of two, hence 2x).
+            let mut out = Vec::new();
+            for ep in 0..32u64 {
+                let bsrc = [ep * 4, ep * 4 + 1, ep * 4 + 2, ep * 4 + 3];
+                collectives::ixbroadcast(pe, &dest, &bsrc, 4, (ep as usize) % 6, sync).wait(pe);
+                pe.barrier();
+                out.extend(pe.heap_read_vec::<u64>(dest.whole(), 4));
+                pe.barrier();
+            }
+            out
+        });
+        for (rank, got) in report.results.iter().enumerate() {
+            let expect: Vec<u64> = (0..32u64)
+                .flat_map(|ep| (0..4u64).map(move |j| ep * 4 + j))
+                .collect();
+            assert_eq!(got, &expect, "{sync:?} rank {rank}");
         }
     }
 }

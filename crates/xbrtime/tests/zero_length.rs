@@ -3,7 +3,8 @@
 //! well-formed — across every collective shape, sync mode, and PE count,
 //! including the degenerate single-PE fabric.
 
-use xbrtime::{collectives, Fabric, FabricConfig, RunReport, SyncMode};
+use xbrtime::collectives::{AllGatherAlgo, AllReduceAlgo};
+use xbrtime::{collectives, EngineConfig, Fabric, FabricConfig, RunReport, SyncMode};
 
 const PE_COUNTS: [usize; 3] = [1, 3, 8];
 const SYNC_MODES: [SyncMode; 4] = [
@@ -14,8 +15,17 @@ const SYNC_MODES: [SyncMode; 4] = [
 ];
 
 fn run_traced(n_pes: usize, body: impl Fn(&xbrtime::Pe) + Sync) -> RunReport<()> {
+    run_traced_on(n_pes, EngineConfig::threads(), body)
+}
+
+fn run_traced_on(
+    n_pes: usize,
+    engine: EngineConfig,
+    body: impl Fn(&xbrtime::Pe) + Sync,
+) -> RunReport<()> {
     let fc = FabricConfig::paper(n_pes)
         .with_shared_bytes(1 << 20)
+        .with_engine(engine)
         .with_trace();
     Fabric::run(fc, body)
 }
@@ -95,6 +105,78 @@ fn zero_length_reduce_all_modes() {
                 );
             });
             assert_inert(&report, &format!("reduce n={n} {sync:?}"));
+        }
+    }
+}
+
+/// `per_pe == 0` all-gather is fully inert under every algorithm, sync
+/// mode, and backend: no symmetric board, no staging barriers, only the
+/// telemetry episode. Regression for the path that used to allocate a
+/// 1-element board and run the staging barriers anyway.
+#[test]
+fn zero_length_all_gather_every_algorithm_both_backends() {
+    for n in PE_COUNTS {
+        for sync in SYNC_MODES {
+            for engine in [EngineConfig::threads(), EngineConfig::coop()] {
+                for algo in [
+                    AllGatherAlgo::Fan,
+                    AllGatherAlgo::RecursiveDoubling,
+                    AllGatherAlgo::Auto,
+                ] {
+                    let report = run_traced_on(n, engine.clone(), move |pe| {
+                        let mut dest: Vec<u64> = vec![];
+                        collectives::all_gather_algo_sync(pe, &mut dest, &[], 0, algo, sync);
+                    });
+                    assert_inert(&report, &format!("all_gather n={n} {algo:?} {sync:?}"));
+                }
+            }
+        }
+    }
+}
+
+/// Same contract for `per_pe == 0` all-to-all.
+#[test]
+fn zero_length_all_to_all_all_modes_both_backends() {
+    for n in PE_COUNTS {
+        for sync in SYNC_MODES {
+            for engine in [EngineConfig::threads(), EngineConfig::coop()] {
+                let report = run_traced_on(n, engine.clone(), move |pe| {
+                    let mut dest: Vec<u64> = vec![];
+                    collectives::all_to_all_sync(pe, &mut dest, &[], 0, sync);
+                });
+                assert_inert(&report, &format!("all_to_all n={n} {sync:?}"));
+            }
+        }
+    }
+}
+
+/// `nelems == 0` allreduce moves no data under any family member.
+#[test]
+fn zero_length_allreduce_every_algorithm() {
+    for n in PE_COUNTS {
+        for sync in SYNC_MODES {
+            for algo in [
+                AllReduceAlgo::ReduceThenBroadcast,
+                AllReduceAlgo::RecursiveDoubling,
+                AllReduceAlgo::Rabenseifner,
+                AllReduceAlgo::Ring,
+                AllReduceAlgo::Auto,
+            ] {
+                let report = run_traced(n, move |pe| {
+                    let src = pe.shared_malloc::<u64>(1);
+                    let mut dest: Vec<u64> = vec![];
+                    collectives::reduce_all_with_sync(
+                        pe,
+                        &mut dest,
+                        &src,
+                        0,
+                        |a: u64, b: u64| a.wrapping_add(b),
+                        algo,
+                        sync,
+                    );
+                });
+                assert_inert(&report, &format!("allreduce n={n} {algo:?} {sync:?}"));
+            }
         }
     }
 }
