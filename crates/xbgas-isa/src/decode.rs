@@ -356,6 +356,18 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
     })
 }
 
+/// Decode a contiguous run of instruction words in one pass.
+///
+/// This is the bulk form of [`decode`] used by simulators that translate
+/// whole basic blocks at a time: the caller fetches a span of code once,
+/// decodes it once, and keeps the resulting `Inst` array — no per-execution
+/// re-decode. Undecodable words are kept as `Err` entries rather than
+/// aborting the run, so a translator can stop at the first bad word while
+/// still caching the valid prefix.
+pub fn decode_all(words: &[u32]) -> Vec<Result<Inst, DecodeError>> {
+    words.iter().map(|&w| decode(w)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -740,6 +740,14 @@ impl Inst {
         )
     }
 
+    /// `true` if this instruction terminates a basic block: control flow
+    /// (jump/branch) or an environment transfer (`ecall`/`ebreak`). Block
+    /// translators stop straight-line discovery here; everything else can
+    /// be pre-decoded and executed back-to-back.
+    pub const fn ends_block(&self) -> bool {
+        self.is_control() || matches!(self, Inst::Ecall | Inst::Ebreak)
+    }
+
     /// The assembly mnemonic for the instruction, without operands.
     pub fn mnemonic(&self) -> String {
         match self {

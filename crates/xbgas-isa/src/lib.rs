@@ -38,7 +38,7 @@ pub mod encode;
 pub mod inst;
 pub mod reg;
 
-pub use decode::{decode, DecodeError};
+pub use decode::{decode, decode_all, DecodeError};
 pub use disasm::{disasm_word, format_inst};
 pub use encode::{encode, pseudo, EncodeError};
 pub use inst::{AluImmOp, AluOp, BranchCond, Inst, InstCategory, LoadWidth, StoreWidth};

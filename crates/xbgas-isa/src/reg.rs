@@ -69,10 +69,13 @@ impl XReg {
         self.0
     }
 
-    /// The register number as a `usize`, for register-file indexing.
+    /// The register number as a `usize`, for register-file indexing. The
+    /// mask is a no-op (construction guarantees `n < 32`) but lets the
+    /// compiler drop the bounds check on every `x[r.idx()]` in the
+    /// simulator's hot loops.
     #[inline]
     pub const fn idx(self) -> usize {
-        self.0 as usize
+        (self.0 & 31) as usize
     }
 
     /// ABI mnemonic (`zero`, `ra`, `sp`, `a0`, …).
@@ -129,10 +132,11 @@ impl EReg {
         self.0
     }
 
-    /// The register number as a `usize`, for register-file indexing.
+    /// The register number as a `usize`, for register-file indexing. Masked
+    /// like [`XReg::idx`] so indexing is bounds-check-free.
     #[inline]
     pub const fn idx(self) -> usize {
-        self.0 as usize
+        (self.0 & 31) as usize
     }
 
     /// The extended register that *naturally corresponds* to a base register.

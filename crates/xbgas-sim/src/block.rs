@@ -1,0 +1,2497 @@
+//! Basic-block translation engine.
+//!
+//! The interpretive stepper in [`crate::machine`] pays a fetch, a decode and
+//! a full dispatch for every guest instruction. This module removes that
+//! overhead for the common case: at first execution of a `pc`, the
+//! contiguous run of instructions up to the next control transfer (or
+//! `ecall`/`ebreak`) is decoded **once** into a flat IR of [`BlockOp`]s and
+//! cached per PE. Subsequent visits dispatch straight over the pre-decoded
+//! ops. Hot idioms from the paper's GUPS/IS kernels are additionally fused
+//! into superinstructions with translation-time-precomputed operands:
+//!
+//! * `lui`+`addi` constant materialisation ([`BlockOp::Li`]),
+//! * the xorshift `slli`/`srli`+`xor` pair ([`BlockOp::ShiftXor`]) and the
+//!   full three-pair RNG round ([`BlockOp::XorShift3`]),
+//! * load / ALU-op / store read-modify-write triads
+//!   ([`BlockOp::LoadOpStore`]) and the six-instruction indexed
+//!   table-update of GUPS and IS ranking ([`BlockOp::IdxRmw`]),
+//! * the streaming store + pointer-bump pair ([`BlockOp::StoreInc`]),
+//! * `addi`+conditional-branch loop back-edges ([`BlockOp::AddiBranch`])
+//!   and the three-instruction bump/decrement/branch loop tail
+//!   ([`BlockOp::Addi2Branch`]),
+//! * `eaddie` + the remote load it feeds ([`BlockOp::EaddiePair`]).
+//!
+//! Within a fused op, intermediate values are forwarded in host registers
+//! (the guest dependency chain never round-trips through the in-memory
+//! register file); every architectural register write still happens, and
+//! the fusion guards — `x0` exclusions, base-register preservation,
+//! feeds-chains — make the forwarded values provably identical.
+//!
+//! **Exactness contract.** The block engine must be bit-identical to the
+//! stepper — registers, memory, `instret` *and* per-hart cycle counts — so
+//! the interpreter remains a usable differential oracle
+//! (`tests/sim_differential.rs`). Three rules make that hold:
+//!
+//! 1. *Per-component commit.* Every guest instruction, including each
+//!    component of a fused superinstruction, commits `pc`/`cycles`/`instret`
+//!    individually and re-checks the scheduling horizon first, so a block
+//!    can yield (or fault) mid-fusion exactly where the stepper would have
+//!    interleaved another hart. Resuming mid-span simply translates a fresh
+//!    (overlapping) block keyed at the resume `pc`.
+//! 2. *Scheduling horizon.* The discrete-event scheduler runs the hart with
+//!    the smallest cycle count, ties to the smallest index. While a block
+//!    executes, every other hart is frozen, so hart `pe` stays the
+//!    scheduler's choice exactly while `cycles < lo` (the minimum over
+//!    running lower-index harts) and `cycles <= hi` (minimum over running
+//!    higher-index harts) — a single precomputed `limit = min(lo, hi + 1,
+//!    max_cycles)` per dispatch.
+//! 3. *Invalidation.* Every store (local, remote, from either engine) passes
+//!    through [`Machine::note_store`]; a hit on translated bytes drops the
+//!    affected blocks and raises `code_dirty`, which forces the engine out
+//!    of the current block before it can execute a stale op — the next
+//!    dispatch re-translates from current memory (self-modifying code, see
+//!    `tests/sim_smc.rs`).
+//!
+//! Instructions without a specialised op (CSR, fences, environment calls,
+//! most xBGAS ops) fall back to [`Machine::exec_inst`] — the same code the
+//! stepper runs — so only the fused fast paths need differential scrutiny.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::cost::CostConfig;
+use crate::hart::{branch_taken, eval_op, eval_op_imm, Hart, HartState, SimFault};
+use crate::machine::{Machine, RunExit, RunSummary};
+use xbgas_isa::{decode_all, AluImmOp, AluOp, BranchCond, EReg, Inst, LoadWidth, StoreWidth, XReg};
+
+/// Upper bound on guest instructions per translated block. Keeps
+/// translation cost bounded when straight-line code runs into data.
+const MAX_BLOCK_INSTS: usize = 64;
+
+/// One op of the flat block IR. Specialised variants carry their
+/// translation-time-precomputed cost (`fetch + execute` cycles) and
+/// operands; variants whose cost depends on the memory model carry only the
+/// static `fetch` part and add [`Machine::local_access_cost`] at run time,
+/// exactly as the stepper does.
+#[derive(Debug)]
+pub(crate) enum BlockOp {
+    /// `lui` with the shifted immediate precomputed.
+    Lui { rd: XReg, value: u64, cost: u64 },
+    /// `auipc`; the pc is a static property of the block, so the result is
+    /// fully precomputed.
+    Auipc { rd: XReg, value: u64, cost: u64 },
+    /// Register-immediate ALU op.
+    OpImm {
+        op: AluImmOp,
+        rd: XReg,
+        rs1: XReg,
+        imm: i32,
+        cost: u64,
+    },
+    /// Register-register ALU op (cost already reflects mul/div class).
+    Op {
+        op: AluOp,
+        rd: XReg,
+        rs1: XReg,
+        rs2: XReg,
+        cost: u64,
+    },
+    /// Local load; `base` is the fetch cost, memory-model latency is added
+    /// at run time.
+    Load {
+        width: LoadWidth,
+        rd: XReg,
+        rs1: XReg,
+        imm: i64,
+        base: u64,
+    },
+    /// Local store.
+    Store {
+        width: StoreWidth,
+        rs1: XReg,
+        rs2: XReg,
+        imm: i64,
+        base: u64,
+    },
+    /// `jal` with the target precomputed.
+    Jal { rd: XReg, target: u64, cost: u64 },
+    /// `jalr` (target is register-dependent).
+    Jalr {
+        rd: XReg,
+        rs1: XReg,
+        imm: i64,
+        cost: u64,
+    },
+    /// Conditional branch with the taken target precomputed.
+    Branch {
+        cond: BranchCond,
+        rs1: XReg,
+        rs2: XReg,
+        taken: u64,
+        cost: u64,
+    },
+    /// Fused `lui rd, hi` + `addi rd, rd, lo`: both the intermediate and the
+    /// final constant are precomputed. `cost` is per component.
+    Li {
+        rd: XReg,
+        hi: u64,
+        value: u64,
+        cost: u64,
+    },
+    /// Fused `slli`/`srli` + `xor` consuming the shifted value — the
+    /// xorshift RNG idiom at the heart of GUPS. The shift direction and
+    /// masked amount are resolved at translation time so execution is a
+    /// raw shift, not an ALU-op dispatch. `cost` is per component.
+    ShiftXor {
+        left: bool,
+        shamt: u32,
+        srd: XReg,
+        srs1: XReg,
+        xrd: XReg,
+        xrs1: XReg,
+        xrs2: XReg,
+        cost: u64,
+    },
+    /// Fused load / ALU op / store to the same address (read-modify-write).
+    /// Fusion guards guarantee neither the load nor the op clobbers the base
+    /// register, so the effective address is computed once.
+    LoadOpStore {
+        lw: LoadWidth,
+        lrd: XReg,
+        base_reg: XReg,
+        imm: i64,
+        rmw: RmwOp,
+        ord: XReg,
+        ors1: XReg,
+        op_cost: u64,
+        sw: StoreWidth,
+        srs2: XReg,
+        mem_base: u64,
+    },
+    /// Fused three chained `slli`/`srli`+`xor` pairs over one state
+    /// register — the complete xorshift RNG round shared by GUPS and the
+    /// IS key generator. The state value is forwarded in a host register
+    /// across all six components (each intermediate is still written to
+    /// the architectural file), so the round costs pure ALU work instead
+    /// of six store-to-load round-trips. `cost` is per component.
+    XorShift3 {
+        s: XReg,
+        t: [XReg; 3],
+        left: [bool; 3],
+        shamt: [u32; 3],
+        cost: u64,
+    },
+    /// Fused six-instruction indexed read-modify-write — the table-update
+    /// idiom at the heart of both GUPS and IS rank: an index-producing ALU
+    /// op, a scale (`slli`), the base add, then a load/op/store triad on
+    /// the computed address. One dispatch covers six guest instructions.
+    IdxRmw {
+        idx: RmwOp,
+        idx_rd: XReg,
+        idx_rs1: XReg,
+        idx_cost: u64,
+        shamt: u32,
+        sh_rd: XReg,
+        sh_rs1: XReg,
+        add_rd: XReg,
+        add_rs1: XReg,
+        add_rs2: XReg,
+        lw: LoadWidth,
+        lrd: XReg,
+        imm: i64,
+        rmw: RmwOp,
+        ord: XReg,
+        ors1: XReg,
+        op_cost: u64,
+        sw: StoreWidth,
+        srs2: XReg,
+        alu: u64,
+        mem_base: u64,
+    },
+    /// Fused store + the register-immediate op that follows it — the
+    /// streaming post-increment idiom (`sw`/`addi`) of the IS key
+    /// generation loop.
+    StoreInc {
+        width: StoreWidth,
+        rs1: XReg,
+        rs2: XReg,
+        imm: i64,
+        base: u64,
+        p_op: AluImmOp,
+        p_rd: XReg,
+        p_rs1: XReg,
+        p_imm: i32,
+        p_cost: u64,
+    },
+    /// Fused `addi` + conditional branch reading its result — the canonical
+    /// counted-loop back-edge. `cost` is per component.
+    AddiBranch {
+        ard: XReg,
+        ars1: XReg,
+        aimm: i32,
+        cond: BranchCond,
+        brs1: XReg,
+        brs2: XReg,
+        taken: u64,
+        cost: u64,
+    },
+    /// Fused register-immediate op + `addi` + conditional branch reading
+    /// the `addi`'s result — the "bump pointer, decrement counter, loop"
+    /// tail shared by streaming kernels. `cost` is per component.
+    Addi2Branch {
+        p_op: AluImmOp,
+        p_rd: XReg,
+        p_rs1: XReg,
+        p_imm: i32,
+        ard: XReg,
+        ars1: XReg,
+        aimm: i32,
+        cond: BranchCond,
+        brs1: XReg,
+        brs2: XReg,
+        taken: u64,
+        cost: u64,
+    },
+    /// Fused `eaddie` + the remote load it feeds the object ID to. The
+    /// first component is specialised; the load half runs through
+    /// [`Machine::exec_inst`] (remote resolution involves the OLB, the
+    /// interconnect and the remote memory model).
+    EaddiePair {
+        ext: EReg,
+        rs1: XReg,
+        imm: i32,
+        cost: u64,
+        inst: Inst,
+        word: u32,
+    },
+    /// Anything else: pre-decoded, executed by the stepper's own
+    /// [`Machine::exec_inst`].
+    Generic { inst: Inst, word: u32 },
+}
+
+/// The ALU component of a fused read-modify-write triad: register-register
+/// (`ld/xor/sd`, GUPS) or register-immediate (`ld/addi/sd`, IS ranking).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RmwOp {
+    /// `op ord, ors1, rs2`.
+    Reg { op: AluOp, rs2: XReg },
+    /// `op ord, ors1, imm`.
+    Imm { op: AluImmOp, imm: i32 },
+}
+
+/// A translated basic block: the guest address range it was decoded from
+/// and its fused op sequence.
+#[derive(Debug)]
+pub(crate) struct Block {
+    /// Guest pc of the first instruction (cache key).
+    pub(crate) start: u64,
+    /// One past the last instruction byte (for invalidation overlap tests).
+    pub(crate) end: u64,
+    ops: Vec<BlockOp>,
+    /// Total cycle cost of one full pass when every op's cost is statically
+    /// known (no `Generic`/`EaddiePair`, and loads/stores only under the
+    /// free memory model). Lets the engine pre-check the scheduling budget
+    /// once and run the whole pass with no per-component horizon checks.
+    static_cost: Option<u64>,
+    /// Counter totals before each op (final entry: the whole pass), built
+    /// only for statically-costed blocks. The fast pass keeps no per-op
+    /// counters at all and reconstructs exact `pc`/`cycles`/`instret` from
+    /// this table at the points where they become observable.
+    prefix: Vec<PassCount>,
+}
+
+/// Architectural-counter totals accumulated over a prefix of a block's ops:
+/// `pc` offset from the block start, cycle cost, and instructions retired.
+#[derive(Debug, Default, Clone, Copy)]
+struct PassCount {
+    pc_off: u64,
+    cycles: u64,
+    instret: u64,
+}
+
+/// Number of guest instructions an op retires (fused ops retire several).
+fn op_inst_count(op: &BlockOp) -> u64 {
+    match op {
+        BlockOp::Li { .. }
+        | BlockOp::ShiftXor { .. }
+        | BlockOp::AddiBranch { .. }
+        | BlockOp::StoreInc { .. }
+        | BlockOp::EaddiePair { .. } => 2,
+        BlockOp::LoadOpStore { .. } | BlockOp::Addi2Branch { .. } => 3,
+        BlockOp::XorShift3 { .. } | BlockOp::IdxRmw { .. } => 6,
+        _ => 1,
+    }
+}
+
+/// Per-PE cache of translated blocks, keyed by start pc, plus the covering
+/// address range so the store-side invalidation probe is two compares.
+pub(crate) struct BlockCache {
+    map: HashMap<u64, Arc<Block>>,
+    lo: u64,
+    hi: u64,
+}
+
+impl BlockCache {
+    pub(crate) fn new() -> Self {
+        BlockCache {
+            map: HashMap::new(),
+            lo: u64::MAX,
+            hi: 0,
+        }
+    }
+
+    /// Drop every translation (program reload, direct memory mutation).
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.lo = u64::MAX;
+        self.hi = 0;
+    }
+
+    /// Does `[addr, addr + bytes)` touch any translated bytes? False in
+    /// O(1) for the overwhelmingly common data-store case (and always false
+    /// when the cache is empty, e.g. in interpreter mode).
+    pub(crate) fn overlaps(&self, addr: u64, bytes: usize) -> bool {
+        addr < self.hi && addr + bytes as u64 > self.lo
+    }
+
+    /// Remove every block whose range intersects `[addr, addr + bytes)`.
+    pub(crate) fn invalidate(&mut self, addr: u64, bytes: usize) {
+        let end = addr + bytes as u64;
+        self.map.retain(|_, b| b.end <= addr || b.start >= end);
+        self.lo = u64::MAX;
+        self.hi = 0;
+        for b in self.map.values() {
+            self.lo = self.lo.min(b.start);
+            self.hi = self.hi.max(b.end);
+        }
+    }
+
+    fn get(&self, pc: u64) -> Option<Arc<Block>> {
+        self.map.get(&pc).cloned()
+    }
+
+    fn insert(&mut self, block: Arc<Block>) {
+        self.lo = self.lo.min(block.start);
+        self.hi = self.hi.max(block.end);
+        self.map.insert(block.start, block);
+    }
+
+    /// Number of resident translations (used by tests).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Cost of a register-register op including fetch, by operation class —
+/// mirrors the stepper's dispatch.
+fn op_exec_cost(cost: &CostConfig, op: AluOp) -> u64 {
+    use AluOp::*;
+    cost.fetch_cycles
+        + match op {
+            Mul | Mulh | Mulhsu | Mulhu | Mulw => cost.mul_cycles,
+            Div | Divu | Rem | Remu | Divw | Divuw | Remw | Remuw => cost.div_cycles,
+            _ => cost.alu_cycles,
+        }
+}
+
+/// Discover and translate the basic block starting at `start` on PE `pe`.
+/// Returns `None` when even the first word cannot be fetched or decoded —
+/// the caller then takes one interpretive step to reproduce the exact fault.
+fn translate(m: &Machine, pe: usize, start: u64) -> Option<Block> {
+    let mut words = Vec::with_capacity(MAX_BLOCK_INSTS);
+    for i in 0..MAX_BLOCK_INSTS {
+        match m.mems[pe].load_u32(start + 4 * i as u64) {
+            Ok(w) => words.push(w),
+            Err(_) => break,
+        }
+    }
+    let mut insts: Vec<(Inst, u32)> = Vec::with_capacity(words.len());
+    for (i, d) in decode_all(&words).into_iter().enumerate() {
+        match d {
+            Ok(inst) => {
+                insts.push((inst, words[i]));
+                if inst.ends_block() {
+                    break;
+                }
+            }
+            // An undecodable word ends the block; if execution actually
+            // falls through to it, the next dispatch single-steps and
+            // faults exactly as the interpreter would.
+            Err(_) => break,
+        }
+    }
+    if insts.is_empty() {
+        return None;
+    }
+    let ops = fuse(&m.config.cost, start, &insts);
+    let static_cost: Option<u64> = ops
+        .iter()
+        .map(|op| static_op_cost(op, m.mem_model_free))
+        .sum();
+    let prefix = if static_cost.is_some() {
+        let mut v = Vec::with_capacity(ops.len() + 1);
+        let mut acc = PassCount::default();
+        for op in &ops {
+            v.push(acc);
+            let n = op_inst_count(op);
+            acc.pc_off += 4 * n;
+            acc.instret += n;
+            acc.cycles += static_op_cost(op, m.mem_model_free)
+                .expect("every op of a statically-costed block has a static cost");
+        }
+        v.push(acc);
+        v
+    } else {
+        Vec::new()
+    };
+    Some(Block {
+        start,
+        end: start + 4 * insts.len() as u64,
+        ops,
+        static_cost,
+        prefix,
+    })
+}
+
+/// The cycle cost of `op` when it is statically known, `None` when it
+/// depends on run-time state (the memory model, or arbitrary `exec_inst`
+/// instructions).
+fn static_op_cost(op: &BlockOp, free: bool) -> Option<u64> {
+    Some(match op {
+        BlockOp::Lui { cost, .. }
+        | BlockOp::Auipc { cost, .. }
+        | BlockOp::OpImm { cost, .. }
+        | BlockOp::Op { cost, .. }
+        | BlockOp::Jal { cost, .. }
+        | BlockOp::Jalr { cost, .. }
+        | BlockOp::Branch { cost, .. } => *cost,
+        BlockOp::Li { cost, .. }
+        | BlockOp::ShiftXor { cost, .. }
+        | BlockOp::AddiBranch { cost, .. } => 2 * cost,
+        BlockOp::Addi2Branch { cost, .. } => 3 * cost,
+        BlockOp::XorShift3 { cost, .. } => 6 * cost,
+        BlockOp::Load { base, .. } | BlockOp::Store { base, .. } if free => *base,
+        BlockOp::LoadOpStore {
+            mem_base, op_cost, ..
+        } if free => 2 * mem_base + op_cost,
+        BlockOp::IdxRmw {
+            idx_cost,
+            op_cost,
+            alu,
+            mem_base,
+            ..
+        } if free => idx_cost + 2 * alu + 2 * mem_base + op_cost,
+        BlockOp::StoreInc { base, p_cost, .. } if free => base + p_cost,
+        _ => return None,
+    })
+}
+
+/// Lower decoded instructions to the fused IR. Patterns are tried longest
+/// first; anything unmatched becomes a specialised single or a
+/// [`BlockOp::Generic`].
+/// Classify the middle op of a read-modify-write fusion candidate.
+/// Returns `(rmw, rd, rs1, consumes_load, cost)` when `mid` is a plain ALU
+/// op, where `consumes_load` says whether it reads the freshly loaded value.
+fn rmw_parts(
+    cost: &CostConfig,
+    alu: u64,
+    mid: Inst,
+    lrd: XReg,
+) -> Option<(RmwOp, XReg, XReg, bool, u64)> {
+    match mid {
+        Inst::Op { op, rd, rs1, rs2 } => Some((
+            RmwOp::Reg { op, rs2 },
+            rd,
+            rs1,
+            rs1 == lrd || rs2 == lrd,
+            op_exec_cost(cost, op),
+        )),
+        Inst::OpImm { op, rd, rs1, imm } => {
+            Some((RmwOp::Imm { op, imm }, rd, rs1, rs1 == lrd, alu))
+        }
+        _ => None,
+    }
+}
+
+fn fuse(cost: &CostConfig, start: u64, insts: &[(Inst, u32)]) -> Vec<BlockOp> {
+    let alu = cost.fetch_cycles + cost.alu_cycles;
+    let mem_base = cost.fetch_cycles;
+    let mut ops = Vec::with_capacity(insts.len());
+    let mut i = 0;
+    while i < insts.len() {
+        let pc = start + 4 * i as u64;
+
+        // Three chained shift+xor pairs over one state register: the full
+        // xorshift round. Matched before the generic pair so the whole RNG
+        // chain runs in host registers.
+        if i + 5 < insts.len() {
+            let pair = |j: usize| -> Option<(XReg, XReg, bool, u32)> {
+                if let (
+                    Inst::OpImm {
+                        op: sop,
+                        rd: srd,
+                        rs1: srs1,
+                        imm: simm,
+                    },
+                    Inst::Op {
+                        op: AluOp::Xor,
+                        rd: xrd,
+                        rs1: xrs1,
+                        rs2: xrs2,
+                    },
+                ) = (insts[j].0, insts[j + 1].0)
+                {
+                    let left = match sop {
+                        AluImmOp::Slli => true,
+                        AluImmOp::Srli => false,
+                        _ => return None,
+                    };
+                    // xor is commutative, so either operand order works.
+                    let feeds = (xrs1 == xrd && xrs2 == srd) || (xrs1 == srd && xrs2 == xrd);
+                    // x0 would silently zero a forwarded value; refuse.
+                    if feeds && srs1 == xrd && srd != xrd && srd != XReg::ZERO && xrd != XReg::ZERO
+                    {
+                        return Some((xrd, srd, left, (simm as u32) & 0x3F));
+                    }
+                }
+                None
+            };
+            if let (Some(p0), Some(p1), Some(p2)) = (pair(i), pair(i + 2), pair(i + 4)) {
+                if p0.0 == p1.0 && p1.0 == p2.0 {
+                    ops.push(BlockOp::XorShift3 {
+                        s: p0.0,
+                        t: [p0.1, p1.1, p2.1],
+                        left: [p0.2, p1.2, p2.2],
+                        shamt: [p0.3, p1.3, p2.3],
+                        cost: alu,
+                    });
+                    i += 6;
+                    continue;
+                }
+            }
+        }
+
+        // Six-instruction indexed read-modify-write: index ALU op, scale
+        // (`slli`), base add, then a load/op/store triad on the computed
+        // address — the table-update idiom of both GUPS and IS rank.
+        if i + 5 < insts.len() {
+            let head = rmw_parts(cost, alu, insts[i].0, XReg::ZERO)
+                .map(|(idx, rd, rs1, _, c)| (idx, rd, rs1, c));
+            if let (
+                Some((idx, idx_rd, idx_rs1, idx_cost)),
+                Inst::OpImm {
+                    op: AluImmOp::Slli,
+                    rd: sh_rd,
+                    rs1: sh_rs1,
+                    imm: sh_imm,
+                },
+                Inst::Op {
+                    op: AluOp::Add,
+                    rd: add_rd,
+                    rs1: add_rs1,
+                    rs2: add_rs2,
+                },
+                Inst::Load {
+                    width: lw,
+                    rd: lrd,
+                    rs1: lrs1,
+                    imm: limm,
+                },
+                mid,
+                Inst::Store {
+                    width: sw,
+                    rs1: srs1,
+                    rs2: srs2,
+                    imm: simm,
+                },
+            ) = (
+                head,
+                insts[i + 1].0,
+                insts[i + 2].0,
+                insts[i + 3].0,
+                insts[i + 4].0,
+                insts[i + 5].0,
+            ) {
+                if let Some((rmw, ord, ors1, consumes_load, op_cost)) =
+                    rmw_parts(cost, alu, mid, lrd)
+                {
+                    // Every forwarded intermediate must live in a real
+                    // register — x0 would silently zero it.
+                    let no_zero = idx_rd != XReg::ZERO
+                        && sh_rd != XReg::ZERO
+                        && add_rd != XReg::ZERO
+                        && lrd != XReg::ZERO
+                        && ord != XReg::ZERO;
+                    let feeds = no_zero
+                        && sh_rs1 == idx_rd
+                        && (add_rs1 == sh_rd || add_rs2 == sh_rd)
+                        && lrs1 == add_rd;
+                    // Same exactness guards as the bare triad: the computed
+                    // address register must survive load and op.
+                    let base_preserved = lrd != lrs1 && ord != lrs1;
+                    let same_slot = srs1 == lrs1 && simm == limm && srs2 == ord;
+                    if feeds && consumes_load && base_preserved && same_slot {
+                        ops.push(BlockOp::IdxRmw {
+                            idx,
+                            idx_rd,
+                            idx_rs1,
+                            idx_cost,
+                            shamt: (sh_imm as u32) & 0x3F,
+                            sh_rd,
+                            sh_rs1,
+                            add_rd,
+                            add_rs1,
+                            add_rs2,
+                            lw,
+                            lrd,
+                            imm: limm as i64,
+                            rmw,
+                            ord,
+                            ors1,
+                            op_cost,
+                            sw,
+                            srs2,
+                            alu,
+                            mem_base,
+                        });
+                        i += 6;
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // load / op / store read-modify-write triad; the middle op may be
+        // register-register (GUPS `xor`) or register-immediate (IS `addi`).
+        if i + 2 < insts.len() {
+            if let (
+                Inst::Load {
+                    width: lw,
+                    rd: lrd,
+                    rs1: lrs1,
+                    imm: limm,
+                },
+                mid,
+                Inst::Store {
+                    width: sw,
+                    rs1: srs1,
+                    rs2: srs2,
+                    imm: simm,
+                },
+            ) = (insts[i].0, insts[i + 1].0, insts[i + 2].0)
+            {
+                if let Some((rmw, ord, ors1, consumes_load, op_cost)) =
+                    rmw_parts(cost, alu, mid, lrd)
+                {
+                    // The base register must survive all three components so
+                    // the effective address can be computed once.
+                    let base_preserved = lrd != lrs1 && ord != lrs1;
+                    let same_slot = srs1 == lrs1 && simm == limm && srs2 == ord;
+                    if consumes_load && base_preserved && same_slot {
+                        ops.push(BlockOp::LoadOpStore {
+                            lw,
+                            lrd,
+                            base_reg: lrs1,
+                            imm: limm as i64,
+                            rmw,
+                            ord,
+                            ors1,
+                            op_cost,
+                            sw,
+                            srs2,
+                            mem_base,
+                        });
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Register-immediate op ; addi ; branch reading the addi's result —
+        // the "bump pointer, decrement counter, loop" tail of streaming
+        // kernels (IS ranking and key generation both end this way).
+        if i + 2 < insts.len() {
+            if let (
+                Inst::OpImm {
+                    op: p_op,
+                    rd: p_rd,
+                    rs1: p_rs1,
+                    imm: p_imm,
+                },
+                Inst::OpImm {
+                    op: AluImmOp::Addi,
+                    rd: ard,
+                    rs1: ars1,
+                    imm: aimm,
+                },
+                Inst::Branch {
+                    cond,
+                    rs1: brs1,
+                    rs2: brs2,
+                    offset,
+                },
+            ) = (insts[i].0, insts[i + 1].0, insts[i + 2].0)
+            {
+                if brs1 == ard || brs2 == ard {
+                    let branch_pc = pc + 8;
+                    ops.push(BlockOp::Addi2Branch {
+                        p_op,
+                        p_rd,
+                        p_rs1,
+                        p_imm,
+                        ard,
+                        ars1,
+                        aimm,
+                        cond,
+                        brs1,
+                        brs2,
+                        taken: branch_pc.wrapping_add(offset as i64 as u64),
+                        cost: alu,
+                    });
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+
+        if i + 1 < insts.len() {
+            let (a, b) = (insts[i].0, insts[i + 1].0);
+
+            // lui rd, hi ; addi rd, rd, lo — constant/address materialisation.
+            if let (
+                Inst::Lui { rd, imm20 },
+                Inst::OpImm {
+                    op: AluImmOp::Addi,
+                    rd: ard,
+                    rs1: ars1,
+                    imm,
+                },
+            ) = (a, b)
+            {
+                if ard == rd && ars1 == rd {
+                    let hi = ((imm20 as i64) << 12) as u64;
+                    ops.push(BlockOp::Li {
+                        rd,
+                        hi,
+                        value: eval_op_imm(AluImmOp::Addi, hi, imm),
+                        cost: alu,
+                    });
+                    i += 2;
+                    continue;
+                }
+            }
+
+            // slli/srli t, s, k ; xor consuming t — the xorshift step.
+            if let (
+                Inst::OpImm {
+                    op: sop @ (AluImmOp::Slli | AluImmOp::Srli),
+                    rd: srd,
+                    rs1: srs1,
+                    imm: simm,
+                },
+                Inst::Op {
+                    op: AluOp::Xor,
+                    rd: xrd,
+                    rs1: xrs1,
+                    rs2: xrs2,
+                },
+            ) = (a, b)
+            {
+                if xrs1 == srd || xrs2 == srd {
+                    ops.push(BlockOp::ShiftXor {
+                        left: matches!(sop, AluImmOp::Slli),
+                        // Same masking as `eval_op` for Sll/Srl.
+                        shamt: (simm as u32) & 0x3F,
+                        srd,
+                        srs1,
+                        xrd,
+                        xrs1,
+                        xrs2,
+                        cost: alu,
+                    });
+                    i += 2;
+                    continue;
+                }
+            }
+
+            // addi ; branch reading its result — counted-loop back-edge.
+            if let (
+                Inst::OpImm {
+                    op: AluImmOp::Addi,
+                    rd: ard,
+                    rs1: ars1,
+                    imm: aimm,
+                },
+                Inst::Branch {
+                    cond,
+                    rs1: brs1,
+                    rs2: brs2,
+                    offset,
+                },
+            ) = (a, b)
+            {
+                if brs1 == ard || brs2 == ard {
+                    let branch_pc = pc + 4;
+                    ops.push(BlockOp::AddiBranch {
+                        ard,
+                        ars1,
+                        aimm,
+                        cond,
+                        brs1,
+                        brs2,
+                        taken: branch_pc.wrapping_add(offset as i64 as u64),
+                        cost: alu,
+                    });
+                    i += 2;
+                    continue;
+                }
+            }
+
+            // store ; register-immediate op — the streaming post-increment
+            // idiom (`sw`/`addi`). Skipped when the following instruction
+            // is a branch, which pairs more profitably as a back-edge.
+            if let (
+                Inst::Store {
+                    width,
+                    rs1,
+                    rs2,
+                    imm,
+                },
+                Inst::OpImm {
+                    op: p_op,
+                    rd: p_rd,
+                    rs1: p_rs1,
+                    imm: p_imm,
+                },
+            ) = (a, b)
+            {
+                let next_is_branch = matches!(insts.get(i + 2), Some((Inst::Branch { .. }, _)));
+                if !next_is_branch {
+                    ops.push(BlockOp::StoreInc {
+                        width,
+                        rs1,
+                        rs2,
+                        imm: imm as i64,
+                        base: mem_base,
+                        p_op,
+                        p_rd,
+                        p_rs1,
+                        p_imm,
+                        p_cost: alu,
+                    });
+                    i += 2;
+                    continue;
+                }
+            }
+
+            // eaddie ; remote load addressed through the just-written e-reg.
+            if let (Inst::Eaddie { ext, rs1, imm }, second) = (a, b) {
+                let feeds_load = match second {
+                    Inst::ELoad { rs1: lrs1, .. } => EReg::paired_with(lrs1) == ext,
+                    Inst::ERLoad { ext2, .. } => ext2 == ext,
+                    _ => false,
+                };
+                if feeds_load {
+                    ops.push(BlockOp::EaddiePair {
+                        ext,
+                        rs1,
+                        imm,
+                        cost: alu,
+                        inst: second,
+                        word: insts[i + 1].1,
+                    });
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+
+        // Specialised singles; the rest run through the stepper's executor.
+        let (inst, word) = insts[i];
+        ops.push(match inst {
+            Inst::Lui { rd, imm20 } => BlockOp::Lui {
+                rd,
+                value: ((imm20 as i64) << 12) as u64,
+                cost: alu,
+            },
+            Inst::Auipc { rd, imm20 } => BlockOp::Auipc {
+                rd,
+                value: pc.wrapping_add(((imm20 as i64) << 12) as u64),
+                cost: alu,
+            },
+            Inst::OpImm { op, rd, rs1, imm } => BlockOp::OpImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                cost: alu,
+            },
+            Inst::Op { op, rd, rs1, rs2 } => BlockOp::Op {
+                op,
+                rd,
+                rs1,
+                rs2,
+                cost: op_exec_cost(cost, op),
+            },
+            Inst::Load {
+                width,
+                rd,
+                rs1,
+                imm,
+            } => BlockOp::Load {
+                width,
+                rd,
+                rs1,
+                imm: imm as i64,
+                base: mem_base,
+            },
+            Inst::Store {
+                width,
+                rs1,
+                rs2,
+                imm,
+            } => BlockOp::Store {
+                width,
+                rs1,
+                rs2,
+                imm: imm as i64,
+                base: mem_base,
+            },
+            Inst::Jal { rd, offset } => BlockOp::Jal {
+                rd,
+                target: pc.wrapping_add(offset as i64 as u64),
+                cost: alu,
+            },
+            Inst::Jalr { rd, rs1, imm } => BlockOp::Jalr {
+                rd,
+                rs1,
+                imm: imm as i64,
+                cost: alu,
+            },
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => BlockOp::Branch {
+                cond,
+                rs1,
+                rs2,
+                taken: pc.wrapping_add(offset as i64 as u64),
+                cost: alu,
+            },
+            other => BlockOp::Generic { inst: other, word },
+        });
+        i += 1;
+    }
+    ops
+}
+
+/// Execute `block` on hart `pe` until it exits (control transfer, fall
+/// through, environment call), the scheduling horizon `limit` is reached, a
+/// store invalidates translated code, or a fault occurs. A control transfer
+/// back to the block's own start restarts it in place — the hot-loop fast
+/// path that skips the cache lookup entirely.
+fn exec_block(m: &mut Machine, pe: usize, block: &Block, limit: u64) -> Result<(), SimFault> {
+    // Hoist the hart into a stack local for the whole block: pc, cycles,
+    // instret and both register files then live outside the `harts` vec,
+    // so the per-component commits compile to plain register/stack traffic
+    // with no bounds checks. A zeroed placeholder sits in the vec
+    // meanwhile; nothing on the block path reads `harts` except
+    // `exec_inst`, around which the real hart is swapped back in.
+    let mut h = std::mem::replace(&mut m.harts[pe], Hart::new(0));
+    let r = loop {
+        // When one full pass has a statically known total cost and the
+        // scheduling budget strictly covers it, no per-component horizon
+        // check can fire — take the fast pass, which also keeps no per-op
+        // counters (they are reconstructed from the block's prefix table).
+        let fast = match block.static_cost {
+            Some(sc) => limit.saturating_sub(h.cycles) > sc,
+            None => false,
+        };
+        if !fast {
+            break exec_ops(m, pe, block, limit, &mut h);
+        }
+        match exec_ops_fast(m, pe, block, limit, &mut h) {
+            // The fast pass looped back to the block start but can no
+            // longer pre-pay a whole pass: re-enter with checks on.
+            Ok(true) => continue,
+            Ok(false) => break Ok(()),
+            Err(f) => break Err(f),
+        }
+    };
+    m.harts[pe] = h;
+    r
+}
+
+/// The checked pass over a block's ops: per-component architectural
+/// counters and a scheduling-horizon test before every component, so a
+/// hart never runs past `limit`. Handles every op kind, including
+/// `Generic`/`EaddiePair` (which re-enter the stepper). Returns on any
+/// block exit: horizon reached, control left the block, fault, or
+/// self-modifying code.
+fn exec_ops(
+    m: &mut Machine,
+    pe: usize,
+    block: &Block,
+    limit: u64,
+    h: &mut Hart,
+) -> Result<(), SimFault> {
+    // The functional cost preset can never charge for an access, so the
+    // model call is skipped wholesale on the hottest paths.
+    let free = m.mem_model_free;
+    let ops = block.ops.as_slice();
+    // Architectural counters live in plain locals so the hot loop keeps
+    // them in host registers; `commit!` flushes them to the hart at every
+    // exit (and around `exec_inst`, which operates on the hart directly).
+    let mut pc = h.pc;
+    let mut cycles = h.cycles;
+    let mut instret = h.instret;
+    macro_rules! commit {
+        () => {
+            h.pc = pc;
+            h.cycles = cycles;
+            h.instret = instret;
+        };
+    }
+    macro_rules! reload {
+        () => {
+            pc = h.pc;
+            cycles = h.cycles;
+            instret = h.instret;
+        };
+    }
+    let mut i = 0;
+    // After a control transfer: loop straight back to the block start (the
+    // hot-loop path, no cache lookup) when the budget still allows;
+    // otherwise exit.
+    macro_rules! restart_or_exit {
+        () => {
+            if pc == block.start && cycles < limit {
+                i = 0;
+                continue;
+            }
+            commit!();
+            return Ok(());
+        };
+    }
+    loop {
+        if cycles >= limit {
+            commit!();
+            return Ok(());
+        }
+        let Some(op) = ops.get(i) else {
+            // Fell off the end of a block capped by MAX_BLOCK_INSTS or an
+            // undecodable word; pc already points at the next instruction.
+            commit!();
+            return Ok(());
+        };
+        match op {
+            BlockOp::Lui { rd, value, cost } => {
+                h.write_x(*rd, *value);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+            }
+            BlockOp::Auipc { rd, value, cost } => {
+                h.write_x(*rd, *value);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+            }
+            BlockOp::OpImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                cost,
+            } => {
+                let v = eval_op_imm(*op, h.read_x(*rs1), *imm);
+                h.write_x(*rd, v);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+            }
+            BlockOp::Op {
+                op,
+                rd,
+                rs1,
+                rs2,
+                cost,
+            } => {
+                let v = eval_op(*op, h.read_x(*rs1), h.read_x(*rs2));
+                h.write_x(*rd, v);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+            }
+            BlockOp::Load {
+                width,
+                rd,
+                rs1,
+                imm,
+                base,
+            } => {
+                let addr = h.read_x(*rs1).wrapping_add(*imm as u64);
+                let cost = base
+                    + if free {
+                        0
+                    } else {
+                        m.local_access_cost(pe, addr)
+                    };
+                let v = match Machine::load_value(&m.mems[pe], *width, addr) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        commit!();
+                        return Err(SimFault::Memory(e));
+                    }
+                };
+                h.write_x(*rd, v);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+            }
+            BlockOp::Store {
+                width,
+                rs1,
+                rs2,
+                imm,
+                base,
+            } => {
+                let addr = h.read_x(*rs1).wrapping_add(*imm as u64);
+                let cost = base
+                    + if free {
+                        0
+                    } else {
+                        m.local_access_cost(pe, addr)
+                    };
+                let v = h.read_x(*rs2);
+                let bytes = width.bytes();
+                if let Err(e) = Machine::store_value(&mut m.mems[pe], *width, addr, v) {
+                    commit!();
+                    return Err(SimFault::Memory(e));
+                }
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                m.note_store(pe, addr, bytes);
+                if m.code_dirty {
+                    m.code_dirty = false;
+                    commit!();
+                    return Ok(());
+                }
+            }
+            BlockOp::Jal { rd, target, cost } => {
+                if *target & 3 != 0 {
+                    commit!();
+                    return Err(SimFault::InstructionMisaligned {
+                        pc,
+                        target: *target,
+                    });
+                }
+                let link = pc.wrapping_add(4);
+                h.write_x(*rd, link);
+                pc = *target;
+                cycles += cost;
+                instret += 1;
+                restart_or_exit!();
+            }
+            BlockOp::Jalr { rd, rs1, imm, cost } => {
+                let target = h.read_x(*rs1).wrapping_add(*imm as u64) & !1;
+                if target & 3 != 0 {
+                    commit!();
+                    return Err(SimFault::InstructionMisaligned { pc, target });
+                }
+                let link = pc.wrapping_add(4);
+                h.write_x(*rd, link);
+                pc = target;
+                cycles += cost;
+                instret += 1;
+                restart_or_exit!();
+            }
+            BlockOp::Branch {
+                cond,
+                rs1,
+                rs2,
+                taken,
+                cost,
+            } => {
+                if branch_taken(*cond, h.read_x(*rs1), h.read_x(*rs2)) {
+                    if *taken & 3 != 0 {
+                        commit!();
+                        return Err(SimFault::InstructionMisaligned { pc, target: *taken });
+                    }
+                    pc = *taken;
+                } else {
+                    pc += 4;
+                }
+                cycles += cost;
+                instret += 1;
+                restart_or_exit!();
+            }
+            BlockOp::Li {
+                rd,
+                hi,
+                value,
+                cost,
+            } => {
+                h.write_x(*rd, *hi);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                h.write_x(*rd, *value);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+            }
+            BlockOp::ShiftXor {
+                left,
+                shamt,
+                srd,
+                srs1,
+                xrd,
+                xrs1,
+                xrs2,
+                cost,
+            } => {
+                let s = h.read_x(*srs1);
+                let sh = if *left {
+                    s.wrapping_shl(*shamt)
+                } else {
+                    s.wrapping_shr(*shamt)
+                };
+                h.write_x(*srd, sh);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                // Forward the shifted value in a host register instead of
+                // re-reading it through the architectural file.
+                let fwd = *srd != XReg::ZERO;
+                let a = if fwd && *xrs1 == *srd {
+                    sh
+                } else {
+                    h.read_x(*xrs1)
+                };
+                let b = if fwd && *xrs2 == *srd {
+                    sh
+                } else {
+                    h.read_x(*xrs2)
+                };
+                let v = a ^ b;
+                h.write_x(*xrd, v);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+            }
+            BlockOp::LoadOpStore {
+                lw,
+                lrd,
+                base_reg,
+                imm,
+                rmw,
+                ord,
+                ors1,
+                op_cost,
+                sw,
+                srs2,
+                mem_base,
+            } => {
+                // Load component.
+                let addr = h.read_x(*base_reg).wrapping_add(*imm as u64);
+                let cost = mem_base
+                    + if free {
+                        0
+                    } else {
+                        m.local_access_cost(pe, addr)
+                    };
+                let v = match Machine::load_value(&m.mems[pe], *lw, addr) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        commit!();
+                        return Err(SimFault::Memory(e));
+                    }
+                };
+                h.write_x(*lrd, v);
+                let lv = v;
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                // ALU component — the loaded value is forwarded host-side;
+                // the architectural write above already happened, so a
+                // non-forwarded operand reads the correct file state.
+                let fwd = *lrd != XReg::ZERO;
+                let v = match rmw {
+                    RmwOp::Reg { op, rs2 } => {
+                        let a = if fwd && *ors1 == *lrd {
+                            lv
+                        } else {
+                            h.read_x(*ors1)
+                        };
+                        let b = if fwd && *rs2 == *lrd {
+                            lv
+                        } else {
+                            h.read_x(*rs2)
+                        };
+                        eval_op(*op, a, b)
+                    }
+                    RmwOp::Imm { op, imm } => {
+                        let a = if fwd && *ors1 == *lrd {
+                            lv
+                        } else {
+                            h.read_x(*ors1)
+                        };
+                        eval_op_imm(*op, a, *imm)
+                    }
+                };
+                h.write_x(*ord, v);
+                let rv = v;
+                pc += 4;
+                cycles += op_cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                // Store component — fusion guards keep `base_reg` intact, so
+                // the effective address is the one computed above.
+                let cost = mem_base
+                    + if free {
+                        0
+                    } else {
+                        m.local_access_cost(pe, addr)
+                    };
+                let sv = if *ord != XReg::ZERO && *srs2 == *ord {
+                    rv
+                } else {
+                    h.read_x(*srs2)
+                };
+                let bytes = sw.bytes();
+                if let Err(e) = Machine::store_value(&mut m.mems[pe], *sw, addr, sv) {
+                    commit!();
+                    return Err(SimFault::Memory(e));
+                }
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                m.note_store(pe, addr, bytes);
+                if m.code_dirty {
+                    m.code_dirty = false;
+                    commit!();
+                    return Ok(());
+                }
+            }
+            BlockOp::XorShift3 {
+                s,
+                t,
+                left,
+                shamt,
+                cost,
+            } => {
+                let mut sv = h.read_x(*s);
+                for k in 0..3 {
+                    let tv = if left[k] {
+                        sv.wrapping_shl(shamt[k])
+                    } else {
+                        sv.wrapping_shr(shamt[k])
+                    };
+                    h.write_x(t[k], tv);
+                    pc += 4;
+                    cycles += cost;
+                    instret += 1;
+                    if cycles >= limit {
+                        commit!();
+                        return Ok(());
+                    }
+                    sv ^= tv;
+                    h.write_x(*s, sv);
+                    pc += 4;
+                    cycles += cost;
+                    instret += 1;
+                    if k < 2 && cycles >= limit {
+                        commit!();
+                        return Ok(());
+                    }
+                }
+            }
+            BlockOp::IdxRmw {
+                idx,
+                idx_rd,
+                idx_rs1,
+                idx_cost,
+                shamt,
+                sh_rd,
+                sh_rs1,
+                add_rd,
+                add_rs1,
+                add_rs2,
+                lw,
+                lrd,
+                imm,
+                rmw,
+                ord,
+                ors1,
+                op_cost,
+                sw,
+                srs2,
+                alu,
+                mem_base,
+            } => {
+                // Index component. Fusion guards (`no_zero` and the feeds
+                // chain) let every intermediate forward host-side while the
+                // architectural writes still all happen.
+                let vi = match idx {
+                    RmwOp::Reg { op, rs2 } => eval_op(*op, h.read_x(*idx_rs1), h.read_x(*rs2)),
+                    RmwOp::Imm { op, imm } => eval_op_imm(*op, h.read_x(*idx_rs1), *imm),
+                };
+                h.write_x(*idx_rd, vi);
+                pc += 4;
+                cycles += idx_cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                // Scale component — `sh_rs1 == idx_rd` by the feeds guard.
+                debug_assert_eq!(*sh_rs1, *idx_rd);
+                let vs = vi.wrapping_shl(*shamt);
+                h.write_x(*sh_rd, vs);
+                pc += 4;
+                cycles += alu;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                // Base-add component.
+                let a = if *add_rs1 == *sh_rd {
+                    vs
+                } else {
+                    h.read_x(*add_rs1)
+                };
+                let b = if *add_rs2 == *sh_rd {
+                    vs
+                } else {
+                    h.read_x(*add_rs2)
+                };
+                let va = a.wrapping_add(b);
+                h.write_x(*add_rd, va);
+                pc += 4;
+                cycles += alu;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                // Load component — the base is `add_rd` by the feeds guard.
+                let addr = va.wrapping_add(*imm as u64);
+                let cost = mem_base
+                    + if free {
+                        0
+                    } else {
+                        m.local_access_cost(pe, addr)
+                    };
+                let v = match Machine::load_value(&m.mems[pe], *lw, addr) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        commit!();
+                        return Err(SimFault::Memory(e));
+                    }
+                };
+                h.write_x(*lrd, v);
+                let lv = v;
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                // ALU component — `lrd` is non-zero by the fusion guard.
+                let v = match rmw {
+                    RmwOp::Reg { op, rs2 } => {
+                        let a = if *ors1 == *lrd { lv } else { h.read_x(*ors1) };
+                        let b = if *rs2 == *lrd { lv } else { h.read_x(*rs2) };
+                        eval_op(*op, a, b)
+                    }
+                    RmwOp::Imm { op, imm } => {
+                        let a = if *ors1 == *lrd { lv } else { h.read_x(*ors1) };
+                        eval_op_imm(*op, a, *imm)
+                    }
+                };
+                h.write_x(*ord, v);
+                let rv = v;
+                pc += 4;
+                cycles += op_cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                // Store component — the guards keep the address register
+                // intact across load and op.
+                let cost = mem_base
+                    + if free {
+                        0
+                    } else {
+                        m.local_access_cost(pe, addr)
+                    };
+                let sv = if *srs2 == *ord { rv } else { h.read_x(*srs2) };
+                let bytes = sw.bytes();
+                if let Err(e) = Machine::store_value(&mut m.mems[pe], *sw, addr, sv) {
+                    commit!();
+                    return Err(SimFault::Memory(e));
+                }
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                m.note_store(pe, addr, bytes);
+                if m.code_dirty {
+                    m.code_dirty = false;
+                    commit!();
+                    return Ok(());
+                }
+            }
+            BlockOp::StoreInc {
+                width,
+                rs1,
+                rs2,
+                imm,
+                base,
+                p_op,
+                p_rd,
+                p_rs1,
+                p_imm,
+                p_cost,
+            } => {
+                let addr = h.read_x(*rs1).wrapping_add(*imm as u64);
+                let cost = base
+                    + if free {
+                        0
+                    } else {
+                        m.local_access_cost(pe, addr)
+                    };
+                let v = h.read_x(*rs2);
+                let bytes = width.bytes();
+                if let Err(e) = Machine::store_value(&mut m.mems[pe], *width, addr, v) {
+                    commit!();
+                    return Err(SimFault::Memory(e));
+                }
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                m.note_store(pe, addr, bytes);
+                if m.code_dirty {
+                    m.code_dirty = false;
+                    commit!();
+                    return Ok(());
+                }
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                // Post-increment component.
+                let v = eval_op_imm(*p_op, h.read_x(*p_rs1), *p_imm);
+                h.write_x(*p_rd, v);
+                pc += 4;
+                cycles += p_cost;
+                instret += 1;
+            }
+            BlockOp::Addi2Branch {
+                p_op,
+                p_rd,
+                p_rs1,
+                p_imm,
+                ard,
+                ars1,
+                aimm,
+                cond,
+                brs1,
+                brs2,
+                taken,
+                cost,
+            } => {
+                let pv = eval_op_imm(*p_op, h.read_x(*p_rs1), *p_imm);
+                h.write_x(*p_rd, pv);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                let pf = *p_rd != XReg::ZERO;
+                let base = if pf && *ars1 == *p_rd {
+                    pv
+                } else {
+                    h.read_x(*ars1)
+                };
+                let av = base.wrapping_add(*aimm as i64 as u64);
+                h.write_x(*ard, av);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                // Branch operands: the later architectural write wins, so
+                // test `ard` before `p_rd`.
+                let af = *ard != XReg::ZERO;
+                let a = if af && *brs1 == *ard {
+                    av
+                } else if pf && *brs1 == *p_rd {
+                    pv
+                } else {
+                    h.read_x(*brs1)
+                };
+                let b = if af && *brs2 == *ard {
+                    av
+                } else if pf && *brs2 == *p_rd {
+                    pv
+                } else {
+                    h.read_x(*brs2)
+                };
+                if branch_taken(*cond, a, b) {
+                    if *taken & 3 != 0 {
+                        commit!();
+                        return Err(SimFault::InstructionMisaligned { pc, target: *taken });
+                    }
+                    pc = *taken;
+                } else {
+                    pc += 4;
+                }
+                cycles += cost;
+                instret += 1;
+                restart_or_exit!();
+            }
+            BlockOp::AddiBranch {
+                ard,
+                ars1,
+                aimm,
+                cond,
+                brs1,
+                brs2,
+                taken,
+                cost,
+            } => {
+                let v = h.read_x(*ars1).wrapping_add(*aimm as i64 as u64);
+                h.write_x(*ard, v);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                let fwd = *ard != XReg::ZERO;
+                let a = if fwd && *brs1 == *ard {
+                    v
+                } else {
+                    h.read_x(*brs1)
+                };
+                let b = if fwd && *brs2 == *ard {
+                    v
+                } else {
+                    h.read_x(*brs2)
+                };
+                if branch_taken(*cond, a, b) {
+                    if *taken & 3 != 0 {
+                        commit!();
+                        return Err(SimFault::InstructionMisaligned { pc, target: *taken });
+                    }
+                    pc = *taken;
+                } else {
+                    pc += 4;
+                }
+                cycles += cost;
+                instret += 1;
+                restart_or_exit!();
+            }
+            BlockOp::EaddiePair {
+                ext,
+                rs1,
+                imm,
+                cost,
+                inst,
+                word,
+            } => {
+                let v = h.read_x(*rs1).wrapping_add(*imm as i64 as u64);
+                h.write_e(*ext, v);
+                pc += 4;
+                cycles += cost;
+                instret += 1;
+                if cycles >= limit {
+                    commit!();
+                    return Ok(());
+                }
+                commit!();
+                std::mem::swap(&mut m.harts[pe], h);
+                let r = m.exec_inst(pe, pc, *word, *inst);
+                std::mem::swap(&mut m.harts[pe], h);
+                reload!();
+                r?;
+            }
+            BlockOp::Generic { inst, word } => {
+                commit!();
+                std::mem::swap(&mut m.harts[pe], h);
+                let r = m.exec_inst(pe, pc, *word, *inst);
+                std::mem::swap(&mut m.harts[pe], h);
+                reload!();
+                r?;
+                if m.code_dirty {
+                    m.code_dirty = false;
+                    return Ok(());
+                }
+                // An environment call may have halted this hart, parked it
+                // at a barrier, or (by releasing a barrier) moved *other*
+                // harts — in every such case the scheduling horizon is
+                // stale, so hand control back. `ends_block` guarantees
+                // ecall/ebreak are a block's final op, so falling out below
+                // covers the released-and-still-running case too.
+                if h.state != HartState::Running {
+                    return Ok(());
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The fast pass: zero per-op counter bookkeeping. Runs only when the
+/// block's full-pass cost is statically known ([`Block::static_cost`]) and
+/// the caller has pre-paid it against the scheduling budget, so no horizon
+/// check can fire mid-pass. The hot loop touches nothing but architectural
+/// register and memory state; exact `pc`/`cycles`/`instret` are
+/// reconstructed from the translation-time [`Block::prefix`] table at the
+/// points where they become observable — control transfers, faults and
+/// self-modifying-code exits. Returns `Ok(true)` when control looped back
+/// to the block start but the remaining budget no longer covers a whole
+/// pass (the caller re-enters via the checked pass).
+fn exec_ops_fast(
+    m: &mut Machine,
+    pe: usize,
+    block: &Block,
+    limit: u64,
+    h: &mut Hart,
+) -> Result<bool, SimFault> {
+    let ops = block.ops.as_slice();
+    let prefix = block.prefix.as_slice();
+    let sc = block
+        .static_cost
+        .expect("fast pass requires a statically-costed block");
+    let start = block.start;
+    // The code-range probe is hoisted for the whole call: only this PE's
+    // own stores can invalidate its translations while it runs (other
+    // harts are frozen and statically-costed blocks contain no ecalls),
+    // and the first hit exits immediately.
+    let (code_lo, code_hi) = (m.blocks[pe].lo, m.blocks[pe].hi);
+    // Pass-base counters: advanced once per control transfer, not per op.
+    let mut cycles = h.cycles;
+    let mut instret = h.instret;
+    // Commit counters as of component boundaries inside op `$i` (cold
+    // paths only: faults and self-modifying-code exits).
+    macro_rules! commit_at {
+        ($i:expr, $pc_extra:expr, $cyc_extra:expr, $ret_extra:expr) => {
+            h.pc = start + prefix[$i].pc_off + $pc_extra;
+            h.cycles = cycles + prefix[$i].cycles + $cyc_extra;
+            h.instret = instret + prefix[$i].instret + $ret_extra;
+        };
+    }
+    // A control transfer at op `$i`: charge the op's own cost on top of
+    // the prefix totals, then either loop straight back to the block start
+    // (when another whole pass is still pre-paid) or commit and leave.
+    macro_rules! take {
+        ($lbl:lifetime, $i:expr, $cyc:expr, $ret:expr, $target:expr) => {
+            cycles += prefix[$i].cycles + $cyc;
+            instret += prefix[$i].instret + $ret;
+            if $target == start {
+                if limit.saturating_sub(cycles) > sc {
+                    continue $lbl;
+                }
+                h.pc = start;
+                h.cycles = cycles;
+                h.instret = instret;
+                return Ok(true);
+            }
+            h.pc = $target;
+            h.cycles = cycles;
+            h.instret = instret;
+            return Ok(false);
+        };
+    }
+    'pass: loop {
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                BlockOp::Lui { rd, value, .. } | BlockOp::Auipc { rd, value, .. } => {
+                    h.write_x(*rd, *value);
+                }
+                BlockOp::OpImm {
+                    op, rd, rs1, imm, ..
+                } => {
+                    let v = eval_op_imm(*op, h.read_x(*rs1), *imm);
+                    h.write_x(*rd, v);
+                }
+                BlockOp::Op {
+                    op, rd, rs1, rs2, ..
+                } => {
+                    let v = eval_op(*op, h.read_x(*rs1), h.read_x(*rs2));
+                    h.write_x(*rd, v);
+                }
+                BlockOp::Load {
+                    width,
+                    rd,
+                    rs1,
+                    imm,
+                    ..
+                } => {
+                    let addr = h.read_x(*rs1).wrapping_add(*imm as u64);
+                    match Machine::load_value(&m.mems[pe], *width, addr) {
+                        Ok(v) => h.write_x(*rd, v),
+                        Err(e) => {
+                            commit_at!(i, 0, 0, 0);
+                            return Err(SimFault::Memory(e));
+                        }
+                    }
+                }
+                BlockOp::Store {
+                    width,
+                    rs1,
+                    rs2,
+                    imm,
+                    ..
+                } => {
+                    let addr = h.read_x(*rs1).wrapping_add(*imm as u64);
+                    let v = h.read_x(*rs2);
+                    let bytes = width.bytes();
+                    if let Err(e) = Machine::store_value(&mut m.mems[pe], *width, addr, v) {
+                        commit_at!(i, 0, 0, 0);
+                        return Err(SimFault::Memory(e));
+                    }
+                    if addr < code_hi && addr + bytes as u64 > code_lo {
+                        m.note_store(pe, addr, bytes);
+                        m.code_dirty = false;
+                        commit_at!(i + 1, 0, 0, 0);
+                        return Ok(false);
+                    }
+                }
+                BlockOp::Jal { rd, target, cost } => {
+                    if *target & 3 != 0 {
+                        commit_at!(i, 0, 0, 0);
+                        return Err(SimFault::InstructionMisaligned {
+                            pc: start + prefix[i].pc_off,
+                            target: *target,
+                        });
+                    }
+                    let link = start + prefix[i].pc_off + 4;
+                    h.write_x(*rd, link);
+                    take!('pass, i, *cost, 1, *target);
+                }
+                BlockOp::Jalr { rd, rs1, imm, cost } => {
+                    let target = h.read_x(*rs1).wrapping_add(*imm as u64) & !1;
+                    if target & 3 != 0 {
+                        commit_at!(i, 0, 0, 0);
+                        return Err(SimFault::InstructionMisaligned {
+                            pc: start + prefix[i].pc_off,
+                            target,
+                        });
+                    }
+                    let link = start + prefix[i].pc_off + 4;
+                    h.write_x(*rd, link);
+                    take!('pass, i, *cost, 1, target);
+                }
+                BlockOp::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    taken,
+                    cost,
+                } => {
+                    let target = if branch_taken(*cond, h.read_x(*rs1), h.read_x(*rs2)) {
+                        if *taken & 3 != 0 {
+                            commit_at!(i, 0, 0, 0);
+                            return Err(SimFault::InstructionMisaligned {
+                                pc: start + prefix[i].pc_off,
+                                target: *taken,
+                            });
+                        }
+                        *taken
+                    } else {
+                        start + prefix[i].pc_off + 4
+                    };
+                    take!('pass, i, *cost, 1, target);
+                }
+                // No fault is possible between the two halves, so only the
+                // final constant is observable.
+                BlockOp::Li { rd, value, .. } => {
+                    h.write_x(*rd, *value);
+                }
+                BlockOp::ShiftXor {
+                    left,
+                    shamt,
+                    srd,
+                    srs1,
+                    xrd,
+                    xrs1,
+                    xrs2,
+                    ..
+                } => {
+                    let s = h.read_x(*srs1);
+                    let sh = if *left {
+                        s.wrapping_shl(*shamt)
+                    } else {
+                        s.wrapping_shr(*shamt)
+                    };
+                    h.write_x(*srd, sh);
+                    let fwd = *srd != XReg::ZERO;
+                    let a = if fwd && *xrs1 == *srd {
+                        sh
+                    } else {
+                        h.read_x(*xrs1)
+                    };
+                    let b = if fwd && *xrs2 == *srd {
+                        sh
+                    } else {
+                        h.read_x(*xrs2)
+                    };
+                    let v = a ^ b;
+                    h.write_x(*xrd, v);
+                }
+                BlockOp::LoadOpStore {
+                    lw,
+                    lrd,
+                    base_reg,
+                    imm,
+                    rmw,
+                    ord,
+                    ors1,
+                    op_cost,
+                    sw,
+                    srs2,
+                    mem_base,
+                } => {
+                    let addr = h.read_x(*base_reg).wrapping_add(*imm as u64);
+                    let v = match Machine::load_value(&m.mems[pe], *lw, addr) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            commit_at!(i, 0, 0, 0);
+                            return Err(SimFault::Memory(e));
+                        }
+                    };
+                    h.write_x(*lrd, v);
+                    let lv = v;
+                    let fwd = *lrd != XReg::ZERO;
+                    let v = match rmw {
+                        RmwOp::Reg { op, rs2 } => {
+                            let a = if fwd && *ors1 == *lrd {
+                                lv
+                            } else {
+                                h.read_x(*ors1)
+                            };
+                            let b = if fwd && *rs2 == *lrd {
+                                lv
+                            } else {
+                                h.read_x(*rs2)
+                            };
+                            eval_op(*op, a, b)
+                        }
+                        RmwOp::Imm { op, imm } => {
+                            let a = if fwd && *ors1 == *lrd {
+                                lv
+                            } else {
+                                h.read_x(*ors1)
+                            };
+                            eval_op_imm(*op, a, *imm)
+                        }
+                    };
+                    h.write_x(*ord, v);
+                    let sv = if *ord != XReg::ZERO && *srs2 == *ord {
+                        v
+                    } else {
+                        h.read_x(*srs2)
+                    };
+                    let bytes = sw.bytes();
+                    if let Err(e) = Machine::store_value(&mut m.mems[pe], *sw, addr, sv) {
+                        commit_at!(i, 8, mem_base + op_cost, 2);
+                        return Err(SimFault::Memory(e));
+                    }
+                    if addr < code_hi && addr + bytes as u64 > code_lo {
+                        m.note_store(pe, addr, bytes);
+                        m.code_dirty = false;
+                        commit_at!(i + 1, 0, 0, 0);
+                        return Ok(false);
+                    }
+                }
+                BlockOp::XorShift3 {
+                    s, t, left, shamt, ..
+                } => {
+                    // No fault is possible mid-round, so only the final
+                    // state write (and each scratch write) is observable.
+                    let mut sv = h.read_x(*s);
+                    for k in 0..3 {
+                        let tv = if left[k] {
+                            sv.wrapping_shl(shamt[k])
+                        } else {
+                            sv.wrapping_shr(shamt[k])
+                        };
+                        h.write_x(t[k], tv);
+                        sv ^= tv;
+                    }
+                    h.write_x(*s, sv);
+                }
+                BlockOp::IdxRmw {
+                    idx,
+                    idx_rd,
+                    idx_rs1,
+                    idx_cost,
+                    shamt,
+                    sh_rd,
+                    sh_rs1,
+                    add_rd,
+                    add_rs1,
+                    add_rs2,
+                    lw,
+                    lrd,
+                    imm,
+                    rmw,
+                    ord,
+                    ors1,
+                    op_cost,
+                    sw,
+                    srs2,
+                    alu,
+                    mem_base,
+                } => {
+                    let vi = match idx {
+                        RmwOp::Reg { op, rs2 } => eval_op(*op, h.read_x(*idx_rs1), h.read_x(*rs2)),
+                        RmwOp::Imm { op, imm } => eval_op_imm(*op, h.read_x(*idx_rs1), *imm),
+                    };
+                    h.write_x(*idx_rd, vi);
+                    debug_assert_eq!(*sh_rs1, *idx_rd);
+                    let vs = vi.wrapping_shl(*shamt);
+                    h.write_x(*sh_rd, vs);
+                    let a = if *add_rs1 == *sh_rd {
+                        vs
+                    } else {
+                        h.read_x(*add_rs1)
+                    };
+                    let b = if *add_rs2 == *sh_rd {
+                        vs
+                    } else {
+                        h.read_x(*add_rs2)
+                    };
+                    let va = a.wrapping_add(b);
+                    h.write_x(*add_rd, va);
+                    let addr = va.wrapping_add(*imm as u64);
+                    let v = match Machine::load_value(&m.mems[pe], *lw, addr) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            commit_at!(i, 12, idx_cost + 2 * alu, 3);
+                            return Err(SimFault::Memory(e));
+                        }
+                    };
+                    h.write_x(*lrd, v);
+                    let lv = v;
+                    let v = match rmw {
+                        RmwOp::Reg { op, rs2 } => {
+                            let a = if *ors1 == *lrd { lv } else { h.read_x(*ors1) };
+                            let b = if *rs2 == *lrd { lv } else { h.read_x(*rs2) };
+                            eval_op(*op, a, b)
+                        }
+                        RmwOp::Imm { op, imm } => {
+                            let a = if *ors1 == *lrd { lv } else { h.read_x(*ors1) };
+                            eval_op_imm(*op, a, *imm)
+                        }
+                    };
+                    h.write_x(*ord, v);
+                    let sv = if *srs2 == *ord { v } else { h.read_x(*srs2) };
+                    let bytes = sw.bytes();
+                    if let Err(e) = Machine::store_value(&mut m.mems[pe], *sw, addr, sv) {
+                        commit_at!(i, 20, idx_cost + 2 * alu + mem_base + op_cost, 5);
+                        return Err(SimFault::Memory(e));
+                    }
+                    if addr < code_hi && addr + bytes as u64 > code_lo {
+                        m.note_store(pe, addr, bytes);
+                        m.code_dirty = false;
+                        commit_at!(i + 1, 0, 0, 0);
+                        return Ok(false);
+                    }
+                }
+                BlockOp::StoreInc {
+                    width,
+                    rs1,
+                    rs2,
+                    imm,
+                    base,
+                    p_op,
+                    p_rd,
+                    p_rs1,
+                    p_imm,
+                    ..
+                } => {
+                    let addr = h.read_x(*rs1).wrapping_add(*imm as u64);
+                    let v = h.read_x(*rs2);
+                    let bytes = width.bytes();
+                    if let Err(e) = Machine::store_value(&mut m.mems[pe], *width, addr, v) {
+                        commit_at!(i, 0, 0, 0);
+                        return Err(SimFault::Memory(e));
+                    }
+                    if addr < code_hi && addr + bytes as u64 > code_lo {
+                        m.note_store(pe, addr, bytes);
+                        m.code_dirty = false;
+                        commit_at!(i, 4, *base, 1);
+                        return Ok(false);
+                    }
+                    let v = eval_op_imm(*p_op, h.read_x(*p_rs1), *p_imm);
+                    h.write_x(*p_rd, v);
+                }
+                BlockOp::Addi2Branch {
+                    p_op,
+                    p_rd,
+                    p_rs1,
+                    p_imm,
+                    ard,
+                    ars1,
+                    aimm,
+                    cond,
+                    brs1,
+                    brs2,
+                    taken,
+                    cost,
+                } => {
+                    let pv = eval_op_imm(*p_op, h.read_x(*p_rs1), *p_imm);
+                    h.write_x(*p_rd, pv);
+                    let pf = *p_rd != XReg::ZERO;
+                    let base = if pf && *ars1 == *p_rd {
+                        pv
+                    } else {
+                        h.read_x(*ars1)
+                    };
+                    let av = base.wrapping_add(*aimm as i64 as u64);
+                    h.write_x(*ard, av);
+                    // Later architectural write wins: test `ard` first.
+                    let af = *ard != XReg::ZERO;
+                    let a = if af && *brs1 == *ard {
+                        av
+                    } else if pf && *brs1 == *p_rd {
+                        pv
+                    } else {
+                        h.read_x(*brs1)
+                    };
+                    let b = if af && *brs2 == *ard {
+                        av
+                    } else if pf && *brs2 == *p_rd {
+                        pv
+                    } else {
+                        h.read_x(*brs2)
+                    };
+                    let target = if branch_taken(*cond, a, b) {
+                        if *taken & 3 != 0 {
+                            commit_at!(i, 8, 2 * *cost, 2);
+                            return Err(SimFault::InstructionMisaligned {
+                                pc: start + prefix[i].pc_off + 8,
+                                target: *taken,
+                            });
+                        }
+                        *taken
+                    } else {
+                        start + prefix[i].pc_off + 12
+                    };
+                    take!('pass, i, 3 * *cost, 3, target);
+                }
+                BlockOp::AddiBranch {
+                    ard,
+                    ars1,
+                    aimm,
+                    cond,
+                    brs1,
+                    brs2,
+                    taken,
+                    cost,
+                } => {
+                    let v = h.read_x(*ars1).wrapping_add(*aimm as i64 as u64);
+                    h.write_x(*ard, v);
+                    let fwd = *ard != XReg::ZERO;
+                    let a = if fwd && *brs1 == *ard {
+                        v
+                    } else {
+                        h.read_x(*brs1)
+                    };
+                    let b = if fwd && *brs2 == *ard {
+                        v
+                    } else {
+                        h.read_x(*brs2)
+                    };
+                    let target = if branch_taken(*cond, a, b) {
+                        if *taken & 3 != 0 {
+                            commit_at!(i, 4, *cost, 1);
+                            return Err(SimFault::InstructionMisaligned {
+                                pc: start + prefix[i].pc_off + 4,
+                                target: *taken,
+                            });
+                        }
+                        *taken
+                    } else {
+                        start + prefix[i].pc_off + 8
+                    };
+                    take!('pass, i, 2 * *cost, 2, target);
+                }
+                BlockOp::EaddiePair { .. } | BlockOp::Generic { .. } => {
+                    unreachable!("ops with dynamic cost never appear in statically-costed blocks")
+                }
+            }
+        }
+        // Fell off the end of a block capped by MAX_BLOCK_INSTS or an
+        // undecodable word: commit full-pass totals and re-dispatch.
+        commit_at!(ops.len(), 0, 0, 0);
+        return Ok(false);
+    }
+}
+
+/// The block-translation run loop: scheduling and exit determination are
+/// shared with the interpreter ([`Machine::next_runnable`]); only the
+/// per-hart execution between scheduling points differs.
+pub(crate) fn run_block(m: &mut Machine) -> RunSummary {
+    debug_assert_eq!(m.trace_depth, 0, "block engine never runs while tracing");
+    let exit = loop {
+        let pe = match m.next_runnable() {
+            Ok(pe) => pe,
+            Err(exit) => break exit,
+        };
+        if m.harts[pe].cycles >= m.config.max_cycles {
+            break RunExit::CycleLimit;
+        }
+
+        // Scheduling horizon (see module docs): other harts are frozen
+        // while this one executes, so the bound holds for the whole
+        // dispatch.
+        let mut lo = u64::MAX;
+        let mut hi = u64::MAX;
+        for (i, h) in m.harts.iter().enumerate() {
+            if i == pe || h.state != HartState::Running {
+                continue;
+            }
+            if i < pe {
+                lo = lo.min(h.cycles);
+            } else {
+                hi = hi.min(h.cycles);
+            }
+        }
+        let limit = lo.min(hi.saturating_add(1)).min(m.config.max_cycles);
+
+        let pc = m.harts[pe].pc;
+        let block = match m.blocks[pe].get(pc) {
+            Some(b) => b,
+            None => match translate(m, pe, pc) {
+                Some(b) => {
+                    let b = Arc::new(b);
+                    m.blocks[pe].insert(Arc::clone(&b));
+                    b
+                }
+                None => {
+                    // Unfetchable or undecodable first word: a single
+                    // interpretive step reproduces the exact fault.
+                    if let Err(fault) = m.step(pe) {
+                        break RunExit::Fault { pe, fault };
+                    }
+                    continue;
+                }
+            },
+        };
+        if let Err(fault) = exec_block(m, pe, &block, limit) {
+            m.harts[pe].state = HartState::Faulted(fault.clone());
+            break RunExit::Fault { pe, fault };
+        }
+    };
+    m.summary(exit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::cost::MachineConfig;
+
+    fn machine_with(src: &str) -> Machine {
+        let mut m = Machine::new(MachineConfig::test(1));
+        let img = assemble(0x1000, src).unwrap();
+        m.load_program(0x1000, &img.words);
+        m
+    }
+
+    #[test]
+    fn gups_loop_fuses_to_superinstructions() {
+        // The 14-instruction GUPS inner loop collapses to 3 ops:
+        // XorShift3 (the full RNG round), IdxRmw (and/slli/add/ld/xor/sd),
+        // AddiBranch.
+        let m = machine_with(
+            "loop:\n slli t0, s1, 13\n xor s1, s1, t0\n srli t0, s1, 7\n\
+             xor s1, s1, t0\n slli t0, s1, 17\n xor s1, s1, t0\n\
+             and t1, s1, s2\n slli t1, t1, 3\n add t2, s3, t1\n\
+             ld t3, 0(t2)\n xor t3, t3, s1\n sd t3, 0(t2)\n\
+             addi s0, s0, -1\n bnez s0, loop",
+        );
+        let b = translate(&m, 0, 0x1000).unwrap();
+        assert_eq!(b.end - b.start, 14 * 4);
+        assert_eq!(b.ops.len(), 3, "ops: {:?}", b.ops);
+        assert!(matches!(
+            b.ops[0],
+            BlockOp::XorShift3 {
+                shamt: [13, 7, 17],
+                left: [true, false, true],
+                ..
+            }
+        ));
+        assert!(matches!(b.ops[1], BlockOp::IdxRmw { shamt: 3, .. }));
+        assert!(matches!(
+            b.ops[2],
+            BlockOp::AddiBranch { taken: 0x1000, .. }
+        ));
+    }
+
+    #[test]
+    fn is_loops_fuse_to_superinstructions() {
+        // IS key generation: the store + pointer bump pair one StoreInc.
+        let m = machine_with(
+            "gen:\n slli t0, s1, 13\n xor s1, s1, t0\n sw s1, 0(s2)\n\
+             addi s2, s2, 4\n addi s0, s0, -1\n bnez s0, gen",
+        );
+        let b = translate(&m, 0, 0x1000).unwrap();
+        assert_eq!(b.ops.len(), 3, "ops: {:?}", b.ops);
+        assert!(matches!(b.ops[0], BlockOp::ShiftXor { .. }));
+        assert!(matches!(b.ops[1], BlockOp::StoreInc { .. }));
+        assert!(matches!(
+            b.ops[2],
+            BlockOp::AddiBranch { taken: 0x1000, .. }
+        ));
+
+        // IS ranking: andi/slli/add/ld/addi/sd is the same indexed
+        // read-modify-write shape as the GUPS update (imm index and imm op).
+        let m = machine_with(
+            "rank:\n lw t1, 0(s2)\n andi t2, t1, 255\n slli t2, t2, 3\n\
+             add t2, s3, t2\n ld t3, 0(t2)\n addi t3, t3, 1\n sd t3, 0(t2)\n\
+             addi s2, s2, 4\n addi s0, s0, -1\n bnez s0, rank",
+        );
+        let b = translate(&m, 0, 0x1000).unwrap();
+        assert_eq!(b.ops.len(), 3, "ops: {:?}", b.ops);
+        assert!(matches!(b.ops[0], BlockOp::Load { .. }));
+        assert!(matches!(
+            b.ops[1],
+            BlockOp::IdxRmw {
+                idx: RmwOp::Imm { .. },
+                rmw: RmwOp::Imm { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            b.ops[2],
+            BlockOp::Addi2Branch { taken: 0x1000, .. }
+        ));
+    }
+
+    #[test]
+    fn li_fusion_precomputes_both_constants() {
+        let m = machine_with("lui a0, 0x12345\naddi a0, a0, -273\nret");
+        let b = translate(&m, 0, 0x1000).unwrap();
+        match b.ops[0] {
+            BlockOp::Li { rd, hi, value, .. } => {
+                assert_eq!(rd, XReg::A0);
+                assert_eq!(hi, 0x12345000);
+                assert_eq!(value, 0x12345000u64.wrapping_add((-273i64) as u64));
+            }
+            ref other => panic!("expected Li, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rmw_triad_not_fused_when_load_clobbers_base() {
+        // `ld t2, 0(t2)` overwrites the address register: the address would
+        // change between load and store, so fusion must refuse.
+        let m = machine_with("ld t2, 0(t2)\nxor t2, t2, s1\nsd t2, 0(t2)\nret");
+        let b = translate(&m, 0, 0x1000).unwrap();
+        assert!(
+            !b.ops
+                .iter()
+                .any(|op| matches!(op, BlockOp::LoadOpStore { .. })),
+            "ops: {:?}",
+            b.ops
+        );
+    }
+
+    #[test]
+    fn translation_stops_at_block_cap() {
+        let mut src = String::new();
+        for _ in 0..100 {
+            src.push_str("addi a0, a0, 1\n");
+        }
+        src.push_str("ret\n");
+        let m = machine_with(&src);
+        let b = translate(&m, 0, 0x1000).unwrap();
+        assert_eq!(b.end, 0x1000 + 4 * MAX_BLOCK_INSTS as u64);
+    }
+
+    #[test]
+    fn cache_overlap_probe_and_range_invalidation() {
+        let mut c = BlockCache::new();
+        assert!(!c.overlaps(0x1000, 8)); // empty cache: always false
+        c.insert(Arc::new(Block {
+            start: 0x1000,
+            end: 0x1040,
+            ops: Vec::new(),
+            static_cost: None,
+            prefix: Vec::new(),
+        }));
+        c.insert(Arc::new(Block {
+            start: 0x2000,
+            end: 0x2010,
+            ops: Vec::new(),
+            static_cost: None,
+            prefix: Vec::new(),
+        }));
+        assert_eq!(c.len(), 2);
+        assert!(c.overlaps(0x103c, 8));
+        assert!(!c.overlaps(0x0ff8, 8)); // ends exactly at lo
+        assert!(!c.overlaps(0x2010, 8)); // starts exactly at hi
+
+        // A store into the gap hits the coarse range but removes nothing.
+        c.invalidate(0x1800, 8);
+        assert_eq!(c.len(), 2);
+        // A store into the first block removes only that block and shrinks
+        // the covering range so the gap no longer probes true.
+        c.invalidate(0x1020, 4);
+        assert_eq!(c.len(), 1);
+        assert!(!c.overlaps(0x1800, 8));
+        assert!(c.overlaps(0x2000, 1));
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert!(!c.overlaps(0x2000, 1));
+    }
+
+    #[test]
+    fn note_store_drops_translations_and_raises_dirty() {
+        let mut m = machine_with("addi a0, a0, 1\nret");
+        let b = Arc::new(translate(&m, 0, 0x1000).unwrap());
+        m.blocks[0].insert(b);
+        // Data store: no overlap, no flag.
+        m.note_store(0, 0x8000, 8);
+        assert_eq!(m.blocks[0].len(), 1);
+        assert!(!m.code_dirty);
+        // Code store: translation dropped, dirty flag raised.
+        m.note_store(0, 0x1004, 4);
+        assert_eq!(m.blocks[0].len(), 0);
+        assert!(m.code_dirty);
+    }
+}

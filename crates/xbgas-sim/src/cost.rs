@@ -101,6 +101,23 @@ impl CostConfig {
     }
 }
 
+/// Which execution engine [`crate::machine::Machine::run`] drives.
+///
+/// Both engines produce bit-identical architectural results — registers,
+/// memory, `instret`, *and* cycle totals — which the differential suite
+/// (`tests/sim_differential.rs`) enforces on every end-to-end kernel. The
+/// interpretive stepper is the oracle; the block engine is the fast path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Decode-dispatch interpreter: fetch + decode on every step.
+    #[default]
+    Interp,
+    /// Basic-block translation: blocks are discovered at first execution,
+    /// pre-decoded into a cached flat IR with fused superinstructions, and
+    /// dispatched without re-fetch/re-decode (see `xbgas_sim::block`).
+    Block,
+}
+
 /// Whole-machine configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MachineConfig {
@@ -112,6 +129,8 @@ pub struct MachineConfig {
     pub cost: CostConfig,
     /// Hard cap on simulated cycles per hart before [`crate::machine::RunExit::CycleLimit`].
     pub max_cycles: u64,
+    /// Execution engine (interpretive stepper or block translation).
+    pub exec: ExecMode,
 }
 
 impl MachineConfig {
@@ -123,6 +142,7 @@ impl MachineConfig {
             mem_bytes: 16 * 1024 * 1024,
             cost: CostConfig::paper(),
             max_cycles: u64::MAX,
+            exec: ExecMode::Interp,
         }
     }
 
@@ -133,7 +153,14 @@ impl MachineConfig {
             mem_bytes: 64 * 1024,
             cost: CostConfig::functional(),
             max_cycles: 10_000_000,
+            exec: ExecMode::Interp,
         }
+    }
+
+    /// The same configuration running on the block-translation engine.
+    pub const fn with_block_engine(mut self) -> Self {
+        self.exec = ExecMode::Block;
+        self
     }
 }
 

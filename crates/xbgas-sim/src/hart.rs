@@ -40,6 +40,16 @@ pub enum SimFault {
         /// Faulting program counter.
         pc: u64,
     },
+    /// A jump or taken branch targeted an address that is not 4-byte
+    /// aligned. Reported precisely at the jump site (the RISC-V
+    /// instruction-address-misaligned trap), rather than surfacing later
+    /// as a confusing fetch error at the bogus target.
+    InstructionMisaligned {
+        /// Program counter of the jump/branch itself.
+        pc: u64,
+        /// The misaligned target address.
+        target: u64,
+    },
 }
 
 impl std::fmt::Display for SimFault {
@@ -56,6 +66,9 @@ impl std::fmt::Display for SimFault {
                 write!(f, "unknown ecall {number} at pc={pc:#x}")
             }
             SimFault::Breakpoint { pc } => write!(f, "ebreak at pc={pc:#x}"),
+            SimFault::InstructionMisaligned { pc, target } => {
+                write!(f, "misaligned jump target {target:#x} at pc={pc:#x}")
+            }
         }
     }
 }
@@ -106,22 +119,21 @@ impl Hart {
         }
     }
 
-    /// Read a base register; `x0` always reads zero.
+    /// Read a base register; `x0` always reads zero (the write side keeps
+    /// `x[0]` pinned at zero, so the read is a plain branchless index).
     #[inline]
     pub fn read_x(&self, r: XReg) -> u64 {
-        if r.num() == 0 {
-            0
-        } else {
-            self.x[r.idx()]
-        }
+        self.x[r.idx()]
     }
 
-    /// Write a base register; writes to `x0` are discarded.
+    /// Write a base register; writes to `x0` are discarded — implemented
+    /// branchlessly by writing through and re-zeroing slot 0, which is
+    /// cheaper in the simulator's hot dispatch loops than a predicted-but-
+    /// present branch per register write.
     #[inline]
     pub fn write_x(&mut self, r: XReg, v: u64) {
-        if r.num() != 0 {
-            self.x[r.idx()] = v;
-        }
+        self.x[r.idx()] = v;
+        self.x[0] = 0;
     }
 
     /// Read an extended register.

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+mod block;
 pub mod cache;
 pub mod cost;
 pub mod hart;
@@ -64,5 +65,5 @@ pub mod noc;
 pub mod olb;
 pub mod tlb;
 
-pub use cost::{CostConfig, MachineConfig};
+pub use cost::{CostConfig, ExecMode, MachineConfig};
 pub use machine::{Machine, RunExit, RunSummary};

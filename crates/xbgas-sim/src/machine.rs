@@ -12,8 +12,9 @@
 //! issuing hart's OLB (object ID 0 = local, per §3.2) and charge interconnect
 //! plus remote-DRAM latency.
 
+use crate::block::BlockCache;
 use crate::cache::MemHierarchy;
-use crate::cost::MachineConfig;
+use crate::cost::{ExecMode, MachineConfig};
 use crate::hart::{branch_taken, eval_op, eval_op_imm, Hart, HartState, SimFault};
 use crate::mem::Memory;
 use crate::noc::{Noc, NocStats, SharedChannel};
@@ -76,19 +77,31 @@ impl RunSummary {
 
 /// The simulated multi-core machine.
 pub struct Machine {
-    config: MachineConfig,
-    harts: Vec<Hart>,
-    mems: Vec<Memory>,
-    hiers: Vec<MemHierarchy>,
-    tlbs: Vec<Tlb>,
-    olbs: Vec<Olb>,
-    noc: Noc,
-    channel: SharedChannel,
-    outputs: Vec<String>,
+    pub(crate) config: MachineConfig,
+    pub(crate) harts: Vec<Hart>,
+    pub(crate) mems: Vec<Memory>,
+    pub(crate) hiers: Vec<MemHierarchy>,
+    pub(crate) tlbs: Vec<Tlb>,
+    pub(crate) olbs: Vec<Olb>,
+    pub(crate) noc: Noc,
+    pub(crate) channel: SharedChannel,
+    pub(crate) outputs: Vec<String>,
     /// Per-hart ring buffer of recently executed (pc, word); empty unless
     /// tracing is enabled.
     traces: Vec<std::collections::VecDeque<(u64, u32)>>,
-    trace_depth: usize,
+    pub(crate) trace_depth: usize,
+    /// Per-PE translated basic blocks (populated only in block mode).
+    pub(crate) blocks: Vec<BlockCache>,
+    /// Set by [`Machine::note_store`] when a store invalidated cached
+    /// translations; the block engine drops out of the current block so it
+    /// cannot keep executing stale instructions.
+    pub(crate) code_dirty: bool,
+    /// True when the memory model can never charge a cycle (the
+    /// `functional()` cost preset): TLB walks, cache hits and DRAM are all
+    /// zero-latency, so [`Machine::local_access_cost`] may skip the model
+    /// state updates entirely. The machine exposes no per-level TLB/cache
+    /// statistics, so the skip is unobservable.
+    pub(crate) mem_model_free: bool,
 }
 
 impl Machine {
@@ -98,6 +111,10 @@ impl Machine {
         let n = config.n_harts;
         assert!(n > 0, "machine needs at least one hart");
         let cost = config.cost;
+        let mem_model_free = cost.tlb.miss_cycles == 0
+            && cost.l1.hit_cycles == 0
+            && cost.l2.hit_cycles == 0
+            && cost.mem_cycles == 0;
         Machine {
             config,
             harts: (0..n).map(|_| Hart::new(0x1000)).collect(),
@@ -118,6 +135,9 @@ impl Machine {
             outputs: vec![String::new(); n],
             traces: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
             trace_depth: 0,
+            blocks: (0..n).map(|_| BlockCache::new()).collect(),
+            code_dirty: false,
+            mem_model_free,
         }
     }
 
@@ -164,7 +184,11 @@ impl Machine {
     }
 
     /// Mutable access to a PE's memory (for loading data images).
+    ///
+    /// The caller may rewrite instruction bytes through this handle, so any
+    /// cached block translations for the PE are dropped.
     pub fn mem_mut(&mut self, pe: usize) -> &mut Memory {
+        self.blocks[pe].clear();
         &mut self.mems[pe]
     }
 
@@ -185,6 +209,7 @@ impl Machine {
 
     /// Load encoded instruction words at `addr` in one PE's memory.
     pub fn load_words(&mut self, pe: usize, addr: u64, words: &[u32]) {
+        self.blocks[pe].clear();
         for (i, w) in words.iter().enumerate() {
             self.mems[pe]
                 .store_u32(addr + 4 * i as u64, *w)
@@ -202,13 +227,28 @@ impl Machine {
     }
 
     /// Cost of one local data access (TLB + cache hierarchy).
-    fn local_access_cost(&mut self, pe: usize, addr: u64) -> u64 {
+    pub(crate) fn local_access_cost(&mut self, pe: usize, addr: u64) -> u64 {
+        if self.mem_model_free {
+            return 0;
+        }
         self.tlbs[pe].access(addr) + self.hiers[pe].access(addr)
+    }
+
+    /// Record that `bytes` bytes were stored at `addr` in PE `pe`'s memory.
+    /// If the store lands on instruction bytes that have been translated,
+    /// the affected blocks are invalidated and `code_dirty` is raised so the
+    /// block engine abandons its current block (self-modifying code).
+    #[inline]
+    pub(crate) fn note_store(&mut self, pe: usize, addr: u64, bytes: usize) {
+        if self.blocks[pe].overlaps(addr, bytes) {
+            self.blocks[pe].invalidate(addr, bytes);
+            self.code_dirty = true;
+        }
     }
 
     /// Resolve the remote side of an xBGAS access. Returns
     /// `(target_pe, physical_addr, latency)`.
-    fn resolve_remote(
+    pub(crate) fn resolve_remote(
         &mut self,
         pe: usize,
         object_id: u64,
@@ -249,7 +289,8 @@ impl Machine {
         }
     }
 
-    fn load_value(mem: &Memory, width: LoadWidth, addr: u64) -> Result<u64, String> {
+    #[inline]
+    pub(crate) fn load_value(mem: &Memory, width: LoadWidth, addr: u64) -> Result<u64, String> {
         let raw = match width.bytes() {
             1 => mem.load_u8(addr).map(|v| v as u64),
             2 => mem.load_u16(addr).map(|v| v as u64),
@@ -269,7 +310,8 @@ impl Machine {
         })
     }
 
-    fn store_value(
+    #[inline]
+    pub(crate) fn store_value(
         mem: &mut Memory,
         width: StoreWidth,
         addr: u64,
@@ -361,7 +403,6 @@ impl Machine {
 
     fn step_inner(&mut self, pe: usize) -> Result<(), SimFault> {
         debug_assert!(matches!(self.harts[pe].state, HartState::Running));
-        let cost_cfg = self.config.cost;
         let pc = self.harts[pe].pc;
 
         let word = self.mems[pe]
@@ -375,7 +416,24 @@ impl Machine {
             t.push_back((pc, word));
         }
         let inst = decode(word).map_err(|_| SimFault::IllegalInstruction { pc, word })?;
+        self.exec_inst(pe, pc, word, inst)
+    }
 
+    /// Execute one already-decoded instruction at `pc` on hart `pe`,
+    /// committing `pc`/`cycles`/`instret` exactly as the interpretive
+    /// stepper does. This is the single source of truth for instruction
+    /// semantics: the stepper reaches it through fetch + decode, the block
+    /// engine (`crate::block`) reaches it directly for instructions it does
+    /// not specialise. `word` is the raw encoding, needed only for fault
+    /// reporting.
+    pub(crate) fn exec_inst(
+        &mut self,
+        pe: usize,
+        pc: u64,
+        word: u32,
+        inst: Inst,
+    ) -> Result<(), SimFault> {
+        let cost_cfg = self.config.cost;
         let mut cost = cost_cfg.fetch_cycles;
         let mut next_pc = pc.wrapping_add(4);
 
@@ -390,12 +448,22 @@ impl Machine {
             }
             Inst::Jal { rd, offset } => {
                 cost += cost_cfg.alu_cycles;
+                let target = pc.wrapping_add(offset as i64 as u64);
+                // Trap precisely at the jump, before the link register is
+                // written, rather than surfacing a confusing fetch error at
+                // the bogus target later.
+                if target & 3 != 0 {
+                    return Err(SimFault::InstructionMisaligned { pc, target });
+                }
                 self.harts[pe].write_x(rd, next_pc);
-                next_pc = pc.wrapping_add(offset as i64 as u64);
+                next_pc = target;
             }
             Inst::Jalr { rd, rs1, imm } => {
                 cost += cost_cfg.alu_cycles;
                 let target = self.harts[pe].read_x(rs1).wrapping_add(imm as i64 as u64) & !1;
+                if target & 3 != 0 {
+                    return Err(SimFault::InstructionMisaligned { pc, target });
+                }
                 self.harts[pe].write_x(rd, next_pc);
                 next_pc = target;
             }
@@ -409,7 +477,11 @@ impl Machine {
                 let a = self.harts[pe].read_x(rs1);
                 let b = self.harts[pe].read_x(rs2);
                 if branch_taken(cond, a, b) {
-                    next_pc = pc.wrapping_add(offset as i64 as u64);
+                    let target = pc.wrapping_add(offset as i64 as u64);
+                    if target & 3 != 0 {
+                        return Err(SimFault::InstructionMisaligned { pc, target });
+                    }
+                    next_pc = target;
                 }
             }
             Inst::Load {
@@ -433,6 +505,7 @@ impl Machine {
                 cost += self.local_access_cost(pe, addr);
                 let v = self.harts[pe].read_x(rs2);
                 Self::store_value(&mut self.mems[pe], width, addr, v).map_err(SimFault::Memory)?;
+                self.note_store(pe, addr, width.bytes());
             }
             Inst::OpImm { op, rd, rs1, imm } => {
                 cost += cost_cfg.alu_cycles;
@@ -459,6 +532,13 @@ impl Machine {
                 return self.syscall(pe);
             }
             Inst::Ebreak => {
+                // Like ecall, ebreak is a retired environment transfer: it
+                // charges its cost and counts toward instret before the trap
+                // is delivered. `pc` is left at the ebreak itself so a
+                // debugger can resume there.
+                cost += cost_cfg.ecall_cycles;
+                self.harts[pe].cycles += cost;
+                self.harts[pe].instret += 1;
                 return Err(SimFault::Breakpoint { pc });
             }
             Inst::Csr { op, rd, rs1, csr } => {
@@ -510,6 +590,7 @@ impl Machine {
                 let v = self.harts[pe].read_x(rs2);
                 Self::store_value(&mut self.mems[tpe], width, taddr, v)
                     .map_err(SimFault::Memory)?;
+                self.note_store(tpe, taddr, width.bytes());
             }
 
             // --- xBGAS raw integer load/store (explicit e-register) ---
@@ -540,6 +621,7 @@ impl Machine {
                 let v = self.harts[pe].read_x(rs2);
                 Self::store_value(&mut self.mems[tpe], width, taddr, v)
                     .map_err(SimFault::Memory)?;
+                self.note_store(tpe, taddr, width.bytes());
             }
             Inst::ERse { ext1, rs1, ext2 } => {
                 let object_id = self.harts[pe].read_e(ext2);
@@ -549,6 +631,7 @@ impl Machine {
                 let v = self.harts[pe].read_e(ext1);
                 Self::store_value(&mut self.mems[tpe], StoreWidth::D, taddr, v)
                     .map_err(SimFault::Memory)?;
+                self.note_store(tpe, taddr, 8);
             }
             Inst::ERle { ext1, rs1, ext2 } => {
                 let object_id = self.harts[pe].read_e(ext2);
@@ -584,36 +667,71 @@ impl Machine {
         Ok(())
     }
 
+    /// Discrete-event scheduling decision: the runnable hart with the
+    /// smallest cycle count executes next (ties broken by smallest index,
+    /// per `min_by_key`). When no hart is runnable, the terminal exit is
+    /// derived from the remaining hart states. Shared by both execution
+    /// engines so they schedule identically.
+    pub(crate) fn next_runnable(&self) -> Result<usize, RunExit> {
+        let next = self
+            .harts
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.state == HartState::Running)
+            .min_by_key(|(_, h)| h.cycles)
+            .map(|(i, _)| i);
+
+        let Some(pe) = next else {
+            if self.harts.iter().any(|h| h.is_live()) {
+                // Live harts but none runnable: barrier deadlock.
+                return Err(RunExit::Deadlock);
+            }
+            if let Some((pe, fault)) =
+                self.harts
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, h)| match &h.state {
+                        HartState::Faulted(f) => Some((i, f.clone())),
+                        _ => None,
+                    })
+            {
+                return Err(RunExit::Fault { pe, fault });
+            }
+            return Err(RunExit::AllHalted);
+        };
+        Ok(pe)
+    }
+
+    pub(crate) fn summary(&self, exit: RunExit) -> RunSummary {
+        RunSummary {
+            exit,
+            cycles: self.harts.iter().map(|h| h.cycles).collect(),
+            instret: self.harts.iter().map(|h| h.instret).collect(),
+        }
+    }
+
     /// Run until every hart halts, a hart faults, a barrier deadlocks, or
     /// the cycle budget is exhausted.
+    ///
+    /// Which engine executes instructions is selected by
+    /// [`crate::cost::ExecMode`] in the configuration; both produce
+    /// bit-identical registers, memory, `instret` and cycle counts. The
+    /// block engine defers to the interpreter while tracing is enabled (the
+    /// trace ring buffer is a per-fetch side effect of the stepper).
     pub fn run(&mut self) -> RunSummary {
+        if self.config.exec == ExecMode::Block && self.trace_depth == 0 {
+            return crate::block::run_block(self);
+        }
+        self.run_interp()
+    }
+
+    /// The interpretive engine: one fetch + decode + dispatch per step.
+    fn run_interp(&mut self) -> RunSummary {
         let exit = loop {
-            // Discrete-event scheduling: the runnable hart with the smallest
-            // cycle count executes next.
-            let next = self
-                .harts
-                .iter()
-                .enumerate()
-                .filter(|(_, h)| h.state == HartState::Running)
-                .min_by_key(|(_, h)| h.cycles)
-                .map(|(i, _)| i);
-
-            let Some(pe) = next else {
-                if self.harts.iter().any(|h| h.is_live()) {
-                    // Live harts but none runnable: barrier deadlock.
-                    break RunExit::Deadlock;
-                }
-                if let Some((pe, fault)) = self.harts.iter().enumerate().find_map(|(i, h)| match &h
-                    .state
-                {
-                    HartState::Faulted(f) => Some((i, f.clone())),
-                    _ => None,
-                }) {
-                    break RunExit::Fault { pe, fault };
-                }
-                break RunExit::AllHalted;
+            let pe = match self.next_runnable() {
+                Ok(pe) => pe,
+                Err(exit) => break exit,
             };
-
             if self.harts[pe].cycles >= self.config.max_cycles {
                 break RunExit::CycleLimit;
             }
@@ -621,11 +739,7 @@ impl Machine {
                 break RunExit::Fault { pe, fault };
             }
         };
-        RunSummary {
-            exit,
-            cycles: self.harts.iter().map(|h| h.cycles).collect(),
-            instret: self.harts.iter().map(|h| h.instret).collect(),
-        }
+        self.summary(exit)
     }
 }
 

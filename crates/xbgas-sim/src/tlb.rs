@@ -40,8 +40,13 @@ pub struct TlbStats {
 /// Fully-associative LRU TLB.
 pub struct Tlb {
     config: TlbConfig,
-    /// (vpn, last-touch tick) pairs; linear scan is fine at 256 entries.
+    /// (vpn, last-touch tick) pairs.
     entries: Vec<(u64, u64)>,
+    /// vpn → slot in `entries`, so the hit path is O(1) instead of a linear
+    /// scan over all 256 entries. Replacement still selects the minimum
+    /// tick; ticks are unique and monotonic, so the victim choice is
+    /// identical to the original scan-based implementation.
+    index: std::collections::HashMap<u64, usize>,
     tick: u64,
     stats: TlbStats,
 }
@@ -60,6 +65,7 @@ impl Tlb {
         Tlb {
             config,
             entries: Vec::with_capacity(config.entries),
+            index: std::collections::HashMap::with_capacity(config.entries),
             tick: 0,
             stats: TlbStats::default(),
         }
@@ -85,16 +91,18 @@ impl Tlb {
     pub fn access(&mut self, addr: u64) -> u64 {
         self.tick += 1;
         let vpn = addr / self.config.page_bytes;
-        if let Some(slot) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
-            slot.1 = self.tick;
+        if let Some(&slot) = self.index.get(&vpn) {
+            self.entries[slot].1 = self.tick;
             self.stats.hits += 1;
             return 0;
         }
         self.stats.misses += 1;
         if self.entries.len() < self.config.entries {
+            self.index.insert(vpn, self.entries.len());
             self.entries.push((vpn, self.tick));
         } else {
-            // Replace the LRU entry.
+            // Replace the LRU entry (minimum tick; misses are already paying
+            // a page walk, so the linear scan here is off the hot path).
             let lru = self
                 .entries
                 .iter()
@@ -102,6 +110,8 @@ impl Tlb {
                 .min_by_key(|(_, (_, t))| *t)
                 .map(|(i, _)| i)
                 .expect("TLB has at least one entry");
+            self.index.remove(&self.entries[lru].0);
+            self.index.insert(vpn, lru);
             self.entries[lru] = (vpn, self.tick);
         }
         self.config.miss_cycles
@@ -110,6 +120,7 @@ impl Tlb {
     /// Drop all translations.
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.index.clear();
     }
 }
 

@@ -204,7 +204,7 @@ fn allreduce_family_exact_on_both_backends() {
                 .collect();
             for engine in [EngineConfig::threads(), EngineConfig::coop().with_seed(11)] {
                 for algo in algos {
-                    let results = run_allreduce(engine.clone(), n, nelems, algo, SyncMode::Auto);
+                    let results = run_allreduce(engine, n, nelems, algo, SyncMode::Auto);
                     for (rank, got) in results.iter().enumerate() {
                         assert_eq!(
                             got,
@@ -232,7 +232,7 @@ fn allgather_algorithms_exact_on_both_backends() {
                 for algo in [AllGatherAlgo::Fan, AllGatherAlgo::RecursiveDoubling] {
                     let cfg = FabricConfig::paper(n)
                         .with_shared_bytes(1 << 20)
-                        .with_engine(engine.clone());
+                        .with_engine(engine);
                     let results = Fabric::run(cfg, move |pe| {
                         let me = pe.rank() as u64;
                         let src: Vec<u64> = (0..per_pe as u64).map(|i| me * 100 + i).collect();

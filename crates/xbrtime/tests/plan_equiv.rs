@@ -303,7 +303,7 @@ fn compiled_plans_match_allreduce_family_non_pow2() {
             for sync in [SyncMode::Signaled, SyncMode::Pipelined] {
                 for n in [3usize, 7] {
                     assert_plan_matches_interpretive(
-                        engine.clone(),
+                        engine,
                         Kind::AllReduce,
                         algo,
                         sync,

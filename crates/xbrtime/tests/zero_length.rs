@@ -123,7 +123,7 @@ fn zero_length_all_gather_every_algorithm_both_backends() {
                     AllGatherAlgo::RecursiveDoubling,
                     AllGatherAlgo::Auto,
                 ] {
-                    let report = run_traced_on(n, engine.clone(), move |pe| {
+                    let report = run_traced_on(n, engine, move |pe| {
                         let mut dest: Vec<u64> = vec![];
                         collectives::all_gather_algo_sync(pe, &mut dest, &[], 0, algo, sync);
                     });
@@ -140,7 +140,7 @@ fn zero_length_all_to_all_all_modes_both_backends() {
     for n in PE_COUNTS {
         for sync in SYNC_MODES {
             for engine in [EngineConfig::threads(), EngineConfig::coop()] {
-                let report = run_traced_on(n, engine.clone(), move |pe| {
+                let report = run_traced_on(n, engine, move |pe| {
                     let mut dest: Vec<u64> = vec![];
                     collectives::all_to_all_sync(pe, &mut dest, &[], 0, sync);
                 });

@@ -1,0 +1,511 @@
+//! Differential suite: the block-translation engine vs the interpretive
+//! stepper.
+//!
+//! Every kernel here runs twice — once on `ExecMode::Interp` (the oracle)
+//! and once on `ExecMode::Block` — and the two machines must finish in
+//! **bit-identical** states: exit reason, per-hart `pc`, both register
+//! files, `cycles`, `instret`, hart state, console output, NoC statistics
+//! and every byte of every PE's memory. This is the contract that lets the
+//! block engine replace the stepper for benchmarking without changing any
+//! simulated result.
+
+use xbgas_sim::asm::assemble;
+use xbgas_sim::cost::{CostConfig, ExecMode, MachineConfig};
+use xbgas_sim::hart::SimFault;
+use xbgas_sim::machine::{Machine, RunExit};
+
+/// Build, run and compare the two engines on the same initial machine.
+/// `setup` is applied identically to both (program load, memory seeding).
+fn differential(what: &str, cfg: MachineConfig, setup: impl Fn(&mut Machine)) -> RunExit {
+    assert_eq!(cfg.exec, ExecMode::Interp, "pass the base config");
+    let mut interp = Machine::new(cfg);
+    setup(&mut interp);
+    let si = interp.run();
+
+    let mut block = Machine::new(cfg.with_block_engine());
+    setup(&mut block);
+    let sb = block.run();
+
+    assert_eq!(si.exit, sb.exit, "{what}: exit reason diverged");
+    assert_eq!(si.cycles, sb.cycles, "{what}: summary cycles diverged");
+    assert_eq!(si.instret, sb.instret, "{what}: summary instret diverged");
+    for pe in 0..interp.n_harts() {
+        let (hi, hb) = (interp.hart(pe), block.hart(pe));
+        assert_eq!(hi.pc, hb.pc, "{what}: pe{pe} pc diverged");
+        assert_eq!(hi.x, hb.x, "{what}: pe{pe} x register file diverged");
+        assert_eq!(hi.e, hb.e, "{what}: pe{pe} e register file diverged");
+        assert_eq!(hi.cycles, hb.cycles, "{what}: pe{pe} cycles diverged");
+        assert_eq!(hi.instret, hb.instret, "{what}: pe{pe} instret diverged");
+        assert_eq!(hi.state, hb.state, "{what}: pe{pe} state diverged");
+        assert_eq!(
+            interp.output(pe),
+            block.output(pe),
+            "{what}: pe{pe} console output diverged"
+        );
+        let sz = interp.mem(pe).size();
+        assert_eq!(sz, block.mem(pe).size());
+        assert_eq!(
+            interp.mem(pe).read_bytes(0, sz).unwrap(),
+            block.mem(pe).read_bytes(0, sz).unwrap(),
+            "{what}: pe{pe} memory diverged"
+        );
+    }
+    let (ni, nb) = (interp.noc_stats(), block.noc_stats());
+    assert_eq!(ni.transactions, nb.transactions, "{what}: noc transactions");
+    assert_eq!(ni.bytes, nb.bytes, "{what}: noc bytes");
+    si.exit
+}
+
+fn asm_setup(src: &'static str) -> impl Fn(&mut Machine) {
+    move |m: &mut Machine| {
+        let img = assemble(0x1000, src).unwrap();
+        m.load_program(0x1000, &img.words);
+    }
+}
+
+/// test(n) but with the paper's timing calibration (TLB walks, cache
+/// hierarchy, 200-cycle DRAM, a real interconnect) so the differential also
+/// covers every memory-model code path.
+fn paper_cost(n: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::test(n);
+    cfg.cost = CostConfig::paper();
+    cfg
+}
+
+/// The GUPS inner loop: xorshift RNG, masked index, 8-byte read-modify-write
+/// — exercises ShiftXor, LoadOpStore, AddiBranch and Li fusion.
+const GUPS: &str = r#"
+    li   s1, 0x2545F491     # rng state
+    li   s2, 0x3ff          # table mask (1024 entries)
+    li   s3, 0x8000         # table base
+    li   s0, 2000           # updates
+loop:
+    slli t0, s1, 13
+    xor  s1, s1, t0
+    srli t0, s1, 7
+    xor  s1, s1, t0
+    slli t0, s1, 17
+    xor  s1, s1, t0
+    and  t1, s1, s2
+    slli t1, t1, 3
+    add  t2, s3, t1
+    ld   t3, 0(t2)
+    xor  t3, t3, s1
+    sd   t3, 0(t2)
+    addi s0, s0, -1
+    bnez s0, loop
+    li   a7, 0
+    ecall
+"#;
+
+/// IS-style bucket counting: generate keys with the RNG, then histogram
+/// the low bits — a second loop shape with lw/andi and blt back-edge.
+const IS_RANK: &str = r#"
+    li   s1, 0x12345        # rng state
+    li   s2, 0x8000         # keys base
+    li   s0, 1024           # key count
+gen:
+    slli t0, s1, 13
+    xor  s1, s1, t0
+    srli t0, s1, 7
+    xor  s1, s1, t0
+    slli t0, s1, 17
+    xor  s1, s1, t0
+    sw   s1, 0(s2)
+    addi s2, s2, 4
+    addi s0, s0, -1
+    bnez s0, gen
+    li   s2, 0x8000
+    li   s3, 0xC000         # counts base
+    li   s0, 1024
+rank:
+    lw   t1, 0(s2)
+    andi t2, t1, 255
+    slli t2, t2, 3
+    add  t2, s3, t2
+    ld   t3, 0(t2)
+    addi t3, t3, 1
+    sd   t3, 0(t2)
+    addi s2, s2, 4
+    addi s0, s0, -1
+    bnez s0, rank
+    li   a7, 0
+    ecall
+"#;
+
+#[test]
+fn gups_functional() {
+    let exit = differential("gups/functional", MachineConfig::test(1), asm_setup(GUPS));
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+#[test]
+fn gups_paper_timing() {
+    let exit = differential("gups/paper", paper_cost(1), asm_setup(GUPS));
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+#[test]
+fn is_rank_functional() {
+    let exit = differential("is/functional", MachineConfig::test(1), asm_setup(IS_RANK));
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+#[test]
+fn is_rank_paper_timing() {
+    let exit = differential("is/paper", paper_cost(1), asm_setup(IS_RANK));
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+/// SPMD ring exchange over the fabric with a barrier — remote stores,
+/// OLB translation, channel occupancy and barrier release timing.
+const RING: &str = r#"
+    li   a7, 2
+    ecall                   # a0 = my_pe
+    addi t2, a0, 1
+    li   t3, 4
+    rem  t2, t2, t3
+    addi t2, t2, 1          # neighbour object id
+    lui  t0, 0x8
+    eaddie e5, t2, 0
+    li   t4, 7
+    mul  t4, t4, a0
+    addi s0, t4, 20         # per-PE iteration count: 20 + 7*my_pe
+loop:
+    esd  s0, 0(t0)
+    addi s0, s0, -1
+    bnez s0, loop
+    li   a7, 4
+    ecall
+    li   a7, 0
+    ecall
+"#;
+
+#[test]
+fn ring_exchange_skewed_paper_timing() {
+    let exit = differential("ring/skewed", paper_cost(4), asm_setup(RING));
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+/// Same ring but with identical per-PE timing: the scheduler ties on every
+/// step, so this pins the block engine's tie-break horizon (`< lo`,
+/// `<= hi`) against the interpreter's first-index `min_by_key`.
+const RING_TIED: &str = r#"
+    li   a7, 2
+    ecall
+    addi t2, a0, 1
+    li   t3, 3
+    rem  t2, t2, t3
+    addi t2, t2, 1
+    lui  t0, 0x8
+    eaddie e5, t2, 0
+    li   s0, 40
+loop:
+    esd  s0, 0(t0)
+    addi s0, s0, -1
+    bnez s0, loop
+    li   a7, 4
+    ecall
+    li   a7, 0
+    ecall
+"#;
+
+#[test]
+fn ring_exchange_tied_paper_timing() {
+    let exit = differential("ring/tied", paper_cost(3), asm_setup(RING_TIED));
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+#[test]
+fn ring_exchange_tied_functional() {
+    let exit = differential(
+        "ring/tied-functional",
+        MachineConfig::test(3),
+        asm_setup(RING_TIED),
+    );
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+/// Pointer-chasing through the extended register file (erle + erld) plus
+/// erse — the raw xBGAS group, all through the Generic path.
+const DIRECTORY: &str = r#"
+    li   a7, 2
+    ecall
+    bnez a0, follower
+    eaddie e8, zero, 2      # e8 names PE1 (the directory host)
+    lui  t0, 0x8
+    erle e9, t0, e8         # e9 = directory[0] = object 2
+    lui  t1, 0x9
+    erld a0, t1, e9         # follow the pointer
+    eaddie e7, a0, 0        # e7 = loaded payload
+    lui  t2, 0xA
+    erse e7, t2, e8         # write it back to PE1 at 0xA000
+follower:
+    li   a7, 4
+    ecall
+    li   a7, 0
+    ecall
+"#;
+
+#[test]
+fn directory_pointer_chase() {
+    let exit = differential("directory", paper_cost(2), |m| {
+        let img = assemble(0x1000, DIRECTORY).unwrap();
+        m.load_program(0x1000, &img.words);
+        m.mem_mut(1).store_u64(0x8000, 2).unwrap();
+        m.mem_mut(1).store_u64(0x9000, 777).unwrap();
+    });
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+/// Call/return through jal+jalr, console syscalls, CSR self-timing and the
+/// address-management group — the Generic and control paths.
+const MIXED: &str = r#"
+    rdcycle s4
+    li   a0, 10
+    call fib
+    mv   s5, a0
+    rdcycle s6
+    sub  s6, s6, s4         # elapsed cycles
+    rdinstret s7
+    li   a0, 72             # 'H'
+    li   a7, 1
+    ecall
+    mv   a0, s5
+    li   a7, 5
+    ecall                   # print fib(10)
+    eaddie e4, s5, 11
+    eaddix e6, e4, -1
+    eaddi  s8, e6, 5
+    fence
+    li   a7, 0
+    ecall
+fib:
+    li   t0, 0
+    li   t1, 1
+    li   t2, 0
+fib_loop:
+    beqz a0, fib_done
+    add  t2, t0, t1
+    mv   t0, t1
+    mv   t1, t2
+    addi a0, a0, -1
+    j    fib_loop
+fib_done:
+    mv   a0, t0
+    ret
+"#;
+
+#[test]
+fn mixed_control_csr_console() {
+    for cfg in [MachineConfig::test(1), paper_cost(1)] {
+        let exit = differential("mixed", cfg, asm_setup(MIXED));
+        assert_eq!(exit, RunExit::AllHalted);
+    }
+}
+
+/// A jump lands in the *middle* of a lui+addi pair that elsewhere executes
+/// fused — the block engine must translate an overlapping block at the
+/// mid-span entry pc.
+const MIDSPAN: &str = r#"
+    li   s0, 7
+    j    mid
+    lui  s0, 0x8            # dead when entered via `mid`
+mid:
+    addi s0, s0, 4          # s0 = 11
+    lui  s1, 0x8
+    addi s1, s1, 4          # the same pair, fused and fully executed
+    li   a7, 0
+    ecall
+"#;
+
+#[test]
+fn jump_into_fused_span() {
+    let exit = differential("midspan", MachineConfig::test(1), asm_setup(MIDSPAN));
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+/// Straight-line code longer than a single translated block (the 64-inst
+/// cap): execution must fall through from one block into the next.
+#[test]
+fn long_straight_line_crosses_block_cap() {
+    let mut src = String::new();
+    for _ in 0..150 {
+        src.push_str("    addi a0, a0, 1\n");
+    }
+    src.push_str("    li a7, 0\n    ecall\n");
+    let src: &'static str = Box::leak(src.into_boxed_str());
+    let exit = differential("long-line", MachineConfig::test(1), asm_setup(src));
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+/// ebreak must retire like ecall on both engines: cost charged, instret
+/// bumped, pc left at the ebreak, then the Breakpoint fault delivered.
+#[test]
+fn ebreak_retires_consistently() {
+    let exit = differential(
+        "ebreak",
+        MachineConfig::test(1),
+        asm_setup("nop\nnop\nebreak\nnop"),
+    );
+    assert!(
+        matches!(
+            exit,
+            RunExit::Fault {
+                pe: 0,
+                fault: SimFault::Breakpoint { pc: 0x1008 }
+            }
+        ),
+        "got {exit:?}"
+    );
+}
+
+/// Misaligned jalr target: precise InstructionMisaligned fault on both
+/// engines, with the link register left unwritten.
+#[test]
+fn misaligned_jalr_faults_identically() {
+    let src = "li t0, 0x1002\njalr ra, 0(t0)\nli a7, 0\necall";
+    let exit = differential("misaligned-jalr", MachineConfig::test(1), asm_setup(src));
+    match exit {
+        RunExit::Fault {
+            pe: 0,
+            fault: SimFault::InstructionMisaligned { target: 0x1002, .. },
+        } => {}
+        other => panic!("expected misaligned fault, got {other:?}"),
+    }
+}
+
+/// Misaligned jal and taken-branch targets (offset ≡ 2 mod 4), hand-encoded
+/// because the assembler only emits aligned label offsets.
+#[test]
+fn misaligned_jal_and_branch_fault_identically() {
+    use xbgas_isa::{encode, BranchCond, Inst, XReg};
+    for (what, inst) in [
+        (
+            "jal",
+            Inst::Jal {
+                rd: XReg::RA,
+                offset: 6,
+            },
+        ),
+        (
+            "branch",
+            Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: XReg::ZERO,
+                rs2: XReg::ZERO,
+                offset: 6,
+            },
+        ),
+    ] {
+        let words = [encode(&inst).unwrap()];
+        let exit = differential(what, MachineConfig::test(1), move |m| {
+            m.load_program(0x1000, &words);
+        });
+        match exit {
+            RunExit::Fault {
+                pe: 0,
+                fault:
+                    SimFault::InstructionMisaligned {
+                        pc: 0x1000,
+                        target: 0x1006,
+                    },
+            } => {}
+            other => panic!("{what}: expected misaligned fault, got {other:?}"),
+        }
+    }
+}
+
+/// A tight self-loop against an odd cycle budget: both engines must stop on
+/// exactly the same cycle count at the CycleLimit boundary.
+#[test]
+fn cycle_limit_boundary() {
+    let mut cfg = MachineConfig::test(1);
+    cfg.max_cycles = 997;
+    let exit = differential("cycle-limit", cfg, asm_setup("loop:\n    j loop"));
+    assert_eq!(exit, RunExit::CycleLimit);
+}
+
+/// An unmapped-object OLB miss mid-kernel faults identically.
+#[test]
+fn olb_miss_faults_identically() {
+    let src = "eset e5, 99\neld a0, 0(t0)\nli a7, 0\necall";
+    let exit = differential("olb-miss", MachineConfig::test(1), asm_setup(src));
+    assert!(
+        matches!(
+            exit,
+            RunExit::Fault {
+                pe: 0,
+                fault: SimFault::OlbMiss { object_id: 99, .. }
+            }
+        ),
+        "got {exit:?}"
+    );
+}
+
+/// Undecodable word reached by fall-through: the block engine's
+/// single-step fallback must reproduce the interpreter's fault exactly.
+#[test]
+fn illegal_instruction_fall_through() {
+    let exit = differential(
+        "illegal",
+        MachineConfig::test(1),
+        asm_setup("li t0, 3\nli t1, 4\nadd t2, t0, t1\n.word 0xffffffff"),
+    );
+    assert!(
+        matches!(
+            exit,
+            RunExit::Fault {
+                pe: 0,
+                fault: SimFault::IllegalInstruction { pc: 0x100c, .. }
+            }
+        ),
+        "got {exit:?}"
+    );
+}
+
+/// The eaddie + remote-load fused pair, including a mid-pair use where the
+/// loaded object id addresses a second PE.
+const EADDIE_PAIR: &str = r#"
+    li   a7, 2
+    ecall
+    bnez a0, follower
+    li   t0, 0x8000
+    eaddie e5, zero, 2      # fused with the following eld
+    eld  s0, 0(t0)          # s0 = PE1's 0x8000
+    li   t1, 0x9000
+    li   t2, 2
+    eaddie e9, t2, 0        # fused with the following erld
+    erld s1, t1, e9         # s1 = PE1's 0x9000
+    add  s2, s0, s1
+follower:
+    li   a7, 4
+    ecall
+    li   a7, 0
+    ecall
+"#;
+
+#[test]
+fn eaddie_remote_load_pair() {
+    let exit = differential("eaddie-pair", paper_cost(2), |m| {
+        let img = assemble(0x1000, EADDIE_PAIR).unwrap();
+        m.load_program(0x1000, &img.words);
+        m.mem_mut(1).store_u64(0x8000, 40).unwrap();
+        m.mem_mut(1).store_u64(0x9000, 2).unwrap();
+    });
+    assert_eq!(exit, RunExit::AllHalted);
+}
+
+/// Barrier deadlock shape: PE1 halts before the barrier, PE0 then owns it.
+#[test]
+fn barrier_after_peer_halt() {
+    let exit = differential("barrier-halt", MachineConfig::test(2), |m| {
+        let a = assemble(0x1000, "li a7, 4\necall\nli a7, 0\necall").unwrap();
+        let b = assemble(0x1000, "li a7, 0\necall").unwrap();
+        m.load_words(0, 0x1000, &a.words);
+        m.load_words(1, 0x1000, &b.words);
+        m.hart_mut(0).pc = 0x1000;
+        m.hart_mut(1).pc = 0x1000;
+    });
+    assert_eq!(exit, RunExit::AllHalted);
+}

@@ -1,0 +1,254 @@
+//! Self-modifying code: stores that land on translated instructions must
+//! invalidate the affected blocks before a stale op can execute, on the
+//! local PE and across the fabric. Each scenario runs on both engines and
+//! must agree bit-for-bit (the interpreter re-fetches every instruction,
+//! so it is immune to staleness by construction — the perfect oracle).
+
+// The `..ProptestConfig::default()` spread is upstream proptest's
+// canonical config idiom; the local shim happens to have no other
+// fields, which trips needless_update.
+#![allow(clippy::needless_update)]
+
+use proptest::prelude::*;
+use xbgas_isa::{encode, AluImmOp, Inst, XReg};
+use xbgas_sim::asm::assemble;
+use xbgas_sim::cost::{ExecMode, MachineConfig};
+use xbgas_sim::machine::{Machine, RunExit};
+
+/// Run `setup` on both engines and require bit-identical outcomes;
+/// returns the block-engine machine for scenario-specific asserts.
+fn differential(what: &str, cfg: MachineConfig, setup: impl Fn(&mut Machine)) -> Machine {
+    assert_eq!(cfg.exec, ExecMode::Interp, "pass the base config");
+    let mut interp = Machine::new(cfg);
+    setup(&mut interp);
+    let si = interp.run();
+    let mut block = Machine::new(cfg.with_block_engine());
+    setup(&mut block);
+    let sb = block.run();
+
+    assert_eq!(si.exit, sb.exit, "{what}: exit reason diverged");
+    for pe in 0..interp.n_harts() {
+        let (hi, hb) = (interp.hart(pe), block.hart(pe));
+        assert_eq!(hi.pc, hb.pc, "{what}: pe{pe} pc diverged");
+        assert_eq!(hi.x, hb.x, "{what}: pe{pe} x register file diverged");
+        assert_eq!(hi.e, hb.e, "{what}: pe{pe} e register file diverged");
+        assert_eq!(hi.cycles, hb.cycles, "{what}: pe{pe} cycles diverged");
+        assert_eq!(hi.instret, hb.instret, "{what}: pe{pe} instret diverged");
+        assert_eq!(hi.state, hb.state, "{what}: pe{pe} state diverged");
+        let sz = interp.mem(pe).size();
+        assert_eq!(
+            interp.mem(pe).read_bytes(0, sz).unwrap(),
+            block.mem(pe).read_bytes(0, sz).unwrap(),
+            "{what}: pe{pe} memory diverged"
+        );
+    }
+    block
+}
+
+fn word_of(inst: Inst) -> u32 {
+    encode(&inst).unwrap()
+}
+
+/// A store patches an instruction *later in the same basic block*: the
+/// engine must abandon the block at the store and re-translate, so the
+/// patched `addi a0, a0, 100` executes instead of the original `+1`.
+#[test]
+fn patch_within_current_block() {
+    let patched = word_of(Inst::OpImm {
+        op: AluImmOp::Addi,
+        rd: XReg::A0,
+        rs1: XReg::A0,
+        imm: 100,
+    });
+    let src = format!(
+        "    la   t1, target\n\
+         \x20   li   t0, {patched}\n\
+         \x20   sw   t0, 0(t1)\n\
+         \x20   nop\n\
+         target:\n\
+         \x20   addi a0, a0, 1\n\
+         \x20   li   a7, 0\n\
+         \x20   ecall\n"
+    );
+    let m = differential("same-block", MachineConfig::test(1), move |m| {
+        let img = assemble(0x1000, &src).unwrap();
+        m.load_program(0x1000, &img.words);
+    });
+    assert_eq!(m.hart(0).x[10], 100, "patched instruction must execute");
+}
+
+/// A *hot* cached block (a loop back-edge) is patched after several
+/// iterations: `j loop` becomes `nop`, so the loop falls through exactly
+/// at the patching iteration.
+#[test]
+fn patch_hot_loop_back_edge() {
+    let nop = word_of(Inst::OpImm {
+        op: AluImmOp::Addi,
+        rd: XReg::ZERO,
+        rs1: XReg::ZERO,
+        imm: 0,
+    });
+    let src = format!(
+        "    li   s0, 0\n\
+         loop:\n\
+         \x20   addi s0, s0, 1\n\
+         \x20   li   t2, 5\n\
+         \x20   bne  s0, t2, skip\n\
+         \x20   la   t1, back\n\
+         \x20   li   t0, {nop}\n\
+         \x20   sw   t0, 0(t1)\n\
+         skip:\n\
+         \x20   nop\n\
+         back:\n\
+         \x20   j    loop\n\
+         \x20   li   a7, 0\n\
+         \x20   ecall\n"
+    );
+    let m = differential("hot-loop", MachineConfig::test(1), move |m| {
+        let img = assemble(0x1000, &src).unwrap();
+        m.load_program(0x1000, &img.words);
+    });
+    assert_eq!(m.hart(0).x[8], 5, "loop must exit at the patch iteration");
+}
+
+/// Cross-PE self-modification: PE0 patches a subroutine in PE1's memory
+/// over the fabric (esw) between two barriers. PE1 has already executed —
+/// and cached — that subroutine, so the remote store must invalidate PE1's
+/// translation, not just its memory.
+#[test]
+fn remote_patch_invalidates_peer_cache() {
+    let patched = word_of(Inst::OpImm {
+        op: AluImmOp::Addi,
+        rd: XReg::A0,
+        rs1: XReg::A0,
+        imm: 100,
+    });
+    let pe1_src = "    li   s0, 3\n\
+         warm:\n\
+         \x20   call target\n\
+         \x20   addi s0, s0, -1\n\
+         \x20   bnez s0, warm\n\
+         \x20   li   a7, 4\n\
+         \x20   ecall\n\
+         \x20   li   a7, 4\n\
+         \x20   ecall\n\
+         \x20   call target\n\
+         \x20   li   a7, 0\n\
+         \x20   ecall\n\
+         target:\n\
+         \x20   addi a0, a0, 1\n\
+         \x20   ret\n";
+    let pe1 = assemble(0x1000, pe1_src).unwrap();
+    let target = pe1.label("target").unwrap();
+    let pe0_src = format!(
+        "    li   a7, 4\n\
+         \x20   ecall\n\
+         \x20   eaddie e5, zero, 2\n\
+         \x20   li   t0, {target}\n\
+         \x20   li   t1, {patched}\n\
+         \x20   esw  t1, 0(t0)\n\
+         \x20   li   a7, 4\n\
+         \x20   ecall\n\
+         \x20   li   a7, 0\n\
+         \x20   ecall\n"
+    );
+    let m = differential("remote-patch", MachineConfig::test(2), move |m| {
+        let pe0 = assemble(0x1000, &pe0_src).unwrap();
+        m.load_words(0, 0x1000, &pe0.words);
+        let pe1 = assemble(0x1000, pe1_src).unwrap();
+        m.load_words(1, 0x1000, &pe1.words);
+        m.hart_mut(0).pc = 0x1000;
+        m.hart_mut(1).pc = 0x1000;
+    });
+    // 3 warm calls of +1, then one patched call of +100.
+    assert_eq!(m.hart(1).x[10], 103, "remote patch must take effect");
+}
+
+/// Strategy: a patch script — each round rewrites one slot of an
+/// 8-instruction straight-line region with a random ALU-immediate op over
+/// a small register window, then re-executes the region.
+fn arb_patches() -> impl Strategy<Value = Vec<(usize, AluImmOp, u8, u8, i32)>> {
+    prop::collection::vec(
+        (
+            0usize..8,
+            prop::sample::select(vec![
+                AluImmOp::Addi,
+                AluImmOp::Xori,
+                AluImmOp::Ori,
+                AluImmOp::Andi,
+                AluImmOp::Slti,
+                AluImmOp::Addiw,
+            ]),
+            11u8..15, // rd in a1..a4
+            11u8..15, // rs1 in a1..a4
+            -2048i32..=2047,
+        ),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random interleavings of code stores and execution: every round
+    /// patches one instruction of the region (driven by a script table in
+    /// data memory), then calls it. The interpreter re-fetches each time,
+    /// so any stale translation in the block engine diverges immediately.
+    #[test]
+    fn random_patch_scripts_agree(patches in arb_patches()) {
+        let rounds = patches.len();
+        let src = format!(
+            "    li   s0, {rounds}\n\
+             \x20   li   s1, 0x8000\n\
+             loop:\n\
+             \x20   ld   t0, 0(s1)\n\
+             \x20   ld   t1, 8(s1)\n\
+             \x20   sw   t1, 0(t0)\n\
+             \x20   call region\n\
+             \x20   addi s1, s1, 16\n\
+             \x20   addi s0, s0, -1\n\
+             \x20   bnez s0, loop\n\
+             \x20   li   a7, 0\n\
+             \x20   ecall\n\
+             region:\n\
+             {}\
+             \x20   ret\n",
+            "    addi a1, a1, 1\n".repeat(8),
+        );
+        let img = assemble(0x1000, &src).unwrap();
+        let region = img.label("region").unwrap();
+        let patches = patches.clone();
+        let run = |exec: ExecMode| {
+            let cfg = MachineConfig::test(1);
+            let cfg = if exec == ExecMode::Block { cfg.with_block_engine() } else { cfg };
+            let mut m = Machine::new(cfg);
+            m.load_program(0x1000, &img.words);
+            for (i, &(slot, op, rd, rs1, imm)) in patches.iter().enumerate() {
+                let word = word_of(Inst::OpImm {
+                    op,
+                    rd: XReg::new(rd),
+                    rs1: XReg::new(rs1),
+                    imm,
+                });
+                let base = 0x8000 + 16 * i as u64;
+                m.mem_mut(0).store_u64(base, region + 4 * slot as u64).unwrap();
+                m.mem_mut(0).store_u64(base + 8, word as u64).unwrap();
+            }
+            let summary = m.run();
+            (summary, m)
+        };
+        let (si, interp) = run(ExecMode::Interp);
+        let (sb, block) = run(ExecMode::Block);
+        prop_assert_eq!(si.exit, RunExit::AllHalted);
+        prop_assert_eq!(si.exit, sb.exit);
+        let (hi, hb) = (interp.hart(0), block.hart(0));
+        prop_assert_eq!(hi.x, hb.x, "register file diverged for {:?}", &patches);
+        prop_assert_eq!(hi.cycles, hb.cycles);
+        prop_assert_eq!(hi.instret, hb.instret);
+        let sz = interp.mem(0).size();
+        prop_assert_eq!(
+            interp.mem(0).read_bytes(0, sz).unwrap(),
+            block.mem(0).read_bytes(0, sz).unwrap()
+        );
+    }
+}
