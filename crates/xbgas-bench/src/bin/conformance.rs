@@ -37,6 +37,10 @@ use xbrtime::collectives::schedule::{
     gather_linear_sched, reduce_binomial, reduce_linear_sched, scatter_binomial,
     scatter_linear_sched, CommSchedule,
 };
+use xbrtime::collectives::vcoll::{
+    allgatherv_dissemination_sched, allgatherv_fan_sched, allgatherv_ring_sched,
+    gatherv_ring_sched, prefix_displacements, scatterv_ring_sched,
+};
 use xbrtime::collectives::verify::{check_schedule, CollectiveSpec, ModelConfig};
 use xbrtime::collectives::{SyncMode, Team};
 
@@ -56,7 +60,7 @@ fn case(name: impl Into<String>, sched: CommSchedule, spec: CollectiveSpec) -> C
 }
 
 /// Every (collective × algorithm) pair at world size `n`, covering flat,
-/// extended, team and hierarchical generators.
+/// extended, irregular (v-variant), team and hierarchical generators.
 fn cases(n: usize) -> Vec<Case> {
     let root = n / 2;
     let uni: Vec<usize> = adjusted_displacements(&vec![1; n], root, n);
@@ -176,6 +180,59 @@ fn cases(n: usize) -> Vec<Case> {
             CollectiveSpec::AllReduce { nelems: n + 1 },
         ),
     ];
+    // Irregular v-variants: a ragged count table with genuine zero-length
+    // blocks (i % 3 zeroes every third rank, the root included at some
+    // sizes) plus a maximally skewed one-PE-holds-everything table for the
+    // dissemination schedule, whose O(log n) giant-block movement is the
+    // property worth model-checking.
+    let vcounts: Vec<usize> = (0..n).map(|i| i % 3).collect();
+    let vadj = adjusted_displacements(&vcounts, root, n);
+    let vdisp = prefix_displacements(&vcounts);
+    let mut giant = vec![0usize; n];
+    giant[n - 1] = n + 1;
+    let gdisp = prefix_displacements(&giant);
+    out.extend([
+        case(
+            format!("scatterv/ring n={n}"),
+            scatterv_ring_sched(n, root, &vadj),
+            CollectiveSpec::Scatter {
+                root,
+                adj_disp: vadj.clone(),
+            },
+        ),
+        case(
+            format!("gatherv/ring n={n}"),
+            gatherv_ring_sched(n, root, &vadj),
+            CollectiveSpec::Gather {
+                root,
+                adj_disp: vadj,
+            },
+        ),
+        case(
+            format!("allgatherv/fan n={n}"),
+            allgatherv_fan_sched(n, &vdisp),
+            CollectiveSpec::AllGatherV {
+                counts: vcounts.clone(),
+            },
+        ),
+        case(
+            format!("allgatherv/ring n={n}"),
+            allgatherv_ring_sched(n, &vdisp),
+            CollectiveSpec::AllGatherV {
+                counts: vcounts.clone(),
+            },
+        ),
+        case(
+            format!("allgatherv/dissemination n={n}"),
+            allgatherv_dissemination_sched(n, &vdisp),
+            CollectiveSpec::AllGatherV { counts: vcounts },
+        ),
+        case(
+            format!("allgatherv/dissemination skewed n={n}"),
+            allgatherv_dissemination_sched(n, &gdisp),
+            CollectiveSpec::AllGatherV { counts: giant },
+        ),
+    ]);
     if n >= 3 {
         // A strict-subset team: every other rank, rooted at the last
         // member, so member/non-member boundaries and rank translation

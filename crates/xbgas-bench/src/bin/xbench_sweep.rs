@@ -34,7 +34,10 @@ use xbgas_bench::{
     sweep_reduce_sync_on, sweep_scatter_on, trace_arg, traced_broadcast_on, Algo, SweepPoint,
 };
 use xbrtime::collectives::{self, AllGatherAlgo, AllReduceAlgo};
-use xbrtime::{AlgorithmPolicy, EngineConfig, Fabric, FabricConfig, ReduceOp, RunError, SyncMode};
+use xbrtime::traffic::{run_traffic, TrafficConfig};
+use xbrtime::{
+    AlgorithmPolicy, EngineConfig, Fabric, FabricConfig, FaultConfig, ReduceOp, RunError, SyncMode,
+};
 
 /// `Auto` vs always-binomial on one sweep cell.
 struct PolicyCell {
@@ -330,6 +333,92 @@ impl ToJson for AllGatherCell {
             ("auto_tracks_winner", self.auto_tracks_winner().to_json()),
         ])
     }
+}
+
+/// Chaos p999 must stay within this factor of the fault-free p999 for
+/// every tenant (the same bound `xbench_traffic --smoke` gates on).
+const TRAFFIC_CHAOS_P999_FACTOR: u64 = 16;
+
+/// One traffic-plane row: a tenant's completion-cycle percentile profile
+/// from the multi-tenant harness, fault-free and under seeded chaos
+/// delays on the same seed and shape.
+struct TrafficCell {
+    tenant: usize,
+    pes: usize,
+    ops: usize,
+    bytes: u64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    chaos_p999: u64,
+    efficiency: f64,
+}
+
+impl TrafficCell {
+    /// The per-tenant half of the `p999_under_chaos_bounded` gate.
+    fn chaos_bounded(&self) -> bool {
+        self.chaos_p999 <= self.p999.max(1) * TRAFFIC_CHAOS_P999_FACTOR
+    }
+}
+
+impl ToJson for TrafficCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("tenant", self.tenant.to_json()),
+            ("pes", self.pes.to_json()),
+            ("ops", self.ops.to_json()),
+            ("bytes", self.bytes.to_json()),
+            ("p50", self.p50.to_json()),
+            ("p99", self.p99.to_json()),
+            ("p999", self.p999.to_json()),
+            ("chaos_p999", self.chaos_p999.to_json()),
+            ("efficiency", self.efficiency.to_json()),
+            ("chaos_bounded", self.chaos_bounded().to_json()),
+        ])
+    }
+}
+
+/// Multi-tenant traffic rows: 4 tenants of irregular collectives over 16
+/// PEs, fault-free and replayed under seeded chaos delays. Returns the
+/// per-tenant cells and the fault-free fairness figure.
+fn traffic_sweep(engine: EngineConfig) -> (Vec<TrafficCell>, f64) {
+    eprintln!("traffic: 4 tenants x 12 ops on 16 PEs");
+    let cfg = TrafficConfig {
+        tenants: 4,
+        ops_per_tenant: 12,
+        palette: 4,
+        max_block: 32,
+        seed: 0x7EA,
+        sync: SyncMode::Signaled,
+    };
+    let fab = |chaos: Option<u64>| {
+        let mut f = FabricConfig::paper(16)
+            .with_watchdog(Duration::from_secs(60))
+            .with_engine(engine);
+        if let Some(seed) = chaos {
+            f = f.with_faults(FaultConfig::delays(seed));
+        }
+        f
+    };
+    let clean = run_traffic(fab(None), &cfg).expect("fault-free traffic run");
+    let chaos = run_traffic(fab(Some(0xC0FFEE)), &cfg).expect("chaos-delay traffic run");
+    let cells = clean
+        .tenants
+        .iter()
+        .zip(&chaos.tenants)
+        .map(|(c, x)| TrafficCell {
+            tenant: c.tenant,
+            pes: c.pes,
+            ops: c.ops,
+            bytes: c.bytes,
+            p50: c.p50,
+            p99: c.p99,
+            p999: c.p999,
+            chaos_p999: x.p999,
+            efficiency: c.efficiency,
+        })
+        .collect();
+    (cells, clean.fairness)
 }
 
 /// Smallest swept payload (bytes) at which a point-to-point mode strictly
@@ -790,6 +879,9 @@ fn main() {
                 .expect("three samples")
         });
 
+    // Multi-tenant traffic rows plus the chaos-boundedness evidence.
+    let (traffic_cells, traffic_fairness) = traffic_sweep(engine);
+
     let mut report_fields = vec![
         ("benchmark", Json::Str("xbench_sweep".into())),
         ("backend", Json::Str(engine.name().into())),
@@ -881,6 +973,12 @@ fn main() {
                 .filter(|c| c.nelems * 8 <= 1024)
                 .all(|c| c.speedup() >= 2.0)
                 .to_json(),
+        ),
+        ("traffic_points", traffic_cells.to_json()),
+        ("traffic_fairness", traffic_fairness.to_json()),
+        (
+            "p999_under_chaos_bounded",
+            traffic_cells.iter().all(|c| c.chaos_bounded()).to_json(),
         ),
     ];
     if let Some((cells, chain_cap)) = &large_section {
@@ -1052,6 +1150,28 @@ fn main() {
             c.speedup()
         );
     }
+
+    println!("\n# Multi-tenant traffic: per-tenant completion-cycle percentiles");
+    println!(
+        "{:>6} {:>4} {:>4} {:>9} {:>9} {:>9} {:>9} {:>11} {:>6}  chaos bounded",
+        "tenant", "PEs", "ops", "bytes", "p50", "p99", "p999", "chaos p999", "eff"
+    );
+    for c in &traffic_cells {
+        println!(
+            "{:>6} {:>4} {:>4} {:>9} {:>9} {:>9} {:>9} {:>11} {:>6.3}  {}",
+            c.tenant,
+            c.pes,
+            c.ops,
+            c.bytes,
+            c.p50,
+            c.p99,
+            c.p999,
+            c.chaos_p999,
+            c.efficiency,
+            if c.chaos_bounded() { "yes" } else { "NO" }
+        );
+    }
+    println!("  fairness {traffic_fairness:.3} (max/min tenant efficiency)");
 
     if let Some((cells, chain_cap)) = &large_section {
         println!(

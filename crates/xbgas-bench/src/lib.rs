@@ -12,6 +12,7 @@
 //! | §4.7 comparison        | `xbench_sweep` | [`sweep_broadcast`] / [`sweep_reduce`] |
 //! | design ablations       | `ablation`     | [`ablation_unroll`], [`ablation_allreduce`] |
 //! | conformance plane      | `conformance`  | `xbrtime::collectives::{verify, explore}` |
+//! | traffic plane          | `xbench_traffic` | [`xbrtime::traffic::run_traffic`] |
 //!
 //! The Criterion benches under `benches/` measure host wall-clock of the
 //! same operations; the binaries report *simulated* cycles, which is what

@@ -30,6 +30,7 @@ pub mod policy;
 pub mod reduce;
 pub mod scatter;
 pub mod schedule;
+pub mod vcoll;
 pub mod verify;
 pub mod vrank;
 
@@ -62,5 +63,11 @@ pub use policy::{
 };
 pub use reduce::{reduce, reduce_bitwise, reduce_with, reduce_with_sync};
 pub use scatter::scatter;
+pub use vcoll::{
+    allgatherv, allgatherv_dissemination_sched, allgatherv_fan_sched, allgatherv_ring_sched,
+    gatherv, gatherv_ring_sched, prefix_displacements, scatterv, scatterv_ring_sched,
+    skew_permille, try_allgatherv_algo_sync, try_gatherv_policy_sync, try_scatterv_policy_sync,
+    AllGatherVAlgo, VCountError,
+};
 pub use verify::{check_schedule, CollectiveSpec, ConformanceReport, ModelConfig};
 pub use vrank::{logical_rank, rank_table, virtual_rank};

@@ -1218,6 +1218,35 @@ pub mod tag {
     pub const ALLREDUCE_RING: u64 = 16;
     /// `all_gather_doubling_sched`.
     pub const ALL_GATHER_RD: u64 = 17;
+    /// [`vcoll::scatterv_ring_sched`](crate::collectives::vcoll).
+    pub const SCATTERV_RING: u64 = 18;
+    /// [`vcoll::gatherv_ring_sched`](crate::collectives::vcoll).
+    pub const GATHERV_RING: u64 = 19;
+    /// [`vcoll::allgatherv_fan_sched`](crate::collectives::vcoll).
+    pub const ALLGATHERV_FAN: u64 = 20;
+    /// [`vcoll::allgatherv_ring_sched`](crate::collectives::vcoll).
+    pub const ALLGATHERV_RING: u64 = 21;
+    /// [`vcoll::allgatherv_dissemination_sched`](crate::collectives::vcoll).
+    pub const ALLGATHERV_DISS: u64 = 22;
+}
+
+/// FNV-1a digest of a counts/displacement table, for keying irregular
+/// collectives without carrying the whole table in the [`PlanKey`]: a
+/// v-collective's schedule is determined by its per-PE counts, but an
+/// `O(n)` shape vector would make key hashing and equality scale with
+/// world size on every warm issue. The digest keeps keys `O(1)`; the
+/// total element count rides separately in `PlanKey::nelems`, so a
+/// (vanishingly unlikely) digest collision additionally needs matching
+/// totals before two different tables could alias.
+pub fn counts_digest(counts: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in counts {
+        for b in (c as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// `(shape tag, key algorithm)` pair identifying one member of the

@@ -373,6 +373,84 @@ pub fn auto_select_all_gather(
     }
 }
 
+/// Count-skew (permille) above which `Auto` v-collectives abandon chain
+/// and fan shapes for log-stage dissemination. Skew is measured as
+/// `max(counts) · n · 1000 / total` — a uniform table scores exactly
+/// 1000, and 2000 means one PE holds twice its fair share. Chain shapes
+/// serialise every hop on whatever block is in flight, so a single giant
+/// block is retransmitted `n − 1` times on the critical path; the fan
+/// pushes it over `n − 1` separate wires from one root-side link.
+/// Dissemination moves the giant block only `⌈log2 n⌉` times and each
+/// time as part of a doubling aggregate, so its worst-case stage cost
+/// grows with the *window* total rather than a single block — the same
+/// observation Jocksch's non-uniform dissemination allgatherv is built
+/// on.
+pub(crate) const AUTO_VCOLL_SKEW_PERMILLE: u64 = 2000;
+
+/// Total payload (bytes) from which the `Auto` allgatherv ring pays:
+/// below it the ring's `n − 1` stage depth dominates; above it its
+/// bandwidth-optimal per-stage injection (each PE forwards exactly one
+/// block per stage) wins, mirroring the broadcast chain crossover at
+/// [`AUTO_PIPELINE_MIN_BYTES`].
+pub(crate) const AUTO_ALLGATHERV_RING_MIN_BYTES: usize = 64 * 1024;
+
+/// Joint algorithm selection for allgatherv under
+/// [`AllGatherVAlgo::Auto`](crate::collectives::vcoll::AllGatherVAlgo),
+/// keyed on total bytes *and* count skew — the irregular axis the
+/// uniform [`auto_select_all_gather`] doesn't have. High skew always
+/// takes dissemination (see [`AUTO_VCOLL_SKEW_PERMILLE`]); near-uniform
+/// tables follow the calibrated uniform crossovers: ring for
+/// bandwidth-bound totals at modest PE counts, dissemination from the
+/// n² fan-saturation point, fan for small latency-bound exchanges.
+pub fn auto_select_allgatherv(
+    n_pes: usize,
+    total_bytes: usize,
+    skew_permille: u64,
+) -> crate::collectives::vcoll::AllGatherVAlgo {
+    use crate::collectives::vcoll::AllGatherVAlgo;
+    let per_pe_bytes = total_bytes / n_pes.max(1);
+    if skew_permille >= AUTO_VCOLL_SKEW_PERMILLE {
+        AllGatherVAlgo::Dissemination
+    } else if total_bytes >= AUTO_ALLGATHERV_RING_MIN_BYTES
+        && n_pes > 2
+        && n_pes <= AUTO_CHAIN_MAX_PES
+    {
+        AllGatherVAlgo::Ring
+    } else if n_pes >= AUTO_ALLGATHER_DOUBLING_MIN_PES
+        || per_pe_bytes >= AUTO_ALLGATHER_DOUBLING_MIN_BYTES
+    {
+        AllGatherVAlgo::Dissemination
+    } else {
+        AllGatherVAlgo::Fan
+    }
+}
+
+/// Algorithm selection for rooted v-collectives (scatterv/gatherv) under
+/// [`AlgorithmPolicy::Auto`], keyed on total bytes, skew, and the
+/// resolved sync mode. The chain shape is only worth its `n − 1` hop
+/// depth when the executor pipelines, the total is bandwidth-bound, and
+/// no single block dominates the chain (mirroring
+/// [`auto_select_broadcast_sync`] with the skew guard added); otherwise
+/// the uniform binomial/linear crossovers apply to the total payload.
+pub fn auto_select_vrooted(
+    kind: CollectiveKind,
+    n_pes: usize,
+    total_bytes: usize,
+    skew_permille: u64,
+    resolved: SyncMode,
+) -> Algorithm {
+    if resolved == SyncMode::Pipelined
+        && n_pes > 2
+        && n_pes <= AUTO_CHAIN_MAX_PES
+        && total_bytes >= AUTO_PIPELINE_MIN_BYTES
+        && skew_permille < AUTO_VCOLL_SKEW_PERMILLE
+    {
+        Algorithm::Ring
+    } else {
+        auto_select(kind, n_pes, total_bytes)
+    }
+}
+
 /// Broadcast under `policy`: dispatches to the binomial tree
 /// ([`broadcast::broadcast`]), [`baseline::broadcast_linear`], or
 /// [`baseline::broadcast_ring`]. Same contract as the tree version.

@@ -1355,6 +1355,14 @@ pub enum CollectiveSpec {
         /// Elements contributed per PE.
         per_pe: usize,
     },
+    /// Every PE's buffer holds PE `s`'s first `counts[s]` `local_src`
+    /// elements at rank `s`'s prefix displacement — the irregular
+    /// [`AllGather`](CollectiveSpec::AllGather), with zero-length blocks
+    /// contributing (and constraining) nothing.
+    AllGatherV {
+        /// Elements contributed per PE, one entry per PE.
+        counts: Vec<usize>,
+    },
     /// PE `d`'s buffer holds PE `s`'s `local_src[d·per_pe ..]` at
     /// `[s·per_pe, …)`.
     AllToAll {
@@ -1413,6 +1421,7 @@ impl CollectiveSpec {
                 (adj_disp.last().copied().unwrap_or(0), 0)
             }
             CollectiveSpec::AllReduce { nelems } => (*nelems, 0),
+            CollectiveSpec::AllGatherV { counts } => (counts.iter().sum(), 0),
             // Sized against n_pes by the caller.
             CollectiveSpec::AllGather { .. } | CollectiveSpec::AllToAll { .. } => (0, 0),
             CollectiveSpec::TeamBroadcast { nelems, .. }
@@ -1520,6 +1529,17 @@ impl CollectiveSpec {
                         for k in 0..*per_pe {
                             row[s * per_pe + k] = Some(vec![atom(Space::LocalSrc, s, k)]);
                         }
+                    }
+                }
+            }
+            CollectiveSpec::AllGatherV { counts } => {
+                for row in sym.iter_mut() {
+                    let mut disp = 0usize;
+                    for (s, &c) in counts.iter().enumerate().take(n_pes) {
+                        for k in 0..c {
+                            row[disp + k] = Some(vec![atom(Space::LocalSrc, s, k)]);
+                        }
+                        disp += c;
                     }
                 }
             }

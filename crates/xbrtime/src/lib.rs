@@ -48,6 +48,7 @@ pub mod heap;
 pub mod shmem;
 pub mod timing;
 pub mod trace;
+pub mod traffic;
 pub mod typed;
 pub mod types;
 
@@ -61,4 +62,8 @@ pub use fabric::{
 };
 pub use timing::TimingConfig;
 pub use trace::{CriticalPath, Trace, TraceCategory, TraceConfig, TraceEvent, TraceKind};
+pub use traffic::{
+    run_traffic, tenant_members, tenant_of, tenant_plan, PeTraffic, TenantStats, TrafficConfig,
+    TrafficConfigError, TrafficError, TrafficKind, TrafficOp, TrafficReport,
+};
 pub use types::{ReduceOp, TypeEntry, XbrBitwise, XbrNumeric, XbrType, TABLE1};

@@ -418,6 +418,29 @@ fn collect_impl<T: XbrType>(
     active: &ActiveSet,
 ) {
     let total: usize = counts.iter().sum();
+    // World sets route through the v-collective engine: the skew/size
+    // crossovers pick log-stage dissemination, ring, or fan instead of
+    // the unconditional n² put fan below (which stays for strided
+    // subsets, where board offsets and set ranks diverge from the
+    // world's).
+    if active.is_world(pe.n_pes()) && total > 0 {
+        let me = pe.rank();
+        assert!(src.len() >= counts[me], "src shorter than contribution");
+        assert!(dest.len() >= total, "dest shorter than total collect size");
+        let mut out = vec![T::default(); total];
+        crate::collectives::vcoll::try_allgatherv_algo_sync(
+            pe,
+            &mut out,
+            &src[..counts[me]],
+            counts,
+            crate::collectives::vcoll::AllGatherVAlgo::Auto,
+            SyncMode::Auto,
+        )
+        .expect("collect counts match the world by construction");
+        pe.heap_write(dest.at(0), &out);
+        pe.barrier();
+        return;
+    }
     if let Some(sr) = active.set_rank(pe.rank()) {
         assert!(src.len() >= counts[sr], "src shorter than contribution");
         assert!(dest.len() >= total, "dest shorter than total collect size");

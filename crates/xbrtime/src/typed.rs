@@ -149,6 +149,38 @@ macro_rules! typed_common {
             collectives::gather(pe, dest, src, pe_msgs, pe_disp, nelems, root);
         }
 
+        /// `xbrtime_TYPENAME_scatterv(dest, src, counts, displs, root)` —
+        /// irregular scatter, total inferred from `counts`.
+        pub fn scatterv(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &[$t],
+            counts: &[usize],
+            displs: &[usize],
+            root: usize,
+        ) {
+            collectives::vcoll::scatterv(pe, dest, src, counts, displs, root);
+        }
+
+        /// `xbrtime_TYPENAME_gatherv(dest, src, counts, displs, root)` —
+        /// irregular gather, total inferred from `counts`.
+        pub fn gatherv(
+            pe: &Pe,
+            dest: &mut [$t],
+            src: &[$t],
+            counts: &[usize],
+            displs: &[usize],
+            root: usize,
+        ) {
+            collectives::vcoll::gatherv(pe, dest, src, counts, displs, root);
+        }
+
+        /// `xbrtime_TYPENAME_allgatherv(dest, src, counts)` — every PE
+        /// receives the rank-ordered concatenation of per-PE blocks.
+        pub fn allgatherv(pe: &Pe, dest: &mut [$t], src: &[$t], counts: &[usize]) {
+            collectives::vcoll::allgatherv(pe, dest, src, counts);
+        }
+
         /// `xbrtime_TYPENAME_reduce_sum(dest, src, nelems, stride, root)`.
         pub fn reduce_sum(
             pe: &Pe,

@@ -302,15 +302,7 @@ fn compiled_plans_match_allreduce_family_non_pow2() {
         for algo in [AlgorithmPolicy::Linear, AlgorithmPolicy::Ring] {
             for sync in [SyncMode::Signaled, SyncMode::Pipelined] {
                 for n in [3usize, 7] {
-                    assert_plan_matches_interpretive(
-                        engine,
-                        Kind::AllReduce,
-                        algo,
-                        sync,
-                        n,
-                        41,
-                        0,
-                    );
+                    assert_plan_matches_interpretive(engine, Kind::AllReduce, algo, sync, n, 41, 0);
                 }
             }
         }
